@@ -1,0 +1,64 @@
+"""B3: the two dynamic semantics, stage by stage, on the paper programs.
+
+Rows compare, for each flagship program:
+
+* static checking only (Fig. 1);
+* elaboration to System F (Fig. 2);
+* System F evaluation of the elaborated term;
+* direct big-step interpretation (extended report).
+
+Expected shape: elaboration dominates (it redoes resolution and builds
+terms); the direct interpreter pays resolution at runtime instead, so
+repeated execution favours elaborate-once-run-many.
+"""
+
+import pytest
+
+from repro.core.typecheck import typecheck
+from repro.elaborate.translate import elaborate
+from repro.opsem.interp import evaluate
+from repro.systemf.eval import feval
+
+from tests.conftest import OVERVIEW_PROGRAMS
+
+PROGRAMS = {name: build() for name, (build, _) in sorted(OVERVIEW_PROGRAMS.items())}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_static_typecheck(benchmark, name):
+    benchmark.group = f"B3 {name}"
+    program = PROGRAMS[name]
+    benchmark(lambda: typecheck(program))
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_elaborate(benchmark, name):
+    benchmark.group = f"B3 {name}"
+    program = PROGRAMS[name]
+    benchmark(lambda: elaborate(program))
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_systemf_eval(benchmark, name):
+    benchmark.group = f"B3 {name}"
+    _, target = elaborate(PROGRAMS[name])
+    benchmark(lambda: feval(target))
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_operational_eval(benchmark, name):
+    benchmark.group = f"B3 {name}"
+    program = PROGRAMS[name]
+    benchmark(lambda: evaluate(program))
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_smallstep_eval(benchmark, name):
+    """The paper's literal -->* (substitution-based): the price of
+
+    textual fidelity over environment-based evaluation."""
+    from repro.systemf.smallstep import eval_smallstep
+
+    benchmark.group = f"B3 {name}"
+    _, target = elaborate(PROGRAMS[name])
+    benchmark(lambda: eval_smallstep(target))

@@ -1,0 +1,52 @@
+"""B6: deterministic resolution vs. hereditary-Harrop proof search.
+
+Same environments and queries, two provers: the paper's committed-choice
+TyRes and the backtracking logic engine on the ``(.)-dagger`` reading.
+Expected shape: resolution is dramatically cheaper and degrades linearly,
+which is precisely the paper's argument for rejecting backtracking.
+"""
+
+import pytest
+
+from repro.core.resolution import resolve
+from repro.logic.encode import env_entails, goal_of_type, program_of_env
+from repro.logic.engine import Engine
+
+from .conftest import env_of_depth, nested_pair_type, pair_env
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8])
+def test_resolution_nested_pairs(benchmark, depth):
+    env = pair_env()
+    query = nested_pair_type(depth)
+    benchmark.group = f"B6 pairs d={depth}"
+    benchmark(lambda: resolve(env, query))
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8])
+def test_entailment_nested_pairs(benchmark, depth):
+    env = pair_env()
+    query = nested_pair_type(depth)
+    benchmark.group = f"B6 pairs d={depth}"
+    assert env_entails(env, query)
+    engine = Engine(max_depth=64)
+    program = program_of_env(env)
+    goal = goal_of_type(query)
+    benchmark(lambda: engine.entails(program, goal))
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64])
+def test_resolution_deep_env(benchmark, depth):
+    env, query = env_of_depth(depth)
+    benchmark.group = f"B6 env d={depth}"
+    benchmark(lambda: resolve(env, query))
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64])
+def test_entailment_deep_env(benchmark, depth):
+    env, query = env_of_depth(depth)
+    benchmark.group = f"B6 env d={depth}"
+    engine = Engine(max_depth=64)
+    program = program_of_env(env)
+    goal = goal_of_type(query)
+    benchmark(lambda: engine.entails(program, goal))

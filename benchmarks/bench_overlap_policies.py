@@ -1,0 +1,49 @@
+"""B4: cost of the two overlap policies (E8 ablation).
+
+``REJECT`` (the paper's ``no_overlap``) scans a rule set and fails fast;
+``MOST_SPECIFIC`` (companion material) additionally runs pairwise
+specificity comparisons among the matches.  Expected shape: identical
+when at most one rule matches; quadratic in the number of *matching*
+rules for MOST_SPECIFIC.
+"""
+
+import pytest
+
+from repro.core.env import ImplicitEnv, OverlapPolicy, RuleEntry
+from repro.core.types import INT, TCon, TFun, TVar, pair, rule
+
+A = TVar("a")
+
+
+def _non_overlapping_env(width: int) -> ImplicitEnv:
+    entries = [RuleEntry(TCon(f"Pad{i}")) for i in range(width - 1)]
+    entries.append(RuleEntry(TFun(INT, INT), payload="target"))
+    return ImplicitEnv.empty().push(entries)
+
+
+def _overlapping_env() -> ImplicitEnv:
+    """Two rules answering ``Int -> Int`` with a unique most-specific one."""
+    return ImplicitEnv.empty().push(
+        [
+            RuleEntry(rule(TFun(A, INT), [], ["a"]), payload="generic"),
+            RuleEntry(TFun(INT, INT), payload="specific1"),
+        ]
+    )
+
+
+@pytest.mark.parametrize("width", [4, 16, 64])
+@pytest.mark.parametrize("policy", list(OverlapPolicy), ids=lambda p: p.value)
+def test_no_overlap_lookup(benchmark, width, policy):
+    env = _non_overlapping_env(width)
+    benchmark.group = f"B4 width={width}"
+    result = benchmark(lambda: env.lookup(TFun(INT, INT), policy))
+    assert result.payload == "target"
+
+
+def test_most_specific_among_two(benchmark):
+    env = _overlapping_env()
+    benchmark.group = "B4 overlap"
+    result = benchmark(
+        lambda: env.lookup(TFun(INT, INT), OverlapPolicy.MOST_SPECIFIC)
+    )
+    assert result.payload == "specific1"

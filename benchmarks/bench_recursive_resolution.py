@@ -1,0 +1,41 @@
+"""B2: recursive resolution depth (the nested-pairs family of section 2).
+
+Resolving ``Pair^d Int`` against ``{Int, forall a.{a} => (a,a)}`` is a
+*chain* of ``d`` rule applications plus one ground lookup (both pair
+components share one type, and contexts are sets, so each level adds a
+single premise).  Expected shape: the derivation has ``d + 1`` nodes,
+but per-level matching/instantiation work scales with the query's *type
+size*, which doubles per level -- so wall-clock tracks ``2^d`` (i.e. it
+is linear in the size of the type being resolved, the honest measure).
+The higher-order variant assumes the final ``Int`` instead of looking it
+up (partial resolution).
+"""
+
+import pytest
+
+from repro.core.resolution import resolve
+
+from .conftest import nested_pair_type, pair_env
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4, 8, 12])
+def test_recursive_resolution_depth(benchmark, depth):
+    env = pair_env()
+    query = nested_pair_type(depth)
+    benchmark.group = "B2 nesting"
+    derivation = benchmark(lambda: resolve(env, query))
+    assert derivation.size() == depth + 1
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4, 8, 12])
+def test_partial_resolution_depth(benchmark, depth):
+    """Rule-type queries of growing head size (higher-order analogue)."""
+    from repro.core.types import INT, rule
+
+    env = pair_env()
+    query = rule(nested_pair_type(depth), [INT])
+    benchmark.group = "B2 higher-order"
+    derivation = benchmark(lambda: resolve(env, query))
+    # At depth 1 the whole context is assumed (pure rule resolution);
+    # deeper queries recurse like simple ones below the top level.
+    assert derivation.size() == (1 if depth == 1 else depth + 1)

@@ -1,0 +1,29 @@
+"""B1: resolution cost vs. environment shape.
+
+Expected shape: linear in stack depth (lookup walks frames innermost-out)
+and linear in rule-set width (each frame is scanned for matches plus the
+``no_overlap`` check).  Scope nesting is the mechanism the paper adds
+over global-scope type classes; this quantifies its cost.
+"""
+
+import pytest
+
+from repro.core.resolution import resolve
+
+from .conftest import env_of_depth, env_of_width
+
+
+@pytest.mark.parametrize("depth", [1, 4, 16, 64, 256])
+def test_resolution_vs_stack_depth(benchmark, depth):
+    env, query = env_of_depth(depth)
+    benchmark.group = "B1 depth"
+    result = benchmark(lambda: resolve(env, query))
+    assert result.size() == 1
+
+
+@pytest.mark.parametrize("width", [1, 4, 16, 64])
+def test_resolution_vs_ruleset_width(benchmark, width):
+    env, query = env_of_width(width)
+    benchmark.group = "B1 width"
+    result = benchmark(lambda: resolve(env, query))
+    assert result.size() == 1

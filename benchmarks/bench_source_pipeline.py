@@ -1,0 +1,66 @@
+"""B5: the full source pipeline, stage by stage, on the Eq/show programs.
+
+Rows: parse, infer+encode (Fig. 4), core typecheck (Fig. 1), elaborate
+(Fig. 2), System F evaluation, direct interpretation.  Expected shape:
+inference and elaboration dominate; evaluation of these small programs is
+cheap.
+"""
+
+import pytest
+
+from repro.core.typecheck import TypeChecker
+from repro.elaborate.translate import Elaborator
+from repro.opsem.interp import Interpreter
+from repro.pipeline import compile_source
+from repro.source.parser import parse_program
+from repro.systemf.eval import feval
+
+from .conftest import EQ_PROGRAM, SHOW_PROGRAM
+
+PROGRAMS = {"eq": EQ_PROGRAM, "show": SHOW_PROGRAM}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_parse(benchmark, name):
+    benchmark.group = f"B5 {name}"
+    benchmark(lambda: parse_program(PROGRAMS[name]))
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_infer_and_encode(benchmark, name):
+    benchmark.group = f"B5 {name}"
+    benchmark(lambda: compile_source(PROGRAMS[name]))
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_core_typecheck(benchmark, name):
+    compiled = compile_source(PROGRAMS[name])
+    checker = TypeChecker(signature=compiled.signature)
+    benchmark.group = f"B5 {name}"
+    benchmark(lambda: checker.check_program(compiled.expr))
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_elaborate(benchmark, name):
+    compiled = compile_source(PROGRAMS[name])
+    elaborator = Elaborator(signature=compiled.signature)
+    benchmark.group = f"B5 {name}"
+    benchmark(lambda: elaborator.elaborate_program(compiled.expr))
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_systemf_eval(benchmark, name):
+    compiled = compile_source(PROGRAMS[name])
+    _, target = Elaborator(signature=compiled.signature).elaborate_program(
+        compiled.expr
+    )
+    benchmark.group = f"B5 {name}"
+    benchmark(lambda: feval(target))
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_operational_eval(benchmark, name):
+    compiled = compile_source(PROGRAMS[name])
+    interpreter = Interpreter()
+    benchmark.group = f"B5 {name}"
+    benchmark(lambda: interpreter.run(compiled.expr))

@@ -1,0 +1,65 @@
+"""B8 (ablation): cost of the three resolution strategies.
+
+``SYNTACTIC`` is the paper's TyRes; ``EXTENDING`` pushes the queried
+context for recursive steps; ``BACKTRACKING`` is the rejected "semantic"
+search.  Expected shape: identical on first-match-succeeds workloads;
+backtracking degrades when near rules are dead ends -- which is exactly
+the paper's argument for committed choice.
+"""
+
+import pytest
+
+from repro.core.env import ImplicitEnv, RuleEntry
+from repro.core.resolution import ResolutionStrategy, Resolver
+from repro.core.types import INT, TCon, rule
+
+from .conftest import nested_pair_type, pair_env
+
+STRATEGIES = list(ResolutionStrategy)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.value)
+def test_happy_path(benchmark, strategy):
+    """All strategies on a workload where the nearest rule succeeds."""
+    env = pair_env()
+    query = nested_pair_type(6)
+    resolver = Resolver(strategy=strategy)
+    benchmark.group = "B8 happy"
+    benchmark(lambda: resolver.resolve(env, query))
+
+
+def _dead_end_env(dead_ends: int) -> ImplicitEnv:
+    """`dead_ends` near rules for Int that each need an absent premise,
+    then one deep rule that works."""
+    env = ImplicitEnv.empty().push([RuleEntry(INT, payload=0)])
+    for i in range(dead_ends):
+        env = env.push([rule(INT, [TCon(f"Absent{i}")])])
+    return env
+
+
+@pytest.mark.parametrize("dead_ends", [1, 4, 16])
+def test_backtracking_through_dead_ends(benchmark, dead_ends):
+    env = _dead_end_env(dead_ends)
+    resolver = Resolver(strategy=ResolutionStrategy.BACKTRACKING)
+    benchmark.group = f"B8 dead-ends={dead_ends}"
+    derivation = benchmark(lambda: resolver.resolve(env, INT))
+    assert derivation.size() == 1
+
+
+@pytest.mark.parametrize("dead_ends", [1, 4, 16])
+def test_syntactic_fails_fast(benchmark, dead_ends):
+    """Committed choice refuses immediately instead of searching."""
+    from repro.errors import ResolutionError
+
+    env = _dead_end_env(dead_ends)
+    resolver = Resolver()
+    benchmark.group = f"B8 dead-ends={dead_ends}"
+
+    def run():
+        try:
+            resolver.resolve(env, INT)
+        except ResolutionError:
+            return "refused"
+        raise AssertionError("should not resolve")
+
+    assert benchmark(run) == "refused"

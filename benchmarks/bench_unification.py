@@ -1,0 +1,55 @@
+"""B7: the matching unifier on growing types.
+
+Matching is the inner loop of every lookup; this sweeps pattern size for
+ground matching, variable-binding matching, and rule-type (context-set)
+matching.  Expected shape: linear in type size for the first two; the
+context-set case adds the small permutation search.
+"""
+
+import pytest
+
+from repro.core.types import INT, TVar, pair, rule
+from repro.core.unify import match_type
+
+from .conftest import nested_pair_type
+
+A = TVar("a")
+
+
+def _pattern_of_depth(depth: int):
+    """A pattern with one variable at every leaf position along a spine."""
+    t = A
+    for _ in range(depth):
+        t = pair(t, INT)
+    return t
+
+
+@pytest.mark.parametrize("depth", [2, 8, 32, 128])
+def test_ground_matching(benchmark, depth):
+    target = nested_pair_type(min(depth, 12))  # size 2^d: cap the doubling
+    benchmark.group = "B7 ground"
+    assert match_type(target, target, []) == {}
+    benchmark(lambda: match_type(target, target, []))
+
+
+@pytest.mark.parametrize("depth", [2, 8, 32, 128])
+def test_binding_matching(benchmark, depth):
+    pattern = _pattern_of_depth(depth)
+    target = _pattern_of_depth(depth)  # `a` matches `a` (rigid)
+    ground = match_type(pattern, target, ["a"])
+    assert ground is not None
+    benchmark.group = "B7 binding"
+    benchmark(lambda: match_type(pattern, target, ["a"]))
+
+
+@pytest.mark.parametrize("width", [1, 2, 4, 6])
+def test_context_set_matching(benchmark, width):
+    """Rule types with `width` context entries: permutation matching."""
+    from repro.core.types import TCon
+
+    context = [TCon(f"C{i}") for i in range(width)]
+    pattern = rule(INT, context)
+    target = rule(INT, list(reversed(context)))
+    assert match_type(pattern, target, []) == {}
+    benchmark.group = "B7 contexts"
+    benchmark(lambda: match_type(pattern, target, []))

@@ -1,0 +1,90 @@
+"""Shared builders for the benchmark suite (B1-B7 in DESIGN.md).
+
+Each helper builds a *parameterised workload*: environments of a given
+stack depth / rule-set width, nested-pair query families, and the paper's
+flagship source programs.  The benchmarks sweep these parameters and
+print one pytest-benchmark row per point, which is the reproduction's
+analogue of the paper's example/figure grid (the paper reports no wall
+-clock numbers; shapes -- how cost scales with scope depth, rule count,
+query size -- are the reproducible content).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.env import ImplicitEnv, RuleEntry
+from repro.core.types import INT, TCon, TVar, Type, pair, rule
+
+A = TVar("a")
+PAIR_RULE = rule(pair(A, A), [A], ["a"])
+
+
+def env_of_depth(depth: int) -> tuple[ImplicitEnv, Type]:
+    """A stack of `depth` singleton frames; the target lives at the bottom.
+
+    Lookup must walk the whole stack: worst-case scoping cost.
+    """
+    env = ImplicitEnv.empty().push([RuleEntry(INT, payload=0)])
+    for i in range(depth - 1):
+        env = env.push([RuleEntry(TCon(f"Pad{i}"), payload=i)])
+    return env, INT
+
+
+def env_of_width(width: int) -> tuple[ImplicitEnv, Type]:
+    """One frame with `width` distinct rules; the target is scanned last."""
+    entries = [RuleEntry(TCon(f"Pad{i}"), payload=i) for i in range(width - 1)]
+    entries.append(RuleEntry(INT, payload=width))
+    return ImplicitEnv.empty().push(entries), INT
+
+
+def nested_pair_type(depth: int) -> Type:
+    t: Type = INT
+    for _ in range(depth):
+        t = pair(t, t)
+    return t
+
+
+def pair_env() -> ImplicitEnv:
+    return ImplicitEnv.empty().push([RuleEntry(INT, payload=1), RuleEntry(PAIR_RULE)])
+
+
+EQ_PROGRAM = """
+interface Eq a = { eq : a -> a -> Bool };
+let eqv : forall a . {Eq a} => a -> a -> Bool = eq ? in
+let eqInt1 : Eq Int = Eq { eq = primEqInt } in
+let eqInt2 : Eq Int = Eq { eq = \\x y . isEven x && isEven y } in
+let eqBool : Eq Bool = Eq { eq = primEqBool } in
+let eqPair : forall a b . {Eq a, Eq b} => Eq (a, b) =
+  Eq { eq = \\x y . eqv (fst x) (fst y) && eqv (snd x) (snd y) } in
+let p1 : (Int, Bool) = (4, True) in
+let p2 : (Int, Bool) = (8, True) in
+implicit {eqInt1, eqBool, eqPair} in
+  (eqv p1 p2, implicit {eqInt2} in eqv p1 p2)
+"""
+
+SHOW_PROGRAM = """
+let show : forall a . {a -> String} => a -> String = ? in
+let comma : forall a . {a -> String} => [a] -> String =
+  \\xs . intercalate "," (map ? xs) in
+let space : forall a . {a -> String} => [a] -> String =
+  \\xs . intercalate " " (map ? xs) in
+let o : {Int -> String, {Int -> String} => [Int] -> String} => String =
+  show [1, 2, 3] in
+implicit showInt in
+  (implicit comma in o, implicit space in o)
+"""
+
+
+@pytest.fixture(scope="session")
+def compiled_eq():
+    from repro.pipeline import compile_source
+
+    return compile_source(EQ_PROGRAM)
+
+
+@pytest.fixture(scope="session")
+def compiled_show():
+    from repro.pipeline import compile_source
+
+    return compile_source(SHOW_PROGRAM)

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's stated results as one table (EXPERIMENTS.md).
+
+The paper's evaluation is its worked examples and theorems; this harness
+runs every one and prints a paper-vs-measured row, so the whole claim
+surface of the reproduction is auditable in one command::
+
+    python benchmarks/report.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.core import BOOL, CHAR, INT, ImplicitEnv, TVar, pair, rule
+from repro.core.resolution import ResolutionStrategy, resolvable, resolve
+from repro.errors import (
+    ImplicitCalculusError,
+    NoMatchingRuleError,
+    OverlappingRulesError,
+    ResolutionDivergenceError,
+)
+from repro.logic import env_entails
+from repro.pipeline import Semantics, run_core, run_source
+
+from tests.conftest import OVERVIEW_PROGRAMS
+
+A = TVar("a")
+
+ISORT = """
+let isort : forall a . {a -> a -> Bool} => [a] -> [a] = \\xs . sortBy ? xs in
+implicit ltInt in (isort [2, 1, 3], isort [5, 9, 3])
+"""
+
+EQ_PROGRAM = """
+interface Eq a = { eq : a -> a -> Bool };
+let eqv : forall a . {Eq a} => a -> a -> Bool = eq ? in
+let eqInt1 : Eq Int = Eq { eq = primEqInt } in
+let eqInt2 : Eq Int = Eq { eq = \\x y . isEven x && isEven y } in
+let eqBool : Eq Bool = Eq { eq = primEqBool } in
+let eqPair : forall a b . {Eq a, Eq b} => Eq (a, b) =
+  Eq { eq = \\x y . eqv (fst x) (fst y) && eqv (snd x) (snd y) } in
+let p1 : (Int, Bool) = (4, True) in
+let p2 : (Int, Bool) = (8, True) in
+implicit {eqInt1, eqBool, eqPair} in
+  (eqv p1 p2, implicit {eqInt2} in eqv p1 p2)
+"""
+
+SHOW_PROGRAM = """
+let show : forall a . {a -> String} => a -> String = ? in
+let comma : forall a . {a -> String} => [a] -> String =
+  \\xs . intercalate "," (map ? xs) in
+let space : forall a . {a -> String} => [a] -> String =
+  \\xs . intercalate " " (map ? xs) in
+let o : {Int -> String, {Int -> String} => [Int] -> String} => String =
+  show [1, 2, 3] in
+implicit showInt in
+  (implicit comma in o, implicit space in o)
+"""
+
+ROWS: list[tuple[str, str, str, str]] = []
+
+
+def row(exp_id: str, what: str, stated: str, measured: str) -> None:
+    status = "ok " if stated == measured or stated in measured else "FAIL"
+    ROWS.append((exp_id, what, stated, f"{measured}  [{status.strip()}]"))
+
+
+def both_semantics(program: str) -> str:
+    values = {run_source(program, semantics=s) for s in Semantics}
+    if len(values) != 1:
+        return f"DISAGREE {values}"
+    return repr(values.pop())
+
+
+def main() -> int:
+    # E1
+    row("E1", "isort (section 1)", "((1, 2, 3), (3, 5, 9))", both_semantics(ISORT))
+
+    # E2
+    for name in sorted(OVERVIEW_PROGRAMS):
+        build, expected = OVERVIEW_PROGRAMS[name]
+        program = build()
+        values = {run_core(program, semantics=s).value for s in Semantics}
+        measured = repr(values.pop()) if len(values) == 1 else f"DISAGREE {values}"
+        row("E2", f"overview: {name}", repr(expected), measured)
+
+    # E3
+    pair_env = ImplicitEnv.empty().push([INT, rule(pair(A, A), [A], ["a"])])
+    row(
+        "E3",
+        "Int; forall a.{a}=>a*a |-r Int*Int",
+        "resolvable",
+        "resolvable" if resolvable(pair_env, pair(INT, INT)) else "stuck",
+    )
+    row(
+        "E3",
+        "... |-r {Int}=>Int*Int (no recursion)",
+        "size 1",
+        f"size {resolve(pair_env, rule(pair(INT, INT), [INT])).size()}",
+    )
+    partial_env = ImplicitEnv.empty().push(
+        [BOOL, rule(pair(A, A), [BOOL, A], ["a"])]
+    )
+    d = resolve(partial_env, rule(pair(INT, INT), [INT]))
+    from repro.core.resolution import ByAssumption, ByResolution
+
+    kinds = sorted(type(p).__name__ for p in d.premises)
+    row(
+        "E3",
+        "partial resolution premise mix",
+        "['ByAssumption', 'ByResolution']",
+        repr(kinds),
+    )
+    bt_env = (
+        ImplicitEnv.empty()
+        .push([CHAR])
+        .push([rule(INT, [CHAR])])
+        .push([rule(INT, [BOOL])])
+    )
+    row(
+        "E3",
+        "Char;Char=>Int;Bool=>Int |-r Int",
+        "stuck (entailed semantically)",
+        (
+            "stuck" if not resolvable(bt_env, INT) else "resolved"
+        )
+        + (" (entailed semantically)" if env_entails(bt_env, INT) else " (not entailed)"),
+    )
+
+    # E4 / E5
+    row("E4", "Eq type class figure", "(False, True)", both_semantics(EQ_PROGRAM))
+    row("E5", "higher-order show", "('1,2,3', '1 2 3')", both_semantics(SHOW_PROGRAM))
+
+    # E7
+    loop_env = ImplicitEnv.empty().push([rule(INT, [CHAR]), rule(CHAR, [INT])])
+    try:
+        resolve(loop_env, INT)
+        measured = "resolved?!"
+    except ResolutionDivergenceError:
+        measured = "divergence caught"
+    row("E7", "{Char}=>Int, {Int}=>Char |-r Int", "divergence caught", measured)
+
+    # E9
+    from repro.core.types import TCon
+
+    tx, ty, tz = TCon("X"), TCon("Y"), TCon("Z")
+    ext_env = ImplicitEnv.empty().push([rule(ty, [tz]), rule(tz, [tx])])
+    query = rule(ty, [tx])
+    measured = (
+        ("syntactic stuck" if not resolvable(ext_env, query) else "syntactic ok")
+        + ", "
+        + (
+            "extending ok"
+            if resolvable(ext_env, query, strategy=ResolutionStrategy.EXTENDING)
+            else "extending stuck"
+        )
+    )
+    row("E9", "{C}=>B, {A}=>C |-r {A}=>B", "syntactic stuck, extending ok", measured)
+
+    width = max(len(r[1]) for r in ROWS) + 2
+    print(f"{'ID':<4} {'experiment':<{width}} stated -> measured")
+    print("-" * (width + 40))
+    failures = 0
+    for exp_id, what, stated, measured in ROWS:
+        print(f"{exp_id:<4} {what:<{width}} {stated}  ->  {measured}")
+        if "FAIL" in measured or "DISAGREE" in measured:
+            failures += 1
+    print("-" * (width + 40))
+    print(f"{len(ROWS)} experiments, {failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Partial resolution and higher-order queries at the core level (E3).
+
+This example works directly with the calculus -- environments, queries,
+derivations, elaborated System F terms -- to show the machinery the other
+examples use implicitly:
+
+1. recursive resolution of a simple type;
+2. a rule-type query answered without recursion;
+3. *partial* resolution: part of a matched rule's context is resolved
+   eagerly, part is abstracted over, yielding a function in System F;
+4. the paper's non-example, which requires backtracking and is refused.
+
+Run::
+
+    python examples/higher_order_rules.py
+"""
+
+from repro.core import BOOL, CHAR, INT, ImplicitEnv, TVar, pair, rule
+from repro.core.resolution import ResolutionStrategy, Resolver, resolve
+from repro.errors import ResolutionError
+from repro.logic import env_entails
+
+A = TVar("a")
+PAIR_RULE = rule(pair(A, A), [A], ["a"])
+
+
+def show_derivation(env, query) -> None:
+    derivation = resolve(env, query)
+    print(f"  |-r {query}")
+    print(f"     matched rule: {derivation.lookup.entry.rho}")
+    print(f"     instantiation: {[str(t) for t in derivation.lookup.type_args]}")
+    from repro.core.resolution import ByAssumption, ByResolution
+
+    for premise in derivation.premises:
+        if isinstance(premise, ByAssumption):
+            print(f"     assumption:   {premise.token.rho}  (not resolved)")
+        elif isinstance(premise, ByResolution):
+            print(f"     recursion:    {premise.derivation.query}")
+    print(f"     total lookups: {derivation.size()}")
+
+
+def main() -> None:
+    print("== 1. recursive resolution (simple type) ==")
+    env = ImplicitEnv.empty().push([INT, PAIR_RULE])
+    show_derivation(env, pair(INT, INT))
+
+    print("\n== 2. rule-type query: context matched, no recursion ==")
+    show_derivation(env, rule(pair(INT, INT), [INT]))
+
+    print("\n== 3. partial resolution ==")
+    env3 = ImplicitEnv.empty().push(
+        [BOOL, rule(pair(A, A), [BOOL, A], ["a"])]
+    )
+    show_derivation(env3, rule(pair(INT, INT), [INT]))
+    print("     (Bool resolved eagerly, Int left as the query's premise)")
+
+    print("\n== elaborated evidence for the partial resolution ==")
+    from repro.core.builders import ask, crule, implicit
+    from repro.core.terms import BoolLit, PairE
+    from repro.elaborate import elaborate
+    from repro.systemf import apply_value, feval, pretty_fexpr, pretty_ftype, ftypecheck
+
+    inner_rho = rule(pair(A, A), [BOOL, A], ["a"])
+    inner = crule(inner_rho, PairE(ask(A), ask(A)))
+    program = implicit(
+        [BoolLit(True), (inner, inner_rho)],
+        ask(rule(pair(INT, INT), [INT])),
+        rule(pair(INT, INT), [INT]),
+    )
+    tau, target = elaborate(program)
+    print(f"  lambda_=> type : {tau}")
+    print(f"  System F type  : {pretty_ftype(ftypecheck(target))}")
+    evidence = feval(target)
+    print(f"  applying the evidence to 9: {apply_value(evidence, 9)}")
+    assert apply_value(evidence, 9) == (9, 9)
+
+    print("\n== 4. no backtracking (by design) ==")
+    env4 = (
+        ImplicitEnv.empty()
+        .push([CHAR])
+        .push([rule(INT, [CHAR])])
+        .push([rule(INT, [BOOL])])
+    )
+    try:
+        resolve(env4, INT)
+        raise AssertionError("unexpectedly resolved")
+    except ResolutionError as exc:
+        print(f"  TyRes refuses: {exc}")
+    print(f"  ...although the logic reading entails it: {env_entails(env4, INT)}")
+    backtracking = Resolver(strategy=ResolutionStrategy.BACKTRACKING)
+    print(f"  the (rejected) semantic strategy finds it: size "
+          f"{backtracking.resolve(env4, INT).size()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Scoping, overlap, and the two overlap policies (sections 2 and the
+
+companion material on overlapping rules; experiments E2/E8).
+
+The core calculus allows two rules that could answer the same query
+("overlap") as long as they sit in *different* nested scopes: the
+lexically nearest rule wins.  Inside one scope, the paper's ``no_overlap``
+condition rejects the program; the companion material instead selects the
+unique *most specific* rule.  Both policies are implemented.
+
+Run::
+
+    python examples/overlapping_rules.py
+"""
+
+from repro import OverlappingRulesError, run_core
+from repro.core import INT, ImplicitEnv, OverlapPolicy, RuleEntry, TFun, TVar, rule
+from repro.core.parser import parse_core_expr
+from repro.core.resolution import Resolver
+
+A = TVar("a")
+
+NEAREST_WINS_INC = """
+implicit {rule(forall a . {} => a -> a, \\x : a . x)} in
+  implicit {\\n : Int . n + 1 : Int -> Int} in
+    ?(Int -> Int) 1
+  : Int
+: Int
+"""
+
+NEAREST_WINS_ID = """
+implicit {\\n : Int . n + 1 : Int -> Int} in
+  implicit {rule(forall a . {} => a -> a, \\x : a . x)} in
+    ?(Int -> Int) 1
+  : Int
+: Int
+"""
+
+
+def scoped_overlap() -> None:
+    print("== overlap through nested scoping (paper section 2) ==")
+    inc_inner = run_core(parse_core_expr(NEAREST_WINS_INC)).value
+    id_inner = run_core(parse_core_expr(NEAREST_WINS_ID)).value
+    print(f"  identity outer, n+1 inner: ?(Int -> Int) 1  =>  {inc_inner}")
+    print(f"  n+1 outer, identity inner: ?(Int -> Int) 1  =>  {id_inner}")
+    assert (inc_inner, id_inner) == (2, 1), "paper states 2 then 1"
+
+
+def same_scope_overlap() -> None:
+    print("\n== overlap inside one rule set ==")
+    generic = rule(TFun(A, A), [], ["a"])
+    env = ImplicitEnv.empty().push(
+        [
+            RuleEntry(generic, payload="generic identity"),
+            RuleEntry(TFun(INT, INT), payload="Int-specific"),
+        ]
+    )
+    query = TFun(INT, INT)
+
+    try:
+        Resolver(policy=OverlapPolicy.REJECT).resolve(env, query)
+    except OverlappingRulesError as exc:
+        print(f"  no_overlap policy rejects:   {exc}")
+
+    winner = (
+        Resolver(policy=OverlapPolicy.MOST_SPECIFIC)
+        .resolve(env, query)
+        .lookup.payload
+    )
+    print(f"  most-specific policy picks:  {winner!r}")
+    assert winner == "Int-specific"
+
+
+def incomparable_overlap() -> None:
+    print("\n== incomparable rules stay rejected under both policies ==")
+    env = ImplicitEnv.empty().push(
+        [rule(TFun(A, INT), [], ["a"]), rule(TFun(INT, A), [], ["a"])]
+    )
+    for policy in OverlapPolicy:
+        try:
+            Resolver(policy=policy).resolve(env, TFun(INT, INT))
+            raise AssertionError("should have been rejected")
+        except OverlappingRulesError:
+            print(f"  {policy.value}: rejected (no unique most specific rule)")
+
+
+def main() -> None:
+    scoped_overlap()
+    same_scope_overlap()
+    incomparable_overlap()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro -- a Python reproduction of *The Implicit Calculus: A New
+Foundation for Generic Programming* (Oliveira, Schrijvers, Choi, Lee, Yi;
+PLDI 2012).
+
+The package implements the full pipeline of the paper:
+
+* :mod:`repro.core` -- the lambda_=> calculus: types-as-rules, a
+  polymorphic type system, and type-directed resolution with scoping,
+  higher-order rules and partial resolution (Fig. 1);
+* :mod:`repro.systemf` -- the extended System F target language;
+* :mod:`repro.elaborate` -- the evidence-passing translation (Fig. 2);
+* :mod:`repro.opsem` -- the direct big-step operational semantics with
+  rule closures and partially resolved contexts (extended report);
+* :mod:`repro.logic` -- the logical interpretation ``(.)-dagger`` and a
+  hereditary-Harrop prover used to validate Theorem 1;
+* :mod:`repro.source` -- the source language of section 5 with implicit
+  instantiation, interfaces, local/nested scoping and type inference;
+* :mod:`repro.pipeline` -- one-call entry points.
+
+Quickstart::
+
+    >>> from repro import run_source
+    >>> run_source("implicit showInt in let s : String = ? 42 in s")
+    '42'
+"""
+
+from .errors import (
+    AmbiguousRuleTypeError,
+    CoherenceError,
+    EvalError,
+    ImplicitCalculusError,
+    NoMatchingRuleError,
+    OverlappingRulesError,
+    ParseError,
+    ResolutionDivergenceError,
+    ResolutionError,
+    SourceTypeError,
+    SystemFTypeError,
+    TerminationError,
+    TypecheckError,
+)
+from .pipeline import (
+    CoreRun,
+    Semantics,
+    compile_source,
+    elaborate_core,
+    run_core,
+    run_source,
+    run_source_full,
+    typecheck_core,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmbiguousRuleTypeError",
+    "CoherenceError",
+    "CoreRun",
+    "EvalError",
+    "ImplicitCalculusError",
+    "NoMatchingRuleError",
+    "OverlappingRulesError",
+    "ParseError",
+    "ResolutionDivergenceError",
+    "ResolutionError",
+    "Semantics",
+    "SourceTypeError",
+    "SystemFTypeError",
+    "TerminationError",
+    "TypecheckError",
+    "compile_source",
+    "elaborate_core",
+    "run_core",
+    "run_source",
+    "run_source_full",
+    "typecheck_core",
+    "__version__",
+]

@@ -1,0 +1,138 @@
+"""Command-line interface: run implicit-calculus programs from files.
+
+Usage::
+
+    python -m repro run PROGRAM.impl            # source language (section 5)
+    python -m repro run --core PROGRAM.core     # core calculus
+    python -m repro compile PROGRAM.impl        # show the lambda_=> encoding
+    python -m repro elaborate PROGRAM.impl      # show the System F target
+    python -m repro check PROGRAM.impl          # type check only
+
+Options:
+    --operational      use the direct big-step semantics
+    --verify           re-check the System F target against |tau|
+    --most-specific    companion overlap policy instead of no_overlap
+    --strategy S       syntactic | extending | backtracking
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.env import OverlapPolicy
+from .core.parser import parse_core_expr
+from .core.pretty import pretty_expr, pretty_type
+from .core.resolution import ResolutionStrategy, Resolver
+from .core.terms import EMPTY_SIGNATURE
+from .elaborate.translate import Elaborator
+from .errors import ImplicitCalculusError
+from .pipeline import Semantics, compile_source, run_core, typecheck_core
+from .systemf.ast import pretty_fexpr
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The implicit calculus (PLDI 2012), reproduced in Python.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in [
+        ("run", "type check and evaluate a program"),
+        ("compile", "show the lambda_=> encoding of a source program"),
+        ("elaborate", "show the System F elaboration"),
+        ("check", "type check only"),
+    ]:
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("file", help="program file ('-' for stdin)")
+        cmd.add_argument(
+            "--core",
+            action="store_true",
+            help="treat the input as core-calculus syntax instead of source",
+        )
+        cmd.add_argument(
+            "--operational",
+            action="store_true",
+            help="use the direct big-step semantics",
+        )
+        cmd.add_argument(
+            "--verify",
+            action="store_true",
+            help="re-check the elaborated System F term against |tau|",
+        )
+        cmd.add_argument(
+            "--most-specific",
+            action="store_true",
+            help="resolve overlap by specificity (companion material)",
+        )
+        cmd.add_argument(
+            "--strategy",
+            choices=[s.value for s in ResolutionStrategy],
+            default=ResolutionStrategy.SYNTACTIC.value,
+            help="resolution strategy (default: the paper's TyRes)",
+        )
+    return parser
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _resolver(args: argparse.Namespace) -> Resolver:
+    return Resolver(
+        policy=OverlapPolicy.MOST_SPECIFIC
+        if args.most_specific
+        else OverlapPolicy.REJECT,
+        strategy=ResolutionStrategy(args.strategy),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    text = _read(args.file)
+    resolver = _resolver(args)
+    try:
+        if args.core:
+            expr = parse_core_expr(text)
+            signature = EMPTY_SIGNATURE
+        else:
+            compiled = compile_source(text)
+            expr = compiled.expr
+            signature = compiled.signature
+
+        if args.command == "compile":
+            print(pretty_expr(expr))
+            return 0
+        if args.command == "check":
+            tau = typecheck_core(expr, signature=signature, resolver=resolver)
+            print(pretty_type(tau))
+            return 0
+        if args.command == "elaborate":
+            elaborator = Elaborator(signature=signature, resolver=resolver)
+            tau, target = elaborator.elaborate_program(expr)
+            print(f"-- : {pretty_type(tau)}")
+            print(pretty_fexpr(target))
+            return 0
+        semantics = (
+            Semantics.OPERATIONAL if args.operational else Semantics.ELABORATE
+        )
+        run = run_core(
+            expr,
+            signature=signature,
+            resolver=resolver,
+            semantics=semantics,
+            verify=args.verify,
+        )
+        print(f"-- : {pretty_type(run.type)}")
+        print(run.value)
+        return 0
+    except ImplicitCalculusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

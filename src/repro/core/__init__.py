@@ -1,0 +1,65 @@
+"""The lambda_=> core calculus: syntax, type system, resolution.
+
+Public surface of the paper's Fig. 1 plus the supporting machinery
+(substitution, matching unification, environments, termination and
+coherence conditions, a concrete-syntax parser, and a builder DSL).
+"""
+
+from .env import ImplicitEnv, LookupResult, OverlapPolicy, RuleEntry
+from .resolution import (
+    Assumption,
+    ByAssumption,
+    ByResolution,
+    Derivation,
+    Resolver,
+    ResolutionStrategy,
+    resolvable,
+    resolve,
+)
+from .terms import (
+    App,
+    BoolLit,
+    EMPTY_SIGNATURE,
+    Expr,
+    If,
+    IntLit,
+    InterfaceDecl,
+    Lam,
+    ListLit,
+    PairE,
+    Prim,
+    Project,
+    Query,
+    Record,
+    RuleAbs,
+    RuleApp,
+    Signature,
+    StrLit,
+    TyApp,
+    Var,
+)
+from .typecheck import TypeChecker, typecheck, unambiguous
+from .types import (
+    BOOL,
+    CHAR,
+    INT,
+    RuleType,
+    STRING,
+    TCon,
+    TFun,
+    TVar,
+    Type,
+    UNIT,
+    context_contains,
+    context_difference,
+    ftv,
+    fun,
+    list_of,
+    pair,
+    promote,
+    rule,
+    type_size,
+    types_alpha_eq,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,119 @@
+"""A small construction DSL for lambda_=> programs.
+
+Tests and examples build paper programs with these helpers instead of raw
+AST constructors; in particular :func:`implicit` is the paper's
+``implicit e-bar : rho-bar in e`` sugar::
+
+    implicit e-bar:rho-bar in e1 : tau
+        ==  rule({rho-bar} => tau, e1) with e-bar:rho-bar
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .prims import prim_spec
+from .terms import App, Expr, IntLit, Lam, Prim, Query, RuleAbs, RuleApp, TyApp, Var
+from .types import TVar, Type, rule
+
+Binding = "Expr | tuple[Expr, Type]"
+
+
+def tv(name: str) -> TVar:
+    return TVar(name)
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def app(fn: Expr, *args: Expr) -> Expr:
+    """Left-nested application ``fn a1 ... an``."""
+    out = fn
+    for arg in args:
+        out = App(out, arg)
+    return out
+
+
+def lam(bindings: Sequence[tuple[str, Type]], body: Expr) -> Expr:
+    """Multi-argument lambda ``\\x1:t1 ... xn:tn. body``."""
+    out = body
+    for name, tau in reversed(bindings):
+        out = Lam(name, tau, out)
+    return out
+
+
+def let_(name: str, tau: Type, bound: Expr, body: Expr) -> Expr:
+    """Monomorphic let as the usual beta-redex sugar."""
+    return App(Lam(name, tau, body), bound)
+
+
+def ask(rho: Type) -> Query:
+    """The query ``?rho`` (simple types promote inside resolution)."""
+    return Query(rho)
+
+
+def crule(rho: Type, body: Expr) -> RuleAbs:
+    """A rule abstraction ``|rho|.body``."""
+    return RuleAbs(rho, body)
+
+
+def with_(expr: Expr, bindings: Iterable[Binding]) -> RuleApp:
+    """Rule application ``expr with e-bar:rho-bar``.
+
+    Bindings may be ``(expr, rho)`` pairs or bare *closed* expressions,
+    whose rule type is then inferred with an empty environment.
+    """
+    return RuleApp(expr, tuple(_annotate(b) for b in bindings))
+
+
+def implicit(
+    bindings: Iterable[Binding],
+    body: Expr,
+    result_type: Type,
+) -> Expr:
+    """The paper's ``implicit e-bar in body : result_type`` sugar."""
+    annotated = tuple(_annotate(b) for b in bindings)
+    context = tuple(rho for _, rho in annotated)
+    return RuleApp(RuleAbs(rule(result_type, context), body), annotated)
+
+
+def _annotate(binding: Binding) -> tuple[Expr, Type]:
+    if isinstance(binding, tuple):
+        return binding
+    from .typecheck import TypeChecker
+
+    return binding, TypeChecker().check_program(binding)
+
+
+def prim(name: str, *type_args: Type) -> Expr:
+    """A primitive, instantiated if type arguments are supplied."""
+    spec = prim_spec(name)  # raises KeyError early for typos
+    expr: Expr = Prim(spec.name)
+    if type_args:
+        expr = TyApp(expr, tuple(type_args))
+    return expr
+
+
+def call_prim(name: str, *args: Expr, type_args: Sequence[Type] = ()) -> Expr:
+    """Fully applied primitive call."""
+    return app(prim(name, *type_args), *args)
+
+
+# Frequently used arithmetic/boolean shorthands ------------------------------
+
+
+def add(a: Expr, b: Expr) -> Expr:
+    return call_prim("add", a, b)
+
+
+def inc(a: Expr) -> Expr:
+    return add(a, IntLit(1))
+
+
+def neg(a: Expr) -> Expr:
+    return call_prim("not", a)
+
+
+def eq_int(a: Expr, b: Expr) -> Expr:
+    return call_prim("primEqInt", a, b)

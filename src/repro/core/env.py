@@ -1,0 +1,251 @@
+"""Implicit environments and rule lookup (Fig. 1 of the paper).
+
+An implicit environment ``Delta`` is a *stack of rule sets*; nesting of
+rule applications pushes a new set.  Lookup of a queried type ``tau``:
+
+* proceeds from the innermost (topmost) rule set outwards -- this gives
+  the lexical scoping and the "nearest match wins" behaviour of the
+  overview examples;
+* within one rule set, finds entries ``rho = forall a-bar'.rho-bar' => tau'``
+  whose head matches ``tau`` under a one-way unifier ``theta``
+  (``theta tau' = tau``);
+* fails with :class:`OverlappingRulesError` when several distinct entries
+  of the *same* set match -- the paper's ``no_overlap`` condition -- unless
+  the :class:`OverlapPolicy.MOST_SPECIFIC` policy of the companion
+  material is selected, in which case a unique most-specific match is
+  chosen (and its absence is an error).
+
+Entries carry an arbitrary *payload*: ``None`` during pure type checking,
+a System F evidence term during elaboration, a runtime closure in the
+operational semantics.  This mirrors how the paper reuses one lookup
+relation across Fig. 1, Fig. 2 and the big-step semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from ..errors import (
+    AmbiguousRuleTypeError,
+    NoMatchingRuleError,
+    OverlappingRulesError,
+)
+from .subst import fresh_tvar, subst_type
+from .types import RuleType, TVar, Type, promote
+from .unify import match_type
+
+
+class OverlapPolicy(enum.Enum):
+    """How to handle several matching rules within one rule set."""
+
+    #: The paper's ``no_overlap``: any overlap within a set is an error.
+    REJECT = "reject"
+    #: The companion material's two-level priority scheme: within a set,
+    #: the unique most-specific matching rule wins.
+    MOST_SPECIFIC = "most_specific"
+
+
+@dataclass(frozen=True)
+class RuleEntry:
+    """One rule in a rule set: its type plus a stage-specific payload."""
+
+    rho: Type
+    payload: Any = None
+
+    def parts(self) -> tuple[tuple[str, ...], tuple[Type, ...], Type]:
+        return promote(self.rho)
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """The outcome of a successful lookup.
+
+    * ``entry`` -- the matched environment entry;
+    * ``type_args`` -- instantiations of the entry's quantified variables,
+      in declaration order (feeds ``x |tau-bar|`` in rule ``TrRes``);
+    * ``context`` -- the instantiated context ``theta rho-bar'``;
+    * ``head`` -- the instantiated head (alpha-equal to the query).
+    """
+
+    entry: RuleEntry
+    type_args: tuple[Type, ...]
+    context: tuple[Type, ...]
+    head: Type
+
+    @property
+    def payload(self) -> Any:
+        return self.entry.payload
+
+
+class ImplicitEnv:
+    """An immutable stack of rule sets (``Delta ::= . | Delta; rho-bar``)."""
+
+    __slots__ = ("_frames",)
+
+    def __init__(self, frames: tuple[tuple[RuleEntry, ...], ...] = ()):
+        self._frames = frames
+
+    @staticmethod
+    def empty() -> "ImplicitEnv":
+        return ImplicitEnv()
+
+    def push(self, entries: Iterable[RuleEntry | Type]) -> "ImplicitEnv":
+        """Extend with a new innermost rule set.
+
+        Bare types are wrapped in payload-less entries for convenience.
+        """
+        frame = tuple(
+            e if isinstance(e, RuleEntry) else RuleEntry(e) for e in entries
+        )
+        return ImplicitEnv(self._frames + (frame,))
+
+    def frames(self) -> tuple[tuple[RuleEntry, ...], ...]:
+        """Outermost-first tuple of rule sets."""
+        return self._frames
+
+    def entries(self) -> Iterator[RuleEntry]:
+        """All entries, innermost frame first."""
+        for frame in reversed(self._frames):
+            yield from frame
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __bool__(self) -> bool:
+        return bool(self._frames)
+
+    def lookup(
+        self, tau: Type, policy: OverlapPolicy = OverlapPolicy.REJECT
+    ) -> LookupResult:
+        """Find the rule for ``tau`` (Fig. 1's ``Delta(tau)``).
+
+        Raises :class:`NoMatchingRuleError` if no frame matches,
+        :class:`OverlappingRulesError` on ambiguous overlap, and
+        :class:`AmbiguousRuleTypeError` if matching leaves a quantified
+        variable of the winning rule uninstantiated (the extended report's
+        "ambiguous instantiation" runtime error, caught here statically).
+        """
+        for frame in reversed(self._frames):
+            matches = _frame_matches(frame, tau)
+            if not matches:
+                continue
+            if len(matches) > 1:
+                if policy is OverlapPolicy.REJECT:
+                    raise OverlappingRulesError(
+                        f"query {tau} matches {len(matches)} rules in one rule set: "
+                        + ", ".join(str(m.entry.rho) for m in matches)
+                    )
+                matches = [_most_specific(matches, tau)]
+            return matches[0]
+        raise NoMatchingRuleError(f"no rule matching {tau} in the implicit environment")
+
+    def lookup_all(self, tau: Type) -> Iterator[LookupResult]:
+        """All matches for ``tau`` in nearness order (inner frames first).
+
+        Used by the ``BACKTRACKING`` resolution strategy -- the "fully
+        semantic" notion of resolution the paper discusses and rejects --
+        which may fall back to a farther rule when a nearer one gets
+        stuck.  No ``no_overlap`` check is performed: provability, not
+        coherence, is the point of that strategy.
+        """
+        for frame in reversed(self._frames):
+            yield from _frame_matches(frame, tau)
+
+
+@dataclass(frozen=True)
+class _Match:
+    entry: RuleEntry
+    result: LookupResult
+
+
+def _frame_matches(frame: tuple[RuleEntry, ...], tau: Type) -> list[LookupResult]:
+    found: list[LookupResult] = []
+    for entry in frame:
+        result = _try_match(entry, tau)
+        if result is not None:
+            found.append(result)
+    return found
+
+
+def _try_match(entry: RuleEntry, tau: Type) -> LookupResult | None:
+    tvars, context, head = entry.parts()
+    fresh = tuple(fresh_tvar(v.split("%")[0]) for v in tvars)
+    renaming = {old: TVar(new) for old, new in zip(tvars, fresh)}
+    head_f = subst_type(renaming, head)
+    theta = match_type(head_f, tau, fresh)
+    if theta is None:
+        return None
+    missing = [v for v in fresh if v not in theta]
+    if missing:
+        # ``unambiguous`` rules never reach this (all tvars occur in the
+        # head); hand-built environments can, and the paper classifies it
+        # as the "ambiguous instantiation" error.
+        raise AmbiguousRuleTypeError(
+            f"matching {entry.rho} against {tau} leaves quantified variable(s) "
+            f"{', '.join(tvars[fresh.index(m)] for m in missing)} undetermined"
+        )
+    type_args = tuple(theta[v] for v in fresh)
+    inst_context = tuple(subst_type(theta, subst_type(renaming, rho)) for rho in context)
+    return LookupResult(
+        entry=entry,
+        type_args=type_args,
+        context=inst_context,
+        head=subst_type(theta, head_f),
+    )
+
+
+def _instance_of(a: LookupResult, b: LookupResult) -> bool:
+    """Whether ``a``'s head is a substitution instance of ``b``'s head."""
+    _, _, a_head = a.entry.parts()
+    b_tvars, _, b_head = b.entry.parts()
+    fresh_b = tuple(fresh_tvar("s") for _ in b_tvars)
+    ren_b = {old: TVar(new) for old, new in zip(b_tvars, fresh_b)}
+    # a's own quantified variables act as rigid constants here.
+    return match_type(subst_type(ren_b, b_head), a_head, fresh_b) is not None
+
+
+def _rigid_symbols(result: LookupResult) -> int:
+    """Number of non-variable nodes in a rule head (pattern refinement)."""
+    from .types import TVar as _TVar, subterms
+
+    tvars, _, head = result.entry.parts()
+    bound = set(tvars)
+    return sum(
+        1
+        for t in subterms(head)
+        if not (isinstance(t, _TVar) and t.name in bound)
+    )
+
+
+def _more_specific(a: LookupResult, b: LookupResult) -> bool:
+    """Whether ``a`` is strictly more specific than ``b``.
+
+    Primary order: the standard instance preorder on heads (``Int -> Int``
+    is more specific than ``forall a. a -> a``).  The companion material
+    additionally wants ``forall a. a -> Int`` to beat ``forall a. a -> a``
+    at the query ``Int -> Int`` even though the two heads are incomparable
+    in the instance preorder; we realise its (underspecified) meet
+    operation by a pattern-refinement tiebreak: more rigid symbols in the
+    head means more specific, provided neither head is an instance of the
+    other.
+    """
+    a_inst_b = _instance_of(a, b)
+    b_inst_a = _instance_of(b, a)
+    if a_inst_b and not b_inst_a:
+        return True
+    if b_inst_a:
+        return False
+    return _rigid_symbols(a) > _rigid_symbols(b)
+
+
+def _most_specific(matches: list[LookupResult], tau: Type) -> LookupResult:
+    """Unique most-specific match, or :class:`OverlappingRulesError`."""
+    for candidate in matches:
+        if all(c is candidate or _more_specific(candidate, c) for c in matches):
+            return candidate
+    raise OverlappingRulesError(
+        f"query {tau}: no unique most-specific rule among: "
+        + ", ".join(str(m.entry.rho) for m in matches)
+    )

@@ -1,0 +1,138 @@
+"""Human-readable explanations of resolution derivations.
+
+Resolution failures in implicit systems are notoriously hard to debug
+(the paper's motivation for keeping resolution predictable).  This module
+renders a :class:`Derivation` as an indented proof tree and, on failure,
+explains *why* each frame of the environment did not apply -- the sort of
+diagnostics a production implementation of the calculus would ship.
+
+Example output::
+
+    ?(Int, Int)
+    └─ by rule  forall a . {a} => (a, a)   [a := Int]
+       └─ ?Int
+          └─ by rule  Int
+"""
+
+from __future__ import annotations
+
+from ..errors import ResolutionError
+from .env import ImplicitEnv, OverlapPolicy
+from .pretty import pretty_type
+from .resolution import (
+    ByAssumption,
+    ByResolution,
+    Derivation,
+    ResolutionStrategy,
+    Resolver,
+)
+from .types import Type, promote
+from .unify import match_type
+from .subst import fresh_tvar, subst_type
+from .types import TVar
+
+
+def explain_derivation(derivation: Derivation, indent: int = 0) -> str:
+    """Render a successful derivation as an indented proof tree."""
+    lines: list[str] = []
+    _render(derivation, indent, lines)
+    return "\n".join(lines)
+
+
+def _render(derivation: Derivation, depth: int, lines: list[str]) -> None:
+    pad = "   " * depth
+    lines.append(f"{pad}?{pretty_type(derivation.query)}")
+    rule_text = pretty_type(derivation.lookup.entry.rho)
+    tvars, _, _ = promote(derivation.lookup.entry.rho)
+    binding = ""
+    if tvars:
+        pairs = ", ".join(
+            f"{name} := {pretty_type(t)}"
+            for name, t in zip(tvars, derivation.lookup.type_args)
+        )
+        binding = f"   [{pairs}]"
+    lines.append(f"{pad}└─ by rule  {rule_text}{binding}")
+    for premise in derivation.premises:
+        if isinstance(premise, ByAssumption):
+            lines.append(
+                f"{pad}   ├─ {pretty_type(premise.token.rho)}  (assumed by the query)"
+            )
+        elif isinstance(premise, ByResolution):
+            _render(premise.derivation, depth + 1, lines)
+
+
+def explain_failure(env: ImplicitEnv, rho: Type) -> str:
+    """Diagnose why ``rho`` does not resolve against ``env``.
+
+    Walks the stack innermost-out, reporting for each frame whether its
+    rules' heads match, and for the first head match, which recursive
+    premise failed.
+    """
+    resolver = Resolver()
+    try:
+        resolver.resolve(env, rho)
+    except ResolutionError as failure:
+        pass
+    else:
+        return f"?{pretty_type(rho)} resolves fine; nothing to explain"
+
+    _, context, head = promote(rho)
+    lines = [f"?{pretty_type(rho)} failed to resolve:"]
+    frames = env.frames()
+    if not frames:
+        lines.append("  the implicit environment is empty")
+        return "\n".join(lines)
+    for level, frame in enumerate(reversed(frames)):
+        lines.append(f"  scope {level} (innermost = 0):")
+        any_match = False
+        for entry in frame:
+            tvars, entry_ctx, entry_head = promote(entry.rho)
+            fresh = tuple(fresh_tvar(v.split("%")[0]) for v in tvars)
+            renaming = {old: TVar(new) for old, new in zip(tvars, fresh)}
+            theta = match_type(subst_type(renaming, entry_head), head, fresh)
+            if theta is None:
+                lines.append(
+                    f"    - {pretty_type(entry.rho)}: head does not match"
+                )
+                continue
+            any_match = True
+            inst_ctx = tuple(
+                subst_type(theta, subst_type(renaming, r)) for r in entry_ctx
+            )
+            from .types import context_difference
+
+            remainder = context_difference(inst_ctx, context)
+            if not remainder:
+                lines.append(
+                    f"    - {pretty_type(entry.rho)}: matches with empty remainder "
+                    "(failure must come from overlap or ambiguity)"
+                )
+                continue
+            lines.append(f"    - {pretty_type(entry.rho)}: head matches; needs:")
+            for premise in remainder:
+                ok = Resolver().resolvable(env, premise)
+                status = "ok" if ok else "UNRESOLVABLE"
+                lines.append(f"        {pretty_type(premise)}  [{status}]")
+        if any_match:
+            lines.append(
+                "    (resolution commits to this scope's match; deeper scopes "
+                "are not tried -- the calculus does not backtrack)"
+            )
+            break
+    return "\n".join(lines)
+
+
+def explain_query(
+    env: ImplicitEnv,
+    rho: Type,
+    *,
+    policy: OverlapPolicy = OverlapPolicy.REJECT,
+    strategy: ResolutionStrategy = ResolutionStrategy.SYNTACTIC,
+) -> str:
+    """Resolve and explain in one call (success or failure)."""
+    resolver = Resolver(policy=policy, strategy=strategy)
+    try:
+        derivation = resolver.resolve(env, rho)
+    except ResolutionError:
+        return explain_failure(env, rho)
+    return explain_derivation(derivation)

@@ -1,0 +1,118 @@
+"""Kind (arity) checking for type well-formedness.
+
+The paper's lambda_=> types are implicitly well-kinded; section 5.2 notes
+that moving to full type-constructor polymorphism "basically needs a kind
+system".  We implement the first-order slice of that system: every type
+constructor has a fixed arity (a first-order kind ``* -> ... -> *``), and
+every type appearing in a program -- annotations, rule types, queried
+types, interface fields -- must be fully applied.
+
+This catches malformed programs such as ``Eq Int Bool`` (arity 1 used at
+2) or ``List`` (arity 1 used at 0) *before* they confuse matching, which
+would otherwise treat them as distinct, never-matching constructors.
+
+Builtin constructors: ``Int, Bool, String, Char, Unit`` (arity 0),
+``List`` (1), ``Pair`` (2).  Interface declarations extend the
+constructor table with their own name and parameter count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..errors import TypecheckError
+from .terms import InterfaceDecl, Signature
+from .types import RuleType, TCon, TFun, TVar, Type
+
+BUILTIN_ARITIES: dict[str, int] = {
+    "Int": 0,
+    "Bool": 0,
+    "String": 0,
+    "Char": 0,
+    "Unit": 0,
+    "List": 1,
+    "Pair": 2,
+}
+
+
+class KindError(TypecheckError):
+    """A type is not well-kinded (unknown or mis-applied constructor)."""
+
+
+@dataclass(frozen=True)
+class KindChecker:
+    """Arity table derived from the builtins plus a signature."""
+
+    arities: Mapping[str, int] = field(default_factory=lambda: dict(BUILTIN_ARITIES))
+
+    @staticmethod
+    def for_signature(
+        signature: Signature, *, extra: Mapping[str, int] | None = None
+    ) -> "KindChecker":
+        table = dict(BUILTIN_ARITIES)
+        if extra:
+            table.update(extra)
+        for decl in signature:
+            if decl.name in table:
+                raise KindError(
+                    f"interface {decl.name!r} shadows an existing type constructor"
+                )
+            table[decl.name] = len(decl.tvars)
+        return KindChecker(table)
+
+    def check(self, tau: Type) -> None:
+        """Raise :class:`KindError` unless ``tau`` is well-kinded."""
+        match tau:
+            case TVar(_):
+                return
+            case TCon(name, args):
+                expected = self.arities.get(name)
+                if expected is None:
+                    raise KindError(f"unknown type constructor {name!r} in {tau}")
+                if len(args) != expected:
+                    raise KindError(
+                        f"type constructor {name!r} expects {expected} "
+                        f"argument(s), got {len(args)} in {tau}"
+                    )
+                for arg in args:
+                    self.check(arg)
+            case TFun(arg, res):
+                self.check(arg)
+                self.check(res)
+            case RuleType():
+                for rho in tau.context:
+                    self.check(rho)
+                self.check(tau.head)
+            case _:
+                raise KindError(f"not a type: {tau!r}")
+
+    def well_kinded(self, tau: Type) -> bool:
+        try:
+            self.check(tau)
+        except KindError:
+            return False
+        return True
+
+    def check_interface(self, decl: InterfaceDecl) -> None:
+        """Field types of an interface must be well-kinded (the interface
+
+        itself is in scope for recursive interfaces)."""
+        for _, tau in decl.fields:
+            self.check(tau)
+
+    def check_signature(self, signature: Signature) -> None:
+        for decl in signature:
+            self.check_interface(decl)
+
+
+def check_kinds(
+    taus: Iterable[Type],
+    signature: Signature | None = None,
+) -> None:
+    """One-shot well-kindedness check for a batch of types."""
+    checker = (
+        KindChecker.for_signature(signature) if signature is not None else KindChecker()
+    )
+    for tau in taus:
+        checker.check(tau)

@@ -1,0 +1,118 @@
+"""Pretty printers for types and expressions.
+
+The output mirrors the paper's notation as closely as plain text allows::
+
+    forall a . {a} => (a, a)      a rule type
+    ?Int                          a query
+    rule({Int, Bool} => Int, e)   a rule abstraction
+    e with {1 : Int}              a rule application
+"""
+
+from __future__ import annotations
+
+from .terms import (
+    App,
+    BoolLit,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    ListLit,
+    PairE,
+    Prim,
+    Project,
+    Query,
+    Record,
+    RuleAbs,
+    RuleApp,
+    StrLit,
+    TyApp,
+    Var,
+)
+from .types import RuleType, TCon, TFun, TVar, Type
+
+_ATOM, _APP, _ARROW = 0, 1, 2
+
+
+def pretty_type(tau: Type, prec: int = _ARROW) -> str:
+    match tau:
+        case TVar(name):
+            return name
+        case TCon("Pair", (a, b)):
+            return f"({pretty_type(a)}, {pretty_type(b)})"
+        case TCon("List", (a,)):
+            return f"[{pretty_type(a)}]"
+        case TCon(name, ()):
+            return name
+        case TCon(name, args):
+            text = name + " " + " ".join(pretty_type(a, _ATOM) for a in args)
+            return _paren(text, prec < _APP)
+        case TFun(arg, res):
+            text = f"{pretty_type(arg, _APP)} -> {pretty_type(res, _ARROW)}"
+            return _paren(text, prec < _ARROW)
+        case RuleType():
+            quant = f"forall {' '.join(tau.tvars)} . " if tau.tvars else ""
+            ctx = ""
+            if tau.context:
+                ctx = "{" + ", ".join(pretty_type(r) for r in tau.context) + "} => "
+            text = f"{quant}{ctx}{pretty_type(tau.head, _ARROW)}"
+            return _paren(text, prec < _ARROW)
+    raise TypeError(f"not a Type: {tau!r}")
+
+
+def _paren(text: str, needed: bool) -> str:
+    return f"({text})" if needed else text
+
+
+def pretty_expr(e: Expr, prec: int = 10) -> str:
+    match e:
+        case IntLit(value):
+            return str(value)
+        case BoolLit(value):
+            return "True" if value else "False"
+        case StrLit(value):
+            escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+            escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+            return f'"{escaped}"'
+        case Var(name):
+            return name
+        case Prim(name):
+            return f"#{name}"
+        case Lam(var, var_type, body):
+            text = f"\\{var} : {pretty_type(var_type)} . {pretty_expr(body)}"
+            return _paren(text, prec < 10)
+        case App(fn, arg):
+            text = f"{pretty_expr(fn, 2)} {pretty_expr(arg, 1)}"
+            return _paren(text, prec < 2)
+        case Query(rho):
+            return f"?({pretty_type(rho)})"
+        case RuleAbs(rho, body):
+            return f"rule({pretty_type(rho)}, {pretty_expr(body)})"
+        case TyApp(expr, type_args):
+            args = ", ".join(pretty_type(t) for t in type_args)
+            return f"{pretty_expr(expr, 1)}[{args}]"
+        case RuleApp(expr, args):
+            bindings = ", ".join(
+                f"{pretty_expr(a)} : {pretty_type(rho)}" for a, rho in args
+            )
+            text = f"{pretty_expr(expr, 1)} with {{{bindings}}}"
+            return _paren(text, prec < 3)
+        case If(cond, then, orelse):
+            text = (
+                f"if {pretty_expr(cond)} then {pretty_expr(then)} "
+                f"else {pretty_expr(orelse)}"
+            )
+            return _paren(text, prec < 10)
+        case PairE(first, second):
+            return f"({pretty_expr(first)}, {pretty_expr(second)})"
+        case ListLit(elems, _):
+            return "[" + ", ".join(pretty_expr(el) for el in elems) + "]"
+        case Record(iface, type_args, fields):
+            targs = ""
+            if type_args:
+                targs = "[" + ", ".join(pretty_type(t) for t in type_args) + "]"
+            body = ", ".join(f"{name} = {pretty_expr(f)}" for name, f in fields)
+            return f"{iface}{targs} {{{body}}}"
+        case Project(expr, field):
+            return f"{pretty_expr(expr, 1)}.{field}"
+    raise TypeError(f"not an Expr: {e!r}")

@@ -1,0 +1,222 @@
+"""Built-in primitives shared by every stage of the pipeline.
+
+The paper keeps lambda_=> small and says "in examples we use additional
+syntax such as built-in integer operators and boolean literals"; this
+module is that additional syntax.  Each primitive has
+
+* a (possibly polymorphic) implicit-calculus type -- polymorphic
+  primitives are rule types with an empty context, so they are
+  instantiated with ordinary type application ``e[tau-bar]``;
+* a curried arity; and
+* a Python denotation acting on runtime values.  Both evaluators (the
+  direct big-step semantics and the System F target) share the same
+  ground-value representation (Python ``int``/``bool``/``str``, pairs as
+  2-tuples, lists as Python tuples), so one denotation serves both.
+  Higher-order primitives receive an ``apply`` callback so they stay
+  agnostic of each evaluator's closure representation.
+
+The denotations deliberately avoid Python-level partiality: ``div`` by
+zero raises :class:`EvalError` rather than ``ZeroDivisionError``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import EvalError
+from .types import BOOL, INT, STRING, TVar, Type, fun, list_of, pair, rule
+
+Apply = Callable[[Any, Any], Any]
+
+
+@dataclass(frozen=True)
+class PrimSpec:
+    """Signature and denotation of one primitive."""
+
+    name: str
+    rho: Type
+    arity: int
+    impl: Callable[..., Any]
+    higher_order: bool = False
+
+    def run(self, args: list[Any], apply: Apply) -> Any:
+        if self.higher_order:
+            return self.impl(apply, *args)
+        return self.impl(*args)
+
+
+_A = TVar("a")
+_B = TVar("b")
+
+
+def _div(x: int, y: int) -> int:
+    if y == 0:
+        raise EvalError("division by zero")
+    return x // y
+
+
+def _mod(x: int, y: int) -> int:
+    if y == 0:
+        raise EvalError("modulo by zero")
+    return x % y
+
+
+def _zip(xs: tuple, ys: tuple) -> tuple:
+    return tuple(zip(xs, ys))
+
+
+def _head(xs: tuple) -> Any:
+    if not xs:
+        raise EvalError("head of empty list")
+    return xs[0]
+
+
+def _tail(xs: tuple) -> tuple:
+    if not xs:
+        raise EvalError("tail of empty list")
+    return xs[1:]
+
+
+def _map(apply: Apply, f: Any, xs: tuple) -> tuple:
+    return tuple(apply(f, x) for x in xs)
+
+
+def _foldr(apply: Apply, f: Any, z: Any, xs: tuple) -> Any:
+    out = z
+    for x in reversed(xs):
+        out = apply(apply(f, x), out)
+    return out
+
+
+def _filter(apply: Apply, p: Any, xs: tuple) -> tuple:
+    return tuple(x for x in xs if apply(p, x))
+
+
+def _sort_by(apply: Apply, lt: Any, xs: tuple) -> tuple:
+    """Stable insertion sort driven by a less-than predicate.
+
+    The paper's introductory ``sort [a] : (a -> a -> Bool) -> List a ->
+    List a``; the object language has no recursion, so ordering
+    algorithms are primitives (like ``intercalate``)."""
+    out: list[Any] = []
+    for x in xs:
+        index = len(out)
+        for i, y in enumerate(out):
+            if apply(apply(lt, x), y):
+                index = i
+                break
+        out.insert(index, x)
+    return tuple(out)
+
+
+def _specs() -> dict[str, PrimSpec]:
+    mono = [
+        # Integer arithmetic and comparison.
+        ("add", fun(INT, INT, INT), 2, lambda x, y: x + y),
+        ("sub", fun(INT, INT, INT), 2, lambda x, y: x - y),
+        ("mul", fun(INT, INT, INT), 2, lambda x, y: x * y),
+        ("div", fun(INT, INT, INT), 2, _div),
+        ("negate", fun(INT, INT), 1, lambda x: -x),
+        ("mod", fun(INT, INT, INT), 2, _mod),
+        ("primEqInt", fun(INT, INT, BOOL), 2, lambda x, y: x == y),
+        ("ltInt", fun(INT, INT, BOOL), 2, lambda x, y: x < y),
+        ("leqInt", fun(INT, INT, BOOL), 2, lambda x, y: x <= y),
+        ("gtInt", fun(INT, INT, BOOL), 2, lambda x, y: x > y),
+        ("geqInt", fun(INT, INT, BOOL), 2, lambda x, y: x >= y),
+        ("isEven", fun(INT, BOOL), 1, lambda x: x % 2 == 0),
+        ("showInt", fun(INT, STRING), 1, lambda x: str(x)),
+        ("showBool", fun(BOOL, STRING), 1, lambda x: "True" if x else "False"),
+        ("sum", fun(list_of(INT), INT), 1, lambda xs: sum(xs)),
+        # Booleans.
+        ("not", fun(BOOL, BOOL), 1, lambda x: not x),
+        ("and", fun(BOOL, BOOL, BOOL), 2, lambda x, y: x and y),
+        ("or", fun(BOOL, BOOL, BOOL), 2, lambda x, y: x or y),
+        ("primEqBool", fun(BOOL, BOOL, BOOL), 2, lambda x, y: x == y),
+        # Strings.
+        ("concat", fun(STRING, STRING, STRING), 2, lambda x, y: x + y),
+        ("primEqString", fun(STRING, STRING, BOOL), 2, lambda x, y: x == y),
+        (
+            "intercalate",
+            fun(STRING, list_of(STRING), STRING),
+            2,
+            lambda sep, xs: sep.join(xs),
+        ),
+    ]
+    poly = [
+        # Pairs.
+        ("fst", ("a", "b"), fun(pair(_A, _B), _A), 1, lambda p: p[0], False),
+        ("snd", ("a", "b"), fun(pair(_A, _B), _B), 1, lambda p: p[1], False),
+        # Lists.
+        ("cons", ("a",), fun(_A, list_of(_A), list_of(_A)), 2,
+         lambda x, xs: (x,) + xs, False),
+        ("isNil", ("a",), fun(list_of(_A), BOOL), 1, lambda xs: not xs, False),
+        ("head", ("a",), fun(list_of(_A), _A), 1, _head, False),
+        ("tail", ("a",), fun(list_of(_A), list_of(_A)), 1, _tail, False),
+        ("length", ("a",), fun(list_of(_A), INT), 1, lambda xs: len(xs), False),
+        (
+            "append",
+            ("a",),
+            fun(list_of(_A), list_of(_A), list_of(_A)),
+            2,
+            lambda xs, ys: xs + ys,
+            False,
+        ),
+        ("reverse", ("a",), fun(list_of(_A), list_of(_A)), 1,
+         lambda xs: tuple(reversed(xs)), False),
+        (
+            "zip",
+            ("a", "b"),
+            fun(list_of(_A), list_of(_B), list_of(pair(_A, _B))),
+            2,
+            _zip,
+            False,
+        ),
+        ("map", ("a", "b"), fun(fun(_A, _B), list_of(_A), list_of(_B)), 2, _map, True),
+        (
+            "filter",
+            ("a",),
+            fun(fun(_A, BOOL), list_of(_A), list_of(_A)),
+            2,
+            _filter,
+            True,
+        ),
+        (
+            "sortBy",
+            ("a",),
+            fun(fun(_A, _A, BOOL), list_of(_A), list_of(_A)),
+            2,
+            _sort_by,
+            True,
+        ),
+        (
+            "foldr",
+            ("a", "b"),
+            fun(fun(_A, _B, _B), _B, list_of(_A), _B),
+            3,
+            _foldr,
+            True,
+        ),
+    ]
+    table: dict[str, PrimSpec] = {}
+    for name, rho, arity, impl in mono:
+        table[name] = PrimSpec(name, rho, arity, impl)
+    for name, tvars, tau, arity, impl, higher in poly:
+        table[name] = PrimSpec(
+            name, rule(tau, context=(), tvars=tvars), arity, impl, higher_order=higher
+        )
+    return table
+
+
+PRIMS: dict[str, PrimSpec] = _specs()
+
+
+def prim_spec(name: str) -> PrimSpec:
+    spec = PRIMS.get(name)
+    if spec is None:
+        raise KeyError(f"unknown primitive {name!r}")
+    return spec
+
+
+def prim_type(name: str) -> Type:
+    return prim_spec(name).rho

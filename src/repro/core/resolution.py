@@ -1,0 +1,264 @@
+"""Type-directed resolution ``Delta |-r rho`` (paper rule ``TyRes``).
+
+The unified resolution rule of section 3.2 subsumes:
+
+* *simple resolution* -- a simple type promotes to ``forall.{} => tau``
+  and the matched rule's entire context is resolved recursively;
+* *rule resolution* -- a queried rule type whose context coincides with
+  the matched rule's context requires no recursion;
+* *partial resolution* -- the novel middle ground: the part
+  ``rho-bar' - rho-bar`` of the matched context not assumed by the query
+  is resolved recursively, the rest is abstracted over.
+
+``resolve`` produces a full :class:`Derivation` tree rather than a bare
+yes/no.  The same tree drives the type checker (which only needs success),
+the elaborator (rule ``TrRes`` reads evidence off the tree) and the
+metatheory tests (which replay the tree against the logical
+interpretation).
+
+Two strategies are provided:
+
+* ``SYNTACTIC`` -- the paper's rule ``TyRes``: the environment stays fixed
+  throughout recursive resolution.  Simpler to reason about; the default.
+* ``EXTENDING`` -- the stronger variant displayed (and rejected) in
+  section 3.2, which adds the queried context ``rho-bar`` to the
+  environment for recursive steps.  It proves ``{A}=>B`` from ``{C}=>B``
+  and ``{A}=>C``, which ``SYNTACTIC`` cannot.  NOTE (erratum): the
+  paper's accompanying example ``Char; {Char}=>Int; {Bool}=>Int |-r
+  {Char}=>Int`` still fails under the *displayed* rule, because lookup
+  commits to the lexically nearest head match (``{Bool}=>Int``); making
+  it succeed additionally requires backtracking over candidate rules.
+* ``BACKTRACKING`` -- extending *plus* backtracking across all matching
+  rules in nearness order: the closest executable approximation of the
+  "fully semantic" resolution (``Delta-dagger |= rho-dagger``) that the
+  paper describes and rejects for its unpredictability and cost.  It does
+  resolve the erratum example above.  Implemented for experiment E9.
+
+Recursive resolution may diverge (appendix "Termination of Resolution");
+a fuel bound turns divergence into :class:`ResolutionDivergenceError`.
+The static termination conditions live in :mod:`repro.core.termination`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ResolutionDivergenceError
+from .env import ImplicitEnv, LookupResult, OverlapPolicy, RuleEntry
+from .types import Type, canonical_key, promote
+
+DEFAULT_FUEL = 512
+
+
+class ResolutionStrategy(enum.Enum):
+    """Which recursive-resolution rule to use (see module docstring)."""
+
+    SYNTACTIC = "syntactic"
+    EXTENDING = "extending"
+    BACKTRACKING = "backtracking"
+
+
+@dataclass(frozen=True, eq=False)
+class Assumption:
+    """Evidence-less assumption of one element of a query's context.
+
+    Compared by identity: each :class:`Derivation` owns fresh tokens so
+    that nested partial resolutions cannot confuse their assumption
+    binders.  The elaborator maps tokens to the lambda-bound evidence
+    variables of the ``TrRes`` output.
+    """
+
+    rho: Type
+    index: int
+
+
+class Premise:
+    """How one element of the matched rule's context was discharged."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ByAssumption(Premise):
+    """Discharged by the query's own context (no recursion; the
+
+    ``rho_i in rho-bar`` branch of ``TyRes``/``TrRes``)."""
+
+    token: Assumption
+
+
+@dataclass(frozen=True)
+class ByResolution(Premise):
+    """Discharged by a recursive resolution (``Delta |-r rho_i``)."""
+
+    derivation: "Derivation"
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A successful derivation of ``Delta |-r rho``.
+
+    ``premises`` is aligned with ``lookup.context``: premise *i* discharges
+    the *i*-th element of the instantiated matched context, so the
+    elaborator can apply the looked-up evidence to arguments in order.
+    """
+
+    query: Type
+    tvars: tuple[str, ...]
+    context: tuple[Type, ...]
+    head: Type
+    lookup: LookupResult
+    assumptions: tuple[Assumption, ...]
+    premises: tuple[Premise, ...]
+
+    def size(self) -> int:
+        """Number of lookup steps in the whole tree (bench metric)."""
+        return 1 + sum(
+            p.derivation.size() for p in self.premises if isinstance(p, ByResolution)
+        )
+
+
+@dataclass(frozen=True)
+class Resolver:
+    """Configured resolution engine."""
+
+    policy: OverlapPolicy = OverlapPolicy.REJECT
+    strategy: ResolutionStrategy = ResolutionStrategy.SYNTACTIC
+    fuel: int = DEFAULT_FUEL
+
+    def resolve(self, env: ImplicitEnv, rho: Type) -> Derivation:
+        """Derive ``Delta |-r rho`` or raise a :class:`ResolutionError`."""
+        import sys
+
+        # Each fuel unit costs a handful of Python frames; make sure the
+        # fuel bound fires before the interpreter's recursion limit does.
+        needed = self.fuel * 12 + 1000
+        if sys.getrecursionlimit() < needed:
+            sys.setrecursionlimit(needed)
+        return self._resolve(env, rho, self.fuel)
+
+    def resolvable(self, env: ImplicitEnv, rho: Type) -> bool:
+        from ..errors import ResolutionError
+
+        try:
+            self.resolve(env, rho)
+        except ResolutionError:
+            return False
+        return True
+
+    def _resolve(self, env: ImplicitEnv, rho: Type, fuel: int) -> Derivation:
+        if fuel <= 0:
+            raise ResolutionDivergenceError(
+                f"resolution exceeded fuel while resolving {rho}; "
+                "the rule environment likely violates the termination condition"
+            )
+        tvars, context, head = promote(rho)
+        assumptions = tuple(Assumption(r, i) for i, r in enumerate(context))
+        recurse_env = env
+        if (
+            self.strategy in (ResolutionStrategy.EXTENDING, ResolutionStrategy.BACKTRACKING)
+            and assumptions
+        ):
+            recurse_env = env.push(
+                RuleEntry(tok.rho, payload=tok) for tok in assumptions
+            )
+        if self.strategy is ResolutionStrategy.BACKTRACKING:
+            return self._resolve_backtracking(
+                env, recurse_env, rho, tvars, context, head, assumptions, fuel
+            )
+        result = env.lookup(head, self.policy)
+        premises = self._discharge(recurse_env, result, assumptions, fuel)
+        return Derivation(
+            query=rho,
+            tvars=tvars,
+            context=context,
+            head=head,
+            lookup=result,
+            assumptions=assumptions,
+            premises=premises,
+        )
+
+    def _discharge(
+        self,
+        recurse_env: ImplicitEnv,
+        result: "LookupResult",
+        assumptions: tuple[Assumption, ...],
+        fuel: int,
+    ) -> tuple[Premise, ...]:
+        """Discharge each element of the matched rule's context (TyRes)."""
+        by_key = {canonical_key(tok.rho): tok for tok in assumptions}
+        premises: list[Premise] = []
+        for rho_i in result.context:
+            token = by_key.get(canonical_key(rho_i))
+            if token is not None:
+                premises.append(ByAssumption(token))
+            else:
+                premises.append(
+                    ByResolution(self._resolve(recurse_env, rho_i, fuel - 1))
+                )
+        return tuple(premises)
+
+    def _resolve_backtracking(
+        self,
+        env: ImplicitEnv,
+        recurse_env: ImplicitEnv,
+        rho: Type,
+        tvars: tuple[str, ...],
+        context: tuple[Type, ...],
+        head: Type,
+        assumptions: tuple[Assumption, ...],
+        fuel: int,
+    ) -> Derivation:
+        from ..errors import NoMatchingRuleError, ResolutionError
+
+        last_error: ResolutionError | None = None
+        for result in recurse_env.lookup_all(head):
+            try:
+                premises = self._discharge(recurse_env, result, assumptions, fuel)
+            except ResolutionError as exc:
+                if isinstance(exc, ResolutionDivergenceError):
+                    raise
+                last_error = exc
+                continue
+            return Derivation(
+                query=rho,
+                tvars=tvars,
+                context=context,
+                head=head,
+                lookup=result,
+                assumptions=assumptions,
+                premises=premises,
+            )
+        if last_error is not None:
+            raise last_error
+        raise NoMatchingRuleError(
+            f"no rule matching {head} in the implicit environment"
+        )
+
+
+_DEFAULT = Resolver()
+
+
+def resolve(
+    env: ImplicitEnv,
+    rho: Type,
+    *,
+    policy: OverlapPolicy = OverlapPolicy.REJECT,
+    strategy: ResolutionStrategy = ResolutionStrategy.SYNTACTIC,
+    fuel: int = DEFAULT_FUEL,
+) -> Derivation:
+    """Functional facade over :class:`Resolver`."""
+    if (policy, strategy, fuel) == (_DEFAULT.policy, _DEFAULT.strategy, _DEFAULT.fuel):
+        return _DEFAULT.resolve(env, rho)
+    return Resolver(policy=policy, strategy=strategy, fuel=fuel).resolve(env, rho)
+
+
+def resolvable(env: ImplicitEnv, rho: Type, **kwargs) -> bool:
+    from ..errors import ResolutionError
+
+    try:
+        resolve(env, rho, **kwargs)
+    except ResolutionError:
+        return False
+    return True

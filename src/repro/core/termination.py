@@ -1,0 +1,112 @@
+"""Static termination conditions for resolution (paper appendix).
+
+Recursive resolution can diverge, e.g. with the environment
+``{ {Char} => Int, {Int} => Char }`` and the query ``Int`` (the two rules
+feed each other forever).  The appendix adapts the modular syntactic
+restrictions used for Haskell type-class instances (the Paterson
+conditions of "Understanding functional dependencies via constraint
+handling rules", adapted to lambda_=>):
+
+for every rule ``forall a-bar . {rho1 .. rhon} => tau`` made implicit,
+and every context element ``rho_i`` with head ``tau_i``:
+
+1. every free type variable occurs in ``tau_i`` no more often than in
+   ``tau``;
+2. ``tau_i`` is strictly smaller than ``tau`` (fewer constructors); and
+3. the condition holds recursively for context elements that are
+   themselves rules.
+
+Together these make every recursive resolution step strictly decrease the
+size of the queried head, so resolution terminates.  The conditions are
+*modular* (per rule) and *conservative*: environments that violate them
+may still terminate for particular queries, which is why the resolution
+engine additionally carries a dynamic fuel bound.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..errors import TerminationError
+from .env import ImplicitEnv
+from .types import RuleType, TCon, TFun, TVar, Type, promote, type_size
+
+
+def tvar_occurrences(tau: Type) -> Counter:
+    """Number of occurrences of each *free* type variable in ``tau``."""
+    counter: Counter = Counter()
+    _count(tau, frozenset(), counter)
+    return counter
+
+
+def _count(tau: Type, bound: frozenset[str], counter: Counter) -> None:
+    match tau:
+        case TVar(name):
+            if name not in bound:
+                counter[name] += 1
+        case TCon(_, args):
+            for a in args:
+                _count(a, bound, counter)
+        case TFun(arg, res):
+            _count(arg, bound, counter)
+            _count(res, bound, counter)
+        case RuleType():
+            inner = bound | frozenset(tau.tvars)
+            for rho in tau.context:
+                _count(rho, inner, counter)
+            _count(tau.head, inner, counter)
+        case _:
+            raise TypeError(f"not a Type: {tau!r}")
+
+
+def check_rule_termination(rho: Type) -> None:
+    """Raise :class:`TerminationError` if ``rho`` violates the condition."""
+    tvars, context, head = promote(rho)
+    del tvars
+    head_occurrences = tvar_occurrences(head)
+    head_size = type_size(head)
+    for rho_i in context:
+        _, _, head_i = promote(rho_i)
+        for name, count in tvar_occurrences(head_i).items():
+            if count > head_occurrences.get(name, 0):
+                raise TerminationError(
+                    f"rule {rho}: context head {head_i} uses type variable "
+                    f"{name} more often than the rule head {head} does"
+                )
+        if type_size(head_i) >= head_size:
+            raise TerminationError(
+                f"rule {rho}: context head {head_i} is not strictly smaller "
+                f"than the rule head {head}"
+            )
+        # Higher-order context entries must themselves be terminating.
+        if isinstance(rho_i, RuleType):
+            check_rule_termination(rho_i)
+
+
+def terminating_rule(rho: Type) -> bool:
+    """Predicate form of :func:`check_rule_termination`."""
+    try:
+        check_rule_termination(rho)
+    except TerminationError:
+        return False
+    return True
+
+
+def check_env_termination(env: ImplicitEnv) -> None:
+    """Check every rule of an environment (entries are checked modularly)."""
+    for entry in env.entries():
+        check_rule_termination(entry.rho)
+
+
+def check_context_termination(context: tuple[Type, ...]) -> None:
+    """Check the rules introduced by one ``implicit``/rule abstraction."""
+    for rho in context:
+        check_rule_termination(rho)
+
+
+def terminating_env(env: ImplicitEnv) -> bool:
+    try:
+        check_env_termination(env)
+    except TerminationError:
+        return False
+    return True

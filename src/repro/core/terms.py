@@ -1,0 +1,290 @@
+"""Expression syntax of the implicit calculus (paper section 3.1).
+
+The paper's grammar is::
+
+    e ::= n | x | \\x:tau.e | e1 e2              (standard)
+        | ?rho                                   (query)
+        | |rho|.e                                (rule abstraction)
+        | e[tau-bar]                             (type application)
+        | e with e-bar:rho-bar                   (rule application)
+
+As the paper notes ("In examples we may use additional syntax such as
+built-in integer operators and boolean literals and types"), we extend the
+expression language with the literals, conditionals, pairs, lists, records
+and primitive operators that its examples and source language rely on.
+None of these extensions interact with resolution; they type and evaluate
+in the standard way and elaborate one-to-one into the extended System F
+target.
+
+All nodes are immutable dataclasses so terms can be shared freely between
+the type checker, the elaborator and the operational semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .types import Type
+
+
+class Expr:
+    """Base class of all implicit-calculus expressions."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - delegated
+        from .pretty import pretty_expr
+
+        return pretty_expr(self)
+
+
+# ---------------------------------------------------------------------------
+# Standard lambda-calculus fragment plus literals.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    """An integer literal ``n``."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    """A boolean literal (``True``/``False`` in the paper's examples)."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class StrLit(Expr):
+    """A string literal (used by the pretty-printing example, section 5)."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A term variable ``x``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Lam(Expr):
+    """A lambda abstraction ``\\x:tau.e``."""
+
+    var: str
+    var_type: Type
+    body: Expr
+
+
+@dataclass(frozen=True)
+class App(Expr):
+    """An application ``e1 e2``."""
+
+    fn: Expr
+    arg: Expr
+
+
+# ---------------------------------------------------------------------------
+# The four implicit-programming constructs.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Query(Expr):
+    """A query ``?rho``: fetch a value of type ``rho`` from the implicit
+    environment by type-directed resolution.
+
+    ``rho`` may be a simple type (the paper's promotion ``tau ~ {} => tau``
+    is applied internally) or a full rule type, enabling higher-order and
+    partial resolution.
+    """
+
+    rho: Type
+
+
+@dataclass(frozen=True)
+class RuleAbs(Expr):
+    """A rule abstraction ``|rho|.e`` with rule type ``rho`` and body ``e``.
+
+    Binds both the quantified type variables and the implicit context of
+    ``rho`` within ``e`` (the paper's dual-role binder).
+    """
+
+    rho: Type
+    body: Expr
+
+
+@dataclass(frozen=True)
+class TyApp(Expr):
+    """An explicit type application ``e[tau-bar]``."""
+
+    expr: Expr
+    type_args: tuple[Type, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.type_args, tuple):
+            object.__setattr__(self, "type_args", tuple(self.type_args))
+
+
+@dataclass(frozen=True)
+class RuleApp(Expr):
+    """A rule application ``e with e1:rho1, ..., en:rhon``.
+
+    Supplies explicit evidence for (part of) a rule's implicit context,
+    extending the implicit environment for the rule body.
+    """
+
+    expr: Expr
+    args: tuple[tuple[Expr, Type], ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(tuple(a) for a in self.args))
+
+
+# ---------------------------------------------------------------------------
+# Conservative extensions used by the paper's examples.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    """A conditional (used e.g. in the nested-scoping example, section 2)."""
+
+    cond: Expr
+    then: Expr
+    orelse: Expr
+
+
+@dataclass(frozen=True)
+class PairE(Expr):
+    """Pair construction ``(e1, e2)``."""
+
+    first: Expr
+    second: Expr
+
+
+@dataclass(frozen=True)
+class ListLit(Expr):
+    """A list literal ``[e1, ..., en]``.
+
+    ``elem_type`` is required so the empty list has a unique type; for
+    non-empty literals it may be ``None`` and is recovered from the first
+    element during type checking.
+    """
+
+    elems: tuple[Expr, ...]
+    elem_type: Type | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.elems, tuple):
+            object.__setattr__(self, "elems", tuple(self.elems))
+
+
+@dataclass(frozen=True)
+class Prim(Expr):
+    """A reference to a built-in primitive (see :mod:`repro.core.prims`).
+
+    Primitives are ordinary (possibly polymorphic) constants; polymorphic
+    ones must be instantiated with :class:`TyApp` before use, exactly like
+    any other rule-typed value.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Record(Expr):
+    """An interface implementation ``I {u1 = e1, ..., un = en}``.
+
+    This is the record extension of the core calculus that the source
+    language's interfaces (section 5) translate into.  ``type_args``
+    instantiates the interface's type parameters (the source front end
+    infers them; core programs state them explicitly).
+    """
+
+    iface: str
+    type_args: tuple[Type, ...]
+    fields: tuple[tuple[str, Expr], ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.type_args, tuple):
+            object.__setattr__(self, "type_args", tuple(self.type_args))
+        if not isinstance(self.fields, tuple):
+            object.__setattr__(self, "fields", tuple(tuple(f) for f in self.fields))
+
+
+@dataclass(frozen=True)
+class Project(Expr):
+    """Field projection ``e.u`` out of an interface record."""
+
+    expr: Expr
+    field: str
+
+
+# ---------------------------------------------------------------------------
+# Interface signatures (record declarations shared by all stages).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InterfaceDecl:
+    """An interface declaration ``interface I a-bar = { u : T, ... }``.
+
+    Field types may mention the interface parameters ``tvars``.  Following
+    the paper's Haskell-record convention, each field ``u : T`` also gives
+    rise to a selector of type ``forall a-bar . I a-bar -> T``.
+    """
+
+    name: str
+    tvars: tuple[str, ...]
+    fields: tuple[tuple[str, Type], ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tvars, tuple):
+            object.__setattr__(self, "tvars", tuple(self.tvars))
+        if not isinstance(self.fields, tuple):
+            object.__setattr__(self, "fields", tuple(tuple(f) for f in self.fields))
+
+    def field_type(self, field: str) -> Type:
+        for name, tau in self.fields:
+            if name == field:
+                return tau
+        raise KeyError(f"interface {self.name} has no field {field!r}")
+
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+
+class Signature:
+    """A collection of interface declarations in scope for a program."""
+
+    def __init__(self, interfaces: Iterable[InterfaceDecl] = ()):
+        self._interfaces: dict[str, InterfaceDecl] = {}
+        for decl in interfaces:
+            self.add(decl)
+
+    def add(self, decl: InterfaceDecl) -> None:
+        if decl.name in self._interfaces:
+            raise ValueError(f"duplicate interface declaration {decl.name!r}")
+        self._interfaces[decl.name] = decl
+
+    def get(self, name: str) -> InterfaceDecl | None:
+        return self._interfaces.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._interfaces
+
+    def __iter__(self):
+        return iter(self._interfaces.values())
+
+    def __len__(self) -> int:
+        return len(self._interfaces)
+
+
+EMPTY_SIGNATURE = Signature()

@@ -1,0 +1,372 @@
+"""The polymorphic type system of lambda_=> (Fig. 1 of the paper).
+
+Implements the judgment ``Gamma | Delta |- e : tau`` including the
+gray-shaded side conditions:
+
+* ``unambiguous(rho)`` at rule abstractions and queries -- every
+  quantified variable must occur in the rule head, recursively;
+* ``no_overlap`` -- enforced inside environment lookup
+  (:mod:`repro.core.env`), surfacing as :class:`OverlappingRulesError`.
+
+The checker is parameterised by a :class:`Resolver`, so the companion
+material's most-specific overlap policy and the stronger ``EXTENDING``
+resolution strategy can be swapped in without touching this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import AmbiguousRuleTypeError, TypecheckError
+from .env import ImplicitEnv, RuleEntry
+from .prims import prim_spec
+from .resolution import Resolver
+from .subst import zip_subst, subst_type
+from .terms import (
+    App,
+    BoolLit,
+    EMPTY_SIGNATURE,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    ListLit,
+    PairE,
+    Prim,
+    Project,
+    Query,
+    Record,
+    RuleAbs,
+    RuleApp,
+    Signature,
+    StrLit,
+    TyApp,
+    Var,
+)
+from .types import (
+    BOOL,
+    INT,
+    RuleType,
+    STRING,
+    TCon,
+    TFun,
+    Type,
+    canonical_key,
+    ftv,
+    list_of,
+    pair,
+    rule,
+    types_alpha_eq,
+)
+
+
+def unambiguous(rho: Type) -> bool:
+    """The ``unambiguous`` condition of section 3.3.
+
+    All quantified variables of a rule type must occur in its head, and
+    the condition holds recursively for every context element.
+    """
+    if not isinstance(rho, RuleType):
+        return True
+    if not set(rho.tvars) <= ftv(rho.head):
+        return False
+    return all(unambiguous(r) for r in rho.context) and unambiguous(rho.head)
+
+
+def require_unambiguous(rho: Type, what: str) -> None:
+    if not unambiguous(rho):
+        raise AmbiguousRuleTypeError(
+            f"{what} {rho} is ambiguous: a quantified variable does not "
+            "occur in the rule head"
+        )
+
+
+@dataclass(frozen=True)
+class TypeChecker:
+    """The judgment ``Gamma | Delta |- e : tau`` as a reusable object."""
+
+    signature: Signature = field(default_factory=Signature)
+    resolver: Resolver = field(default_factory=Resolver)
+    #: Opt-in conservative coherence analysis for queries (extended report
+    #: section "Runtime Errors and Coherence Failures"); see
+    #: :func:`repro.core.coherence.check_query_coherence` for why it is
+    #: conservative and therefore not on by default.
+    strict_coherence: bool = False
+    #: Check well-kindedness (constructor arities) of every annotation.
+    kind_check: bool = True
+
+    def __post_init__(self) -> None:
+        from .kinds import KindChecker
+
+        checker = KindChecker.for_signature(self.signature)
+        if self.kind_check:
+            checker.check_signature(self.signature)
+        object.__setattr__(self, "_kinds", checker)
+
+    def _check_kind(self, tau: Type) -> None:
+        if self.kind_check:
+            self._kinds.check(tau)  # type: ignore[attr-defined]
+
+    def check_program(self, e: Expr) -> Type:
+        """Type a closed program (empty ``Gamma`` and ``Delta``)."""
+        return self.check(e, {}, ImplicitEnv.empty())
+
+    def check(self, e: Expr, gamma: Mapping[str, Type], delta: ImplicitEnv) -> Type:
+        match e:
+            case IntLit(_):
+                return INT
+            case BoolLit(_):
+                return BOOL
+            case StrLit(_):
+                return STRING
+            case Var(name):
+                if name not in gamma:
+                    raise TypecheckError(f"unbound variable {name!r}")
+                return gamma[name]
+            case Prim(name):
+                try:
+                    return prim_spec(name).rho
+                except KeyError as exc:
+                    raise TypecheckError(str(exc)) from exc
+            case Lam(var, var_type, body):
+                self._check_kind(var_type)
+                inner = dict(gamma)
+                inner[var] = var_type
+                return TFun(var_type, self.check(body, inner, delta))
+            case App(fn, arg):
+                fn_type = self.check(fn, gamma, delta)
+                if not isinstance(fn_type, TFun):
+                    raise TypecheckError(
+                        f"application of non-function: {fn} has type {fn_type}"
+                    )
+                arg_type = self.check(arg, gamma, delta)
+                if not types_alpha_eq(fn_type.arg, arg_type):
+                    raise TypecheckError(
+                        f"argument type mismatch: expected {fn_type.arg}, "
+                        f"got {arg_type} in {e}"
+                    )
+                return fn_type.res
+            case Query(rho):
+                self._check_kind(rho)
+                require_unambiguous(rho, "queried type")
+                self.resolver.resolve(delta, rho)  # TyQuery -> TyRes
+                if self.strict_coherence:
+                    from .coherence import check_query_coherence
+
+                    check_query_coherence(delta, rho, self.resolver.policy)
+                return rho
+            case RuleAbs(rho, body):
+                return self._check_rule_abs(rho, body, gamma, delta)
+            case TyApp(expr, type_args):
+                return self._check_ty_app(expr, type_args, gamma, delta)
+            case RuleApp(expr, args):
+                return self._check_rule_app(expr, args, gamma, delta)
+            case If(cond, then, orelse):
+                cond_type = self.check(cond, gamma, delta)
+                if not types_alpha_eq(cond_type, BOOL):
+                    raise TypecheckError(f"if-condition has type {cond_type}, not Bool")
+                then_type = self.check(then, gamma, delta)
+                else_type = self.check(orelse, gamma, delta)
+                if not types_alpha_eq(then_type, else_type):
+                    raise TypecheckError(
+                        f"if-branches disagree: {then_type} vs {else_type}"
+                    )
+                return then_type
+            case PairE(first, second):
+                return pair(
+                    self.check(first, gamma, delta), self.check(second, gamma, delta)
+                )
+            case ListLit(elems, elem_type):
+                return self._check_list(elems, elem_type, gamma, delta)
+            case Record(iface, type_args, fields):
+                return self._check_record(iface, type_args, fields, gamma, delta)
+            case Project(expr, fname):
+                return self._check_project(expr, fname, gamma, delta)
+        raise TypecheckError(f"cannot type expression {e!r}")
+
+    # -- TyRule --------------------------------------------------------
+
+    def _check_rule_abs(
+        self, rho: Type, body: Expr, gamma: Mapping[str, Type], delta: ImplicitEnv
+    ) -> Type:
+        self._check_kind(rho)
+        if not isinstance(rho, RuleType):
+            raise TypecheckError(
+                f"rule abstraction requires a rule type, got {rho} "
+                "(degenerate rules are plain expressions)"
+            )
+        require_unambiguous(rho, "rule type")
+        clash = set(rho.tvars) & self._env_ftv(gamma, delta)
+        if clash:
+            raise TypecheckError(
+                f"quantified variable(s) {sorted(clash)} of {rho} already occur "
+                "free in the environment (rename the binder apart)"
+            )
+        inner_delta = delta.push(RuleEntry(r) for r in rho.context)
+        body_type = self.check(body, gamma, inner_delta)
+        if not types_alpha_eq(body_type, rho.head):
+            raise TypecheckError(
+                f"rule body has type {body_type}, but the rule type promises "
+                f"{rho.head}"
+            )
+        return rho
+
+    # -- TyInst --------------------------------------------------------
+
+    def _check_ty_app(
+        self,
+        expr: Expr,
+        type_args: tuple[Type, ...],
+        gamma: Mapping[str, Type],
+        delta: ImplicitEnv,
+    ) -> Type:
+        expr_type = self.check(expr, gamma, delta)
+        for tau in type_args:
+            self._check_kind(tau)
+        if not isinstance(expr_type, RuleType) or not expr_type.tvars:
+            raise TypecheckError(
+                f"type application of non-polymorphic expression: {expr} "
+                f"has type {expr_type}"
+            )
+        theta = zip_subst(expr_type.tvars, type_args)
+        return rule(
+            subst_type(theta, expr_type.head),
+            tuple(subst_type(theta, r) for r in expr_type.context),
+        )
+
+    # -- TyRApp --------------------------------------------------------
+
+    def _check_rule_app(
+        self,
+        expr: Expr,
+        args: tuple[tuple[Expr, Type], ...],
+        gamma: Mapping[str, Type],
+        delta: ImplicitEnv,
+    ) -> Type:
+        expr_type = self.check(expr, gamma, delta)
+        if not isinstance(expr_type, RuleType) or expr_type.tvars:
+            raise TypecheckError(
+                f"rule application requires a monomorphic rule type, got "
+                f"{expr_type} (instantiate with e[tau-bar] first)"
+            )
+        supplied: dict[tuple, Type] = {}
+        for arg_expr, arg_rho in args:
+            self._check_kind(arg_rho)
+            key = canonical_key(arg_rho)
+            if key in supplied:
+                raise TypecheckError(
+                    f"duplicate evidence for {arg_rho} in rule application"
+                )
+            supplied[key] = arg_rho
+            actual = self.check(arg_expr, gamma, delta)
+            if not types_alpha_eq(actual, arg_rho):
+                raise TypecheckError(
+                    f"evidence {arg_expr} has type {actual}, annotated {arg_rho}"
+                )
+        required = {canonical_key(r) for r in expr_type.context}
+        if required != set(supplied):
+            missing = [str(r) for r in expr_type.context if canonical_key(r) not in supplied]
+            extra = [str(supplied[k]) for k in supplied if k not in required]
+            detail = []
+            if missing:
+                detail.append(f"missing {missing}")
+            if extra:
+                detail.append(f"extraneous {extra}")
+            raise TypecheckError(
+                f"rule application does not supply exactly the context of "
+                f"{expr_type}: " + "; ".join(detail)
+            )
+        return expr_type.head
+
+    # -- Extensions ----------------------------------------------------
+
+    def _check_list(
+        self,
+        elems: tuple[Expr, ...],
+        elem_type: Type | None,
+        gamma: Mapping[str, Type],
+        delta: ImplicitEnv,
+    ) -> Type:
+        if elem_type is None:
+            if not elems:
+                raise TypecheckError("empty list literal needs an element type")
+            elem_type = self.check(elems[0], gamma, delta)
+        for el in elems:
+            actual = self.check(el, gamma, delta)
+            if not types_alpha_eq(actual, elem_type):
+                raise TypecheckError(
+                    f"list element {el} has type {actual}, expected {elem_type}"
+                )
+        return list_of(elem_type)
+
+    def _check_record(
+        self,
+        iface: str,
+        type_args: tuple[Type, ...],
+        fields: tuple[tuple[str, Expr], ...],
+        gamma: Mapping[str, Type],
+        delta: ImplicitEnv,
+    ) -> Type:
+        decl = self.signature.get(iface)
+        if decl is None:
+            raise TypecheckError(f"unknown interface {iface!r}")
+        if len(type_args) != len(decl.tvars):
+            raise TypecheckError(
+                f"interface {iface} expects {len(decl.tvars)} type argument(s), "
+                f"got {len(type_args)}"
+            )
+        theta = zip_subst(decl.tvars, type_args)
+        given = {name for name, _ in fields}
+        declared = set(decl.field_names())
+        if given != declared:
+            raise TypecheckError(
+                f"interface {iface} implementation fields {sorted(given)} do not "
+                f"match declaration fields {sorted(declared)}"
+            )
+        for name, expr in fields:
+            expected = subst_type(theta, decl.field_type(name))
+            actual = self.check(expr, gamma, delta)
+            if not types_alpha_eq(actual, expected):
+                raise TypecheckError(
+                    f"field {iface}.{name} has type {actual}, expected {expected}"
+                )
+        return TCon(iface, tuple(type_args))
+
+    def _check_project(
+        self, expr: Expr, fname: str, gamma: Mapping[str, Type], delta: ImplicitEnv
+    ) -> Type:
+        expr_type = self.check(expr, gamma, delta)
+        if not isinstance(expr_type, TCon):
+            raise TypecheckError(f"projection from non-record type {expr_type}")
+        decl = self.signature.get(expr_type.name)
+        if decl is None:
+            raise TypecheckError(f"projection from non-interface type {expr_type}")
+        try:
+            field_type = decl.field_type(fname)
+        except KeyError as exc:
+            raise TypecheckError(str(exc)) from exc
+        theta = zip_subst(decl.tvars, expr_type.args)
+        return subst_type(theta, field_type)
+
+    # -- helpers -------------------------------------------------------
+
+    @staticmethod
+    def _env_ftv(gamma: Mapping[str, Type], delta: ImplicitEnv) -> set[str]:
+        out: set[str] = set()
+        for tau in gamma.values():
+            out |= ftv(tau)
+        for entry in delta.entries():
+            out |= ftv(entry.rho)
+        return out
+
+
+def typecheck(
+    e: Expr,
+    *,
+    signature: Signature = EMPTY_SIGNATURE,
+    resolver: Resolver | None = None,
+) -> Type:
+    """Type a closed lambda_=> program."""
+    checker = TypeChecker(signature=signature, resolver=resolver or Resolver())
+    return checker.check_program(e)

@@ -1,0 +1,325 @@
+"""Type syntax of the implicit calculus (paper section 3.1).
+
+The grammar is::
+
+    (simple) types   tau ::= alpha | Int | tau1 -> tau2 | rho
+    rule types       rho ::= forall a-bar . {rho-bar} => tau
+
+We generalise the paper's single base type ``Int`` to arbitrary *type
+constructors* ``TCon`` so that the examples (pairs, booleans, strings,
+lists, interface types of the source language) are expressible without
+touching the metatheory: a ``TCon`` behaves exactly like ``Int`` does in
+the paper, and its arguments behave like the components of ``tau1 -> tau2``.
+
+Two representation choices (documented in DESIGN.md):
+
+* A *degenerate* rule type -- no quantifiers and an empty context -- is not
+  representable; ``rule(head=tau)`` simply returns ``tau``.  The paper
+  identifies ``tau`` with ``forall . {} => tau`` via promotion, so this
+  loses nothing and removes the unit-wrapper from the elaboration.
+* Rule types compare and hash up to alpha-equivalence: bound variables are
+  canonically renamed before comparison, and contexts are stored
+  deduplicated and sorted by canonical key (the paper assumes contexts are
+  lexicographically ordered so the type translation is unique).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+class Type:
+    """Base class of all implicit-calculus types."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - delegated
+        from .pretty import pretty_type
+
+        return pretty_type(self)
+
+
+@dataclass(frozen=True, repr=False)
+class TVar(Type):
+    """A type variable ``alpha``."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"TVar({self.name!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class TCon(Type):
+    """A type constructor applied to arguments.
+
+    ``TCon("Int")`` is the paper's ``Int``; ``TCon("Pair", (a, b))`` is
+    ``a * b``; interface types of the source language such as ``Eq a``
+    become ``TCon("Eq", (a,))``.
+    """
+
+    name: str
+    args: tuple[Type, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return f"TCon({self.name!r})"
+        return f"TCon({self.name!r}, {self.args!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class TFun(Type):
+    """A function type ``tau1 -> tau2``."""
+
+    arg: Type
+    res: Type
+
+    def __repr__(self) -> str:
+        return f"TFun({self.arg!r}, {self.res!r})"
+
+
+class RuleType(Type):
+    """A rule type ``forall a-bar . {rho-bar} => tau``.
+
+    * ``tvars`` -- the universally quantified variables (ordered; the order
+      matters for explicit type application ``e[tau-bar]``).
+    * ``context`` -- the assumed implicit context, a canonically sorted,
+      deduplicated tuple of types.  Entries are arbitrary types: a simple
+      type ``Int`` stands for the promoted rule ``forall . {} => Int``
+      exactly as in the paper's examples.
+    * ``head`` -- the right-hand side ``tau`` (itself possibly a rule type,
+      enabling higher-order rules).
+
+    Instances are immutable, hashable, and equal up to alpha-renaming of
+    ``tvars``.  Do not instantiate degenerate rule types directly; use the
+    :func:`rule` smart constructor, which collapses them to their head.
+    """
+
+    __slots__ = ("tvars", "context", "head", "_canon")
+
+    tvars: tuple[str, ...]
+    context: tuple[Type, ...]
+    head: Type
+
+    def __init__(self, tvars: Iterable[str], context: Iterable[Type], head: Type):
+        tvars = tuple(tvars)
+        context = _canonical_context(context)
+        if not tvars and not context:
+            raise ValueError(
+                "degenerate rule type (no quantifiers, empty context); "
+                "use repro.core.types.rule(), which collapses it to its head"
+            )
+        if len(set(tvars)) != len(tvars):
+            raise ValueError(f"duplicate quantified variables in {tvars}")
+        object.__setattr__(self, "tvars", tvars)
+        object.__setattr__(self, "context", context)
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "_canon", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"RuleType is immutable; cannot set {name}")
+
+    def canonical_key(self) -> tuple:
+        """A hashable key identifying this type up to alpha-equivalence."""
+        key = object.__getattribute__(self, "_canon")
+        if key is None:
+            key = _canonical_key(self, {})
+            object.__setattr__(self, "_canon", key)
+        return key
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, RuleType):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
+
+    def __repr__(self) -> str:
+        return f"RuleType({self.tvars!r}, {self.context!r}, {self.head!r})"
+
+    def __str__(self) -> str:
+        from .pretty import pretty_type
+
+        return pretty_type(self)
+
+
+def rule(
+    head: Type,
+    context: Iterable[Type] = (),
+    tvars: Iterable[str] = (),
+) -> Type:
+    """Smart constructor for rule types.
+
+    Collapses the degenerate case: ``rule(Int)`` is just ``Int`` (the paper's
+    promotion ``tau  ~  forall . {} => tau`` read right-to-left).
+    """
+    tvars = tuple(tvars)
+    context = tuple(context)
+    if not tvars and not context:
+        return head
+    return RuleType(tvars, context, head)
+
+
+def promote(tau: Type) -> tuple[tuple[str, ...], tuple[Type, ...], Type]:
+    """View any type as a rule type ``(tvars, context, head)``.
+
+    Simple types promote to ``((), (), tau)``; rule types decompose.
+    This is the promotion used by the unified resolution rule ``TyRes``.
+    """
+    if isinstance(tau, RuleType):
+        return tau.tvars, tau.context, tau.head
+    return (), (), tau
+
+
+# ---------------------------------------------------------------------------
+# Common base types used throughout the library and the examples.
+# ---------------------------------------------------------------------------
+
+INT = TCon("Int")
+BOOL = TCon("Bool")
+STRING = TCon("String")
+CHAR = TCon("Char")
+UNIT = TCon("Unit")
+
+
+def pair(a: Type, b: Type) -> TCon:
+    """The product type ``a * b`` used pervasively in the paper's examples."""
+    return TCon("Pair", (a, b))
+
+
+def list_of(a: Type) -> TCon:
+    """The list type ``[a]`` used by the source-language examples."""
+    return TCon("List", (a,))
+
+
+def fun(*taus: Type) -> Type:
+    """Right-associated function type: ``fun(a, b, c)`` is ``a -> (b -> c)``."""
+    if not taus:
+        raise ValueError("fun() needs at least one type")
+    result = taus[-1]
+    for tau in reversed(taus[:-1]):
+        result = TFun(tau, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Free variables, subterms, canonical keys.
+# ---------------------------------------------------------------------------
+
+
+def ftv(tau: Type) -> frozenset[str]:
+    """Free type variables of ``tau`` (quantified variables are bound)."""
+    match tau:
+        case TVar(name):
+            return frozenset((name,))
+        case TCon(_, args):
+            out: frozenset[str] = frozenset()
+            for arg in args:
+                out |= ftv(arg)
+            return out
+        case TFun(arg, res):
+            return ftv(arg) | ftv(res)
+        case RuleType():
+            out = ftv(tau.head)
+            for rho in tau.context:
+                out |= ftv(rho)
+            return out - frozenset(tau.tvars)
+    raise TypeError(f"not a Type: {tau!r}")
+
+
+def subterms(tau: Type) -> Iterator[Type]:
+    """Pre-order traversal of all subterms of ``tau`` (including itself)."""
+    yield tau
+    match tau:
+        case TVar(_):
+            return
+        case TCon(_, args):
+            for arg in args:
+                yield from subterms(arg)
+        case TFun(arg, res):
+            yield from subterms(arg)
+            yield from subterms(res)
+        case RuleType():
+            for rho in tau.context:
+                yield from subterms(rho)
+            yield from subterms(tau.head)
+
+
+def type_size(tau: Type) -> int:
+    """Number of constructors/variables in ``tau`` (termination measure)."""
+    return sum(1 for _ in subterms(tau))
+
+
+def _canonical_key(tau: Type, bound: dict[str, int]) -> tuple:
+    """Structural key with bound variables replaced by de-Bruijn-ish levels."""
+    match tau:
+        case TVar(name):
+            if name in bound:
+                return ("bv", bound[name])
+            return ("fv", name)
+        case TCon(name, args):
+            return ("con", name, tuple(_canonical_key(a, bound) for a in args))
+        case TFun(arg, res):
+            return ("fun", _canonical_key(arg, bound), _canonical_key(res, bound))
+        case RuleType():
+            inner = dict(bound)
+            base = len(bound)
+            for i, name in enumerate(tau.tvars):
+                inner[name] = base + i
+            ctx = tuple(_canonical_key(rho, inner) for rho in tau.context)
+            return ("rule", len(tau.tvars), ctx, _canonical_key(tau.head, inner))
+    raise TypeError(f"not a Type: {tau!r}")
+
+
+def canonical_key(tau: Type) -> tuple:
+    """Public alpha-invariant key for any type."""
+    if isinstance(tau, RuleType):
+        return tau.canonical_key()
+    return _canonical_key(tau, {})
+
+
+def _canonical_context(context: Iterable[Type]) -> tuple[Type, ...]:
+    """Deduplicate and sort a context by canonical key.
+
+    The paper assumes "the types in a context are lexicographically
+    ordered" so that the type translation ``|.|`` is unique; we realise
+    that by sorting on the (total, deterministic) canonical key.
+    """
+    seen: dict[tuple, Type] = {}
+    for rho in context:
+        seen.setdefault(canonical_key(rho), rho)
+    return tuple(seen[k] for k in sorted(seen, key=_key_sort_token))
+
+
+def _key_sort_token(key: tuple) -> str:
+    return repr(key)
+
+
+def types_alpha_eq(a: Type, b: Type) -> bool:
+    """Alpha-equivalence on arbitrary types."""
+    return canonical_key(a) == canonical_key(b)
+
+
+def context_contains(context: Iterable[Type], rho: Type) -> bool:
+    """Set membership up to alpha-equivalence."""
+    key = canonical_key(rho)
+    return any(canonical_key(r) == key for r in context)
+
+
+def context_difference(left: Iterable[Type], right: Iterable[Type]) -> tuple[Type, ...]:
+    """``left - right`` as alpha-equivalence sets, preserving left's order.
+
+    This is the operation at the heart of *partial resolution*: the part
+    ``rho-bar' - rho-bar`` of a matched rule's context that the query does
+    not assume and must therefore be resolved recursively.
+    """
+    right_keys = {canonical_key(r) for r in right}
+    return tuple(r for r in left if canonical_key(r) not in right_keys)

@@ -1,0 +1,249 @@
+"""Unification and one-way matching (appendix "Unification").
+
+Resolution's lookup needs *one-way matching*: find ``theta`` with support
+in a rule's quantified variables such that ``theta tau' = tau`` (the
+queried type is not instantiated).  The well-formedness conditions
+(``no_overlap``, ``distinct``, the coherence predicates) additionally need
+*two-way unifiability* checks: does any substitution identify two types?
+
+Both are provided by one engine parameterised over the set of *flexible*
+variables; every other variable is a rigid constant.  Rule types unify per
+the appendix: equal numbers of quantified variables (renamed to common
+fresh rigid names), unifiable heads, and contexts that pair off
+element-by-element (a small backtracking search; contexts are canonically
+sorted and tiny in practice).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .subst import fresh_tvar, subst_type
+from .types import RuleType, TCon, TFun, TVar, Type, ftv, types_alpha_eq
+
+
+class _Fail(Exception):
+    """Internal non-unifiability signal (never escapes this module)."""
+
+
+def match_type(
+    pattern: Type, target: Type, meta: Iterable[str]
+) -> dict[str, Type] | None:
+    """One-way matching: ``theta`` with ``dom(theta) <= meta`` such that
+    ``theta pattern`` is alpha-equal to ``target``; ``None`` if impossible.
+
+    This is the paper's ``unify(tau', tau; a-bar)`` as used by environment
+    lookup: only the rule's quantified variables may be instantiated.
+    """
+    meta = frozenset(meta)
+    theta: dict[str, Type] = {}
+    try:
+        _unify(pattern, target, meta, theta, frozenset())
+    except _Fail:
+        return None
+    resolved = _resolve_triangular(theta)
+    return {name: tau for name, tau in resolved.items() if name in meta}
+
+
+def mgu(t1: Type, t2: Type, flex: Iterable[str] | None = None) -> dict[str, Type] | None:
+    """Most-general unifier of ``t1`` and ``t2``.
+
+    ``flex`` restricts which variables may be instantiated; ``None`` means
+    every free variable of either side is flexible (the reading used by the
+    overlap and coherence conditions, which quantify over *all*
+    substitutions).
+    """
+    if flex is None:
+        flex = ftv(t1) | ftv(t2)
+    theta: dict[str, Type] = {}
+    try:
+        _unify(t1, t2, frozenset(flex), theta, frozenset())
+    except _Fail:
+        return None
+    return _resolve_triangular(theta)
+
+
+def unifiable(t1: Type, t2: Type, flex: Iterable[str] | None = None) -> bool:
+    """Whether some substitution identifies ``t1`` and ``t2``."""
+    return mgu(t1, t2, flex) is not None
+
+
+def matches(pattern: Type, target: Type, meta: Iterable[str]) -> bool:
+    """The paper's ``rho > tau``: the pattern head instantiates to target."""
+    return match_type(pattern, target, meta) is not None
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+def _resolve_triangular(theta: dict[str, Type]) -> dict[str, Type]:
+    """Fully apply a triangular substitution to itself.
+
+    The engine binds variables one at a time, so a binding's right-hand
+    side may mention later-bound variables; the occurs check guarantees
+    the chase terminates.  The result is idempotent, as callers (and the
+    paper's ``theta tau' = tau``) expect.
+    """
+
+    out = dict(theta)
+    for _ in range(len(out)):
+        changed = False
+        for name, tau in out.items():
+            resolved = subst_type(out, tau)
+            if resolved is not tau and not types_alpha_eq(resolved, tau):
+                out[name] = resolved
+                changed = True
+        if not changed:
+            break
+    return out
+
+
+def _walk(tau: Type, theta: dict[str, Type]) -> Type:
+    """Chase variable bindings at the root."""
+    while isinstance(tau, TVar) and tau.name in theta:
+        tau = theta[tau.name]
+    return tau
+
+
+def _occurs(name: str, tau: Type, theta: dict[str, Type]) -> bool:
+    tau = _walk(tau, theta)
+    match tau:
+        case TVar(other):
+            return other == name
+        case TCon(_, args):
+            return any(_occurs(name, a, theta) for a in args)
+        case TFun(arg, res):
+            return _occurs(name, arg, theta) or _occurs(name, res, theta)
+        case RuleType():
+            return any(_occurs(name, r, theta) for r in tau.context) or _occurs(
+                name, tau.head, theta
+            )
+    raise TypeError(f"not a Type: {tau!r}")
+
+
+def _mentions_locals(tau: Type, theta: dict[str, Type], locals_: frozenset[str]) -> bool:
+    """Whether ``tau`` (after walking) mentions a binder-local rigid name."""
+    if not locals_:
+        return False
+    tau = _walk(tau, theta)
+    match tau:
+        case TVar(name):
+            return name in locals_
+        case TCon(_, args):
+            return any(_mentions_locals(a, theta, locals_) for a in args)
+        case TFun(arg, res):
+            return _mentions_locals(arg, theta, locals_) or _mentions_locals(
+                res, theta, locals_
+            )
+        case RuleType():
+            return any(
+                _mentions_locals(r, theta, locals_) for r in tau.context
+            ) or _mentions_locals(tau.head, theta, locals_)
+    raise TypeError(f"not a Type: {tau!r}")
+
+
+def _bind(name: str, tau: Type, theta: dict[str, Type], locals_: frozenset[str]) -> None:
+    if _occurs(name, tau, theta):
+        raise _Fail
+    if _mentions_locals(tau, theta, locals_):
+        raise _Fail  # scope escape: binder-local name would leak outward
+    theta[name] = tau
+
+
+def _unify(
+    t1: Type,
+    t2: Type,
+    flex: frozenset[str],
+    theta: dict[str, Type],
+    locals_: frozenset[str],
+) -> None:
+    t1 = _walk(t1, theta)
+    t2 = _walk(t2, theta)
+    if t1 is t2:
+        # Physically shared subterms are trivially equal; this keeps
+        # matching linear on DAG-shaped types (e.g. Pair^n Int built by
+        # doubling), which resolution produces routinely.
+        return
+    if isinstance(t1, TVar) and isinstance(t2, TVar) and t1.name == t2.name:
+        return
+    if isinstance(t1, TVar) and t1.name in flex:
+        _bind(t1.name, t2, theta, locals_)
+        return
+    if isinstance(t2, TVar) and t2.name in flex:
+        _bind(t2.name, t1, theta, locals_)
+        return
+    match t1, t2:
+        case (TVar(_), TVar(_)):
+            raise _Fail  # distinct rigid variables
+        case (TCon(n1, a1), TCon(n2, a2)):
+            if n1 != n2 or len(a1) != len(a2):
+                raise _Fail
+            for x, y in zip(a1, a2):
+                _unify(x, y, flex, theta, locals_)
+        case (TFun(p1, r1), TFun(p2, r2)):
+            _unify(p1, p2, flex, theta, locals_)
+            _unify(r1, r2, flex, theta, locals_)
+        case (RuleType(), RuleType()):
+            _unify_rules(t1, t2, flex, theta, locals_)
+        case _:
+            raise _Fail
+
+
+def _unify_rules(
+    r1: RuleType,
+    r2: RuleType,
+    flex: frozenset[str],
+    theta: dict[str, Type],
+    locals_: frozenset[str],
+) -> None:
+    if len(r1.tvars) != len(r2.tvars):
+        raise _Fail
+    if len(r1.context) != len(r2.context):
+        raise _Fail
+    skolems = tuple(fresh_tvar("sk") for _ in r1.tvars)
+    ren1 = {old: TVar(new) for old, new in zip(r1.tvars, skolems)}
+    ren2 = {old: TVar(new) for old, new in zip(r2.tvars, skolems)}
+    inner_locals = locals_ | frozenset(skolems)
+    _unify(
+        subst_type(ren1, r1.head), subst_type(ren2, r2.head), flex, theta, inner_locals
+    )
+    ctx1 = [subst_type(ren1, rho) for rho in r1.context]
+    ctx2 = [subst_type(ren2, rho) for rho in r2.context]
+    _unify_context_sets(ctx1, ctx2, flex, theta, inner_locals)
+
+
+def _unify_context_sets(
+    ctx1: list[Type],
+    ctx2: list[Type],
+    flex: frozenset[str],
+    theta: dict[str, Type],
+    locals_: frozenset[str],
+) -> None:
+    """Pair off context elements (appendix set-unification, backtracking)."""
+    if not ctx1:
+        if ctx2:
+            raise _Fail
+        return
+    head, rest = ctx1[0], ctx1[1:]
+    for i, candidate in enumerate(ctx2):
+        snapshot = dict(theta)
+        try:
+            _unify(head, candidate, flex, theta, locals_)
+            _unify_context_sets(rest, ctx2[:i] + ctx2[i + 1 :], flex, theta, locals_)
+            return
+        except _Fail:
+            theta.clear()
+            theta.update(snapshot)
+    raise _Fail
+
+
+def apply_match(theta: dict[str, Type], tau: Type) -> Type:
+    """Apply a matching substitution (re-exported convenience)."""
+    return subst_type(theta, tau)
+
+
+def check_match(pattern: Type, target: Type, theta: dict[str, Type]) -> bool:
+    """Sanity helper used by tests: ``theta pattern`` alpha-equals target."""
+    return types_alpha_eq(subst_type(theta, pattern), target)

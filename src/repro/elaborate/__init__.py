@@ -1,0 +1,12 @@
+"""Elaboration of lambda_=> into System F (paper section 4)."""
+
+from .translate import Elaborator, elaborate
+from .types import translate_interface, translate_signature, translate_type
+
+__all__ = [
+    "Elaborator",
+    "elaborate",
+    "translate_interface",
+    "translate_signature",
+    "translate_type",
+]

@@ -1,0 +1,407 @@
+"""Type-directed elaboration of lambda_=> into System F (Fig. 2).
+
+The judgment ``Gamma | Delta |- e : tau ~> E`` is implemented as a
+function returning both the lambda_=> type and the System F term.  The
+translation environment ``Delta`` is the same :class:`ImplicitEnv` used by
+the type system, with entry payloads now carrying System F *evidence*
+expressions (the paper's evidence variables ``x``); rule ``TrRes`` reads a
+resolution :class:`Derivation` back as an evidence term::
+
+    TrRes:   Delta |-r forall a-bar.{rho-bar} => tau
+                 ~>  /\\a-bar. \\(x-bar : |rho-bar|). E E-bar
+
+where ``E`` is the looked-up evidence applied to the matching type
+arguments, and each ``E_i`` is either a bound assumption variable
+(``rho_i`` in the queried context -- *partial resolution*) or a
+recursively resolved evidence term.
+
+This module deliberately re-checks all typing side conditions rather than
+assuming a prior :mod:`repro.core.typecheck` pass, so elaboration is safe
+to call directly; the pipeline still exposes both stages separately for
+the experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.env import ImplicitEnv, RuleEntry
+from ..core.prims import prim_spec
+from ..core.resolution import (
+    Assumption,
+    ByAssumption,
+    ByResolution,
+    Derivation,
+    Resolver,
+)
+from ..core.subst import subst_type, zip_subst
+from ..core.terms import (
+    App,
+    BoolLit,
+    EMPTY_SIGNATURE,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    ListLit,
+    PairE,
+    Prim,
+    Project,
+    Query,
+    Record,
+    RuleAbs,
+    RuleApp,
+    Signature,
+    StrLit,
+    TyApp,
+    Var,
+)
+from ..core.typecheck import TypeChecker, require_unambiguous
+from ..core.types import (
+    BOOL,
+    INT,
+    RuleType,
+    STRING,
+    TCon,
+    TFun,
+    Type,
+    canonical_key,
+    list_of,
+    pair,
+    rule,
+    types_alpha_eq,
+)
+from ..errors import TypecheckError
+from ..systemf.ast import (
+    FApp,
+    FBoolLit,
+    FExpr,
+    FIf,
+    FIntLit,
+    FLam,
+    FListLit,
+    FPair,
+    FPrim,
+    FProject,
+    FRecord,
+    FStrLit,
+    FTyApp,
+    FVar,
+    f_app,
+    f_lam,
+    f_tyapp,
+    f_tylam,
+)
+from .types import translate_type
+
+_evidence_counter = itertools.count()
+
+
+def _fresh_evidence() -> str:
+    return f"ev%{next(_evidence_counter)}"
+
+
+@dataclass(frozen=True)
+class Elaborator:
+    """The translation ``Gamma | Delta |- e : tau ~> E``."""
+
+    signature: Signature = field(default_factory=Signature)
+    resolver: Resolver = field(default_factory=Resolver)
+    #: Mirror of :attr:`TypeChecker.strict_coherence`.
+    strict_coherence: bool = False
+
+    def elaborate_program(self, e: Expr) -> tuple[Type, FExpr]:
+        """Translate a closed program; returns ``(tau, E)``."""
+        return self.elaborate(e, {}, ImplicitEnv.empty())
+
+    # -- the main judgment ----------------------------------------------
+
+    def elaborate(
+        self, e: Expr, gamma: Mapping[str, Type], delta: ImplicitEnv
+    ) -> tuple[Type, FExpr]:
+        match e:
+            case IntLit(v):
+                return INT, FIntLit(v)
+            case BoolLit(v):
+                return BOOL, FBoolLit(v)
+            case StrLit(v):
+                return STRING, FStrLit(v)
+            case Var(name):
+                if name not in gamma:
+                    raise TypecheckError(f"unbound variable {name!r}")
+                return gamma[name], FVar(name)
+            case Prim(name):
+                try:
+                    return prim_spec(name).rho, FPrim(name)
+                except KeyError as exc:
+                    raise TypecheckError(str(exc)) from exc
+            case Lam(var, var_type, body):
+                inner = dict(gamma)
+                inner[var] = var_type
+                body_type, body_f = self.elaborate(body, inner, delta)
+                return (
+                    TFun(var_type, body_type),
+                    FLam(var, translate_type(var_type), body_f),
+                )
+            case App(fn, arg):
+                fn_type, fn_f = self.elaborate(fn, gamma, delta)
+                if not isinstance(fn_type, TFun):
+                    raise TypecheckError(
+                        f"application of non-function: {fn} has type {fn_type}"
+                    )
+                arg_type, arg_f = self.elaborate(arg, gamma, delta)
+                if not types_alpha_eq(fn_type.arg, arg_type):
+                    raise TypecheckError(
+                        f"argument type mismatch: expected {fn_type.arg}, got {arg_type}"
+                    )
+                return fn_type.res, FApp(fn_f, arg_f)
+            case Query(rho):
+                require_unambiguous(rho, "queried type")
+                derivation = self.resolver.resolve(delta, rho)
+                if self.strict_coherence:
+                    from ..core.coherence import check_query_coherence
+
+                    check_query_coherence(delta, rho, self.resolver.policy)
+                return rho, self.evidence(derivation, {})
+            case RuleAbs(rho, body):
+                return self._elab_rule_abs(rho, body, gamma, delta)
+            case TyApp(expr, type_args):
+                return self._elab_ty_app(expr, type_args, gamma, delta)
+            case RuleApp(expr, args):
+                return self._elab_rule_app(expr, args, gamma, delta)
+            case If(cond, then, orelse):
+                cond_type, cond_f = self.elaborate(cond, gamma, delta)
+                if not types_alpha_eq(cond_type, BOOL):
+                    raise TypecheckError(f"if-condition has type {cond_type}, not Bool")
+                then_type, then_f = self.elaborate(then, gamma, delta)
+                else_type, else_f = self.elaborate(orelse, gamma, delta)
+                if not types_alpha_eq(then_type, else_type):
+                    raise TypecheckError(
+                        f"if-branches disagree: {then_type} vs {else_type}"
+                    )
+                return then_type, FIf(cond_f, then_f, else_f)
+            case PairE(first, second):
+                first_type, first_f = self.elaborate(first, gamma, delta)
+                second_type, second_f = self.elaborate(second, gamma, delta)
+                return pair(first_type, second_type), FPair(first_f, second_f)
+            case ListLit(elems, elem_type):
+                return self._elab_list(elems, elem_type, gamma, delta)
+            case Record(iface, type_args, fields):
+                return self._elab_record(iface, type_args, fields, gamma, delta)
+            case Project(expr, fname):
+                return self._elab_project(expr, fname, gamma, delta)
+        raise TypecheckError(f"cannot elaborate expression {e!r}")
+
+    # -- TrRule ----------------------------------------------------------
+
+    def _elab_rule_abs(
+        self, rho: Type, body: Expr, gamma: Mapping[str, Type], delta: ImplicitEnv
+    ) -> tuple[Type, FExpr]:
+        if not isinstance(rho, RuleType):
+            raise TypecheckError(f"rule abstraction requires a rule type, got {rho}")
+        require_unambiguous(rho, "rule type")
+        clash = set(rho.tvars) & TypeChecker._env_ftv(gamma, delta)
+        if clash:
+            raise TypecheckError(
+                f"quantified variable(s) {sorted(clash)} of {rho} already occur "
+                "free in the environment"
+            )
+        evidence_vars = [(_fresh_evidence(), r) for r in rho.context]
+        inner_delta = delta.push(
+            RuleEntry(r, payload=FVar(x)) for x, r in evidence_vars
+        )
+        body_type, body_f = self.elaborate(body, gamma, inner_delta)
+        if not types_alpha_eq(body_type, rho.head):
+            raise TypecheckError(
+                f"rule body has type {body_type}, but the rule type promises {rho.head}"
+            )
+        wrapped = f_lam(
+            [(x, translate_type(r)) for x, r in evidence_vars], body_f
+        )
+        return rho, f_tylam(rho.tvars, wrapped)
+
+    # -- TrInst ----------------------------------------------------------
+
+    def _elab_ty_app(
+        self,
+        expr: Expr,
+        type_args: tuple[Type, ...],
+        gamma: Mapping[str, Type],
+        delta: ImplicitEnv,
+    ) -> tuple[Type, FExpr]:
+        expr_type, expr_f = self.elaborate(expr, gamma, delta)
+        if not isinstance(expr_type, RuleType) or not expr_type.tvars:
+            raise TypecheckError(
+                f"type application of non-polymorphic expression of type {expr_type}"
+            )
+        theta = zip_subst(expr_type.tvars, type_args)
+        result = rule(
+            subst_type(theta, expr_type.head),
+            tuple(subst_type(theta, r) for r in expr_type.context),
+        )
+        return result, f_tyapp(expr_f, [translate_type(t) for t in type_args])
+
+    # -- TrRApp ----------------------------------------------------------
+
+    def _elab_rule_app(
+        self,
+        expr: Expr,
+        args: tuple[tuple[Expr, Type], ...],
+        gamma: Mapping[str, Type],
+        delta: ImplicitEnv,
+    ) -> tuple[Type, FExpr]:
+        expr_type, expr_f = self.elaborate(expr, gamma, delta)
+        if not isinstance(expr_type, RuleType) or expr_type.tvars:
+            raise TypecheckError(
+                f"rule application requires a monomorphic rule type, got {expr_type}"
+            )
+        translated: dict[tuple, FExpr] = {}
+        for arg_expr, arg_rho in args:
+            key = canonical_key(arg_rho)
+            if key in translated:
+                raise TypecheckError(
+                    f"duplicate evidence for {arg_rho} in rule application"
+                )
+            actual, arg_f = self.elaborate(arg_expr, gamma, delta)
+            if not types_alpha_eq(actual, arg_rho):
+                raise TypecheckError(
+                    f"evidence {arg_expr} has type {actual}, annotated {arg_rho}"
+                )
+            translated[key] = arg_f
+        required = [canonical_key(r) for r in expr_type.context]
+        if set(required) != set(translated):
+            raise TypecheckError(
+                f"rule application does not supply exactly the context of {expr_type}"
+            )
+        # Evidence arguments in the rule type's canonical context order.
+        ordered = [translated[key] for key in required]
+        return expr_type.head, f_app(expr_f, *ordered)
+
+    # -- TrRes -----------------------------------------------------------
+
+    def evidence(
+        self, derivation: Derivation, assumption_vars: dict[int, str]
+    ) -> FExpr:
+        """Rebuild the ``TrRes`` evidence term from a resolution derivation.
+
+        ``assumption_vars`` maps :class:`Assumption` token identities to the
+        lambda-bound evidence variables of enclosing partial resolutions.
+        """
+        inner_vars = dict(assumption_vars)
+        binders: list[tuple[str, Type]] = []
+        for token in derivation.assumptions:
+            name = _fresh_evidence()
+            inner_vars[id(token)] = name
+            binders.append((name, token.rho))
+
+        payload = derivation.lookup.payload
+        if isinstance(payload, Assumption):
+            # EXTENDING/BACKTRACKING strategies may look up an assumption
+            # pushed by an enclosing query; its evidence is that binder.
+            head_f: FExpr = FVar(inner_vars[id(payload)])
+        elif isinstance(payload, FExpr):
+            head_f = payload
+        else:
+            raise TypecheckError(
+                f"environment entry {derivation.lookup.entry.rho} carries no "
+                f"System F evidence (payload {payload!r}); elaboration requires "
+                "evidence-bearing environments"
+            )
+        head_f = f_tyapp(
+            head_f, [translate_type(t) for t in derivation.lookup.type_args]
+        )
+        ev_args: list[FExpr] = []
+        for premise in derivation.premises:
+            if isinstance(premise, ByAssumption):
+                ev_args.append(FVar(inner_vars[id(premise.token)]))
+            elif isinstance(premise, ByResolution):
+                ev_args.append(self.evidence(premise.derivation, inner_vars))
+            else:  # pragma: no cover - exhaustive
+                raise TypeError(f"unknown premise {premise!r}")
+        body = f_app(head_f, *ev_args)
+        wrapped = f_lam([(x, translate_type(r)) for x, r in binders], body)
+        return f_tylam(derivation.tvars, wrapped)
+
+    # -- extensions -------------------------------------------------------
+
+    def _elab_list(
+        self,
+        elems: tuple[Expr, ...],
+        elem_type: Type | None,
+        gamma: Mapping[str, Type],
+        delta: ImplicitEnv,
+    ) -> tuple[Type, FExpr]:
+        elems_f: list[FExpr] = []
+        for el in elems:
+            actual, el_f = self.elaborate(el, gamma, delta)
+            if elem_type is None:
+                elem_type = actual
+            elif not types_alpha_eq(actual, elem_type):
+                raise TypecheckError(
+                    f"list element {el} has type {actual}, expected {elem_type}"
+                )
+            elems_f.append(el_f)
+        if elem_type is None:
+            raise TypecheckError("empty list literal needs an element type")
+        return list_of(elem_type), FListLit(tuple(elems_f), translate_type(elem_type))
+
+    def _elab_record(
+        self,
+        iface: str,
+        type_args: tuple[Type, ...],
+        fields: tuple[tuple[str, Expr], ...],
+        gamma: Mapping[str, Type],
+        delta: ImplicitEnv,
+    ) -> tuple[Type, FExpr]:
+        decl = self.signature.get(iface)
+        if decl is None:
+            raise TypecheckError(f"unknown interface {iface!r}")
+        if len(type_args) != len(decl.tvars):
+            raise TypecheckError(
+                f"interface {iface} expects {len(decl.tvars)} type argument(s)"
+            )
+        if {n for n, _ in fields} != set(decl.field_names()):
+            raise TypecheckError(f"field mismatch in {iface} implementation")
+        theta = zip_subst(decl.tvars, type_args)
+        fields_f: list[tuple[str, FExpr]] = []
+        for name, expr in fields:
+            expected = subst_type(theta, decl.field_type(name))
+            actual, field_f = self.elaborate(expr, gamma, delta)
+            if not types_alpha_eq(actual, expected):
+                raise TypecheckError(
+                    f"field {iface}.{name} has type {actual}, expected {expected}"
+                )
+            fields_f.append((name, field_f))
+        return (
+            TCon(iface, tuple(type_args)),
+            FRecord(iface, tuple(translate_type(t) for t in type_args), tuple(fields_f)),
+        )
+
+    def _elab_project(
+        self, expr: Expr, fname: str, gamma: Mapping[str, Type], delta: ImplicitEnv
+    ) -> tuple[Type, FExpr]:
+        expr_type, expr_f = self.elaborate(expr, gamma, delta)
+        if not isinstance(expr_type, TCon):
+            raise TypecheckError(f"projection from non-record type {expr_type}")
+        decl = self.signature.get(expr_type.name)
+        if decl is None:
+            raise TypecheckError(f"projection from non-interface type {expr_type}")
+        try:
+            field_type = decl.field_type(fname)
+        except KeyError as exc:
+            raise TypecheckError(str(exc)) from exc
+        theta = zip_subst(decl.tvars, expr_type.args)
+        return subst_type(theta, field_type), FProject(expr_f, fname)
+
+
+def elaborate(
+    e: Expr,
+    *,
+    signature: Signature = EMPTY_SIGNATURE,
+    resolver: Resolver | None = None,
+) -> tuple[Type, FExpr]:
+    """Translate a closed lambda_=> program into System F."""
+    elab = Elaborator(signature=signature, resolver=resolver or Resolver())
+    return elab.elaborate_program(e)

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the implicit-calculus reproduction.
+
+The paper distinguishes several classes of ill-behaved programs (extended
+report, section "Runtime Errors and Coherence Failures"):
+
+* *lookup failures* -- a query has no matching rule, or several matching
+  rules within the same rule set (overlap);
+* *ambiguous instantiations* -- a rule type quantifies a variable that does
+  not occur in its head, so resolution cannot determine the instantiation;
+* *coherence failures* -- the lexically nearest match is not unique, or
+  differs between static resolution and runtime instantiation;
+* *divergence* -- recursive resolution that never terminates.
+
+Each class maps to a dedicated exception so that callers (type checker,
+resolution engine, interpreters, source-language front end) can signal
+precisely which well-formedness condition a program violates.
+"""
+
+from __future__ import annotations
+
+
+class ImplicitCalculusError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class TypecheckError(ImplicitCalculusError):
+    """A static typing judgment of the core calculus failed."""
+
+
+class ResolutionError(TypecheckError):
+    """Resolution ``Delta |-r rho`` failed."""
+
+
+class NoMatchingRuleError(ResolutionError):
+    """Lookup found no rule whose head matches the queried type."""
+
+
+class OverlappingRulesError(ResolutionError):
+    """Lookup found several matching rules in one rule set (``no_overlap``)."""
+
+
+class AmbiguousRuleTypeError(TypecheckError):
+    """A rule type violates the ``unambiguous`` condition of Fig. 1.
+
+    A quantified type variable does not occur in the rule head, e.g.
+    ``forall a. {a} => Int``, so instantiations of ``a`` are unobservable
+    and resolution would be ambiguous.
+    """
+
+
+class ResolutionDivergenceError(ResolutionError):
+    """Recursive resolution exceeded its fuel (dynamic divergence guard)."""
+
+
+class TerminationError(ImplicitCalculusError):
+    """A rule violates the static termination conditions of the appendix."""
+
+
+class CoherenceError(TypecheckError):
+    """A program violates a coherence condition (companion material)."""
+
+
+class UnificationError(ImplicitCalculusError):
+    """One-way matching unification failed (internal signalling)."""
+
+
+class ParseError(ImplicitCalculusError):
+    """Concrete syntax could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = "" if line is None else f" at {line}:{column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class EvalError(ImplicitCalculusError):
+    """A runtime error in one of the evaluators (should not occur for
+
+    programs accepted by the static semantics; exercised by tests that
+    bypass type checking).
+    """
+
+
+class SystemFTypeError(ImplicitCalculusError):
+    """The System F target term failed to type check."""
+
+
+class SourceTypeError(ImplicitCalculusError):
+    """The source-language front end rejected a program."""

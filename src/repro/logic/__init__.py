@@ -1,0 +1,30 @@
+"""Hereditary Harrop logic engine and the ``(.)-dagger`` interpretation.
+
+Used to check the paper's Theorem 1 (Resolution Specification)
+empirically: whenever ``Delta |-r rho`` succeeds, the logical reading
+``Delta-dagger |= rho-dagger`` must be provable.
+"""
+
+from .encode import clause_of_type, env_entails, goal_of_type, program_of_env, type_term
+from .engine import Engine, entails, unify
+from .terms import Atom, Clause, Conj, ForallG, Goal, Implies, Struct, Term, Var
+
+__all__ = [
+    "Atom",
+    "Clause",
+    "Conj",
+    "Engine",
+    "ForallG",
+    "Goal",
+    "Implies",
+    "Struct",
+    "Term",
+    "Var",
+    "clause_of_type",
+    "entails",
+    "env_entails",
+    "goal_of_type",
+    "program_of_env",
+    "type_term",
+    "unify",
+]

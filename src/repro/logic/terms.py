@@ -1,0 +1,205 @@
+"""First-order terms, goals and program clauses for the logic engine.
+
+The paper grounds resolution in logic programming: types are read as
+propositions and rules as Horn clauses (section 3.2, "Resolution
+Principle").  Higher-order rules take the fragment beyond Horn clauses to
+*hereditary Harrop* formulas -- clause bodies may themselves contain
+implications and universal quantifiers -- so the engine implements the
+uniform proof search of lambda-Prolog restricted to first-order terms::
+
+    terms    t ::= X | f(t-bar)
+    goals    G ::= A | G /\\ G | D => G | forall X. G
+    clauses  D ::= forall X-bar. G-bar => A
+
+This is exactly what is needed to interpret ``rho-dagger`` and check the
+paper's Theorem 1 (Resolution Specification): if ``Delta |-r rho`` then
+``Delta-dagger |= rho-dagger``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+
+class Term:
+    """Base class of first-order terms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A logic variable (a clause variable after renaming-apart, or a
+
+    goal-level universal variable before skolemisation)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name.capitalize()
+
+
+@dataclass(frozen=True)
+class Struct(Term):
+    """A functor applied to arguments; constants are nullary structs."""
+
+    functor: str
+    args: tuple[Term, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.functor
+        return f"{self.functor}({', '.join(map(str, self.args))})"
+
+
+class Goal:
+    """Base class of goals."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Atom(Goal):
+    """An atomic goal: prove that this proposition is entailed."""
+
+    term: Term
+
+    def __str__(self) -> str:
+        return str(self.term)
+
+
+@dataclass(frozen=True)
+class Conj(Goal):
+    """A conjunction of goals."""
+
+    goals: tuple[Goal, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.goals, tuple):
+            object.__setattr__(self, "goals", tuple(self.goals))
+
+    def __str__(self) -> str:
+        return " /\\ ".join(map(str, self.goals)) or "true"
+
+
+@dataclass(frozen=True)
+class Implies(Goal):
+    """An implication goal ``D-bar => G``: extend the program, prove G."""
+
+    clauses: tuple["Clause", ...]
+    goal: Goal
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.clauses, tuple):
+            object.__setattr__(self, "clauses", tuple(self.clauses))
+
+    def __str__(self) -> str:
+        return f"({', '.join(map(str, self.clauses))}) => {self.goal}"
+
+
+@dataclass(frozen=True)
+class ForallG(Goal):
+    """A universally quantified goal ``forall X-bar. G``."""
+
+    vars: tuple[str, ...]
+    goal: Goal
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.vars, tuple):
+            object.__setattr__(self, "vars", tuple(self.vars))
+
+    def __str__(self) -> str:
+        return f"forall {' '.join(self.vars)}. {self.goal}"
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A program clause ``forall X-bar. body-bar => head``.
+
+    Bodies are goals, so clauses are hereditary Harrop (a body may itself
+    assume further clauses) -- required for higher-order rules.
+    """
+
+    vars: tuple[str, ...]
+    body: tuple[Goal, ...]
+    head: Term
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.vars, tuple):
+            object.__setattr__(self, "vars", tuple(self.vars))
+        if not isinstance(self.body, tuple):
+            object.__setattr__(self, "body", tuple(self.body))
+
+    def __str__(self) -> str:
+        quant = f"forall {' '.join(self.vars)}. " if self.vars else ""
+        if not self.body:
+            return f"{quant}{self.head}"
+        sep = " /\\ "
+        body = sep.join(map(str, self.body))
+        return f"{quant}{body} => {self.head}"
+
+
+_fresh = itertools.count()
+
+
+def fresh_var(prefix: str = "v") -> str:
+    return f"{prefix}?{next(_fresh)}"
+
+
+def fresh_const(prefix: str = "sk") -> Struct:
+    """A fresh skolem constant (for universal goals)."""
+    return Struct(f"{prefix}!{next(_fresh)}")
+
+
+def rename_term(term: Term, renaming: dict[str, Term]) -> Term:
+    match term:
+        case Var(name):
+            return renaming.get(name, term)
+        case Struct(functor, args):
+            return Struct(functor, tuple(rename_term(a, renaming) for a in args))
+    raise TypeError(f"not a Term: {term!r}")
+
+
+def rename_goal(goal: Goal, renaming: dict[str, Term]) -> Goal:
+    match goal:
+        case Atom(term):
+            return Atom(rename_term(term, renaming))
+        case Conj(goals):
+            return Conj(tuple(rename_goal(g, renaming) for g in goals))
+        case Implies(clauses, inner):
+            return Implies(
+                tuple(rename_clause(c, renaming) for c in clauses),
+                rename_goal(inner, renaming),
+            )
+        case ForallG(vars, inner):
+            shadowed = {k: v for k, v in renaming.items() if k not in vars}
+            return ForallG(vars, rename_goal(inner, shadowed))
+    raise TypeError(f"not a Goal: {goal!r}")
+
+
+def rename_clause(clause: Clause, renaming: dict[str, Term]) -> Clause:
+    """Rename *free* variables of a clause (its binder shadows)."""
+    shadowed = {k: v for k, v in renaming.items() if k not in clause.vars}
+    return Clause(
+        clause.vars,
+        tuple(rename_goal(g, shadowed) for g in clause.body),
+        rename_term(clause.head, shadowed),
+    )
+
+
+def instantiate_clause(clause: Clause, renaming: dict[str, Term]) -> Clause:
+    """Open a clause: replace its *bound* variables (backchaining step).
+
+    The result has no binder; ``renaming`` must cover every clause
+    variable (typically with fresh logic variables).
+    """
+    return Clause(
+        (),
+        tuple(rename_goal(g, renaming) for g in clause.body),
+        rename_term(clause.head, renaming),
+    )

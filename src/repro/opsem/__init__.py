@@ -1,0 +1,17 @@
+"""Direct big-step operational semantics of lambda_=> (extended report)."""
+
+from .interp import Interpreter, evaluate
+from .semtyping import SemanticTypeError, check_value, infer_value_type, well_typed
+from .values import ConstRuleClosure, LamClosure, RuleClosure
+
+__all__ = [
+    "ConstRuleClosure",
+    "Interpreter",
+    "LamClosure",
+    "RuleClosure",
+    "SemanticTypeError",
+    "check_value",
+    "evaluate",
+    "infer_value_type",
+    "well_typed",
+]

@@ -1,0 +1,340 @@
+"""Big-step operational semantics of lambda_=> (extended report, Fig. 3).
+
+This interpreter gives lambda_=> a *direct* dynamic semantics, without
+elaborating to System F: queries are resolved at runtime against an
+environment of rule closures (judgment ``mu |-r rho || v``, rule
+``DynRes``), including the paper's *partially resolved contexts*: when a
+higher-order query ``?(forall a-bar. pi => tau)`` matches a rule whose
+context ``pi'`` is larger than ``pi``, the remainder ``theta pi' - pi`` is
+resolved eagerly and stashed in the returned closure's ``eta`` component;
+rule application (``OpRApp``) later re-installs it next to the explicit
+evidence.
+
+Design notes (deviations documented in DESIGN.md):
+
+* Values of *degenerate* rule type do not exist (such types are plain
+  types), so whenever elimination or resolution produces an empty,
+  unquantified rule, the rule body runs immediately -- matching the
+  elaboration semantics, where the corresponding evidence term is a fully
+  applied application rather than a lambda.
+* ``OpInst`` applies the type substitution to the closure's type, body and
+  partially resolved context.  It does *not* rewrite the captured
+  environments: for well-typed programs the ``TyRule`` freshness condition
+  (``a-bar # ftv(Gamma, Delta)``) guarantees the quantified variables
+  cannot occur there.
+* Like the static semantics, runtime resolution takes a fuel parameter so
+  divergent environments raise :class:`ResolutionDivergenceError` instead
+  of overflowing the Python stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.env import ImplicitEnv, OverlapPolicy, RuleEntry
+from ..core.prims import prim_spec
+from ..core.resolution import DEFAULT_FUEL, ResolutionStrategy
+from ..core.subst import Subst, subst_expr, subst_type, zip_subst
+from ..core.terms import (
+    App,
+    BoolLit,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    ListLit,
+    PairE,
+    Prim,
+    Project,
+    Query,
+    Record,
+    RuleAbs,
+    RuleApp,
+    StrLit,
+    TyApp,
+    Var,
+)
+from ..core.types import (
+    RuleType,
+    Type,
+    canonical_key,
+    context_difference,
+    promote,
+    rule,
+)
+from ..errors import EvalError, NoMatchingRuleError, ResolutionDivergenceError
+from ..systemf.eval import PrimValue, RecordValue
+from .values import ConstRuleClosure, LamClosure, RuleClosure, TermEnv
+
+
+@dataclass(frozen=True)
+class Interpreter:
+    """The judgments ``mu |- e || v`` and ``mu |-r rho || v``."""
+
+    policy: OverlapPolicy = OverlapPolicy.REJECT
+    strategy: ResolutionStrategy = ResolutionStrategy.SYNTACTIC
+    fuel: int = DEFAULT_FUEL
+
+    def run(self, e: Expr) -> Any:
+        """Evaluate a closed program."""
+        return self.eval(e, {}, ImplicitEnv.empty())
+
+    # -- mu |- e || v -----------------------------------------------------
+
+    def eval(self, e: Expr, tenv: TermEnv, ienv: ImplicitEnv) -> Any:
+        match e:
+            case IntLit(v) | StrLit(v):
+                return v
+            case BoolLit(v):
+                return v
+            case Var(name):
+                if name not in tenv:
+                    raise EvalError(f"unbound variable {name!r} at runtime")
+                return tenv[name]
+            case Prim(name):
+                spec = prim_spec(name)
+                return PrimValue(spec)
+            case Lam(var, _, body):
+                return LamClosure(var, body, tenv, ienv)
+            case App(fn, arg):
+                fn_value = self.eval(fn, tenv, ienv)
+                arg_value = self.eval(arg, tenv, ienv)
+                return self.apply(fn_value, arg_value)
+            case Query(rho):
+                return self.dyn_resolve(ienv, rho, self.fuel)
+            case RuleAbs(rho, body):
+                # OpRule: build a closure with an empty eta.
+                return RuleClosure(rho, body, tenv, ienv, ())
+            case TyApp(expr, type_args):
+                return self._op_inst(self.eval(expr, tenv, ienv), type_args)
+            case RuleApp(expr, args):
+                closure = self.eval(expr, tenv, ienv)
+                evidence = tuple(
+                    (rho, self.eval(arg, tenv, ienv)) for arg, rho in args
+                )
+                return self._op_rapp(closure, evidence)
+            case If(cond, then, orelse):
+                branch = then if self.eval(cond, tenv, ienv) else orelse
+                return self.eval(branch, tenv, ienv)
+            case PairE(first, second):
+                return (self.eval(first, tenv, ienv), self.eval(second, tenv, ienv))
+            case ListLit(elems, _):
+                return tuple(self.eval(el, tenv, ienv) for el in elems)
+            case Record(iface, _, fields):
+                return RecordValue(
+                    iface, tuple((n, self.eval(f, tenv, ienv)) for n, f in fields)
+                )
+            case Project(expr, fname):
+                value = self.eval(expr, tenv, ienv)
+                if not isinstance(value, RecordValue):
+                    raise EvalError(f"projection from non-record value {value!r}")
+                return value.field(fname)
+        raise EvalError(f"cannot evaluate expression {e!r}")
+
+    def apply(self, fn: Any, arg: Any) -> Any:
+        if isinstance(fn, LamClosure):
+            inner = dict(fn.term_env)
+            inner[fn.var] = arg
+            return self.eval(fn.body, inner, fn.impl_env)
+        if isinstance(fn, PrimValue):
+            args = fn.args + (arg,)
+            if len(args) == fn.spec.arity:
+                return fn.spec.run(list(args), self.apply)
+            return PrimValue(fn.spec, args)
+        raise EvalError(f"application of non-function value {fn!r}")
+
+    # -- OpInst -----------------------------------------------------------
+
+    def _op_inst(self, value: Any, type_args: tuple[Type, ...]) -> Any:
+        if isinstance(value, PrimValue):
+            return value  # primitives are type-erased
+        if isinstance(value, ConstRuleClosure):
+            rho = value.rho
+            if not isinstance(rho, RuleType) or not rho.tvars:
+                raise EvalError(f"type application of non-polymorphic value {value!r}")
+            theta = zip_subst(rho.tvars, type_args)
+            new_rho = rule(subst_type(theta, rho.head), rho.context)
+            if not isinstance(new_rho, RuleType):
+                return value.value
+            return ConstRuleClosure(new_rho, value.value)
+        if not isinstance(value, RuleClosure):
+            raise EvalError(f"type application of non-polymorphic value {value!r}")
+        rho = value.rho
+        if not isinstance(rho, RuleType) or not rho.tvars:
+            raise EvalError(f"type application of non-polymorphic value {value!r}")
+        theta = zip_subst(rho.tvars, type_args)
+        new_rho = rule(
+            subst_type(theta, rho.head),
+            tuple(subst_type(theta, r) for r in rho.context),
+        )
+        body = subst_expr(theta, value.body)
+        partial = _subst_partial(theta, value.partial)
+        if not isinstance(new_rho, RuleType):
+            # The rule degenerated to a plain type: run its body now, with
+            # the partially resolved context re-installed.
+            return self._enter_body(body, value.term_env, value.impl_env, partial)
+        return RuleClosure(new_rho, body, value.term_env, value.impl_env, partial)
+
+    # -- OpRApp -----------------------------------------------------------
+
+    def _op_rapp(self, value: Any, evidence: tuple[tuple[Type, Any], ...]) -> Any:
+        if isinstance(value, ConstRuleClosure):
+            return value.value
+        if not isinstance(value, RuleClosure):
+            raise EvalError(f"rule application of non-rule value {value!r}")
+        rho = value.rho
+        if not isinstance(rho, RuleType) or rho.tvars:
+            raise EvalError(
+                f"rule application requires an instantiated rule, got {rho}"
+            )
+        supplied = {canonical_key(r) for r, _ in evidence}
+        required = {canonical_key(r) for r in rho.context}
+        if supplied != required:
+            raise EvalError(
+                f"rule application evidence {sorted(map(str, (r for r, _ in evidence)))}"
+                f" does not match context of {rho}"
+            )
+        return self._enter_body(
+            value.body, value.term_env, value.impl_env, evidence + value.partial
+        )
+
+    def _enter_body(
+        self,
+        body: Expr,
+        tenv: TermEnv,
+        ienv: ImplicitEnv,
+        evidence: tuple[tuple[Type, Any], ...],
+    ) -> Any:
+        if evidence:
+            ienv = ienv.push(RuleEntry(rho, payload=v) for rho, v in evidence)
+        return self.eval(body, tenv, ienv)
+
+    # -- DynRes: mu |-r rho || v -------------------------------------------
+
+    def dyn_resolve(self, ienv: ImplicitEnv, rho: Type, fuel: int) -> Any:
+        if fuel <= 0:
+            raise ResolutionDivergenceError(
+                f"runtime resolution exceeded fuel while resolving {rho}"
+            )
+        tvars, context, head = promote(rho)
+        if self.strategy is ResolutionStrategy.BACKTRACKING:
+            return self._dyn_resolve_backtracking(ienv, rho, tvars, context, head, fuel)
+        result = ienv.lookup(head, self.policy)
+        return self._finish(ienv, rho, tvars, context, result, fuel)
+
+    def _finish(self, ienv, rho, tvars, context, result, fuel) -> Any:
+        remainder = context_difference(result.context, context)
+        recurse_env = ienv
+        if self.strategy in (
+            ResolutionStrategy.EXTENDING,
+            ResolutionStrategy.BACKTRACKING,
+        ) and context:
+            # No value-level evidence exists for the assumptions (the
+            # paper's box), so the extended entries carry a marker that
+            # fails if actually demanded at runtime.
+            recurse_env = ienv.push(
+                RuleEntry(r, payload=_MISSING_EVIDENCE) for r in context
+            )
+        resolved = tuple(
+            (r, self.dyn_resolve(recurse_env, r, fuel - 1)) for r in remainder
+        )
+        base = result.payload
+        if base is _MISSING_EVIDENCE:
+            raise NoMatchingRuleError(
+                f"resolution of {rho} used a hypothetical assumption that has "
+                "no runtime evidence (EXTENDING strategy limitation, see "
+                "section 3.2 of the extended report)"
+            )
+        degenerate = not tvars and not context
+        if not isinstance(base, (RuleClosure, ConstRuleClosure)):
+            # A ground entry (e.g. ``1 : Int``).  Its rule type carries no
+            # context, so nothing was resolved recursively.
+            if degenerate:
+                return base
+            return ConstRuleClosure(rho, base)
+        if isinstance(base, ConstRuleClosure):
+            if degenerate:
+                return base.value
+            return ConstRuleClosure(rho, base.value)
+        # A genuine rule closure: instantiate it with the matching
+        # substitution and patch in the newly resolved evidence.
+        theta = _matching_subst(base.rho, result)
+        body = subst_expr(theta, base.body)
+        partial = resolved + _subst_partial(theta, base.partial)
+        if degenerate:
+            return self._enter_body(body, base.term_env, base.impl_env, partial)
+        return RuleClosure(rho, body, base.term_env, base.impl_env, partial)
+
+    def _dyn_resolve_backtracking(self, ienv, rho, tvars, context, head, fuel) -> Any:
+        from ..errors import ResolutionError
+
+        last: ResolutionError | None = None
+        for result in ienv.lookup_all(head):
+            try:
+                return self._finish(ienv, rho, tvars, context, result, fuel)
+            except ResolutionDivergenceError:
+                raise
+            except ResolutionError as exc:
+                last = exc
+        if last is not None:
+            raise last
+        raise NoMatchingRuleError(f"no rule matching {head} in the runtime environment")
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing evidence>"
+
+
+_MISSING_EVIDENCE = _Missing()
+
+
+def _matching_subst(entry_rho: Type, result) -> dict[str, Type]:
+    tvars, _, _ = promote(entry_rho)
+    return dict(zip(tvars, result.type_args))
+
+
+def _subst_partial(
+    theta: Subst, partial: tuple[tuple[Type, Any], ...]
+) -> tuple[tuple[Type, Any], ...]:
+    if not theta:
+        return partial
+    return tuple((subst_type(theta, rho), _subst_value(theta, v)) for rho, v in partial)
+
+
+def _subst_value(theta: Subst, value: Any) -> Any:
+    """The appendix's substitution on values (closures).
+
+    Captured environments are left untouched (see module docstring); the
+    closure's own type, body and partially resolved context are rewritten.
+    """
+    if isinstance(value, RuleClosure):
+        rho = value.rho
+        if isinstance(rho, RuleType):
+            inner = {k: v for k, v in theta.items() if k not in rho.tvars}
+        else:
+            inner = dict(theta)
+        if not inner:
+            return value
+        return RuleClosure(
+            subst_type(inner, rho),
+            subst_expr(inner, value.body),
+            value.term_env,
+            value.impl_env,
+            _subst_partial(inner, value.partial),
+        )
+    if isinstance(value, ConstRuleClosure):
+        return ConstRuleClosure(subst_type(theta, value.rho), value.value)
+    return value
+
+
+def evaluate(
+    e: Expr,
+    *,
+    policy: OverlapPolicy = OverlapPolicy.REJECT,
+    strategy: ResolutionStrategy = ResolutionStrategy.SYNTACTIC,
+    fuel: int = DEFAULT_FUEL,
+) -> Any:
+    """Run a closed program under the direct operational semantics."""
+    return Interpreter(policy=policy, strategy=strategy, fuel=fuel).run(e)

@@ -1,0 +1,200 @@
+"""Semantic typing of runtime values (appendix rules TyRClos/TyRPgm/TyREnv).
+
+The extended report's soundness proof types *values*: a rule closure
+``<rho, e, mu, eta>`` is semantically well-typed at ``rho`` iff
+
+* the partially resolved context ``eta`` is well-typed entry-wise and
+  pairwise distinct (``TyRPgm``),
+* the captured environment is well-typed (``TyREnv``),
+* the body types against the captured environment's rule types extended
+  with the closure's own context and the partially resolved one, and
+* ``distinct(context, eta-context)`` and ``unambiguous(rho)`` hold.
+
+This module implements that judgment executably, so the preservation
+lemma can be *checked* on live interpreter states: tests evaluate
+programs, grab the resulting closures, and run ``check_value`` on them.
+Ground values are typed structurally.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.coherence import distinct, distinct_context
+from ..core.env import ImplicitEnv, RuleEntry
+from ..core.typecheck import TypeChecker, unambiguous
+from ..core.terms import Signature
+from ..core.types import (
+    BOOL,
+    INT,
+    RuleType,
+    STRING,
+    TCon,
+    TFun,
+    Type,
+    promote,
+    types_alpha_eq,
+)
+from ..errors import TypecheckError
+from ..systemf.eval import PrimValue, RecordValue
+from .values import ConstRuleClosure, LamClosure, RuleClosure
+
+
+class SemanticTypeError(TypecheckError):
+    """A runtime value does not inhabit its claimed type."""
+
+
+def check_value(value: Any, rho: Type, signature: Signature | None = None) -> None:
+    """``|= v : rho`` -- raise :class:`SemanticTypeError` on mismatch.
+
+    For ground values the type must match structurally; for closures the
+    appendix's ``TyRClos`` premises are checked (re-typechecking the body
+    under the captured environment's type projection).
+    """
+    checker = TypeChecker(signature=signature or Signature())
+    _check(value, rho, checker)
+
+
+def _check(value: Any, rho: Type, checker: TypeChecker) -> None:
+    match value:
+        case bool():
+            _require(types_alpha_eq(rho, BOOL), value, rho)
+        case int():
+            _require(types_alpha_eq(rho, INT), value, rho)
+        case str():
+            _require(types_alpha_eq(rho, STRING), value, rho)
+        case tuple() if isinstance(rho, TCon) and rho.name == "Pair":
+            _require(len(value) == 2, value, rho)
+            _check(value[0], rho.args[0], checker)
+            _check(value[1], rho.args[1], checker)
+        case tuple() if isinstance(rho, TCon) and rho.name == "List":
+            for element in value:
+                _check(element, rho.args[0], checker)
+        case RecordValue():
+            _check_record(value, rho, checker)
+        case LamClosure():
+            _check_lam(value, rho, checker)
+        case PrimValue():
+            # A (possibly partial) primitive inhabits the remaining arrow.
+            _require(isinstance(rho, (TFun, RuleType)), value, rho)
+        case ConstRuleClosure():
+            _require(types_alpha_eq(value.rho, rho), value, rho)
+            tvars, context, head = promote(rho)
+            _require(not tvars, value, rho)
+            del context
+            _check(value.value, head, checker)
+        case RuleClosure():
+            _check_rule_closure(value, rho, checker)
+        case _:
+            raise SemanticTypeError(
+                f"value {value!r} has no semantic typing rule at {rho}"
+            )
+
+
+def _require(condition: bool, value: Any, rho: Type) -> None:
+    if not condition:
+        raise SemanticTypeError(f"value {value!r} does not inhabit {rho}")
+
+
+def _check_record(value: RecordValue, rho: Type, checker: TypeChecker) -> None:
+    if not isinstance(rho, TCon):
+        raise SemanticTypeError(f"record {value!r} vs non-constructor {rho}")
+    decl = checker.signature.get(rho.name)
+    _require(decl is not None and value.iface == rho.name, value, rho)
+    from ..core.subst import zip_subst, subst_type
+
+    theta = zip_subst(decl.tvars, rho.args)
+    for name, field_value in value.fields:
+        _check(field_value, subst_type(theta, decl.field_type(name)), checker)
+
+
+def _check_lam(value: LamClosure, rho: Type, checker: TypeChecker) -> None:
+    """TyAbs, semantically: re-typecheck the body under the captured
+
+    environments' type projections."""
+    if not isinstance(rho, TFun):
+        raise SemanticTypeError(f"lambda closure vs non-function type {rho}")
+    gamma = {value.var: rho.arg}
+    for name, captured in value.term_env.items():
+        inferred = infer_value_type(captured, checker)
+        if inferred is not None:
+            gamma[name] = inferred
+    delta = _env_types(value.impl_env)
+    try:
+        body_type = checker.check(value.body, gamma, delta)
+    except TypecheckError as exc:
+        raise SemanticTypeError(f"closure body ill-typed: {exc}") from exc
+    _require(types_alpha_eq(body_type, rho.res), value, rho)
+
+
+def _check_rule_closure(value: RuleClosure, rho: Type, checker: TypeChecker) -> None:
+    """TyRClos, executably."""
+    _require(types_alpha_eq(value.rho, rho), value, rho)
+    tvars, context, head = promote(rho)
+    eta_context = tuple(r for r, _ in value.partial)
+    # TyRPgm: the partially resolved context is entry-wise well-typed...
+    for eta_rho, eta_value in value.partial:
+        _check(eta_value, eta_rho, checker)
+    # ...and pairwise distinct; TyRClos additionally wants it distinct
+    # from the closure's own (still abstract) context.
+    _require(distinct_context(eta_context), value, rho)
+    _require(distinct(context, eta_context), value, rho)
+    _require(unambiguous(rho), value, rho)
+    # Body check: Gamma from the captured term environment; Delta from
+    # the captured implicit environment plus context and eta.
+    gamma: dict[str, Type] = {}
+    for name, captured in value.term_env.items():
+        inferred = infer_value_type(captured, checker)
+        if inferred is not None:
+            gamma[name] = inferred
+    delta = _env_types(value.impl_env).push(
+        [RuleEntry(r) for r in context + eta_context]
+    )
+    try:
+        body_type = checker.check(value.body, gamma, delta)
+    except TypecheckError as exc:
+        raise SemanticTypeError(f"rule body ill-typed: {exc}") from exc
+    _require(types_alpha_eq(body_type, head), value, rho)
+
+
+def _env_types(env: ImplicitEnv) -> ImplicitEnv:
+    """Project a runtime implicit environment to its rule types."""
+    out = ImplicitEnv.empty()
+    for frame in env.frames():
+        out = out.push([RuleEntry(entry.rho) for entry in frame])
+    return out
+
+
+def infer_value_type(value: Any, checker: TypeChecker | None = None) -> Type | None:
+    """Best-effort type reconstruction for a runtime value.
+
+    Ground values and closures carrying their types reconstruct exactly;
+    ``None`` for values whose type is not recoverable (e.g. lambda
+    closures, whose domain is not stored at runtime).
+    """
+    checker = checker or TypeChecker()
+    match value:
+        case bool():
+            return BOOL
+        case int():
+            return INT
+        case str():
+            return STRING
+        case tuple() if len(value) == 2:
+            first = infer_value_type(value[0], checker)
+            second = infer_value_type(value[1], checker)
+            if first is None or second is None:
+                return None
+            return TCon("Pair", (first, second))
+        case (RuleClosure() | ConstRuleClosure()):
+            return value.rho
+        case _:
+            return None
+
+
+def well_typed(value: Any, rho: Type, signature: Signature | None = None) -> bool:
+    try:
+        check_value(value, rho, signature)
+    except TypecheckError:
+        return False
+    return True

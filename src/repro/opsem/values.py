@@ -1,0 +1,80 @@
+"""Runtime values of the direct operational semantics (extended report).
+
+The extended report's only values are rule closures
+``<rho, e, mu, eta>``: a rule type, the rule body, the captured
+environment, and a *partially resolved context* ``eta`` holding evidence
+for the part of a matched rule's context that a higher-order query did
+not assume.  Our extended calculus adds the usual ground values, lambda
+closures, primitives and records (the latter two shared with the System F
+evaluator so that the two semantics can be compared value-for-value in
+experiment T3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..core.env import ImplicitEnv
+from ..core.terms import Expr
+from ..core.types import Type
+
+# Ground values are Python ints/bools/strs, pairs are 2-tuples, lists are
+# tuples; PrimValue and RecordValue are reused from the System F evaluator.
+from ..systemf.eval import PrimValue, RecordValue  # noqa: F401  (re-export)
+
+TermEnv = Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class LamClosure:
+    """An ordinary function closure."""
+
+    var: str
+    body: Expr
+    term_env: TermEnv
+    impl_env: ImplicitEnv
+
+    def __repr__(self) -> str:
+        return f"<closure \\{self.var}>"
+
+
+@dataclass(frozen=True)
+class RuleClosure:
+    """The paper's ``<rho, e, mu, eta>``.
+
+    * ``rho`` -- the closure's rule type (after any instantiations and
+      partial resolutions have been applied);
+    * ``body`` -- the rule body expression;
+    * ``term_env``/``impl_env`` -- the captured environments;
+    * ``partial`` -- the partially resolved context ``eta``: evidence
+      ``(rho_i, v_i)`` resolved eagerly by ``DynRes`` for context entries
+      the query did not assume.
+    """
+
+    rho: Type
+    body: Expr
+    term_env: TermEnv
+    impl_env: ImplicitEnv
+    partial: tuple[tuple[Type, Any], ...] = ()
+
+    def __repr__(self) -> str:
+        eta = f" +{len(self.partial)} resolved" if self.partial else ""
+        return f"<rule {self.rho}{eta}>"
+
+
+@dataclass(frozen=True)
+class ConstRuleClosure:
+    """A rule-typed view of an already-evaluated value.
+
+    Arises when ``DynRes`` answers a *rule-type* query with a ground
+    environment entry (e.g. entry ``1 : Int`` answering ``?({X} => Int)``):
+    the result must be a rule value that ignores its evidence and returns
+    the constant.  This mirrors the elaboration's ``\\x:|X|. 1``.
+    """
+
+    rho: Type
+    value: Any
+
+    def __repr__(self) -> str:
+        return f"<const rule {self.rho}>"

@@ -1,0 +1,24 @@
+"""The source language of paper section 5: parsing, inference, encoding."""
+
+from .ast import (
+    SApp,
+    SBoolLit,
+    SExpr,
+    SIf,
+    SImplicit,
+    SIntLit,
+    SLam,
+    SLet,
+    SList,
+    SPair,
+    SProgram,
+    SQuery,
+    SRecord,
+    SStrLit,
+    SVar,
+)
+from .infer import CompiledSource, SourceInferencer, compile_program, selector_bindings
+from .parser import parse_expr, parse_program, parse_scheme
+from .prelude import Binding, Origin, prelude
+
+__all__ = [name for name in dir() if not name.startswith("_")]

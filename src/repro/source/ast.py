@@ -1,0 +1,159 @@
+"""Abstract syntax of the source language (paper section 5, Fig. 3).
+
+The source language adds programmer convenience on top of lambda_=>:
+
+* *implicit* type instantiation and resolution (no ``e[tau-bar]``, no
+  explicit ``with``);
+* a simple *interface* type (records) able to encode type classes;
+* ``let`` with rule-type (scheme) annotations;
+* the ``implicit u-bar in E`` scoping construct;
+* the inferred query ``?``.
+
+Source *types* are shared with the core calculus (:mod:`repro.core.types`):
+the paper's simple types ``T`` are core types without rule types, and
+type schemes ``sigma = forall a-bar. sigma-bar => T`` are core rule types
+(with the degenerate case collapsing to a plain type, as everywhere in
+this code base).  Interface declarations are likewise shared
+(:class:`repro.core.terms.InterfaceDecl`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.terms import InterfaceDecl
+from ..core.types import Type
+
+
+class SExpr:
+    """Base class of source expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SIntLit(SExpr):
+    value: int
+
+
+@dataclass(frozen=True)
+class SBoolLit(SExpr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class SStrLit(SExpr):
+    value: str
+
+
+@dataclass(frozen=True)
+class SVar(SExpr):
+    """A variable use: a lambda-bound ``x`` or a let-bound ``u``.
+
+    Which one it is -- and hence whether implicit instantiation fires
+    (rule ``TyLVar``) -- is decided by the environment during inference.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SLam(SExpr):
+    """``\\x1 ... xn. E`` -- parameter types are inferred."""
+
+    params: tuple[str, ...]
+    body: SExpr
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.params, tuple):
+            object.__setattr__(self, "params", tuple(self.params))
+
+
+@dataclass(frozen=True)
+class SApp(SExpr):
+    fn: SExpr
+    arg: SExpr
+
+
+@dataclass(frozen=True)
+class SLet(SExpr):
+    """``let u [: sigma] = E1 in E2``.
+
+    The paper requires the annotation; section 5.2 notes it "should be
+    possible to make that annotation optional".  We implement that
+    extension: ``scheme=None`` triggers Hindley-Milner let-generalisation
+    over the *type* (never over the implicit context -- contexts are only
+    introduced by explicit annotations, keeping resolution predictable).
+    """
+
+    name: str
+    scheme: Type | None
+    bound: SExpr
+    body: SExpr
+
+
+@dataclass(frozen=True)
+class SImplicit(SExpr):
+    """``implicit {u1, ..., un} in E`` -- brings the named let-bound
+
+    values into the implicit environment for ``E``."""
+
+    names: tuple[str, ...]
+    body: SExpr
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.names, tuple):
+            object.__setattr__(self, "names", tuple(self.names))
+
+
+@dataclass(frozen=True)
+class SQuery(SExpr):
+    """The inferred query ``?`` (a Coq-style placeholder)."""
+
+
+@dataclass(frozen=True)
+class SIf(SExpr):
+    cond: SExpr
+    then: SExpr
+    orelse: SExpr
+
+
+@dataclass(frozen=True)
+class SPair(SExpr):
+    first: SExpr
+    second: SExpr
+
+
+@dataclass(frozen=True)
+class SList(SExpr):
+    elems: tuple[SExpr, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.elems, tuple):
+            object.__setattr__(self, "elems", tuple(self.elems))
+
+
+@dataclass(frozen=True)
+class SRecord(SExpr):
+    """An interface implementation ``I { u1 = E1, ..., un = En }``.
+
+    The interface's type arguments are inferred (rule ``TyRec``)."""
+
+    iface: str
+    fields: tuple[tuple[str, SExpr], ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.fields, tuple):
+            object.__setattr__(self, "fields", tuple(tuple(f) for f in self.fields))
+
+
+@dataclass(frozen=True)
+class SProgram:
+    """A whole source program: interface declarations plus a main body."""
+
+    interfaces: tuple[InterfaceDecl, ...]
+    body: SExpr
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.interfaces, tuple):
+            object.__setattr__(self, "interfaces", tuple(self.interfaces))

@@ -1,0 +1,37 @@
+"""The source language's initial environment.
+
+Every core primitive (see :mod:`repro.core.prims`) is available as a
+let-bound-style polymorphic variable, so source programs can write
+``showInt 3`` or ``map f xs`` without declarations; the binary operators
+of the parser desugar to these names.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.prims import PRIMS
+from ..core.types import Type
+
+
+class Origin(enum.Enum):
+    """How a source variable is bound, deciding use-site translation."""
+
+    MONO = "mono"  # lambda-bound: used directly (rule TyVar)
+    LET = "let"  # let-bound: implicit instantiation (rule TyLVar)
+    PRIM = "prim"  # prelude primitive: like LET but translates to Prim
+    FIELD = "field"  # interface field selector: like LET
+
+
+@dataclass(frozen=True)
+class Binding:
+    """A source-environment entry: a scheme plus its origin."""
+
+    scheme: Type
+    origin: Origin
+
+
+def prelude() -> dict[str, Binding]:
+    """Bindings for every built-in primitive."""
+    return {name: Binding(spec.rho, Origin.PRIM) for name, spec in PRIMS.items()}

@@ -1,0 +1,165 @@
+"""Call-by-value evaluator for the extended System F target.
+
+The paper defines the dynamic semantics of lambda_=> as elaboration
+followed by System F's standard CBV reduction; this module supplies the
+latter as an environment-based big-step interpreter (observationally the
+reflexive-transitive closure of the paper's single-step relation, but
+without the quadratic cost of substitution-based reduction).
+
+Value representation (shared with the direct operational semantics so
+results can be compared structurally in experiment T3):
+
+* ``Int``/``Bool``/``String`` -- Python ``int``/``bool``/``str``;
+* pairs -- 2-tuples of values;
+* lists -- tuples of values;
+* functions -- :class:`Closure`;
+* type abstractions -- :class:`TypeClosure` (evaluation is type-erasing,
+  but the closure still suspends its body, preserving CBV order);
+* partially applied primitives -- :class:`PrimValue`;
+* interface implementations -- :class:`RecordValue`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..core.prims import PrimSpec, prim_spec
+from ..errors import EvalError
+from .ast import (
+    FApp,
+    FBoolLit,
+    FExpr,
+    FIf,
+    FIntLit,
+    FLam,
+    FListLit,
+    FPair,
+    FPrim,
+    FProject,
+    FRecord,
+    FStrLit,
+    FTyApp,
+    FTyLam,
+    FVar,
+)
+
+Env = Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class Closure:
+    """A function value ``<\\x:T.E, env>``."""
+
+    var: str
+    body: FExpr
+    env: Env
+
+    def __repr__(self) -> str:
+        return f"<closure \\{self.var}>"
+
+
+@dataclass(frozen=True)
+class TypeClosure:
+    """A suspended type abstraction ``</\\a.E, env>``."""
+
+    var: str
+    body: FExpr
+    env: Env
+
+    def __repr__(self) -> str:
+        return f"<tyclosure /\\{self.var}>"
+
+
+@dataclass
+class PrimValue:
+    """A (possibly partially applied) primitive."""
+
+    spec: PrimSpec
+    args: tuple[Any, ...] = ()
+
+    def __repr__(self) -> str:
+        return f"<prim {self.spec.name}/{len(self.args)}:{self.spec.arity}>"
+
+
+@dataclass(frozen=True)
+class RecordValue:
+    """An interface implementation value."""
+
+    iface: str
+    fields: tuple[tuple[str, Any], ...]
+
+    def field(self, name: str) -> Any:
+        for fname, value in self.fields:
+            if fname == name:
+                return value
+        raise EvalError(f"record {self.iface} has no field {name!r}")
+
+    def __repr__(self) -> str:
+        return f"<{self.iface} record>"
+
+
+def apply_value(fn: Any, arg: Any) -> Any:
+    """Apply a function value to an argument value."""
+    if isinstance(fn, Closure):
+        env = dict(fn.env)
+        env[fn.var] = arg
+        return feval(fn.body, env)
+    if isinstance(fn, PrimValue):
+        args = fn.args + (arg,)
+        if len(args) == fn.spec.arity:
+            return fn.spec.run(list(args), apply_value)
+        return PrimValue(fn.spec, args)
+    raise EvalError(f"application of non-function value {fn!r}")
+
+
+def feval(e: FExpr, env: Env | None = None) -> Any:
+    """Evaluate a System F expression under ``env``."""
+    if env is None:
+        env = {}
+    match e:
+        case FIntLit(v):
+            return v
+        case FBoolLit(v):
+            return v
+        case FStrLit(v):
+            return v
+        case FVar(name):
+            if name not in env:
+                raise EvalError(f"unbound variable {name!r} at runtime")
+            return env[name]
+        case FPrim(name):
+            spec = prim_spec(name)
+            if spec.arity == 0:  # pragma: no cover - no nullary prims today
+                return spec.run([], apply_value)
+            return PrimValue(spec)
+        case FLam(var, _, body):
+            return Closure(var, body, env)
+        case FApp(fn, arg):
+            fn_value = feval(fn, env)
+            arg_value = feval(arg, env)
+            return apply_value(fn_value, arg_value)
+        case FTyLam(var, body):
+            return TypeClosure(var, body, env)
+        case FTyApp(expr, _):
+            value = feval(expr, env)
+            if isinstance(value, TypeClosure):
+                return feval(value.body, value.env)
+            if isinstance(value, PrimValue):
+                return value  # primitives are type-erased
+            raise EvalError(f"type application of non-polymorphic value {value!r}")
+        case FIf(cond, then, orelse):
+            branch = then if feval(cond, env) else orelse
+            return feval(branch, env)
+        case FPair(first, second):
+            return (feval(first, env), feval(second, env))
+        case FListLit(elems, _):
+            return tuple(feval(el, env) for el in elems)
+        case FRecord(iface, _, fields):
+            return RecordValue(iface, tuple((n, feval(f, env)) for n, f in fields))
+        case FProject(expr, fname):
+            value = feval(expr, env)
+            if not isinstance(value, RecordValue):
+                raise EvalError(f"projection from non-record value {value!r}")
+            return value.field(fname)
+    raise EvalError(f"cannot evaluate System F expression {e!r}")

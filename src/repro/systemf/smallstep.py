@@ -1,0 +1,498 @@
+"""Small-step CBV reduction for System F (the paper's ``-->*``).
+
+Section 4 defines ``eval(e) = V where . | . |- e : tau ~> E and
+E -->* V`` with ``-->`` "System F's standard single-step call-by-value
+reduction relation".  The big-step interpreter in :mod:`repro.systemf.eval`
+is the efficient implementation; this module is the *faithful* one: a
+substitution-based single-step relation, plus its reflexive-transitive
+closure.  Tests check the two agree (they are different enough --
+environments+closures vs. textual substitution -- that agreement is real
+evidence).
+
+Values::
+
+    V ::= n | b | s | \\x:T.E | /\\a.E | (V, V) | [V...] | I {u = V...}
+        | #prim V1 ... Vk          (k < arity: partial application)
+
+Reduction is left-to-right CBV; type application erases at primitives
+and substitutes at type abstractions.  Only *closed* terms are reduced,
+so term substitution never captures (the substituted value is closed);
+type substitution still respects binders.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..core.prims import prim_spec
+from ..errors import EvalError
+from .ast import (
+    FApp,
+    FBoolLit,
+    FExpr,
+    FIf,
+    FIntLit,
+    FLam,
+    FListLit,
+    FPair,
+    FPrim,
+    FProject,
+    FRecord,
+    FStrLit,
+    FTyApp,
+    FTyLam,
+    FType,
+    FVar,
+    subst_ftype,
+)
+
+MAX_STEPS = 1_000_000
+
+
+def is_value(e: FExpr) -> bool:
+    match e:
+        case FIntLit(_) | FBoolLit(_) | FStrLit(_) | FLam(_, _, _) | FTyLam(_, _):
+            return True
+        case FPrim(_):
+            return True
+        case FPair(a, b):
+            return is_value(a) and is_value(b)
+        case FListLit(elems, _):
+            return all(is_value(el) for el in elems)
+        case FRecord(_, _, fields):
+            return all(is_value(f) for _, f in fields)
+        case FApp(_, _):
+            spine, args = _unwind(e)
+            if isinstance(spine, FPrim):
+                return (
+                    len(args) < _prim_arity(spine.name)
+                    and all(is_value(a) for a in args)
+                )
+            return False
+        case _:
+            return False
+
+
+def _unwind(e: FExpr) -> tuple[FExpr, list[FExpr]]:
+    """Strip an application spine: ``f a b c`` -> (f, [a, b, c]).
+
+    Type applications inside the spine are erased (they are no-ops on
+    primitives, the only polymorphic spine heads that survive to values).
+    """
+    args: list[FExpr] = []
+    while True:
+        if isinstance(e, FApp):
+            args.append(e.arg)
+            e = e.fn
+        elif isinstance(e, FTyApp) and _erasable(e.expr):
+            e = e.expr
+        else:
+            return e, list(reversed(args))
+
+
+def _erasable(e: FExpr) -> bool:
+    spine, _ = (e, []) if not isinstance(e, (FApp, FTyApp)) else _unwind(e)
+    return isinstance(spine, FPrim)
+
+
+# ---------------------------------------------------------------------------
+# Substitution (terms are closed at substitution time; see module docs)
+# ---------------------------------------------------------------------------
+
+
+def subst_term(name: str, value: FExpr, e: FExpr) -> FExpr:
+    match e:
+        case FVar(other):
+            return value if other == name else e
+        case FIntLit(_) | FBoolLit(_) | FStrLit(_) | FPrim(_):
+            return e
+        case FLam(var, var_type, body):
+            if var == name:
+                return e
+            return FLam(var, var_type, subst_term(name, value, body))
+        case FApp(fn, arg):
+            return FApp(subst_term(name, value, fn), subst_term(name, value, arg))
+        case FTyLam(var, body):
+            return FTyLam(var, subst_term(name, value, body))
+        case FTyApp(expr, type_arg):
+            return FTyApp(subst_term(name, value, expr), type_arg)
+        case FIf(cond, then, orelse):
+            return FIf(
+                subst_term(name, value, cond),
+                subst_term(name, value, then),
+                subst_term(name, value, orelse),
+            )
+        case FPair(first, second):
+            return FPair(subst_term(name, value, first), subst_term(name, value, second))
+        case FListLit(elems, elem_type):
+            return FListLit(tuple(subst_term(name, value, el) for el in elems), elem_type)
+        case FRecord(iface, type_args, fields):
+            return FRecord(
+                iface,
+                type_args,
+                tuple((n, subst_term(name, value, f)) for n, f in fields),
+            )
+        case FProject(expr, field):
+            return FProject(subst_term(name, value, expr), field)
+    raise EvalError(f"cannot substitute in {e!r}")
+
+
+def subst_type_in_term(name: str, tau: FType, e: FExpr) -> FExpr:
+    theta: Mapping[str, FType] = {name: tau}
+    match e:
+        case FVar(_) | FIntLit(_) | FBoolLit(_) | FStrLit(_) | FPrim(_):
+            return e
+        case FLam(var, var_type, body):
+            return FLam(var, subst_ftype(theta, var_type), subst_type_in_term(name, tau, body))
+        case FApp(fn, arg):
+            return FApp(subst_type_in_term(name, tau, fn), subst_type_in_term(name, tau, arg))
+        case FTyLam(var, body):
+            if var == name:
+                return e
+            return FTyLam(var, subst_type_in_term(name, tau, body))
+        case FTyApp(expr, type_arg):
+            return FTyApp(
+                subst_type_in_term(name, tau, expr), subst_ftype(theta, type_arg)
+            )
+        case FIf(cond, then, orelse):
+            return FIf(
+                subst_type_in_term(name, tau, cond),
+                subst_type_in_term(name, tau, then),
+                subst_type_in_term(name, tau, orelse),
+            )
+        case FPair(first, second):
+            return FPair(
+                subst_type_in_term(name, tau, first),
+                subst_type_in_term(name, tau, second),
+            )
+        case FListLit(elems, elem_type):
+            return FListLit(
+                tuple(subst_type_in_term(name, tau, el) for el in elems),
+                subst_ftype(theta, elem_type),
+            )
+        case FRecord(iface, type_args, fields):
+            return FRecord(
+                iface,
+                tuple(subst_ftype(theta, t) for t in type_args),
+                tuple((n, subst_type_in_term(name, tau, f)) for n, f in fields),
+            )
+        case FProject(expr, field):
+            return FProject(subst_type_in_term(name, tau, expr), field)
+    raise EvalError(f"cannot substitute type in {e!r}")
+
+
+# ---------------------------------------------------------------------------
+# The single-step relation
+# ---------------------------------------------------------------------------
+
+
+def step(e: FExpr) -> FExpr | None:
+    """One CBV step, or ``None`` if ``e`` is a value (or stuck)."""
+    if is_value(e):
+        return None
+    match e:
+        case FApp(fn, arg):
+            if not is_value(fn):
+                fn2 = step(fn)
+                if fn2 is None:
+                    raise EvalError(f"stuck applying non-value non-reducible {fn!r}")
+                return FApp(fn2, arg)
+            if not is_value(arg):
+                arg2 = step(arg)
+                if arg2 is None:
+                    raise EvalError(f"stuck on argument {arg!r}")
+                return FApp(fn, arg2)
+            return _apply(fn, arg)
+        case FTyApp(expr, type_arg):
+            if isinstance(expr, FTyLam):
+                return subst_type_in_term(expr.var, type_arg, expr.body)
+            if is_value(expr) and _erasable(expr):
+                return expr  # primitives are type-erased
+            expr2 = step(expr)
+            if expr2 is None:
+                raise EvalError(f"stuck type-applying {expr!r}")
+            return FTyApp(expr2, type_arg)
+        case FIf(cond, then, orelse):
+            if isinstance(cond, FBoolLit):
+                return then if cond.value else orelse
+            cond2 = step(cond)
+            if cond2 is None:
+                raise EvalError(f"stuck if-condition {cond!r}")
+            return FIf(cond2, then, orelse)
+        case FPair(first, second):
+            if not is_value(first):
+                return FPair(step(first), second)  # type: ignore[arg-type]
+            return FPair(first, step(second))  # type: ignore[arg-type]
+        case FListLit(elems, elem_type):
+            out = list(elems)
+            for i, el in enumerate(out):
+                if not is_value(el):
+                    out[i] = step(el)  # type: ignore[assignment]
+                    return FListLit(tuple(out), elem_type)
+            raise EvalError("list literal should have been a value")
+        case FRecord(iface, type_args, fields):
+            out_fields = list(fields)
+            for i, (n, f) in enumerate(out_fields):
+                if not is_value(f):
+                    out_fields[i] = (n, step(f))  # type: ignore[assignment]
+                    return FRecord(iface, type_args, tuple(out_fields))
+            raise EvalError("record should have been a value")
+        case FProject(expr, field):
+            if isinstance(expr, FRecord) and is_value(expr):
+                for n, f in expr.fields:
+                    if n == field:
+                        return f
+                raise EvalError(f"record has no field {field!r}")
+            expr2 = step(expr)
+            if expr2 is None:
+                raise EvalError(f"stuck projecting {expr!r}")
+            return FProject(expr2, field)
+        case FVar(name):
+            raise EvalError(f"free variable {name!r} in small-step evaluation")
+    raise EvalError(f"stuck term {e!r}")
+
+
+def _apply(fn: FExpr, arg: FExpr) -> FExpr:
+    if isinstance(fn, FLam):
+        return subst_term(fn.var, arg, fn.body)
+    spine, args = _unwind(FApp(fn, arg))
+    if isinstance(spine, FPrim):
+        arity = _prim_arity(spine.name)
+        if len(args) == arity:
+            return _delta(spine.name, args)
+        if len(args) < arity:
+            # A partial application is itself a value; but _apply is only
+            # called on non-values, so this cannot happen.
+            raise EvalError("partial application reached _apply")
+    raise EvalError(f"application of non-function {fn!r}")
+
+
+def _delta(name: str, args: list[FExpr]) -> FExpr:
+    """Delta rules, entirely syntactic.
+
+    First-order primitives compute directly on literal values.
+    Higher-order primitives (map, foldr, filter, sortBy) *unfold* into
+    further redexes, so evaluation order stays visible in the trace --
+    the honest small-step treatment.
+    """
+    match name:
+        case "add":
+            return FIntLit(_int(args[0]) + _int(args[1]))
+        case "sub":
+            return FIntLit(_int(args[0]) - _int(args[1]))
+        case "mul":
+            return FIntLit(_int(args[0]) * _int(args[1]))
+        case "div":
+            if _int(args[1]) == 0:
+                raise EvalError("division by zero")
+            return FIntLit(_int(args[0]) // _int(args[1]))
+        case "negate":
+            return FIntLit(-_int(args[0]))
+        case "mod":
+            if _int(args[1]) == 0:
+                raise EvalError("modulo by zero")
+            return FIntLit(_int(args[0]) % _int(args[1]))
+        case "gtInt":
+            return FBoolLit(_int(args[0]) > _int(args[1]))
+        case "geqInt":
+            return FBoolLit(_int(args[0]) >= _int(args[1]))
+        case "showBool":
+            return FStrLit("True" if _bool(args[0]) else "False")
+        case "sum":
+            return FIntLit(sum(_int(el) for el in _list(args[0]).elems))
+        case "append":
+            left, right = _list(args[0]), _list(args[1])
+            return FListLit(left.elems + right.elems, left.elem_type)
+        case "reverse":
+            lst = _list(args[0])
+            return FListLit(tuple(reversed(lst.elems)), lst.elem_type)
+        case "zip":
+            left, right = _list(args[0]), _list(args[1])
+            return FListLit(
+                tuple(FPair(a, b) for a, b in zip(left.elems, right.elems)),
+                left.elem_type,
+            )
+        case "primEqInt":
+            return FBoolLit(_int(args[0]) == _int(args[1]))
+        case "ltInt":
+            return FBoolLit(_int(args[0]) < _int(args[1]))
+        case "leqInt":
+            return FBoolLit(_int(args[0]) <= _int(args[1]))
+        case "isEven":
+            return FBoolLit(_int(args[0]) % 2 == 0)
+        case "showInt":
+            return FStrLit(str(_int(args[0])))
+        case "not":
+            return FBoolLit(not _bool(args[0]))
+        case "and":
+            return FBoolLit(_bool(args[0]) and _bool(args[1]))
+        case "or":
+            return FBoolLit(_bool(args[0]) or _bool(args[1]))
+        case "primEqBool":
+            return FBoolLit(_bool(args[0]) is _bool(args[1]))
+        case "concat":
+            return FStrLit(_str(args[0]) + _str(args[1]))
+        case "primEqString":
+            return FBoolLit(_str(args[0]) == _str(args[1]))
+        case "intercalate":
+            return FStrLit(_str(args[0]).join(_str(el) for el in _list(args[1]).elems))
+        case "fst":
+            return _pair(args[0]).first
+        case "snd":
+            return _pair(args[0]).second
+        case "cons":
+            tail = _list(args[1])
+            return FListLit((args[0],) + tail.elems, tail.elem_type)
+        case "isNil":
+            return FBoolLit(not _list(args[0]).elems)
+        case "head":
+            elems = _list(args[0]).elems
+            if not elems:
+                raise EvalError("head of empty list")
+            return elems[0]
+        case "tail":
+            lst = _list(args[0])
+            if not lst.elems:
+                raise EvalError("tail of empty list")
+            return FListLit(lst.elems[1:], lst.elem_type)
+        case "length":
+            return FIntLit(len(_list(args[0]).elems))
+        case "map":
+            f, lst = args[0], _list(args[1])
+            return FListLit(tuple(FApp(f, el) for el in lst.elems), lst.elem_type)
+        case "foldr":
+            f, z, lst = args[0], args[1], _list(args[2])
+            if not lst.elems:
+                return z
+            rest = FListLit(lst.elems[1:], lst.elem_type)
+            return FApp(FApp(f, lst.elems[0]), _call3("foldr", f, z, rest))
+        case "filter":
+            p, lst = args[0], _list(args[1])
+            if not lst.elems:
+                return lst
+            v = lst.elems[0]
+            rest = FListLit(lst.elems[1:], lst.elem_type)
+            recur = _call2("filter", p, rest)
+            return FIf(FApp(p, v), _cons(v, recur, lst.elem_type), recur)
+        case "sortBy":
+            lt, lst = args[0], _list(args[1])
+            if not lst.elems:
+                return lst
+            v = lst.elems[0]
+            rest = FListLit(lst.elems[1:], lst.elem_type)
+            return _call3("insertBy#", lt, v, _call2("sortBy", lt, rest))
+        case "insertBy#":
+            lt, v, lst = args[0], args[1], _list(args[2])
+            if not lst.elems:
+                return FListLit((v,), lst.elem_type)
+            w = lst.elems[0]
+            rest = FListLit(lst.elems[1:], lst.elem_type)
+            return FIf(
+                FApp(FApp(lt, v), w),
+                FListLit((v,) + lst.elems, lst.elem_type),
+                _cons(w, _call3("insertBy#", lt, v, rest), lst.elem_type),
+            )
+    raise EvalError(f"no delta rule for primitive {name!r}")
+
+
+#: internal small-step-only primitives (name -> arity)
+_INTERNAL_PRIMS = {"insertBy#": 3}
+
+
+def _prim_arity(name: str) -> int:
+    if name in _INTERNAL_PRIMS:
+        return _INTERNAL_PRIMS[name]
+    return prim_spec(name).arity
+
+
+def _call2(name: str, a: FExpr, b: FExpr) -> FExpr:
+    return FApp(FApp(FPrim(name), a), b)
+
+
+def _call3(name: str, a: FExpr, b: FExpr, c: FExpr) -> FExpr:
+    return FApp(FApp(FApp(FPrim(name), a), b), c)
+
+
+def _cons(v: FExpr, rest: FExpr, elem_type: FType) -> FExpr:
+    return _call2("cons", v, rest)
+
+
+def _int(e: FExpr) -> int:
+    if isinstance(e, FIntLit):
+        return e.value
+    raise EvalError(f"expected an Int literal, got {e!r}")
+
+
+def _bool(e: FExpr) -> bool:
+    if isinstance(e, FBoolLit):
+        return e.value
+    raise EvalError(f"expected a Bool literal, got {e!r}")
+
+
+def _str(e: FExpr) -> str:
+    if isinstance(e, FStrLit):
+        return e.value
+    raise EvalError(f"expected a String literal, got {e!r}")
+
+
+def _list(e: FExpr) -> FListLit:
+    if isinstance(e, FListLit):
+        return e
+    raise EvalError(f"expected a list value, got {e!r}")
+
+
+def _pair(e: FExpr) -> FPair:
+    if isinstance(e, FPair):
+        return e
+    raise EvalError(f"expected a pair value, got {e!r}")
+
+
+def to_python(value: FExpr):
+    """Convert a System F *value* to the shared Python representation
+
+    (for comparison with the big-step evaluator)."""
+    match value:
+        case FIntLit(v) | FStrLit(v):
+            return v
+        case FBoolLit(v):
+            return v
+        case FPair(a, b):
+            return (to_python(a), to_python(b))
+        case FListLit(elems, _):
+            return tuple(to_python(el) for el in elems)
+        case FRecord(iface, _, fields):
+            from .eval import RecordValue
+
+            return RecordValue(iface, tuple((n, to_python(f)) for n, f in fields))
+        case _:
+            return value  # functions / type abstractions stay syntactic
+
+
+def trace(e: FExpr, max_steps: int = MAX_STEPS) -> Iterator[FExpr]:
+    """Yield the reduction sequence ``e --> e1 --> ... --> V``."""
+    current = e
+    for _ in range(max_steps):
+        yield current
+        next_ = step(current)
+        if next_ is None:
+            return
+        current = next_
+    raise EvalError(f"no value after {max_steps} steps (diverging?)")
+
+
+def run(e: FExpr, max_steps: int = MAX_STEPS) -> FExpr:
+    """The reflexive-transitive closure: reduce to a value."""
+    current = e
+    for _ in range(max_steps):
+        next_ = step(current)
+        if next_ is None:
+            return current
+        current = next_
+    raise EvalError(f"no value after {max_steps} steps (diverging?)")
+
+
+def eval_smallstep(e: FExpr, max_steps: int = MAX_STEPS):
+    """Reduce to a value and convert ground results to Python values,
+
+    matching the big-step evaluator's representation for comparison."""
+    return to_python(run(e, max_steps))

@@ -1,0 +1,225 @@
+"""A complete type checker for the extended System F target.
+
+Implements the rules of the paper's appendix (Fig. "System F Type
+System"): F-Int, F-Var, F-Abs, F-App, F-TApp, F-TAbs, plus the evident
+rules for the extensions (literals, conditionals, pairs, lists, records,
+primitives).  The elaboration correctness tests (experiment T2) run every
+elaborated program through this checker and compare the result with the
+translated lambda_=> type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..errors import SystemFTypeError
+from .ast import (
+    FApp,
+    FBoolLit,
+    FExpr,
+    FForall,
+    FIf,
+    FIntLit,
+    FLam,
+    FListLit,
+    FPair,
+    FPrim,
+    FProject,
+    FRecord,
+    FStrLit,
+    FTCon,
+    FTFun,
+    FTVar,
+    FTyApp,
+    FTyLam,
+    FType,
+    FVar,
+    F_BOOL,
+    F_INT,
+    F_STRING,
+    f_list,
+    f_pair,
+    ftype_ftv,
+    ftypes_eq,
+    pretty_ftype,
+    subst_ftype,
+)
+
+
+@dataclass(frozen=True)
+class FInterface:
+    """A record (interface) declaration at the System F level."""
+
+    name: str
+    tvars: tuple[str, ...]
+    fields: tuple[tuple[str, FType], ...]
+
+    def field_type(self, name: str) -> FType:
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        raise KeyError(f"interface {self.name} has no field {name!r}")
+
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(n for n, _ in self.fields)
+
+
+class FSignature:
+    """Interface declarations visible to a System F program."""
+
+    def __init__(self, interfaces: Iterable[FInterface] = ()):
+        self._interfaces = {decl.name: decl for decl in interfaces}
+
+    def get(self, name: str) -> FInterface | None:
+        return self._interfaces.get(name)
+
+    def __iter__(self):
+        return iter(self._interfaces.values())
+
+
+EMPTY_FSIGNATURE = FSignature()
+
+
+def _prim_ftype(name: str) -> FType:
+    # Imported lazily: the canonical translation |.| of primitive types
+    # lives with the elaborator, which itself depends only on systemf.ast.
+    from ..core.prims import prim_spec
+    from ..elaborate.types import translate_type
+
+    return translate_type(prim_spec(name).rho)
+
+
+@dataclass(frozen=True)
+class FTypeChecker:
+    signature: FSignature = field(default_factory=FSignature)
+
+    def check_program(self, e: FExpr) -> FType:
+        return self.check(e, {})
+
+    def check(self, e: FExpr, env: Mapping[str, FType]) -> FType:
+        match e:
+            case FIntLit(_):
+                return F_INT
+            case FBoolLit(_):
+                return F_BOOL
+            case FStrLit(_):
+                return F_STRING
+            case FVar(name):
+                if name not in env:
+                    raise SystemFTypeError(f"unbound System F variable {name!r}")
+                return env[name]
+            case FPrim(name):
+                try:
+                    return _prim_ftype(name)
+                except KeyError as exc:
+                    raise SystemFTypeError(str(exc)) from exc
+            case FLam(var, var_type, body):
+                inner = dict(env)
+                inner[var] = var_type
+                return FTFun(var_type, self.check(body, inner))
+            case FApp(fn, arg):
+                fn_type = self.check(fn, env)
+                if not isinstance(fn_type, FTFun):
+                    raise SystemFTypeError(
+                        f"application of non-function of type {pretty_ftype(fn_type)}"
+                    )
+                arg_type = self.check(arg, env)
+                if not ftypes_eq(fn_type.arg, arg_type):
+                    raise SystemFTypeError(
+                        f"argument type mismatch: expected "
+                        f"{pretty_ftype(fn_type.arg)}, got {pretty_ftype(arg_type)}"
+                    )
+                return fn_type.res
+            case FTyLam(var, body):
+                free: set[str] = set()
+                for t in env.values():
+                    free |= ftype_ftv(t)
+                if var in free:
+                    raise SystemFTypeError(
+                        f"type abstraction over {var} captures a free variable "
+                        "of the term environment (F-TAbs side condition)"
+                    )
+                return FForall(var, self.check(body, env))
+            case FTyApp(expr, type_arg):
+                expr_type = self.check(expr, env)
+                if not isinstance(expr_type, FForall):
+                    raise SystemFTypeError(
+                        f"type application of non-polymorphic type "
+                        f"{pretty_ftype(expr_type)}"
+                    )
+                return subst_ftype({expr_type.var: type_arg}, expr_type.body)
+            case FIf(cond, then, orelse):
+                if not ftypes_eq(self.check(cond, env), F_BOOL):
+                    raise SystemFTypeError("if-condition is not Bool")
+                then_type = self.check(then, env)
+                else_type = self.check(orelse, env)
+                if not ftypes_eq(then_type, else_type):
+                    raise SystemFTypeError(
+                        f"if-branches disagree: {pretty_ftype(then_type)} vs "
+                        f"{pretty_ftype(else_type)}"
+                    )
+                return then_type
+            case FPair(first, second):
+                return f_pair(self.check(first, env), self.check(second, env))
+            case FListLit(elems, elem_type):
+                for el in elems:
+                    actual = self.check(el, env)
+                    if not ftypes_eq(actual, elem_type):
+                        raise SystemFTypeError(
+                            f"list element has type {pretty_ftype(actual)}, "
+                            f"expected {pretty_ftype(elem_type)}"
+                        )
+                return f_list(elem_type)
+            case FRecord(iface, type_args, fields):
+                return self._check_record(iface, type_args, fields, env)
+            case FProject(expr, fname):
+                expr_type = self.check(expr, env)
+                if not isinstance(expr_type, FTCon):
+                    raise SystemFTypeError(
+                        f"projection from non-record type {pretty_ftype(expr_type)}"
+                    )
+                decl = self.signature.get(expr_type.name)
+                if decl is None:
+                    raise SystemFTypeError(
+                        f"projection from non-interface type {pretty_ftype(expr_type)}"
+                    )
+                try:
+                    field_type = decl.field_type(fname)
+                except KeyError as exc:
+                    raise SystemFTypeError(str(exc)) from exc
+                theta = dict(zip(decl.tvars, expr_type.args))
+                return subst_ftype(theta, field_type)
+        raise SystemFTypeError(f"cannot type System F expression {e!r}")
+
+    def _check_record(
+        self,
+        iface: str,
+        type_args: tuple[FType, ...],
+        fields: tuple[tuple[str, FExpr], ...],
+        env: Mapping[str, FType],
+    ) -> FType:
+        decl = self.signature.get(iface)
+        if decl is None:
+            raise SystemFTypeError(f"unknown interface {iface!r}")
+        if len(type_args) != len(decl.tvars):
+            raise SystemFTypeError(
+                f"interface {iface} expects {len(decl.tvars)} type argument(s)"
+            )
+        if {n for n, _ in fields} != set(decl.field_names()):
+            raise SystemFTypeError(f"field mismatch in {iface} implementation")
+        theta = dict(zip(decl.tvars, type_args))
+        for name, expr in fields:
+            expected = subst_ftype(theta, decl.field_type(name))
+            actual = self.check(expr, env)
+            if not ftypes_eq(actual, expected):
+                raise SystemFTypeError(
+                    f"field {iface}.{name} has type {pretty_ftype(actual)}, "
+                    f"expected {pretty_ftype(expected)}"
+                )
+        return FTCon(iface, tuple(type_args))
+
+
+def ftypecheck(e: FExpr, signature: FSignature = EMPTY_FSIGNATURE) -> FType:
+    """Type a closed System F program."""
+    return FTypeChecker(signature=signature).check_program(e)

@@ -1,0 +1,101 @@
+"""Unit tests for the construction DSL (repro.core.builders)."""
+
+import pytest
+
+from repro.core.builders import (
+    add,
+    app,
+    ask,
+    call_prim,
+    crule,
+    eq_int,
+    implicit,
+    inc,
+    lam,
+    let_,
+    neg,
+    prim,
+    tv,
+    var,
+    with_,
+)
+from repro.core.terms import App, IntLit, Lam, Prim, Query, RuleAbs, RuleApp, TyApp, Var
+from repro.core.typecheck import typecheck
+from repro.core.types import BOOL, INT, TFun, rule
+
+
+class TestBasics:
+    def test_var_and_tv(self):
+        assert var("x") == Var("x")
+        assert tv("a").name == "a"
+
+    def test_app_left_nested(self):
+        assert app(var("f"), var("x"), var("y")) == App(App(Var("f"), Var("x")), Var("y"))
+
+    def test_lam_multi(self):
+        e = lam([("x", INT), ("y", BOOL)], var("x"))
+        assert e == Lam("x", INT, Lam("y", BOOL, Var("x")))
+
+    def test_let_is_beta_redex(self):
+        e = let_("x", INT, IntLit(1), var("x"))
+        assert e == App(Lam("x", INT, Var("x")), IntLit(1))
+        assert typecheck(e) == INT
+
+    def test_ask(self):
+        assert ask(INT) == Query(INT)
+
+    def test_crule(self):
+        e = crule(rule(INT, [BOOL]), IntLit(1))
+        assert isinstance(e, RuleAbs)
+
+
+class TestImplicitSugar:
+    def test_desugaring_shape(self):
+        e = implicit([IntLit(1)], ask(INT), INT)
+        assert isinstance(e, RuleApp)
+        assert isinstance(e.expr, RuleAbs)
+        assert e.expr.rho == rule(INT, [INT])
+        assert e.args == ((IntLit(1), INT),)
+
+    def test_bare_bindings_are_inferred(self):
+        e = implicit([IntLit(1), (Lam("x", INT, Var("x")), TFun(INT, INT))], ask(INT), INT)
+        contexts = {rho for _, rho in e.args}
+        assert contexts == {INT, TFun(INT, INT)}
+
+    def test_open_binding_requires_annotation(self):
+        from repro.errors import TypecheckError
+
+        with pytest.raises(TypecheckError):
+            implicit([Var("free")], ask(INT), INT)
+
+    def test_with_infers_bare_bindings(self):
+        from repro.core.terms import BoolLit
+
+        e = with_(crule(rule(INT, [BOOL]), IntLit(1)), [BoolLit(True)])
+        assert isinstance(e, RuleApp)
+        assert e.args == ((BoolLit(True), BOOL),)
+        assert typecheck(e) == INT
+
+
+class TestPrimHelpers:
+    def test_prim_with_type_args(self):
+        e = prim("fst", INT, BOOL)
+        assert e == TyApp(Prim("fst"), (INT, BOOL))
+
+    def test_prim_typo_caught_early(self):
+        with pytest.raises(KeyError):
+            prim("fstt")
+
+    def test_call_prim(self):
+        e = call_prim("add", IntLit(1), IntLit(2))
+        assert typecheck(e) == INT
+
+    def test_arith_shorthands(self):
+        assert typecheck(add(IntLit(1), IntLit(2))) == INT
+        assert typecheck(inc(IntLit(1))) == INT
+        assert typecheck(eq_int(IntLit(1), IntLit(2))) == BOOL
+
+    def test_neg_is_boolean_not(self):
+        from repro.core.terms import BoolLit
+
+        assert typecheck(neg(BoolLit(True))) == BOOL

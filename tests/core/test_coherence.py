@@ -1,0 +1,175 @@
+"""E6 + E8: coherence conditions and overlap handling."""
+
+import pytest
+
+from repro.errors import CoherenceError, TypecheckError
+from repro.core.builders import ask, crule, implicit, lam
+from repro.core.coherence import (
+    check_query_coherence,
+    distinct,
+    distinct_context,
+    has_most_specific,
+    lookup_stable,
+    nonoverlap,
+    subst_env,
+    unique_instances,
+)
+from repro.core.env import ImplicitEnv, OverlapPolicy, RuleEntry
+from repro.core.terms import IntLit, Lam, Query, Var
+from repro.core.typecheck import TypeChecker
+from repro.core.types import BOOL, CHAR, INT, TFun, TVar, pair, rule
+
+A, B = TVar("a"), TVar("b")
+
+
+class TestCompanionPredicates:
+    def test_nonoverlap(self):
+        assert nonoverlap(INT, BOOL)
+        assert not nonoverlap(INT, INT)
+        # forall a. a -> Int vs forall b. Int -> b overlap at Int -> Int.
+        assert not nonoverlap(
+            rule(TFun(A, INT), [], ["a"]), rule(TFun(INT, B), [], ["b"])
+        )
+
+    def test_distinct(self):
+        assert distinct([INT], [BOOL, CHAR])
+        assert not distinct([INT], [BOOL, INT])
+
+    def test_distinct_context(self):
+        assert distinct_context([INT, BOOL])
+        assert not distinct_context([INT, INT])
+
+    def test_unique_instances_static(self):
+        # Companion: {Int, {Char}=>Int} is not unique (same head Int).
+        assert not unique_instances([INT, rule(INT, [CHAR])])
+        assert unique_instances([INT, BOOL])
+
+    def test_unique_instances_dynamic(self):
+        # Companion: {alpha, Int} fails dynamically (alpha may become Int).
+        assert not unique_instances([A, INT])
+
+    def test_has_most_specific_positive(self):
+        # {forall a. a -> a, forall a. a -> Int}: meet Int -> Int is
+        # covered by the second rule.
+        gen = rule(TFun(A, A), [], ["a"])
+        spec = rule(TFun(A, INT), [], ["a"])
+        assert has_most_specific([gen, spec])
+
+    def test_has_most_specific_negative(self):
+        # {forall a. a -> Int, forall a. Int -> a}: meet Int -> Int is in
+        # neither head.
+        r1 = rule(TFun(A, INT), [], ["a"])
+        r2 = rule(TFun(INT, A), [], ["a"])
+        assert not has_most_specific([r1, r2])
+
+    def test_non_overlapping_is_trivially_most_specific(self):
+        assert has_most_specific([INT, BOOL])
+
+    def test_incomparable_pair_repaired_by_meet_rule(self):
+        # Adding the meet (Int -> Int) itself repairs the bad set: it is
+        # the unique most specific rule at every shared instance.
+        r1 = rule(TFun(A, INT), [], ["a"])
+        r2 = rule(TFun(INT, A), [], ["a"])
+        assert not has_most_specific([r1, r2])
+        assert has_most_specific([r1, r2, TFun(INT, INT)])
+
+
+class TestLookupStability:
+    def test_stable_ground_lookup(self):
+        env = ImplicitEnv.empty().push([INT])
+        assert lookup_stable(env, INT, {})
+
+    def test_incoherent_under_instantiation(self):
+        # Extended report: nearest match for b -> b changes when b := Int.
+        env = (
+            ImplicitEnv.empty()
+            .push([rule(TFun(A, A), [], ["a"])])
+            .push([TFun(INT, INT)])
+        )
+        assert not lookup_stable(env, TFun(B, B), {"b": INT})
+
+    def test_coherent_single_rule(self):
+        env = ImplicitEnv.empty().push([rule(TFun(A, A), [], ["a"])])
+        assert lookup_stable(env, TFun(B, B), {"b": INT})
+
+    def test_subst_env(self):
+        env = ImplicitEnv.empty().push([RuleEntry(TFun(B, B), payload="x")])
+        out = subst_env({"b": INT}, env)
+        assert out.lookup(TFun(INT, INT)).payload == "x"
+
+
+class TestQueryCoherenceAnalysis:
+    def test_incoherent_program_detected(self):
+        env = (
+            ImplicitEnv.empty()
+            .push([rule(TFun(A, A), [], ["a"])])
+            .push([TFun(INT, INT)])
+        )
+        with pytest.raises(CoherenceError):
+            check_query_coherence(env, TFun(B, B))
+
+    def test_coherent_program_accepted(self):
+        env = ImplicitEnv.empty().push([rule(TFun(A, A), [], ["a"])])
+        check_query_coherence(env, TFun(B, B))
+
+    def test_ground_queries_always_pass(self):
+        env = (
+            ImplicitEnv.empty()
+            .push([rule(TFun(A, A), [], ["a"])])
+            .push([TFun(INT, INT)])
+        )
+        check_query_coherence(env, TFun(INT, INT))
+
+
+class TestStrictCoherenceChecker:
+    def _program(self, inner_first: bool):
+        """let f : forall b. b -> b = implicit ... in ?(b -> b)."""
+        id_rho = rule(TFun(A, A), [], ["a"])
+        id_rule = (crule(id_rho, Lam("x", A, Var("x"))), id_rho)
+        inc_rule = (
+            Lam("n", INT, Var("n")),
+            TFun(INT, INT),
+        )
+        query = ask(TFun(B, B))
+        if inner_first:
+            body = implicit([id_rule], implicit([inc_rule], query, TFun(B, B)), TFun(B, B))
+        else:
+            body = implicit([id_rule], query, TFun(B, B))
+        return crule(rule(TFun(B, B), [], ["b"]), body)
+
+    def test_incoherent_rejected_when_strict(self):
+        checker = TypeChecker(strict_coherence=True)
+        with pytest.raises(CoherenceError):
+            checker.check_program(self._program(inner_first=True))
+
+    def test_coherent_accepted_when_strict(self):
+        checker = TypeChecker(strict_coherence=True)
+        checker.check_program(self._program(inner_first=False))
+
+    def test_lenient_default_accepts_both(self):
+        checker = TypeChecker()
+        checker.check_program(self._program(inner_first=True))
+        checker.check_program(self._program(inner_first=False))
+
+
+class TestMostSpecificPolicyEndToEnd:
+    """E8: the companion's two-level priority scheme."""
+
+    def test_stack_level_beats_specificity(self):
+        env = (
+            ImplicitEnv.empty()
+            .push([RuleEntry(TFun(INT, INT), payload="specific-far")])
+            .push([RuleEntry(rule(TFun(A, A), [], ["a"]), payload="generic-near")])
+        )
+        result = env.lookup(TFun(INT, INT), OverlapPolicy.MOST_SPECIFIC)
+        assert result.payload == "generic-near"
+
+    def test_within_set_specificity(self):
+        env = ImplicitEnv.empty().push(
+            [
+                RuleEntry(rule(TFun(A, A), [], ["a"]), payload="generic"),
+                RuleEntry(TFun(INT, INT), payload="specific"),
+            ]
+        )
+        result = env.lookup(TFun(INT, INT), OverlapPolicy.MOST_SPECIFIC)
+        assert result.payload == "specific"

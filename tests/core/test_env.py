@@ -1,0 +1,165 @@
+"""Unit tests for implicit environments and lookup (Fig. 1)."""
+
+import pytest
+
+from repro.errors import (
+    AmbiguousRuleTypeError,
+    NoMatchingRuleError,
+    OverlappingRulesError,
+)
+from repro.core.env import ImplicitEnv, OverlapPolicy, RuleEntry
+from repro.core.types import (
+    BOOL,
+    INT,
+    STRING,
+    TFun,
+    TVar,
+    pair,
+    rule,
+    types_alpha_eq,
+)
+
+A, B = TVar("a"), TVar("b")
+
+
+class TestBasicLookup:
+    def test_ground_entry(self):
+        env = ImplicitEnv.empty().push([RuleEntry(INT, payload=1)])
+        result = env.lookup(INT)
+        assert result.payload == 1
+        assert result.context == ()
+        assert result.head == INT
+
+    def test_missing(self):
+        with pytest.raises(NoMatchingRuleError):
+            ImplicitEnv.empty().lookup(INT)
+        with pytest.raises(NoMatchingRuleError):
+            ImplicitEnv.empty().push([BOOL]).lookup(INT)
+
+    def test_polymorphic_entry_instantiates(self):
+        rho = rule(pair(A, A), [A], ["a"])
+        env = ImplicitEnv.empty().push([RuleEntry(rho, payload="poly")])
+        result = env.lookup(pair(INT, INT))
+        assert result.payload == "poly"
+        assert result.type_args == (INT,)
+        assert result.context == (INT,)
+
+    def test_rule_entry_context_instantiated(self):
+        rho = rule(pair(A, A), [BOOL, A], ["a"])
+        env = ImplicitEnv.empty().push([rho])
+        result = env.lookup(pair(STRING, STRING))
+        assert set(result.context) == {BOOL, STRING}
+
+
+class TestScoping:
+    def test_inner_frame_wins(self):
+        env = (
+            ImplicitEnv.empty()
+            .push([RuleEntry(INT, payload="outer")])
+            .push([RuleEntry(INT, payload="inner")])
+        )
+        assert env.lookup(INT).payload == "inner"
+
+    def test_falls_through_when_inner_has_no_match(self):
+        env = (
+            ImplicitEnv.empty()
+            .push([RuleEntry(INT, payload="outer")])
+            .push([RuleEntry(BOOL, payload="inner")])
+        )
+        assert env.lookup(INT).payload == "outer"
+
+    def test_nearest_match_priority_over_specificity_across_frames(self):
+        # Overview example: generic identity nearer than Int -> Int.
+        generic = rule(TFun(A, A), [], ["a"])
+        env = (
+            ImplicitEnv.empty()
+            .push([RuleEntry(TFun(INT, INT), payload="inc")])
+            .push([RuleEntry(generic, payload="id")])
+        )
+        assert env.lookup(TFun(INT, INT)).payload == "id"
+
+    def test_push_is_persistent(self):
+        base = ImplicitEnv.empty().push([INT])
+        extended = base.push([BOOL])
+        assert len(base) == 1
+        assert len(extended) == 2
+
+
+class TestOverlap:
+    def test_same_frame_overlap_rejected(self):
+        env = ImplicitEnv.empty().push(
+            [RuleEntry(INT, payload=1), RuleEntry(INT, payload=2)]
+        )
+        with pytest.raises(OverlappingRulesError):
+            env.lookup(INT)
+
+    def test_overlap_through_instantiation_rejected(self):
+        # forall a. a -> Int and forall a. Int -> a both match Int -> Int.
+        env = ImplicitEnv.empty().push(
+            [rule(TFun(A, INT), [], ["a"]), rule(TFun(INT, A), [], ["a"])]
+        )
+        with pytest.raises(OverlappingRulesError):
+            env.lookup(TFun(INT, INT))
+
+    def test_most_specific_policy_picks_specific(self):
+        # Companion: {forall a. a -> a, forall a. a -> Int} at Int -> Int.
+        env = ImplicitEnv.empty().push(
+            [
+                RuleEntry(rule(TFun(A, A), [], ["a"]), payload="gen"),
+                RuleEntry(rule(TFun(A, INT), [], ["a"]), payload="spec"),
+            ]
+        )
+        result = env.lookup(TFun(INT, INT), OverlapPolicy.MOST_SPECIFIC)
+        assert result.payload == "spec"
+
+    def test_most_specific_policy_rejects_incomparable(self):
+        # Companion: a -> Int vs Int -> a have no most specific rule.
+        env = ImplicitEnv.empty().push(
+            [rule(TFun(A, INT), [], ["a"]), rule(TFun(INT, A), [], ["a"])]
+        )
+        with pytest.raises(OverlappingRulesError):
+            env.lookup(TFun(INT, INT), OverlapPolicy.MOST_SPECIFIC)
+
+    def test_overlap_in_different_frames_is_fine(self):
+        env = (
+            ImplicitEnv.empty()
+            .push([RuleEntry(INT, payload=1)])
+            .push([RuleEntry(INT, payload=2)])
+        )
+        assert env.lookup(INT).payload == 2
+
+
+class TestAmbiguousInstantiation:
+    def test_undetermined_variable_rejected(self):
+        # forall a. {a -> a} => Int: matching Int leaves `a` undetermined.
+        rho = rule(INT, [TFun(A, A)], ["a"])
+        env = ImplicitEnv.empty().push([rho])
+        with pytest.raises(AmbiguousRuleTypeError):
+            env.lookup(INT)
+
+
+class TestLookupAll:
+    def test_yields_in_nearness_order(self):
+        env = (
+            ImplicitEnv.empty()
+            .push([RuleEntry(INT, payload="bottom")])
+            .push([RuleEntry(INT, payload="top")])
+        )
+        payloads = [r.payload for r in env.lookup_all(INT)]
+        assert payloads == ["top", "bottom"]
+
+    def test_includes_same_frame_alternatives(self):
+        env = ImplicitEnv.empty().push(
+            [RuleEntry(INT, payload=1), RuleEntry(INT, payload=2)]
+        )
+        assert len(list(env.lookup_all(INT))) == 2
+
+
+class TestEntries:
+    def test_entries_innermost_first(self):
+        env = ImplicitEnv.empty().push([INT]).push([BOOL])
+        assert [e.rho for e in env.entries()] == [BOOL, INT]
+
+    def test_bool_and_len(self):
+        assert not ImplicitEnv.empty()
+        assert len(ImplicitEnv.empty().push([INT])) == 1

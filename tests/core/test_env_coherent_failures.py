@@ -1,0 +1,80 @@
+"""Extra lookup edge cases: heads that are rule types, deep nesting,
+
+empty frames, and the interaction of promotion with lookup."""
+
+import pytest
+
+from repro.errors import NoMatchingRuleError
+from repro.core.env import ImplicitEnv, RuleEntry
+from repro.core.resolution import resolve
+from repro.core.types import BOOL, INT, TVar, pair, rule
+
+A = TVar("a")
+
+
+class TestRuleTypedHeads:
+    def test_entry_with_rule_typed_head(self):
+        # A rule producing a *rule* (the extended report's eta example):
+        # outer = {Bool} => ({Int} => Int).  TyRes decomposes a query by
+        # its rightmost head, so ?({Int} => Int) looks up `Int` -- it can
+        # NEVER select `outer` (whose head is the whole inner rule).  The
+        # entry is reachable by a query that shares its decomposition:
+        inner = rule(INT, [INT])
+        outer = rule(inner, [BOOL])
+        env = ImplicitEnv.empty().push([BOOL, RuleEntry(outer, payload="ho")])
+        with pytest.raises(NoMatchingRuleError):
+            resolve(env, inner)  # decomposes to head Int; outer not used
+        derivation = resolve(env, rule(inner, [BOOL]))
+        assert derivation.lookup.payload == "ho"
+        assert derivation.size() == 1  # Bool assumed, nothing recursive
+
+    def test_rule_headed_entry_with_partial_resolution(self):
+        # Query assumes Char (unused); the Bool premise resolves
+        # recursively -- partial resolution over a rule-headed entry.
+        from repro.core.types import CHAR
+
+        inner = rule(INT, [INT])
+        outer = rule(inner, [BOOL])
+        env = ImplicitEnv.empty().push([BOOL, RuleEntry(outer, payload="ho")])
+        derivation = resolve(env, rule(inner, [CHAR]))
+        assert derivation.lookup.payload == "ho"
+        assert derivation.size() == 2  # outer + recursive Bool
+
+    def test_nested_rule_heads_do_not_collapse(self):
+        # {Bool} => ({Int} => Int) is NOT the same as {Bool, Int} => Int.
+        curried = rule(rule(INT, [INT]), [BOOL])
+        flat = rule(INT, [BOOL, INT])
+        assert curried != flat
+
+
+class TestEnvironmentShapes:
+    def test_empty_frame_is_transparent(self):
+        env = ImplicitEnv.empty().push([RuleEntry(INT, payload=1)]).push([])
+        assert env.lookup(INT).payload == 1
+
+    def test_many_frames(self):
+        env = ImplicitEnv.empty()
+        for i in range(50):
+            env = env.push([RuleEntry(pair(INT, INT) if i % 2 else BOOL, payload=i)])
+        # Innermost matching frame wins regardless of depth.
+        result = env.lookup(BOOL)
+        assert result.payload == 48
+
+    def test_lookup_does_not_mutate(self):
+        env = ImplicitEnv.empty().push([RuleEntry(INT, payload=1)])
+        env.lookup(INT)
+        env.lookup(INT)
+        assert len(env) == 1
+
+    def test_polymorphic_entry_multiple_instantiations(self):
+        rho = rule(pair(A, A), [A], ["a"])
+        env = ImplicitEnv.empty().push([INT, BOOL, rho])
+        assert resolve(env, pair(INT, INT)).size() == 2
+        assert resolve(env, pair(BOOL, BOOL)).size() == 2
+        assert resolve(env, pair(pair(INT, INT), pair(INT, INT))).size() == 3
+
+    def test_mixed_instantiation_fails_cleanly(self):
+        rho = rule(pair(A, A), [A], ["a"])
+        env = ImplicitEnv.empty().push([INT, rho])
+        with pytest.raises(NoMatchingRuleError):
+            resolve(env, pair(INT, BOOL))  # (a, a) cannot match (Int, Bool)

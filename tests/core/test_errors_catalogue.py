@@ -1,0 +1,114 @@
+"""E6: the extended report's catalogue of runtime errors and coherence
+
+failures ("Runtime Errors and Coherence Failures"), each reproduced and
+shown to be caught -- statically where the paper's type system catches
+it, dynamically by the guarded interpreter otherwise.
+"""
+
+import pytest
+
+from repro.errors import (
+    AmbiguousRuleTypeError,
+    CoherenceError,
+    NoMatchingRuleError,
+    OverlappingRulesError,
+)
+from repro.core.env import ImplicitEnv, RuleEntry
+from repro.core.resolution import resolve
+from repro.core.typecheck import TypeChecker
+from repro.core.types import BOOL, INT, TFun, TVar, rule
+
+A, B = TVar("a"), TVar("b")
+
+
+class TestLookupFailures:
+    """Paper: '{} |- ?Int' and '{Bool => Int : -} |- ?Int'."""
+
+    def test_empty_environment(self):
+        with pytest.raises(NoMatchingRuleError):
+            resolve(ImplicitEnv.empty(), INT)
+
+    def test_failure_in_recursive_step(self):
+        env = ImplicitEnv.empty().push([rule(INT, [BOOL])])
+        with pytest.raises(NoMatchingRuleError):
+            resolve(env, INT)
+
+
+class TestMultipleMatches:
+    """Paper: '{Int:1, Int:2} |- ?Int' and the two polymorphic arrows."""
+
+    def test_identical_heads(self):
+        env = ImplicitEnv.empty().push(
+            [RuleEntry(INT, payload=1), RuleEntry(INT, payload=2)]
+        )
+        with pytest.raises(OverlappingRulesError):
+            resolve(env, INT)
+
+    def test_instantiation_collision(self):
+        # forall a. a -> Int and forall a. Int -> a both produce Int -> Int.
+        env = ImplicitEnv.empty().push(
+            [rule(TFun(A, INT), [], ["a"]), rule(TFun(INT, A), [], ["a"])]
+        )
+        with pytest.raises(OverlappingRulesError):
+            resolve(env, TFun(INT, INT))
+
+
+class TestAmbiguousInstantiation:
+    """Paper: the '{forall a. {a->a} => Int : <1>, ...} |- ?Int' example:
+
+    matching determines no instantiation for `a`, yet runtime behaviour
+    would depend on it."""
+
+    def test_caught_at_lookup(self):
+        env = ImplicitEnv.empty().push(
+            [
+                RuleEntry(rule(INT, [TFun(A, A)], ["a"]), payload="<1>"),
+                RuleEntry(TFun(BOOL, BOOL), payload="<2>"),
+                RuleEntry(rule(TFun(B, B), [], ["b"]), payload="<3>"),
+            ]
+        )
+        with pytest.raises(AmbiguousRuleTypeError):
+            resolve(env, INT)
+
+    def test_caught_at_rule_abstraction(self):
+        # The same rule type is already rejected when *written*.
+        from repro.core.builders import crule
+        from repro.core.terms import IntLit
+
+        with pytest.raises(AmbiguousRuleTypeError):
+            TypeChecker().check_program(
+                crule(rule(INT, [TFun(A, A)], ["a"]), IntLit(1))
+            )
+
+
+class TestCoherenceFailures:
+    """Paper: the ?(b -> b) programs -- one coherent, one not."""
+
+    def _make(self, frames):
+        env = ImplicitEnv.empty()
+        for frame in frames:
+            env = env.push(frame)
+        return env
+
+    def test_coherent_program(self):
+        from repro.core.coherence import check_query_coherence
+
+        env = self._make([[rule(TFun(A, A), [], ["a"])]])
+        check_query_coherence(env, TFun(B, B))  # must not raise
+
+    def test_incoherent_program(self):
+        from repro.core.coherence import check_query_coherence
+
+        env = self._make(
+            [[rule(TFun(A, A), [], ["a"])], [TFun(INT, INT)]]
+        )
+        with pytest.raises(CoherenceError):
+            check_query_coherence(env, TFun(B, B))
+
+    def test_incoherent_same_frame(self):
+        # Companion: {alpha(free), Int} -- dynamic uniqueness violation.
+        from repro.core.coherence import check_query_coherence
+
+        env = self._make([[A, INT]])
+        with pytest.raises(CoherenceError):
+            check_query_coherence(env, INT)

@@ -1,0 +1,59 @@
+"""Unit tests for derivation/failure explanations."""
+
+from repro.core.env import ImplicitEnv
+from repro.core.explain import explain_derivation, explain_failure, explain_query
+from repro.core.resolution import resolve
+from repro.core.types import BOOL, CHAR, INT, TVar, pair, rule
+
+A = TVar("a")
+
+
+class TestExplainDerivation:
+    def test_simple_tree(self, pair_env):
+        text = explain_derivation(resolve(pair_env, pair(INT, INT)))
+        assert "?(Int, Int)" in text
+        assert "by rule  forall a . {a} => (a, a)" in text
+        assert "a := Int" in text
+        assert "?Int" in text
+
+    def test_assumptions_marked(self, pair_env):
+        text = explain_derivation(resolve(pair_env, rule(pair(INT, INT), [INT])))
+        assert "(assumed by the query)" in text
+
+    def test_partial_resolution_mixed(self, partial_env):
+        text = explain_derivation(resolve(partial_env, rule(pair(INT, INT), [INT])))
+        assert "(assumed by the query)" in text
+        assert "?Bool" in text
+
+
+class TestExplainFailure:
+    def test_empty_environment(self):
+        text = explain_failure(ImplicitEnv.empty(), INT)
+        assert "empty" in text
+
+    def test_head_mismatch_reported(self, pair_env):
+        text = explain_failure(pair_env, BOOL)
+        assert "head does not match" in text
+
+    def test_unresolvable_premise_reported(self):
+        env = ImplicitEnv.empty().push([rule(INT, [CHAR])])
+        text = explain_failure(env, INT)
+        assert "head matches; needs:" in text
+        assert "Char  [UNRESOLVABLE]" in text
+
+    def test_commitment_explained(self, backtracking_env):
+        text = explain_failure(backtracking_env, INT)
+        assert "does not backtrack" in text
+        assert "Bool  [UNRESOLVABLE]" in text
+
+    def test_success_reported(self, pair_env):
+        text = explain_failure(pair_env, INT)
+        assert "resolves fine" in text
+
+
+class TestExplainQuery:
+    def test_success_path(self, pair_env):
+        assert "by rule" in explain_query(pair_env, pair(INT, INT))
+
+    def test_failure_path(self, pair_env):
+        assert "failed to resolve" in explain_query(pair_env, BOOL)

@@ -1,0 +1,107 @@
+"""Unit tests for the kind (arity) checker."""
+
+import pytest
+
+from repro.core.kinds import BUILTIN_ARITIES, KindChecker, KindError, check_kinds
+from repro.core.terms import InterfaceDecl, IntLit, Lam, Signature, Var
+from repro.core.typecheck import TypeChecker
+from repro.core.types import BOOL, INT, TCon, TFun, TVar, list_of, pair, rule
+
+A = TVar("a")
+
+
+class TestChecker:
+    def test_builtins(self):
+        checker = KindChecker()
+        checker.check(INT)
+        checker.check(list_of(INT))
+        checker.check(pair(INT, BOOL))
+        checker.check(TFun(INT, BOOL))
+        checker.check(A)
+
+    def test_unknown_constructor(self):
+        with pytest.raises(KindError, match="unknown type constructor"):
+            KindChecker().check(TCon("Mystery"))
+
+    def test_wrong_arity(self):
+        with pytest.raises(KindError, match="expects 1 argument"):
+            KindChecker().check(TCon("List", (INT, BOOL)))
+        with pytest.raises(KindError, match="expects 2 argument"):
+            KindChecker().check(TCon("Pair", (INT,)))
+        with pytest.raises(KindError, match="expects 0 argument"):
+            KindChecker().check(TCon("Int", (INT,)))
+
+    def test_rule_types_checked_deeply(self):
+        bad = rule(INT, [TCon("List", ())])
+        with pytest.raises(KindError):
+            KindChecker().check(bad)
+
+    def test_well_kinded_predicate(self):
+        assert KindChecker().well_kinded(list_of(INT))
+        assert not KindChecker().well_kinded(TCon("List", ()))
+
+
+class TestSignatures:
+    EQ = InterfaceDecl("Eq", ("a",), (("eq", TFun(A, TFun(A, BOOL))),))
+
+    def test_interface_extends_table(self):
+        checker = KindChecker.for_signature(Signature([self.EQ]))
+        checker.check(TCon("Eq", (INT,)))
+        with pytest.raises(KindError, match="expects 1"):
+            checker.check(TCon("Eq", (INT, BOOL)))
+
+    def test_interface_shadowing_builtin_rejected(self):
+        bad = InterfaceDecl("List", ("a",), (("x", A),))
+        with pytest.raises(KindError, match="shadows"):
+            KindChecker.for_signature(Signature([bad]))
+
+    def test_bad_field_types_rejected(self):
+        bad = InterfaceDecl("Weird", ("a",), (("x", TCon("Nope")),))
+        checker = KindChecker.for_signature(Signature([bad]))
+        with pytest.raises(KindError):
+            checker.check_signature(Signature([bad]))
+
+    def test_check_kinds_helper(self):
+        check_kinds([INT, list_of(BOOL)])
+        with pytest.raises(KindError):
+            check_kinds([TCon("Ghost")])
+
+
+class TestTypeCheckerIntegration:
+    def test_bad_lambda_annotation(self):
+        e = Lam("x", TCon("List", ()), Var("x"))
+        with pytest.raises(KindError):
+            TypeChecker().check_program(e)
+
+    def test_bad_query_type(self):
+        from repro.core.builders import ask
+
+        with pytest.raises(KindError):
+            TypeChecker().check_program(ask(TCon("Eq", (INT,))))
+
+    def test_kind_check_can_be_disabled(self):
+        from repro.errors import TypecheckError
+
+        e = Lam("x", TCon("Unknown"), Var("x"))
+        TypeChecker(kind_check=False).check_program(e)  # accepted
+        with pytest.raises(TypecheckError):
+            TypeChecker().check_program(e)
+
+    def test_source_program_with_bad_arity_rejected(self):
+        from repro.errors import ImplicitCalculusError
+        from repro.pipeline import run_source
+
+        program = """
+        interface Eq a = { eq : a -> a -> Bool };
+        let x : Eq Int Bool = Eq { eq = primEqInt } in 1
+        """
+        with pytest.raises(ImplicitCalculusError):
+            run_source(program)
+
+    def test_builtin_table_is_complete_for_prims(self):
+        from repro.core.prims import PRIMS
+        from repro.core.types import ftv, promote
+
+        checker = KindChecker()
+        for spec in PRIMS.values():
+            checker.check(spec.rho)

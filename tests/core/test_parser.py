@@ -1,0 +1,154 @@
+"""Unit tests for the core-calculus concrete syntax."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.core.parser import parse_core_expr, parse_core_type
+from repro.core.terms import (
+    App,
+    BoolLit,
+    IntLit,
+    Lam,
+    PairE,
+    Prim,
+    Project,
+    Query,
+    Record,
+    RuleAbs,
+    RuleApp,
+    StrLit,
+    TyApp,
+    Var,
+)
+from repro.core.types import (
+    BOOL,
+    INT,
+    STRING,
+    TCon,
+    TFun,
+    TVar,
+    list_of,
+    pair,
+    rule,
+    types_alpha_eq,
+)
+
+A = TVar("a")
+
+
+class TestTypes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("Int", INT),
+            ("Bool", BOOL),
+            ("Int -> Bool", TFun(INT, BOOL)),
+            ("Int -> Bool -> String", TFun(INT, TFun(BOOL, STRING))),
+            ("(Int -> Bool) -> String", TFun(TFun(INT, BOOL), STRING)),
+            ("(Int, Bool)", pair(INT, BOOL)),
+            ("[Int]", list_of(INT)),
+            ("Eq Int", TCon("Eq", (INT,))),
+            ("Eq (Int, Bool)", TCon("Eq", (pair(INT, BOOL),))),
+            ("a", A),
+            ("{Int} => Bool", rule(BOOL, [INT])),
+            ("forall a . {a} => (a, a)", rule(pair(A, A), [A], ["a"])),
+            (
+                "{Int -> String, {Int -> String} => [Int] -> String} => String",
+                rule(
+                    STRING,
+                    [TFun(INT, STRING), rule(TFun(list_of(INT), STRING), [TFun(INT, STRING)])],
+                ),
+            ),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert types_alpha_eq(parse_core_type(text), expected)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_core_type("Int Int ->")
+
+
+class TestExprs:
+    def test_literals(self):
+        assert parse_core_expr("42") == IntLit(42)
+        assert parse_core_expr("True") == BoolLit(True)
+        assert parse_core_expr('"hi"') == StrLit("hi")
+
+    def test_lambda(self):
+        assert parse_core_expr("\\x : Int . x") == Lam("x", INT, Var("x"))
+
+    def test_application_left_assoc(self):
+        assert parse_core_expr("f x y") == App(App(Var("f"), Var("x")), Var("y"))
+
+    def test_query_atomic_type(self):
+        assert parse_core_expr("?Int") == Query(INT)
+
+    def test_query_rule_type(self):
+        assert parse_core_expr("?({Int} => Bool)") == Query(rule(BOOL, [INT]))
+
+    def test_rule_abstraction(self):
+        e = parse_core_expr("rule({Bool} => Int, 1)")
+        assert e == RuleAbs(rule(INT, [BOOL]), IntLit(1))
+
+    def test_with(self):
+        e = parse_core_expr("rule({Int} => Int, ?Int) with {1 : Int}")
+        assert isinstance(e, RuleApp)
+        assert e.args == ((IntLit(1), INT),)
+
+    def test_with_inferred_annotation(self):
+        e = parse_core_expr("rule({Int} => Int, ?Int) with {1}")
+        assert e.args == ((IntLit(1), INT),)
+
+    def test_with_uninferable_binding_needs_annotation(self):
+        with pytest.raises(ParseError, match="annotation"):
+            parse_core_expr("rule({Int} => Int, ?Int) with {x}")
+
+    def test_type_application(self):
+        e = parse_core_expr("#fst[Int, Bool]")
+        assert e == TyApp(Prim("fst"), (INT, BOOL))
+
+    def test_unknown_prim(self):
+        with pytest.raises(ParseError, match="unknown primitive"):
+            parse_core_expr("#frobnicate")
+
+    def test_implicit_sugar(self):
+        e = parse_core_expr("implicit {1, True} in ?Int : Int")
+        assert isinstance(e, RuleApp)
+        assert isinstance(e.expr, RuleAbs)
+        assert set(e.expr.rho.context) == {INT, BOOL}
+
+    def test_operators_desugar(self):
+        e = parse_core_expr("1 + 2 * 3")
+        # * binds tighter than +
+        assert e == App(
+            App(Prim("add"), IntLit(1)),
+            App(App(Prim("mul"), IntLit(2)), IntLit(3)),
+        )
+
+    def test_record_and_projection(self):
+        e = parse_core_expr("Eq[Int] {eq = #primEqInt}.eq")
+        assert e == Project(Record("Eq", (INT,), (("eq", Prim("primEqInt")),)), "eq")
+
+    def test_pair_and_list(self):
+        assert parse_core_expr("(1, True)") == PairE(IntLit(1), BoolLit(True))
+        assert parse_core_expr("[1, 2]").elems == (IntLit(1), IntLit(2))
+
+    def test_comments(self):
+        assert parse_core_expr("1 -- a comment\n + 2") == parse_core_expr("1 + 2")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "implicit {1, True} in (?Int + 1, #not ?Bool) : (Int, Bool)",
+            "rule(forall a . {a} => (a, a), (?a, ?a))",
+            "\\x : Int . x + 1",
+            "#fst[Int, Bool] (1, True)",
+        ],
+    )
+    def test_pretty_parse_roundtrip(self, text):
+        e = parse_core_expr(text)
+        again = parse_core_expr(str(e))
+        assert str(again) == str(e)

@@ -1,0 +1,123 @@
+"""Unit tests for pretty printers (core types/exprs and System F)."""
+
+from repro.core.builders import ask, crule, implicit
+from repro.core.pretty import pretty_expr, pretty_type
+from repro.core.terms import (
+    App,
+    BoolLit,
+    IntLit,
+    Lam,
+    ListLit,
+    PairE,
+    Prim,
+    Project,
+    Record,
+    RuleApp,
+    StrLit,
+    TyApp,
+    Var,
+)
+from repro.core.types import (
+    BOOL,
+    INT,
+    STRING,
+    TCon,
+    TFun,
+    TVar,
+    list_of,
+    pair,
+    rule,
+)
+
+A, B = TVar("a"), TVar("b")
+
+
+class TestTypes:
+    def test_atoms(self):
+        assert pretty_type(INT) == "Int"
+        assert pretty_type(A) == "a"
+
+    def test_function_right_assoc(self):
+        assert pretty_type(TFun(INT, TFun(BOOL, STRING))) == "Int -> Bool -> String"
+        assert pretty_type(TFun(TFun(INT, BOOL), STRING)) == "(Int -> Bool) -> String"
+
+    def test_pair_and_list(self):
+        assert pretty_type(pair(INT, BOOL)) == "(Int, Bool)"
+        assert pretty_type(list_of(INT)) == "[Int]"
+
+    def test_constructor_application(self):
+        assert pretty_type(TCon("Eq", (INT,))) == "Eq Int"
+        assert pretty_type(TCon("Eq", (pair(INT, BOOL),))) == "Eq (Int, Bool)"
+
+    def test_rule_types(self):
+        assert pretty_type(rule(INT, [BOOL])) == "{Bool} => Int"
+        assert (
+            pretty_type(rule(pair(A, A), [A], ["a"])) == "forall a . {a} => (a, a)"
+        )
+
+    def test_rule_in_argument_position_parenthesised(self):
+        rho = rule(INT, [BOOL])
+        assert pretty_type(TFun(rho, INT)) == "({Bool} => Int) -> Int"
+
+
+class TestExprs:
+    def test_literals(self):
+        assert pretty_expr(IntLit(1)) == "1"
+        assert pretty_expr(BoolLit(False)) == "False"
+        assert pretty_expr(StrLit("hi")) == '"hi"'
+        assert pretty_expr(StrLit('a"b\n')) == '"a\\"b\\n"'
+
+    def test_application(self):
+        assert pretty_expr(App(App(Var("f"), Var("x")), Var("y"))) == "f x y"
+
+    def test_lambda(self):
+        assert pretty_expr(Lam("x", INT, Var("x"))) == "\\x : Int . x"
+
+    def test_query(self):
+        assert pretty_expr(ask(INT)) == "?(Int)"
+
+    def test_rule_abs_and_app(self):
+        e = RuleApp(crule(rule(INT, [BOOL]), IntLit(1)), ((BoolLit(True), BOOL),))
+        text = pretty_expr(e)
+        assert "rule({Bool} => Int, 1)" in text
+        assert "with {True : Bool}" in text
+
+    def test_tyapp_and_prim(self):
+        assert pretty_expr(TyApp(Prim("fst"), (INT, BOOL))) == "#fst[Int, Bool]"
+
+    def test_record_and_projection(self):
+        record = Record("Eq", (INT,), (("eq", Prim("primEqInt")),))
+        assert pretty_expr(record) == "Eq[Int] {eq = #primEqInt}"
+        assert pretty_expr(Project(record, "eq")).endswith(".eq")
+
+    def test_containers(self):
+        assert pretty_expr(PairE(IntLit(1), IntLit(2))) == "(1, 2)"
+        assert pretty_expr(ListLit((IntLit(1),))) == "[1]"
+
+    def test_str_dunder(self):
+        assert str(IntLit(3)) == "3"
+        assert str(rule(INT, [BOOL])) == "{Bool} => Int"
+
+
+class TestSystemFPretty:
+    def test_basics(self):
+        from repro.systemf.ast import (
+            FForall,
+            FLam,
+            FTFun,
+            FTVar,
+            FTyApp,
+            FTyLam,
+            FVar,
+            F_INT,
+            pretty_fexpr,
+            pretty_ftype,
+        )
+
+        assert pretty_ftype(FForall("a", FTFun(FTVar("a"), FTVar("a")))) == (
+            "forall a. a -> a"
+        )
+        assert pretty_fexpr(FTyLam("a", FLam("x", FTVar("a"), FVar("x")))) == (
+            "/\\a. \\x:a. x"
+        )
+        assert "@Int" in pretty_fexpr(FTyApp(FVar("f"), F_INT))

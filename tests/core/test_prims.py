@@ -1,0 +1,115 @@
+"""Unit tests for the shared primitive table."""
+
+import pytest
+
+from repro.errors import EvalError
+from repro.core.prims import PRIMS, prim_spec, prim_type
+from repro.core.types import BOOL, INT, RuleType, STRING, TFun, ftv
+
+
+def _apply(fn, arg):
+    """Minimal apply callback for higher-order primitive tests."""
+    return fn(arg)
+
+
+class TestTable:
+    def test_known_primitives_present(self):
+        for name in ["add", "primEqInt", "showInt", "map", "foldr", "fst",
+                     "intercalate", "sortBy", "concat", "isEven"]:
+            assert name in PRIMS
+
+    def test_unknown_primitive(self):
+        with pytest.raises(KeyError):
+            prim_spec("nope")
+
+    def test_monomorphic_types(self):
+        assert prim_type("add") == TFun(INT, TFun(INT, INT))
+        assert prim_type("showInt") == TFun(INT, STRING)
+
+    def test_polymorphic_types_are_closed_rules(self):
+        rho = prim_type("map")
+        assert isinstance(rho, RuleType)
+        assert rho.context == ()
+        assert ftv(rho) == set()
+
+    def test_arity_matches_type(self):
+        for spec in PRIMS.values():
+            tau = spec.rho
+            if isinstance(tau, RuleType):
+                tau = tau.head
+            depth = 0
+            while isinstance(tau, TFun):
+                depth += 1
+                tau = tau.res
+            assert depth == spec.arity, spec.name
+
+
+class TestDenotations:
+    def test_arithmetic(self):
+        assert prim_spec("add").run([2, 3], _apply) == 5
+        assert prim_spec("sub").run([2, 3], _apply) == -1
+        assert prim_spec("mul").run([2, 3], _apply) == 6
+        assert prim_spec("div").run([7, 2], _apply) == 3
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError):
+            prim_spec("div").run([1, 0], _apply)
+
+    def test_comparisons(self):
+        assert prim_spec("ltInt").run([1, 2], _apply) is True
+        assert prim_spec("leqInt").run([2, 2], _apply) is True
+        assert prim_spec("primEqInt").run([2, 3], _apply) is False
+
+    def test_strings(self):
+        assert prim_spec("concat").run(["a", "b"], _apply) == "ab"
+        assert prim_spec("showInt").run([42], _apply) == "42"
+        assert prim_spec("intercalate").run([",", ("a", "b")], _apply) == "a,b"
+
+    def test_pairs(self):
+        assert prim_spec("fst").run([(1, 2)], _apply) == 1
+        assert prim_spec("snd").run([(1, 2)], _apply) == 2
+
+    def test_lists(self):
+        assert prim_spec("cons").run([1, (2, 3)], _apply) == (1, 2, 3)
+        assert prim_spec("isNil").run([()], _apply) is True
+        assert prim_spec("head").run([(1, 2)], _apply) == 1
+        assert prim_spec("tail").run([(1, 2)], _apply) == (2,)
+        assert prim_spec("length").run([(1, 2, 3)], _apply) == 3
+
+    def test_empty_list_errors(self):
+        with pytest.raises(EvalError):
+            prim_spec("head").run([()], _apply)
+        with pytest.raises(EvalError):
+            prim_spec("tail").run([()], _apply)
+
+    def test_higher_order(self):
+        def double(fn):
+            return fn * 2
+
+        # map is higher-order: receives `apply` and applies elementwise.
+        def curried_add(x):
+            return lambda y: x + y
+
+        assert prim_spec("map").run([double, (1, 2)], _apply) == (2, 4)
+        assert (
+            prim_spec("foldr").run([curried_add, 0, (1, 2, 3)], _apply) == 6
+        )
+
+    def test_filter_and_sort(self):
+        assert prim_spec("filter").run([lambda x: x > 1, (1, 2, 3)], _apply) == (2, 3)
+
+        def lt(x):
+            return lambda y: x < y
+
+        assert prim_spec("sortBy").run([lt, (3, 1, 2)], _apply) == (1, 2, 3)
+
+    def test_sort_is_stable(self):
+        def lt_fst(x):
+            return lambda y: x[0] < y[0]
+
+        data = ((1, "a"), (0, "b"), (1, "c"))
+        assert prim_spec("sortBy").run([lt_fst, data], _apply) == (
+            (0, "b"),
+            (1, "a"),
+            (1, "c"),
+        )

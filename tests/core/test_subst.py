@@ -1,0 +1,107 @@
+"""Unit tests for type substitution (appendix "Substitution")."""
+
+from repro.core.subst import compose, fresh_tvar, subst_expr, subst_type, zip_subst
+from repro.core.terms import Lam, Query, RuleAbs, Var
+from repro.core.types import (
+    BOOL,
+    INT,
+    RuleType,
+    TFun,
+    TVar,
+    ftv,
+    pair,
+    rule,
+    types_alpha_eq,
+)
+
+A, B, C = TVar("a"), TVar("b"), TVar("c")
+
+import pytest
+
+
+class TestSubstType:
+    def test_variable(self):
+        assert subst_type({"a": INT}, A) == INT
+        assert subst_type({"a": INT}, B) == B
+
+    def test_structural(self):
+        assert subst_type({"a": INT}, TFun(A, pair(A, B))) == TFun(INT, pair(INT, B))
+
+    def test_empty_subst_is_identity_object(self):
+        tau = TFun(A, B)
+        assert subst_type({}, tau) is tau
+
+    def test_bound_variables_shadow(self):
+        rho = rule(pair(A, A), [A], ["a"])
+        assert subst_type({"a": INT}, rho) == rho
+
+    def test_free_variables_in_rule_substituted(self):
+        rho = rule(pair(A, B), [A], ["a"])
+        out = subst_type({"b": INT}, rho)
+        assert types_alpha_eq(out, rule(pair(A, INT), [A], ["a"]))
+
+    def test_capture_avoidance(self):
+        # [b |-> a] (forall a. {} => a -> b): the bound `a` must be renamed
+        # so the substituted-in `a` stays free.
+        rho = rule(TFun(A, B), [], ["a"])
+        out = subst_type({"b": A}, rho)
+        assert isinstance(out, RuleType)
+        assert ftv(out) == {"a"}
+        (bound,) = out.tvars
+        assert bound != "a"
+        assert out.head.res == A
+
+    def test_simultaneous(self):
+        out = subst_type({"a": B, "b": A}, pair(A, B))
+        assert out == pair(B, A)
+
+
+class TestCompose:
+    def test_compose_applies_in_order(self):
+        first = {"a": B}
+        second = {"b": INT}
+        combined = compose(second, first)
+        assert subst_type(combined, A) == INT
+
+    def test_compose_keeps_later_bindings(self):
+        combined = compose({"b": INT}, {"a": BOOL})
+        assert combined["b"] == INT
+        assert combined["a"] == BOOL
+
+
+class TestZipSubst:
+    def test_builds_mapping(self):
+        assert zip_subst(["a", "b"], [INT, BOOL]) == {"a": INT, "b": BOOL}
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            zip_subst(["a"], [INT, BOOL])
+
+
+class TestFreshTvar:
+    def test_fresh_names_distinct(self):
+        names = {fresh_tvar("x") for _ in range(100)}
+        assert len(names) == 100
+
+
+class TestSubstExpr:
+    def test_lambda_annotation(self):
+        e = Lam("x", A, Var("x"))
+        assert subst_expr({"a": INT}, e) == Lam("x", INT, Var("x"))
+
+    def test_query_type(self):
+        assert subst_expr({"a": INT}, Query(A)) == Query(INT)
+
+    def test_rule_abs_shadows(self):
+        rho = rule(pair(A, A), [A], ["a"])
+        e = RuleAbs(rho, Query(A))
+        out = subst_expr({"a": INT}, e)
+        # `a` is bound by the rule abstraction: body untouched.
+        assert out == e
+
+    def test_rule_abs_free_var(self):
+        rho = rule(pair(A, B), [A], ["a"])
+        e = RuleAbs(rho, Query(B))
+        out = subst_expr({"b": INT}, e)
+        assert isinstance(out, RuleAbs)
+        assert out.body == Query(INT)

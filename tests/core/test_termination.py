@@ -1,0 +1,107 @@
+"""E7: the termination conditions of the appendix."""
+
+import pytest
+
+from repro.errors import ResolutionDivergenceError, TerminationError
+from repro.core.env import ImplicitEnv
+from repro.core.resolution import resolve
+from repro.core.termination import (
+    check_env_termination,
+    check_rule_termination,
+    terminating_env,
+    terminating_rule,
+    tvar_occurrences,
+)
+from repro.core.types import BOOL, CHAR, INT, TFun, TVar, list_of, pair, rule
+
+A, B = TVar("a"), TVar("b")
+
+
+class TestOccurrences:
+    def test_counts_free_occurrences(self):
+        assert tvar_occurrences(TFun(A, pair(A, B))) == {"a": 2, "b": 1}
+
+    def test_bound_not_counted(self):
+        assert tvar_occurrences(rule(pair(A, A), [A], ["a"])) == {}
+
+
+class TestRuleCondition:
+    def test_ground_entries_terminate(self):
+        assert terminating_rule(INT)
+        assert terminating_rule(TFun(INT, BOOL))
+
+    def test_equal_size_context_rejected(self):
+        # Paterson-style conditions are conservative: {Bool} => Int is
+        # rejected (context head not strictly smaller) even though it can
+        # only loop when a converse rule exists.
+        assert not terminating_rule(rule(INT, [BOOL]))
+
+    def test_paper_loop_rejected_statically(self):
+        # {Char} => Int and {Int} => Char are each individually fine
+        # (heads shrink: Char < Int? both size 1!) -- the size condition
+        # rejects them because the context head is not strictly smaller.
+        assert not terminating_rule(rule(INT, [CHAR]))
+        assert not terminating_rule(rule(CHAR, [INT]))
+
+    def test_structural_recursion_accepted(self):
+        # forall a b. {Eq a, Eq b} => Eq (a, b): components are smaller.
+        from repro.core.types import TCon
+
+        eq = lambda t: TCon("Eq", (t,))
+        rho = rule(eq(pair(A, B)), [eq(A), eq(B)], ["a", "b"])
+        assert terminating_rule(rho)
+
+    def test_variable_occurrence_condition(self):
+        # {Eq (a, a)} => Eq [a]: `a` occurs twice in the context head but
+        # only once in the rule head.
+        from repro.core.types import TCon
+
+        eq = lambda t: TCon("Eq", (t,))
+        rho = rule(eq(list_of(A)), [eq(pair(A, A))], ["a"])
+        with pytest.raises(TerminationError, match="more often"):
+            check_rule_termination(rho)
+
+    def test_size_condition(self):
+        # {Eq (a, a)} => Eq (a, a) -- context head not strictly smaller.
+        from repro.core.types import TCon
+
+        eq = lambda t: TCon("Eq", (t,))
+        with pytest.raises(TerminationError, match="strictly smaller"):
+            check_rule_termination(rule(eq(pair(A, A)), [eq(pair(A, A))], ["a"]))
+
+    def test_higher_order_context_checked(self):
+        bad_inner = rule(INT, [CHAR])
+        big_head = pair(pair(INT, INT), pair(INT, INT))
+        rho = rule(big_head, [bad_inner])
+        assert not terminating_rule(rho)
+
+
+class TestEnvCondition:
+    def test_env_check(self):
+        good = ImplicitEnv.empty().push(
+            [INT, rule(pair(A, A), [A], ["a"])]
+        )
+        check_env_termination(good)
+        assert terminating_env(good)
+
+    def test_bad_env_rejected(self):
+        bad = ImplicitEnv.empty().push([rule(INT, [CHAR]), rule(CHAR, [INT])])
+        assert not terminating_env(bad)
+
+
+class TestDynamicGuardAgreement:
+    def test_static_reject_implies_dynamic_divergence_here(self):
+        """The appendix's loop diverges dynamically AND is rejected
+        statically: the two guards agree on the canonical example."""
+        env = ImplicitEnv.empty().push([rule(INT, [CHAR]), rule(CHAR, [INT])])
+        assert not terminating_env(env)
+        with pytest.raises(ResolutionDivergenceError):
+            resolve(env, INT)
+
+    def test_static_condition_is_conservative(self):
+        """A rule can violate the condition yet resolve fine for queries
+        that never exercise the loop -- the condition is modular and
+        conservative, which is why the dynamic fuel also exists."""
+        env = ImplicitEnv.empty().push([CHAR, rule(INT, [CHAR])])
+        assert not terminating_env(env)  # {Char} => Int: sizes equal
+        assert resolve(env, INT).size() == 2  # yet this query terminates

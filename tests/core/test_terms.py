@@ -1,0 +1,76 @@
+"""Unit tests for term/declaration plumbing (Signature, InterfaceDecl)."""
+
+import pytest
+
+from repro.core.terms import (
+    EMPTY_SIGNATURE,
+    InterfaceDecl,
+    ListLit,
+    Record,
+    RuleApp,
+    Signature,
+    TyApp,
+    IntLit,
+    Var,
+)
+from repro.core.types import BOOL, INT, TFun, TVar
+
+A = TVar("a")
+EQ = InterfaceDecl("Eq", ("a",), (("eq", TFun(A, TFun(A, BOOL))),))
+
+
+class TestInterfaceDecl:
+    def test_field_type(self):
+        assert EQ.field_type("eq") == TFun(A, TFun(A, BOOL))
+
+    def test_missing_field(self):
+        with pytest.raises(KeyError):
+            EQ.field_type("nope")
+
+    def test_field_names(self):
+        assert EQ.field_names() == ("eq",)
+
+    def test_coerces_sequences(self):
+        decl = InterfaceDecl("X", ["a"], [("f", A)])
+        assert decl.tvars == ("a",)
+        assert decl.fields == (("f", A),)
+
+
+class TestSignature:
+    def test_add_and_get(self):
+        sig = Signature([EQ])
+        assert sig.get("Eq") is EQ
+        assert sig.get("Nope") is None
+        assert "Eq" in sig
+        assert len(sig) == 1
+
+    def test_duplicate_rejected(self):
+        sig = Signature([EQ])
+        with pytest.raises(ValueError):
+            sig.add(EQ)
+
+    def test_iteration(self):
+        sig = Signature([EQ])
+        assert list(sig) == [EQ]
+
+    def test_empty_signature_constant(self):
+        assert len(EMPTY_SIGNATURE) == 0
+
+
+class TestNodeNormalisation:
+    def test_tyapp_coerces_tuple(self):
+        node = TyApp(Var("x"), [INT])
+        assert node.type_args == (INT,)
+
+    def test_ruleapp_coerces_pairs(self):
+        node = RuleApp(Var("x"), [[IntLit(1), INT]])
+        assert node.args == ((IntLit(1), INT),)
+
+    def test_listlit_coerces(self):
+        node = ListLit([IntLit(1)])
+        assert node.elems == (IntLit(1),)
+
+    def test_record_coerces(self):
+        node = Record("Eq", [INT], [("eq", IntLit(1))])
+        assert node.type_args == (INT,)
+        assert node.fields == (("eq", IntLit(1)),)

@@ -1,0 +1,261 @@
+"""Unit tests for the type system (Fig. 1) -- every rule plus error paths."""
+
+import pytest
+
+from repro.errors import AmbiguousRuleTypeError, TypecheckError
+from repro.core.builders import add, ask, crule, implicit, lam, let_, with_
+from repro.core.env import ImplicitEnv
+from repro.core.terms import (
+    App,
+    BoolLit,
+    If,
+    IntLit,
+    InterfaceDecl,
+    Lam,
+    ListLit,
+    PairE,
+    Prim,
+    Project,
+    Query,
+    Record,
+    RuleAbs,
+    RuleApp,
+    Signature,
+    StrLit,
+    TyApp,
+    Var,
+)
+from repro.core.typecheck import TypeChecker, typecheck, unambiguous
+from repro.core.types import (
+    BOOL,
+    INT,
+    STRING,
+    TCon,
+    TFun,
+    TVar,
+    list_of,
+    pair,
+    rule,
+    types_alpha_eq,
+)
+
+A, B = TVar("a"), TVar("b")
+
+
+class TestLiteralsAndVariables:
+    def test_literals(self):
+        assert typecheck(IntLit(1)) == INT
+        assert typecheck(BoolLit(True)) == BOOL
+        assert typecheck(StrLit("x")) == STRING
+
+    def test_unbound_variable(self):
+        with pytest.raises(TypecheckError, match="unbound"):
+            typecheck(Var("x"))
+
+    def test_lambda_and_application(self):
+        e = App(Lam("x", INT, Var("x")), IntLit(3))
+        assert typecheck(e) == INT
+
+    def test_application_of_non_function(self):
+        with pytest.raises(TypecheckError, match="non-function"):
+            typecheck(App(IntLit(1), IntLit(2)))
+
+    def test_argument_mismatch(self):
+        with pytest.raises(TypecheckError, match="mismatch"):
+            typecheck(App(Lam("x", INT, Var("x")), BoolLit(True)))
+
+    def test_prims(self):
+        assert typecheck(Prim("add")) == TFun(INT, TFun(INT, INT))
+        with pytest.raises(TypecheckError):
+            typecheck(Prim("nonsense"))
+
+
+class TestTyRule:
+    def test_simple_rule(self):
+        rho = rule(INT, [BOOL])
+        e = crule(rho, If(ask(BOOL), IntLit(1), IntLit(0)))
+        assert typecheck(e) == rho
+
+    def test_body_type_mismatch(self):
+        with pytest.raises(TypecheckError, match="promises"):
+            typecheck(crule(rule(INT, [BOOL]), BoolLit(True)))
+
+    def test_rule_abs_requires_rule_type(self):
+        with pytest.raises(TypecheckError, match="requires a rule type"):
+            typecheck(RuleAbs(INT, IntLit(1)))
+
+    def test_unambiguous_condition(self):
+        # forall a . {a} => Int: `a` does not occur in the head.
+        bad = rule(INT, [A], ["a"])
+        with pytest.raises(AmbiguousRuleTypeError):
+            typecheck(crule(bad, IntLit(1)))
+
+    def test_freshness_condition(self):
+        # The binder variable occurs free in the enclosing Gamma.
+        inner = crule(rule(pair(A, A), [A], ["a"]), PairE(ask(A), ask(A)))
+        e = Lam("x", A, inner)
+        checker = TypeChecker()
+        with pytest.raises(TypecheckError, match="rename"):
+            checker.check(e, {}, ImplicitEnv.empty())
+
+    def test_polymorphic_rule(self):
+        rho = rule(pair(A, A), [A], ["a"])
+        assert typecheck(crule(rho, PairE(ask(A), ask(A)))) == rho
+
+
+class TestTyInst:
+    def test_instantiation(self):
+        rho = rule(pair(A, A), [A], ["a"])
+        e = TyApp(crule(rho, PairE(ask(A), ask(A))), (INT,))
+        assert typecheck(e) == rule(pair(INT, INT), [INT])
+
+    def test_instantiating_monomorphic_fails(self):
+        with pytest.raises(TypecheckError, match="non-polymorphic"):
+            typecheck(TyApp(IntLit(1), (INT,)))
+
+    def test_arity_mismatch(self):
+        rho = rule(pair(A, A), [A], ["a"])
+        with pytest.raises(ValueError):
+            typecheck(TyApp(crule(rho, PairE(ask(A), ask(A))), (INT, BOOL)))
+
+    def test_prim_instantiation(self):
+        e = TyApp(Prim("fst"), (INT, BOOL))
+        assert typecheck(e) == TFun(pair(INT, BOOL), INT)
+
+
+class TestTyRApp:
+    def test_full_application(self):
+        rho = rule(INT, [BOOL])
+        e = with_(crule(rho, If(ask(BOOL), IntLit(1), IntLit(0))), [BoolLit(True)])
+        assert typecheck(e) == INT
+
+    def test_missing_evidence(self):
+        rho = rule(INT, [BOOL, STRING])
+        e = RuleApp(
+            crule(rho, IntLit(1)),
+            ((BoolLit(True), BOOL),),
+        )
+        with pytest.raises(TypecheckError, match="exactly the context"):
+            typecheck(e)
+
+    def test_wrongly_annotated_evidence(self):
+        rho = rule(INT, [BOOL])
+        e = RuleApp(crule(rho, IntLit(1)), ((IntLit(3), BOOL),))
+        with pytest.raises(TypecheckError, match="annotated"):
+            typecheck(e)
+
+    def test_duplicate_evidence(self):
+        rho = rule(INT, [BOOL])
+        e = RuleApp(
+            crule(rho, IntLit(1)),
+            ((BoolLit(True), BOOL), (BoolLit(False), BOOL)),
+        )
+        with pytest.raises(TypecheckError, match="duplicate"):
+            typecheck(e)
+
+    def test_requires_instantiation_first(self):
+        rho = rule(pair(A, A), [A], ["a"])
+        e = RuleApp(crule(rho, PairE(ask(A), ask(A))), ((IntLit(1), INT),))
+        with pytest.raises(TypecheckError, match="instantiate"):
+            typecheck(e)
+
+
+class TestTyQuery:
+    def test_query_resolves(self):
+        e = implicit([IntLit(1)], ask(INT), INT)
+        assert typecheck(e) == INT
+
+    def test_ambiguous_query_rejected(self):
+        with pytest.raises(AmbiguousRuleTypeError):
+            typecheck(Query(rule(INT, [A], ["a"])))
+
+    def test_overview_programs_typecheck(self, overview_program):
+        name, program, _ = overview_program
+        typecheck(program)
+
+
+class TestExtensions:
+    def test_if(self):
+        assert typecheck(If(BoolLit(True), IntLit(1), IntLit(2))) == INT
+
+    def test_if_condition_not_bool(self):
+        with pytest.raises(TypecheckError, match="not Bool"):
+            typecheck(If(IntLit(1), IntLit(1), IntLit(2)))
+
+    def test_if_branches_disagree(self):
+        with pytest.raises(TypecheckError, match="disagree"):
+            typecheck(If(BoolLit(True), IntLit(1), BoolLit(False)))
+
+    def test_pair(self):
+        assert typecheck(PairE(IntLit(1), BoolLit(True))) == pair(INT, BOOL)
+
+    def test_list(self):
+        assert typecheck(ListLit((IntLit(1), IntLit(2)))) == list_of(INT)
+
+    def test_heterogeneous_list_rejected(self):
+        with pytest.raises(TypecheckError):
+            typecheck(ListLit((IntLit(1), BoolLit(True))))
+
+    def test_empty_list_needs_annotation(self):
+        with pytest.raises(TypecheckError):
+            typecheck(ListLit(()))
+        assert typecheck(ListLit((), elem_type=INT)) == list_of(INT)
+
+    def test_let_sugar(self):
+        e = let_("x", INT, IntLit(3), add(Var("x"), IntLit(1)))
+        assert typecheck(e) == INT
+
+
+EQ_DECL = InterfaceDecl("Eq", ("a",), (("eq", TFun(A, TFun(A, BOOL))),))
+
+
+class TestRecords:
+    def _sig(self) -> Signature:
+        return Signature([EQ_DECL])
+
+    def test_record_and_projection(self):
+        sig = self._sig()
+        record = Record("Eq", (INT,), (("eq", Prim("primEqInt")),))
+        assert typecheck(record, signature=sig) == TCon("Eq", (INT,))
+        projection = Project(record, "eq")
+        assert typecheck(projection, signature=sig) == TFun(INT, TFun(INT, BOOL))
+
+    def test_unknown_interface(self):
+        with pytest.raises(TypecheckError, match="unknown interface"):
+            typecheck(Record("Nope", (), ()))
+
+    def test_field_mismatch(self):
+        record = Record("Eq", (INT,), (("wrong", Prim("primEqInt")),))
+        with pytest.raises(TypecheckError, match="fields"):
+            typecheck(record, signature=self._sig())
+
+    def test_field_type_mismatch(self):
+        record = Record("Eq", (INT,), (("eq", IntLit(1)),))
+        with pytest.raises(TypecheckError, match="has type"):
+            typecheck(record, signature=self._sig())
+
+    def test_unknown_field_projection(self):
+        record = Record("Eq", (INT,), (("eq", Prim("primEqInt")),))
+        with pytest.raises(TypecheckError):
+            typecheck(Project(record, "nope"), signature=self._sig())
+
+    def test_projection_from_non_record(self):
+        with pytest.raises(TypecheckError, match="non-(record|interface)"):
+            typecheck(Project(IntLit(1), "eq"))
+
+
+class TestUnambiguousPredicate:
+    def test_positive(self):
+        assert unambiguous(INT)
+        assert unambiguous(rule(pair(A, A), [A], ["a"]))
+
+    def test_negative(self):
+        assert not unambiguous(rule(INT, [A], ["a"]))
+
+    def test_recursive_into_context(self):
+        bad_inner = rule(INT, [B], ["b"])
+        assert not unambiguous(rule(INT, [bad_inner]))
+
+    def test_recursive_into_head(self):
+        bad_inner = rule(INT, [B], ["b"])
+        assert not unambiguous(rule(bad_inner, [BOOL]))

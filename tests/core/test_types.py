@@ -1,0 +1,181 @@
+"""Unit tests for the type syntax (section 3.1)."""
+
+import pytest
+
+from repro.core.types import (
+    BOOL,
+    INT,
+    RuleType,
+    STRING,
+    TCon,
+    TFun,
+    TVar,
+    Type,
+    canonical_key,
+    context_contains,
+    context_difference,
+    ftv,
+    fun,
+    list_of,
+    pair,
+    promote,
+    rule,
+    type_size,
+    types_alpha_eq,
+)
+
+A, B, C = TVar("a"), TVar("b"), TVar("c")
+
+
+class TestConstruction:
+    def test_degenerate_rule_collapses_to_head(self):
+        assert rule(INT) is INT
+        assert rule(TFun(INT, BOOL)) == TFun(INT, BOOL)
+
+    def test_degenerate_rule_type_constructor_rejected(self):
+        with pytest.raises(ValueError):
+            RuleType((), (), INT)
+
+    def test_duplicate_quantifiers_rejected(self):
+        with pytest.raises(ValueError):
+            RuleType(("a", "a"), (INT,), A)
+
+    def test_rule_with_only_context(self):
+        rho = rule(INT, [BOOL])
+        assert isinstance(rho, RuleType)
+        assert rho.context == (BOOL,)
+        assert rho.head == INT
+
+    def test_rule_with_only_quantifier(self):
+        rho = rule(TFun(A, A), [], ["a"])
+        assert isinstance(rho, RuleType)
+        assert rho.tvars == ("a",)
+        assert rho.context == ()
+
+    def test_rule_type_is_immutable(self):
+        rho = rule(INT, [BOOL])
+        with pytest.raises(AttributeError):
+            rho.head = BOOL  # type: ignore[misc]
+
+    def test_fun_right_associates(self):
+        assert fun(INT, BOOL, STRING) == TFun(INT, TFun(BOOL, STRING))
+
+    def test_fun_requires_argument(self):
+        with pytest.raises(ValueError):
+            fun()
+
+
+class TestContextCanonicalisation:
+    def test_context_is_deduplicated(self):
+        rho = rule(INT, [BOOL, BOOL])
+        assert rho.context == (BOOL,)
+
+    def test_context_dedup_up_to_alpha(self):
+        r1 = rule(pair(A, A), [A], ["a"])
+        r2 = rule(pair(B, B), [B], ["b"])
+        rho = rule(INT, [r1, r2])
+        assert len(rho.context) == 1
+
+    def test_context_order_is_canonical(self):
+        r1 = rule(INT, [BOOL, INT, STRING])
+        r2 = rule(INT, [STRING, INT, BOOL])
+        assert r1 == r2
+        assert r1.context == r2.context
+
+
+class TestAlphaEquivalence:
+    def test_renamed_rules_equal(self):
+        r1 = rule(pair(A, A), [A], ["a"])
+        r2 = rule(pair(B, B), [B], ["b"])
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+
+    def test_different_structure_not_equal(self):
+        assert rule(pair(A, A), [A], ["a"]) != rule(pair(A, B), [A, B], ["a", "b"])
+
+    def test_free_variables_distinguish(self):
+        # `a` free in one, bound in the other.
+        free = rule(pair(A, A), [A], [])  # a free
+        bound = rule(pair(A, A), [A], ["a"])
+        assert free != bound
+
+    def test_nested_binders(self):
+        inner1 = rule(pair(A, B), [A], ["a"])
+        inner2 = rule(pair(C, B), [C], ["c"])
+        assert types_alpha_eq(rule(INT, [inner1], ["b"]), rule(INT, [inner2], ["b"]))
+
+    def test_simple_types_compare_structurally(self):
+        assert types_alpha_eq(TFun(INT, BOOL), TFun(INT, BOOL))
+        assert not types_alpha_eq(TFun(INT, BOOL), TFun(BOOL, INT))
+
+    def test_canonical_key_stable(self):
+        rho = rule(pair(A, A), [A], ["a"])
+        assert canonical_key(rho) == canonical_key(rho)
+
+
+class TestFreeVariables:
+    def test_simple(self):
+        assert ftv(TFun(A, pair(B, INT))) == {"a", "b"}
+
+    def test_quantifier_binds(self):
+        assert ftv(rule(pair(A, B), [A], ["a"])) == {"b"}
+
+    def test_context_counts(self):
+        assert ftv(rule(INT, [A])) == {"a"}
+
+    def test_closed(self):
+        assert ftv(rule(pair(A, A), [A], ["a"])) == set()
+
+
+class TestPromotion:
+    def test_simple_type_promotes(self):
+        assert promote(INT) == ((), (), INT)
+
+    def test_rule_type_decomposes(self):
+        rho = rule(pair(A, A), [A], ["a"])
+        tvars, context, head = promote(rho)
+        assert tvars == ("a",)
+        assert context == (A,)
+        assert head == pair(A, A)
+
+
+class TestContextOperations:
+    def test_contains_alpha(self):
+        ctx = (rule(pair(A, A), [A], ["a"]),)
+        assert context_contains(ctx, rule(pair(B, B), [B], ["b"]))
+        assert not context_contains(ctx, INT)
+
+    def test_difference_keeps_order(self):
+        left = (INT, BOOL, STRING)
+        assert context_difference(left, (BOOL,)) == (INT, STRING)
+
+    def test_difference_alpha(self):
+        r1 = rule(pair(A, A), [A], ["a"])
+        r2 = rule(pair(B, B), [B], ["b"])
+        assert context_difference((r1, INT), (r2,)) == (INT,)
+
+    def test_empty_difference(self):
+        assert context_difference((), (INT,)) == ()
+
+
+class TestMeasures:
+    def test_type_size(self):
+        assert type_size(INT) == 1
+        assert type_size(TFun(INT, BOOL)) == 3
+        assert type_size(pair(INT, BOOL)) == 3
+
+    def test_rule_size_counts_context(self):
+        assert type_size(rule(INT, [BOOL])) == 3  # rule node + Int + Bool
+
+    def test_str_roundtrips_through_parser(self):
+        from repro.core.parser import parse_core_type
+
+        for tau in [
+            INT,
+            TFun(INT, BOOL),
+            pair(INT, list_of(STRING)),
+            rule(pair(A, A), [A], ["a"]),
+            rule(INT, [rule(TFun(A, STRING), [], ["a"]), BOOL]),
+            TCon("Eq", (INT,)),
+        ]:
+            assert types_alpha_eq(parse_core_type(str(tau)), tau)

@@ -1,0 +1,116 @@
+"""Unit tests for matching/unification (appendix "Unification")."""
+
+from repro.core.subst import subst_type
+from repro.core.types import (
+    BOOL,
+    INT,
+    STRING,
+    TFun,
+    TVar,
+    pair,
+    rule,
+    types_alpha_eq,
+)
+from repro.core.unify import match_type, matches, mgu, unifiable
+
+A, B, C = TVar("a"), TVar("b"), TVar("c")
+
+
+class TestMatching:
+    def test_ground_match(self):
+        assert match_type(INT, INT, []) == {}
+        assert match_type(INT, BOOL, []) is None
+
+    def test_variable_binds(self):
+        theta = match_type(pair(A, A), pair(INT, INT), ["a"])
+        assert theta == {"a": INT}
+
+    def test_inconsistent_binding_fails(self):
+        assert match_type(pair(A, A), pair(INT, BOOL), ["a"]) is None
+
+    def test_one_way_only(self):
+        # The target is rigid: `b` in the target cannot be instantiated.
+        assert match_type(INT, B, []) is None
+        assert match_type(A, B, ["a"]) == {"a": B}
+
+    def test_rigid_pattern_variable(self):
+        # `a` not in the meta set acts as a constant.
+        assert match_type(A, INT, []) is None
+        assert match_type(A, A, []) == {}
+
+    def test_function_types(self):
+        theta = match_type(TFun(A, B), TFun(INT, BOOL), ["a", "b"])
+        assert theta == {"a": INT, "b": BOOL}
+
+    def test_matching_substitution_property(self):
+        pattern = TFun(A, pair(B, A))
+        target = TFun(INT, pair(STRING, INT))
+        theta = match_type(pattern, target, ["a", "b"])
+        assert theta is not None
+        assert types_alpha_eq(subst_type(theta, pattern), target)
+
+    def test_matches_predicate(self):
+        assert matches(pair(A, A), pair(BOOL, BOOL), ["a"])
+        assert not matches(pair(A, A), INT, ["a"])
+
+
+class TestRuleTypeMatching:
+    def test_alpha_equal_rules_match(self):
+        r1 = rule(pair(A, A), [A], ["a"])
+        r2 = rule(pair(B, B), [B], ["b"])
+        assert match_type(r1, r2, []) == {}
+
+    def test_rule_instantiation(self):
+        # pattern: {c} => (c, c)  with c flexible; target: {Int} => (Int, Int)
+        pattern = rule(pair(C, C), [C])
+        target = rule(pair(INT, INT), [INT])
+        assert match_type(pattern, target, ["c"]) == {"c": INT}
+
+    def test_different_context_sizes_fail(self):
+        assert match_type(rule(INT, [BOOL]), rule(INT, [BOOL, STRING]), []) is None
+
+    def test_different_quantifier_counts_fail(self):
+        r1 = rule(pair(A, B), [A, B], ["a", "b"])
+        r2 = rule(pair(A, A), [A], ["a"])
+        assert match_type(r1, r2, []) is None
+
+    def test_context_set_matching_permutes(self):
+        # Contexts are sets: order of entries must not matter.
+        r1 = rule(INT, [BOOL, STRING])
+        r2 = rule(INT, [STRING, BOOL])
+        assert match_type(r1, r2, []) == {}
+
+    def test_scope_escape_rejected(self):
+        # pattern `a` flexible against a rule-bound variable must not leak.
+        pattern = rule(TFun(A, B), [], ["b"])  # forall b. a -> b, `a` flex
+        target = rule(TFun(C, C), [], ["c"])  # forall c. c -> c
+        # Unifying would need a |-> (the skolem for b/c), which escapes.
+        assert match_type(pattern, target, ["a"]) is None
+
+
+class TestMgu:
+    def test_symmetric(self):
+        assert mgu(A, INT) == {"a": INT}
+        assert mgu(INT, A) == {"a": INT}
+
+    def test_var_var(self):
+        theta = mgu(A, B)
+        assert theta in ({"a": B}, {"b": A})
+
+    def test_occurs_check(self):
+        assert mgu(A, TFun(A, INT)) is None
+
+    def test_flex_restriction(self):
+        assert mgu(A, INT, flex=[]) is None
+        assert mgu(A, INT, flex=["a"]) == {"a": INT}
+
+    def test_unifiable_examples_from_companion(self):
+        # forall a. a -> Int  vs  forall a. Int -> a overlap at Int -> Int.
+        h1 = TFun(A, INT)
+        h2 = TFun(INT, B)
+        assert unifiable(h1, h2)
+        theta = mgu(h1, h2)
+        assert subst_type(theta, h1) == subst_type(theta, h2) == TFun(INT, INT)
+
+    def test_not_unifiable(self):
+        assert not unifiable(TFun(INT, INT), pair(A, B))

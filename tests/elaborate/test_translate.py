@@ -1,0 +1,131 @@
+"""Unit tests for elaboration (Fig. 2): type translation and evidence."""
+
+import pytest
+
+from repro.errors import TypecheckError
+from repro.core.builders import ask, crule, implicit, with_
+from repro.core.terms import BoolLit, IntLit, PairE, InterfaceDecl, Signature
+from repro.core.types import (
+    BOOL,
+    INT,
+    STRING,
+    TFun,
+    TVar,
+    pair,
+    rule,
+)
+from repro.elaborate.translate import elaborate
+from repro.elaborate.types import translate_signature, translate_type
+from repro.systemf.ast import (
+    FForall,
+    FLam,
+    FTFun,
+    FTVar,
+    FTyLam,
+    F_BOOL,
+    F_INT,
+    f_forall,
+    f_fun,
+    ftypes_eq,
+    f_pair,
+)
+from repro.systemf.eval import feval
+from repro.systemf.typecheck import ftypecheck
+
+A = TVar("a")
+FA = FTVar("a")
+
+
+class TestTypeTranslation:
+    def test_base(self):
+        assert translate_type(INT) == F_INT
+        assert translate_type(TFun(INT, BOOL)) == FTFun(F_INT, F_BOOL)
+        assert translate_type(pair(INT, BOOL)) == f_pair(F_INT, F_BOOL)
+
+    def test_rule_with_context(self):
+        rho = rule(INT, [BOOL])
+        assert translate_type(rho) == FTFun(F_BOOL, F_INT)
+
+    def test_rule_multi_context_is_curried(self):
+        rho = rule(INT, [BOOL, STRING])
+        out = translate_type(rho)
+        # one argument per context entry, canonically ordered
+        assert isinstance(out, FTFun)
+        assert isinstance(out.res, FTFun)
+
+    def test_polymorphic_rule(self):
+        rho = rule(pair(A, A), [A], ["a"])
+        expected = f_forall(["a"], FTFun(FA, f_pair(FA, FA)))
+        assert ftypes_eq(translate_type(rho), expected)
+
+    def test_empty_context_quantified(self):
+        rho = rule(TFun(A, A), [], ["a"])
+        assert ftypes_eq(translate_type(rho), FForall("a", FTFun(FA, FA)))
+
+    def test_higher_order_context(self):
+        # |{{Int}=>Int} => Bool| = (Int -> Int) -> Bool
+        rho = rule(BOOL, [rule(INT, [INT])])
+        assert translate_type(rho) == FTFun(FTFun(F_INT, F_INT), F_BOOL)
+
+    def test_canonical_context_makes_translation_unique(self):
+        r1 = rule(INT, [BOOL, STRING])
+        r2 = rule(INT, [STRING, BOOL])
+        assert translate_type(r1) == translate_type(r2)
+
+    def test_signature_translation(self):
+        sig = Signature(
+            [InterfaceDecl("Eq", ("a",), (("eq", TFun(A, TFun(A, BOOL))),))]
+        )
+        fsig = translate_signature(sig)
+        decl = fsig.get("Eq")
+        assert decl is not None
+        assert decl.field_type("eq") == f_fun(FA, FA, F_BOOL)
+
+
+class TestEvidenceShapes:
+    def test_rule_abs_becomes_lambda(self):
+        rho = rule(INT, [BOOL])
+        _, target = elaborate(crule(rho, IntLit(1)))
+        assert isinstance(target, FLam)
+        assert target.var_type == F_BOOL
+
+    def test_polymorphic_rule_becomes_tylam(self):
+        rho = rule(pair(A, A), [A], ["a"])
+        _, target = elaborate(crule(rho, PairE(ask(A), ask(A))))
+        assert isinstance(target, FTyLam)
+
+    def test_query_evidence_applies_arguments(self):
+        program = implicit([IntLit(3)], ask(INT), INT)
+        tau, target = elaborate(program)
+        assert tau == INT
+        assert feval(target) == 3
+
+    def test_elaborated_programs_typecheck(self, overview_program):
+        name, program, expected = overview_program
+        tau, target = elaborate(program)
+        assert ftypes_eq(ftypecheck(target), translate_type(tau))
+        assert feval(target) == expected
+
+    def test_unresolvable_query_is_static_error(self):
+        with pytest.raises(TypecheckError):
+            elaborate(ask(INT))
+
+    def test_partial_resolution_evidence(self):
+        # Bool; forall a.{Bool,a}=>a*a answering {Int}=>Int*Int yields a
+        # function |Int| -> |Int*Int| closed over the resolved Bool.
+        inner = crule(
+            rule(pair(A, A), [BOOL, A], ["a"]),
+            PairE(ask(A), ask(A)),
+        )
+        program = implicit(
+            [BoolLit(True), (inner, rule(pair(A, A), [BOOL, A], ["a"]))],
+            ask(rule(pair(INT, INT), [INT])),
+            rule(pair(INT, INT), [INT]),
+        )
+        tau, target = elaborate(program)
+        ftype = ftypecheck(target)
+        assert ftypes_eq(ftype, FTFun(F_INT, f_pair(F_INT, F_INT)))
+        evidence = feval(target)
+        from repro.systemf.eval import apply_value
+
+        assert apply_value(evidence, 9) == (9, 9)

@@ -1,0 +1,70 @@
+"""T2: elaboration preserves typing (the paper's central theorem).
+
+``if Gamma | Delta |- e : tau ~> E  then  |Gamma|, |Delta| |- E : |tau|``,
+checked on every paper program and on targeted constructions.
+"""
+
+import pytest
+
+from repro.core.builders import ask, crule, implicit
+from repro.core.terms import IntLit, PairE
+from repro.core.types import INT, TVar, pair, rule
+from repro.elaborate.translate import elaborate
+from repro.elaborate.types import translate_type
+from repro.pipeline import Semantics, elaborate_core, run_core
+from repro.systemf.ast import ftypes_eq
+from repro.systemf.typecheck import ftypecheck
+
+A = TVar("a")
+
+
+class TestPreservationOnPaperPrograms:
+    def test_overview(self, overview_program):
+        _, program, _ = overview_program
+        tau, target = elaborate(program)
+        assert ftypes_eq(ftypecheck(target), translate_type(tau))
+
+    def test_pipeline_verify_flag(self, overview_program):
+        _, program, expected = overview_program
+        run = run_core(program, verify=True)
+        assert run.value == expected
+
+    def test_verify_runs_by_default_in_elaborate_core(self, overview_program):
+        _, program, _ = overview_program
+        elaborate_core(program)  # verify=True is the default
+
+
+class TestPreservationCornerCases:
+    def test_nested_partial_resolution(self):
+        # A rule consuming a higher-order rule, partially resolved twice.
+        inner_rho = rule(pair(INT, INT), [INT])
+        provider = crule(
+            rule(pair(A, A), [A], ["a"]), PairE(ask(A), ask(A))
+        )
+        program = implicit(
+            [IntLit(1), (provider, rule(pair(A, A), [A], ["a"]))],
+            implicit(
+                [IntLit(2)],
+                ask(inner_rho),
+                inner_rho,
+            ),
+            inner_rho,
+        )
+        tau, target = elaborate(program)
+        assert ftypes_eq(ftypecheck(target), translate_type(tau))
+
+    def test_polymorphic_query_evidence(self):
+        rho = rule(pair(A, A), [A], ["a"])
+        provider = crule(rho, PairE(ask(A), ask(A)))
+        program = implicit([(provider, rho)], ask(rho), rho)
+        tau, target = elaborate(program)
+        assert ftypes_eq(ftypecheck(target), translate_type(tau))
+
+
+class TestTypeSafety:
+    """T3 corollary: well-typed closed programs evaluate to values."""
+
+    def test_eval_terminates_with_value(self, overview_program):
+        _, program, expected = overview_program
+        for semantics in (Semantics.ELABORATE, Semantics.OPERATIONAL):
+            assert run_core(program, semantics=semantics).value == expected

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+ISORT = """
+let isort : forall a . {a -> a -> Bool} => [a] -> [a] = \\xs . sortBy ? xs in
+implicit ltInt in isort [2, 1, 3]
+"""
+
+CORE = "implicit {1, True} in (?Int + 1, #not ?Bool) : (Int, Bool)"
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "program.impl"
+    path.write_text(ISORT)
+    return str(path)
+
+
+@pytest.fixture
+def core_file(tmp_path):
+    path = tmp_path / "program.core"
+    path.write_text(CORE)
+    return str(path)
+
+
+class TestCommands:
+    def test_run_source(self, capsys, source_file):
+        assert main(["run", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "(1, 2, 3)" in out
+        assert "[Int]" in out  # the printed type
+
+    def test_run_core(self, capsys, core_file):
+        assert main(["run", "--core", core_file]) == 0
+        out = capsys.readouterr().out
+        assert "(2, False)" in out
+
+    def test_run_operational(self, capsys, core_file):
+        assert main(["run", "--core", "--operational", core_file]) == 0
+        assert "(2, False)" in capsys.readouterr().out
+
+    def test_run_verified(self, capsys, core_file):
+        assert main(["run", "--core", "--verify", core_file]) == 0
+
+    def test_check(self, capsys, core_file):
+        assert main(["check", "--core", core_file]) == 0
+        assert "(Int, Bool)" in capsys.readouterr().out
+
+    def test_compile_shows_core(self, capsys, source_file):
+        assert main(["compile", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "rule(" in out or "with" in out
+
+    def test_elaborate_shows_systemf(self, capsys, core_file):
+        assert main(["elaborate", "--core", core_file]) == 0
+        out = capsys.readouterr().out
+        assert "-- :" in out
+
+    def test_error_exit_code(self, capsys, tmp_path):
+        bad = tmp_path / "bad.impl"
+        bad.write_text("undefinedVariable")
+        assert main(["run", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_parse_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.impl"
+        bad.write_text("let let let")
+        assert main(["run", str(bad)]) == 1
+
+    def test_stdin(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO("1 + 1"))
+        assert main(["run", "-"]) == 0
+        assert "2" in capsys.readouterr().out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m(self, core_file):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "--core", core_file],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "(2, False)" in result.stdout

@@ -1,0 +1,52 @@
+"""The shipped examples must run clean (they assert their own outputs)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+PROGRAMS = sorted((ROOT / "examples" / "programs").glob("*.impl"))
+
+EXPECTED_PROGRAM_OUTPUT = {
+    "eq.impl": "(False, True)",
+    "show.impl": "('1,2,3', '1 2 3')",
+    "sort.impl": "((1, 2, 3), (3, 2, 1))",
+}
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_script_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=120
+    )
+    assert result.returncode == 0, result.stderr
+
+
+@pytest.mark.parametrize("program", PROGRAMS, ids=lambda p: p.name)
+def test_impl_program_via_cli(program):
+    from repro.cli import main
+
+    assert main(["run", str(program)]) == 0
+
+
+@pytest.mark.parametrize("program", PROGRAMS, ids=lambda p: p.name)
+def test_impl_program_output(program, capsys):
+    from repro.cli import main
+
+    main(["run", str(program)])
+    out = capsys.readouterr().out
+    assert EXPECTED_PROGRAM_OUTPUT[program.name] in out
+
+
+def test_example_inventory():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "equality_type_class.py",
+        "pretty_printing.py",
+        "overlapping_rules.py",
+        "higher_order_rules.py",
+    } <= names

@@ -1,0 +1,109 @@
+"""Unit tests for the public pipeline API."""
+
+import pytest
+
+from repro import (
+    Semantics,
+    compile_source,
+    elaborate_core,
+    run_core,
+    run_source,
+    run_source_full,
+    typecheck_core,
+)
+from repro.core.builders import ask, implicit
+from repro.core.parser import parse_core_expr
+from repro.core.resolution import Resolver
+from repro.core.terms import IntLit
+from repro.core.types import INT
+from repro.errors import SystemFTypeError
+
+
+class TestRunCore:
+    def test_returns_full_artifacts(self):
+        program = implicit([IntLit(3)], ask(INT), INT)
+        run = run_core(program)
+        assert run.value == 3
+        assert run.type == INT
+        assert run.systemf is not None
+        assert run.expr is program
+
+    def test_operational_has_no_systemf(self):
+        program = implicit([IntLit(3)], ask(INT), INT)
+        run = run_core(program, semantics=Semantics.OPERATIONAL)
+        assert run.value == 3
+        assert run.systemf is None
+
+    def test_custom_resolver_threads_through(self):
+        # {Bool}=>Int and {String}=>Bool with query {String}=>Int: the
+        # default TyRes gets stuck on the dangling String premise, while
+        # the EXTENDING strategy discharges it from the query's context.
+        from repro.core.builders import call_prim, crule
+        from repro.core.resolution import ResolutionStrategy
+        from repro.core.terms import If, StrLit
+        from repro.core.types import BOOL, STRING, rule
+        from repro.errors import ResolutionError
+
+        f_rho = rule(INT, [BOOL])
+        g_rho = rule(BOOL, [STRING])
+        f = crule(f_rho, If(ask(BOOL), IntLit(1), IntLit(0)))
+        g = crule(g_rho, call_prim("primEqString", ask(STRING), StrLit("")))
+        query_rho = rule(INT, [STRING])
+        program = implicit(
+            [(f, f_rho), (g, g_rho)], ask(query_rho), query_rho
+        )
+        with pytest.raises(ResolutionError):
+            typecheck_core(program)
+        extending = Resolver(strategy=ResolutionStrategy.EXTENDING)
+        assert typecheck_core(program, resolver=extending) == query_rho
+        # And the evidence actually runs: applying it with "" gives 1.
+        from repro.core.builders import with_
+        from repro.core.terms import StrLit as S
+
+        applied = implicit(
+            [(f, f_rho), (g, g_rho)],
+            with_(ask(query_rho), [(S(""), STRING)]),
+            INT,
+        )
+        run = run_core(applied, resolver=extending, verify=True)
+        assert run.value == 1
+
+    def test_verify_flag_runs_preservation_check(self):
+        program = implicit([IntLit(3)], ask(INT), INT)
+        run = run_core(program, verify=True)
+        assert run.value == 3
+
+
+class TestElaborateCore:
+    def test_returns_type_and_target(self):
+        tau, target = elaborate_core(implicit([IntLit(3)], ask(INT), INT))
+        assert tau == INT
+        from repro.systemf.eval import feval
+
+        assert feval(target) == 3
+
+    def test_verify_default_on(self):
+        # If preservation ever breaks, this raises SystemFTypeError.
+        elaborate_core(parse_core_expr("implicit {1} in ?Int + 1 : Int"))
+
+
+class TestSourceHelpers:
+    def test_compile_source_artifacts(self):
+        compiled = compile_source("1 + 1")
+        assert compiled.type == INT
+        assert typecheck_core(compiled.expr, signature=compiled.signature) == INT
+
+    def test_run_source_full(self):
+        compiled, run = run_source_full("1 + 1")
+        assert run.value == 2
+        assert compiled.type == INT
+
+    def test_run_source_semantics_param(self):
+        for semantics in Semantics:
+            assert run_source("2 * 3", semantics=semantics) == 6
+
+    def test_docstring_quickstart(self):
+        result = run_source(
+            "implicit showInt in let s : String = ? 42 in s"
+        )
+        assert result == "42"

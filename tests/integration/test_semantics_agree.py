@@ -1,0 +1,134 @@
+"""T3: the elaboration semantics and the operational semantics agree.
+
+The paper gives lambda_=> its meaning by elaboration (section 4) and the
+extended report gives a direct big-step semantics; on coherent, well-typed
+programs the two must produce the same values.  Ground values compare
+structurally; function/rule values are compared by applying them.
+"""
+
+import pytest
+
+from repro.core.builders import ask, crule, implicit, with_
+from repro.core.terms import App, BoolLit, IntLit, Lam, PairE, Var
+from repro.core.types import BOOL, INT, STRING, TFun, TVar, pair, rule
+from repro.pipeline import Semantics, run_core, run_source
+
+A = TVar("a")
+
+
+def both(program, **kwargs):
+    left = run_core(program, semantics=Semantics.ELABORATE, **kwargs).value
+    right = run_core(program, semantics=Semantics.OPERATIONAL, **kwargs).value
+    return left, right
+
+
+class TestGroundAgreement:
+    def test_overview(self, overview_program):
+        _, program, expected = overview_program
+        left, right = both(program)
+        assert left == right == expected
+
+    def test_arithmetic_and_strings(self):
+        from repro.core.parser import parse_core_expr
+
+        for text in [
+            "1 + 2 * 3",
+            '"a" ++ "b"',
+            "if #isEven 4 then 1 else 2",
+            "#intercalate \",\" (#map[Int, String] #showInt [1, 2, 3])",
+            "#sortBy[Int] #ltInt [3, 1, 2]",
+        ]:
+            program = parse_core_expr(text)
+            left, right = both(program)
+            assert left == right, text
+
+    def test_deep_recursive_resolution(self):
+        # Nested pair resolution exercises recursion depth in both
+        # interpreters identically.
+        poly = crule(rule(pair(A, A), [A], ["a"]), PairE(ask(A), ask(A)))
+        t = INT
+        for _ in range(4):
+            t = pair(t, t)
+        program = implicit(
+            [IntLit(1), (poly, rule(pair(A, A), [A], ["a"]))], ask(t), t
+        )
+        left, right = both(program)
+        assert left == right
+
+    def test_partial_resolution_behaviour(self):
+        # A partially resolved closure applied later must see the same
+        # evidence in both semantics.
+        f_rho = rule(INT, [INT, BOOL])
+        f = crule(
+            f_rho,
+            App(
+                App(Lam("x", INT, Lam("b", BOOL, Var("x"))), ask(INT)),
+                ask(BOOL),
+            ),
+        )
+        program = implicit(
+            [(f, f_rho), BoolLit(True)],
+            with_(ask(rule(INT, [INT])), [IntLit(11)]),
+            INT,
+        )
+        left, right = both(program)
+        assert left == right == 11
+
+
+class TestSourceAgreement:
+    @pytest.mark.parametrize(
+        "program,expected",
+        [
+            ("implicit showInt in let s : String = ? 9 in s", "9"),
+            (
+                "let k : forall a b . {} => a -> b -> a = \\x y . x in k 1 True",
+                1,
+            ),
+            (
+                "implicit ltInt in let m : {Int -> Int -> Bool} => Bool = ? 1 2 in m",
+                True,
+            ),
+        ],
+    )
+    def test_agree(self, program, expected):
+        left = run_source(program, semantics=Semantics.ELABORATE)
+        right = run_source(program, semantics=Semantics.OPERATIONAL)
+        assert left == right == expected
+
+
+class TestErrorAgreement:
+    """Programs rejected statically fail the same way in both pipelines."""
+
+    def test_unresolvable(self):
+        from repro.errors import NoMatchingRuleError
+
+        for semantics in (Semantics.ELABORATE, Semantics.OPERATIONAL):
+            with pytest.raises(NoMatchingRuleError):
+                run_core(ask(INT), semantics=semantics)
+
+    def test_duplicate_evidence(self):
+        # ``implicit {1, 2} in ?Int``: the context {Int, Int} collapses to
+        # a set, so supplying evidence twice is the static error.
+        from repro.errors import TypecheckError
+
+        program = implicit([IntLit(1), IntLit(2)], ask(INT), INT)
+        for semantics in (Semantics.ELABORATE, Semantics.OPERATIONAL):
+            with pytest.raises(TypecheckError):
+                run_core(program, semantics=semantics)
+
+    def test_overlap(self):
+        # Genuine same-set overlap: forall a. a -> Int vs Int -> Int both
+        # answer ?(Int -> Int).
+        from repro.errors import OverlappingRulesError
+
+        r1 = rule(TFun(A, INT), [], ["a"])
+        e1 = crule(r1, Lam("x", A, IntLit(0)))
+        e2 = Lam("n", INT, Var("n"))
+        program = implicit(
+            [(e1, r1), (e2, TFun(INT, INT))],
+            App(ask(TFun(INT, INT)), IntLit(1)),
+            INT,
+        )
+        for semantics in (Semantics.ELABORATE, Semantics.OPERATIONAL):
+            with pytest.raises(OverlappingRulesError):
+                run_core(program, semantics=semantics)

@@ -1,0 +1,58 @@
+"""Edge cases of the (.)-dagger encoding."""
+
+from repro.core.env import ImplicitEnv
+from repro.core.types import BOOL, INT, TCon, TFun, TVar, pair, rule
+from repro.logic.encode import clause_of_type, goal_of_type, program_of_env, type_term
+from repro.logic.terms import Atom, ForallG, Implies, Struct, Var
+
+A, B = TVar("a"), TVar("b")
+
+
+class TestTypeTerm:
+    def test_free_variables_are_rigid_constants(self):
+        term = type_term(A, frozenset())
+        assert isinstance(term, Struct)
+        assert term.functor == "tv:a"
+
+    def test_bound_variables_are_logic_variables(self):
+        term = type_term(A, frozenset({"a"}))
+        assert isinstance(term, Var)
+
+    def test_constructors(self):
+        term = type_term(pair(INT, BOOL), frozenset())
+        assert term.functor == "ty:Pair"
+        assert len(term.args) == 2
+
+    def test_rule_type_in_term_position_is_opaque(self):
+        # A rule type *under a constructor* stays a syntactic structure;
+        # implicational reading only applies at the formula level.
+        inner = rule(INT, [BOOL])
+        term = type_term(TCon("Box", (inner,)), frozenset())
+        assert term.functor == "ty:Box"
+        (boxed,) = term.args
+        assert boxed.functor.startswith("rule:")
+
+
+class TestGoalsAndClauses:
+    def test_polymorphic_goal_quantifies(self):
+        goal = goal_of_type(rule(pair(A, A), [A], ["a"]))
+        assert isinstance(goal, ForallG)
+        assert isinstance(goal.goal, Implies)
+
+    def test_monomorphic_rule_goal_is_implication(self):
+        goal = goal_of_type(rule(INT, [BOOL]))
+        assert isinstance(goal, Implies)
+        assert isinstance(goal.goal, Atom)
+
+    def test_simple_goal_is_atom(self):
+        assert isinstance(goal_of_type(TFun(INT, BOOL)), Atom)
+
+    def test_clause_of_simple_type_is_fact(self):
+        clause = clause_of_type(INT)
+        assert clause.vars == ()
+        assert clause.body == ()
+
+    def test_program_flattens_scoping(self):
+        env = ImplicitEnv.empty().push([INT]).push([BOOL])
+        program = program_of_env(env)
+        assert len(program) == 2  # priority is forgotten, logically

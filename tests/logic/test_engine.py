@@ -1,0 +1,125 @@
+"""Unit tests for the hereditary Harrop proof engine."""
+
+from repro.logic.engine import Engine, entails, unify
+from repro.logic.terms import (
+    Atom,
+    Clause,
+    Conj,
+    ForallG,
+    Implies,
+    Struct,
+    Var,
+)
+
+
+def c(functor, *args):
+    return Struct(functor, tuple(args))
+
+
+class TestUnify:
+    def test_constants(self):
+        assert unify(c("a"), c("a"), {}) == {}
+        assert unify(c("a"), c("b"), {}) is None
+
+    def test_variables(self):
+        out = unify(Var("X"), c("a"), {})
+        assert out == {"X": c("a")}
+
+    def test_occurs_check(self):
+        assert unify(Var("X"), c("f", Var("X")), {}) is None
+
+    def test_structural(self):
+        out = unify(c("f", Var("X"), c("b")), c("f", c("a"), Var("Y")), {})
+        assert out["X"] == c("a")
+        assert out["Y"] == c("b")
+
+    def test_chained_bindings(self):
+        s = unify(Var("X"), Var("Y"), {})
+        s = unify(Var("Y"), c("a"), s)
+        # Both resolve to a.
+        from repro.logic.engine import walk
+
+        assert walk(Var("X"), s) == c("a")
+
+
+class TestHornFragment:
+    def test_fact(self):
+        program = [Clause((), (), c("p"))]
+        assert entails(program, Atom(c("p")))
+        assert not entails(program, Atom(c("q")))
+
+    def test_modus_ponens(self):
+        program = [
+            Clause((), (Atom(c("p")),), c("q")),
+            Clause((), (), c("p")),
+        ]
+        assert entails(program, Atom(c("q")))
+
+    def test_quantified_clause(self):
+        # forall X. p(X) => q(X);  p(a)  |=  q(a)
+        program = [
+            Clause(("X",), (Atom(c("p", Var("X"))),), c("q", Var("X"))),
+            Clause((), (), c("p", c("a"))),
+        ]
+        assert entails(program, Atom(c("q", c("a"))))
+        assert not entails(program, Atom(c("q", c("b"))))
+
+    def test_conjunction(self):
+        program = [Clause((), (), c("p")), Clause((), (), c("q"))]
+        assert entails(program, Conj((Atom(c("p")), Atom(c("q")))))
+        assert not entails(program, Conj((Atom(c("p")), Atom(c("r")))))
+
+    def test_backtracking_across_clauses(self):
+        # Two clauses for q; only the second one's body is satisfiable.
+        program = [
+            Clause((), (Atom(c("impossible")),), c("q")),
+            Clause((), (Atom(c("p")),), c("q")),
+            Clause((), (), c("p")),
+        ]
+        assert entails(program, Atom(c("q")))
+
+    def test_depth_bound(self):
+        # p :- p loops; the bound turns it into "no proof found".
+        program = [Clause((), (Atom(c("p")),), c("p"))]
+        assert not entails(program, Atom(c("p")), max_depth=16)
+
+
+class TestHereditaryHarrop:
+    def test_implication_goal(self):
+        # |= p => p
+        goal = Implies((Clause((), (), c("p")),), Atom(c("p")))
+        assert entails([], goal)
+
+    def test_implication_scopes(self):
+        # p => q does not leak p outside.
+        goal = Implies((Clause((), (), c("p")),), Atom(c("p")))
+        assert entails([], goal)
+        assert not entails([], Atom(c("p")))
+
+    def test_universal_goal(self):
+        # forall X. p(X) => p(X)
+        goal = ForallG(
+            ("X",),
+            Implies((Clause((), (), c("p", Var("X"))),), Atom(c("p", Var("X")))),
+        )
+        assert entails([], goal)
+
+    def test_universal_goal_skolemizes(self):
+        # forall X. p(X) is NOT provable from p(a).
+        program = [Clause((), (), c("p", c("a")))]
+        assert not entails(program, ForallG(("X",), Atom(c("p", Var("X")))))
+
+    def test_nested_implications(self):
+        # (p => q) => (p => q): assume the clause p=>q and p, derive q.
+        inner_clause = Clause((), (Atom(c("p")),), c("q"))
+        goal = Implies(
+            (inner_clause,),
+            Implies((Clause((), (), c("p")),), Atom(c("q"))),
+        )
+        assert entails([], goal)
+
+    def test_engine_reuse(self):
+        engine = Engine(max_depth=8)
+        program = (Clause((), (), c("p")),)
+        assert engine.entails(program, Atom(c("p")))
+        assert not engine.entails(program, Atom(c("q")))

@@ -1,0 +1,97 @@
+"""T1: the Resolution Specification theorem on targeted cases.
+
+``Delta |-r rho  implies  Delta-dagger |= rho-dagger`` -- and the
+converse deliberately FAILS (resolution is weaker than entailment by
+design; section 3.2 "Semantic Resolution").
+"""
+
+from repro.core.env import ImplicitEnv
+from repro.core.resolution import resolvable, resolve
+from repro.core.types import BOOL, CHAR, INT, STRING, TFun, TVar, pair, rule
+from repro.logic.encode import clause_of_type, env_entails, goal_of_type
+from repro.logic.terms import Clause
+
+A = TVar("a")
+
+
+class TestEncoding:
+    def test_simple_type_goal_is_atom(self):
+        from repro.logic.terms import Atom
+
+        assert isinstance(goal_of_type(INT), Atom)
+
+    def test_function_type_is_uninterpreted(self):
+        # (Int -> Int)-dagger is an atom over the `fun` functor, not an
+        # implication: the paper restricts implications to rule types.
+        from repro.logic.terms import Atom, Struct
+
+        goal = goal_of_type(TFun(INT, INT))
+        assert isinstance(goal, Atom)
+        assert isinstance(goal.term, Struct)
+        assert goal.term.functor == "fun"
+
+    def test_rule_type_clause_curries_nested_heads(self):
+        # {A} => ({B} => C) as a clause has body {A, B} and head C.
+        rho = rule(rule(STRING, [BOOL]), [INT])
+        clause = clause_of_type(rho)
+        assert isinstance(clause, Clause)
+        assert len(clause.body) == 2
+        assert clause.head.functor == "ty:String"
+
+    def test_quantified_rule_clause(self):
+        rho = rule(pair(A, A), [A], ["a"])
+        clause = clause_of_type(rho)
+        assert clause.vars == ("a",)
+
+
+class TestTheoremOnPaperExamples:
+    def test_simple_resolution_entailed(self, pair_env):
+        assert resolvable(pair_env, pair(INT, INT))
+        assert env_entails(pair_env, pair(INT, INT))
+
+    def test_rule_resolution_entailed(self, pair_env):
+        rho = rule(pair(INT, INT), [INT])
+        assert resolvable(pair_env, rho)
+        assert env_entails(pair_env, rho)
+
+    def test_partial_resolution_entailed(self, partial_env):
+        rho = rule(pair(INT, INT), [INT])
+        assert resolvable(partial_env, rho)
+        assert env_entails(partial_env, rho)
+
+    def test_higher_order_query_entailed(self, pair_env):
+        rho = rule(pair(A, A), [A], ["a"])
+        assert resolvable(pair_env, rho)
+        assert env_entails(pair_env, rho)
+
+
+class TestConverseFails:
+    """Entailment holds but deterministic resolution refuses: the gap the
+
+    paper accepts to avoid backtracking."""
+
+    def test_backtracking_example(self, backtracking_env):
+        assert env_entails(backtracking_env, INT)
+        assert not resolvable(backtracking_env, INT)
+
+    def test_transitivity_example(self):
+        # {C}=>B, {A}=>C |= {A}=>B, but syntactic resolution fails.
+        from repro.core.types import TCon
+
+        X, Y, Z = TCon("X"), TCon("Y"), TCon("Z")
+        env = ImplicitEnv.empty().push([rule(Y, [Z]), rule(Z, [X])])
+        query = rule(Y, [X])
+        assert env_entails(env, query)
+        assert not resolvable(env, query)
+
+
+class TestNonEntailment:
+    def test_unprovable_stays_unprovable(self, pair_env):
+        assert not env_entails(pair_env, BOOL)
+        assert not resolvable(pair_env, BOOL)
+
+    def test_divergent_env_is_bounded(self):
+        env = ImplicitEnv.empty().push([rule(INT, [CHAR]), rule(CHAR, [INT])])
+        # Entailment search is depth-bounded: it reports no proof rather
+        # than looping.
+        assert not env_entails(env, INT, max_depth=16)

@@ -1,0 +1,169 @@
+"""Unit tests for the direct big-step semantics (extended report)."""
+
+import pytest
+
+from repro.errors import (
+    EvalError,
+    NoMatchingRuleError,
+    OverlappingRulesError,
+    ResolutionDivergenceError,
+)
+from repro.core.builders import add, ask, crule, implicit, with_
+from repro.core.env import ImplicitEnv, RuleEntry
+from repro.core.resolution import ResolutionStrategy
+from repro.core.terms import (
+    App,
+    BoolLit,
+    If,
+    IntLit,
+    Lam,
+    PairE,
+    TyApp,
+    Var,
+)
+from repro.core.types import BOOL, CHAR, INT, TFun, TVar, pair, rule
+from repro.opsem.interp import Interpreter, evaluate
+from repro.opsem.values import ConstRuleClosure, RuleClosure
+
+A = TVar("a")
+
+
+class TestOverviewPrograms:
+    def test_all(self, overview_program):
+        _, program, expected = overview_program
+        assert evaluate(program) == expected
+
+
+class TestRuleClosures:
+    def test_rule_abs_builds_closure_with_empty_eta(self):
+        v = evaluate(crule(rule(INT, [BOOL]), IntLit(1)))
+        assert isinstance(v, RuleClosure)
+        assert v.partial == ()
+
+    def test_op_inst_substitutes(self):
+        rho = rule(pair(A, A), [A], ["a"])
+        e = TyApp(crule(rho, PairE(ask(A), ask(A))), (INT,))
+        v = evaluate(e)
+        assert isinstance(v, RuleClosure)
+        assert v.rho == rule(pair(INT, INT), [INT])
+
+    def test_op_inst_degenerate_runs_body(self):
+        # forall a. {} => Int instantiated: the body runs immediately.
+        rho = rule(TFun(A, A), [], ["a"])
+        e = App(TyApp(crule(rho, Lam("x", A, Var("x"))), (INT,)), IntLit(7))
+        assert evaluate(e) == 7
+
+    def test_op_rapp_runs_body(self):
+        e = with_(
+            crule(rule(INT, [BOOL]), IntLit(9)),
+            [BoolLit(True)],
+        )
+        assert evaluate(e) == 9
+
+    def test_op_rapp_wrong_evidence(self):
+        e = with_(crule(rule(INT, [BOOL]), IntLit(9)), [IntLit(1)])
+        with pytest.raises(EvalError):
+            evaluate(e)
+
+
+class TestDynamicResolution:
+    def test_ground_lookup(self):
+        assert evaluate(implicit([IntLit(5)], ask(INT), INT)) == 5
+
+    def test_rule_type_query_of_ground_entry(self):
+        # ?({Bool} => Int) against entry 1 : Int gives a constant rule.
+        program = implicit(
+            [IntLit(1)],
+            with_(ask(rule(INT, [BOOL])), [BoolLit(True)]),
+            INT,
+        )
+        assert evaluate(program) == 1
+
+    def test_partially_resolved_context_installed(self):
+        # The paper's eta example: a rule {Int, Bool} => Int partially
+        # resolved to {Int} => Int carries Bool evidence in its closure.
+        f_rho = rule(INT, [INT, BOOL])
+        f = crule(f_rho, If(ask(BOOL), ask(INT), IntLit(0)))
+        program = implicit(
+            [(f, f_rho), BoolLit(True)],
+            with_(ask(rule(INT, [INT])), [IntLit(42)]),
+            INT,
+        )
+        assert evaluate(program) == 42
+
+    def test_runtime_no_match(self):
+        with pytest.raises(NoMatchingRuleError):
+            evaluate(ask(INT))
+
+    def test_runtime_overlap(self):
+        interp = Interpreter()
+        env = ImplicitEnv.empty().push(
+            [RuleEntry(INT, payload=1), RuleEntry(INT, payload=2)]
+        )
+        with pytest.raises(OverlappingRulesError):
+            interp.dyn_resolve(env, INT, 16)
+
+    def test_runtime_divergence_bounded(self):
+        interp = Interpreter(fuel=16)
+        env = ImplicitEnv.empty().push(
+            [RuleEntry(rule(INT, [CHAR]), payload=None),
+             RuleEntry(rule(CHAR, [INT]), payload=None)]
+        )
+        with pytest.raises(ResolutionDivergenceError):
+            interp.dyn_resolve(env, INT, 16)
+
+    def test_backtracking_strategy(self, backtracking_env):
+        # Runtime env entries need runtime payloads; rebuild with values.
+        interp = Interpreter(strategy=ResolutionStrategy.BACKTRACKING)
+        env = (
+            ImplicitEnv.empty()
+            .push([RuleEntry(CHAR, payload="c")])
+            .push(
+                [
+                    RuleEntry(
+                        rule(INT, [CHAR]),
+                        payload=RuleClosure(rule(INT, [CHAR]), IntLit(1), {}, ImplicitEnv.empty()),
+                    )
+                ]
+            )
+            .push(
+                [
+                    RuleEntry(
+                        rule(INT, [BOOL]),
+                        payload=RuleClosure(rule(INT, [BOOL]), IntLit(2), {}, ImplicitEnv.empty()),
+                    )
+                ]
+            )
+        )
+        assert interp.dyn_resolve(env, INT, 16) == 1
+
+
+class TestLexicalCapture:
+    def test_lambda_captures_implicit_env(self):
+        # A lambda built under one implicit scope keeps that scope even
+        # when called under another (lexical, not dynamic, scoping).
+        inner_lam = implicit([IntLit(1)], Lam("u", BOOL, ask(INT)), TFun(BOOL, INT))
+        program = implicit(
+            [IntLit(2)],
+            App(
+                App(Lam("f", TFun(BOOL, INT), Lam("v", BOOL, App(Var("f"), Var("v")))), inner_lam),
+                BoolLit(True),
+            ),
+            INT,
+        )
+        assert evaluate(program) == 1
+
+    def test_rule_closure_captures_definition_env(self):
+        # A rule defined where Int = 1 resolves its body there, even if
+        # applied where Int = 2... the rule's own context shadows, so we
+        # test via a type the context does not provide.
+        r_rho = rule(pair(INT, BOOL), [BOOL])
+        r = implicit(
+            [IntLit(1)],
+            crule(r_rho, PairE(ask(INT), ask(BOOL))),
+            r_rho,
+        )
+        # The rule was built where Int = 1; applying it elsewhere must
+        # still see 1 for the Int its body queries.
+        direct = implicit([IntLit(2)], with_(r, [BoolLit(True)]), pair(INT, BOOL))
+        assert evaluate(direct) == (1, True)

@@ -1,0 +1,99 @@
+"""Tests for semantic value typing (appendix TyRClos/TyRPgm) -- the
+
+executable form of the soundness proof's preservation statement:
+evaluating a well-typed program yields a value that semantically inhabits
+the program's type."""
+
+import pytest
+
+from repro.core.builders import ask, crule, implicit, with_
+from repro.core.terms import BoolLit, IntLit, PairE, If
+from repro.core.typecheck import typecheck
+from repro.core.types import BOOL, INT, STRING, TVar, pair, rule
+from repro.opsem.interp import evaluate
+from repro.opsem.semtyping import (
+    SemanticTypeError,
+    check_value,
+    infer_value_type,
+    well_typed,
+)
+from repro.opsem.values import RuleClosure
+
+A = TVar("a")
+
+
+class TestGroundValues:
+    def test_base(self):
+        check_value(3, INT)
+        check_value(True, BOOL)
+        check_value("s", STRING)
+
+    def test_mismatch(self):
+        with pytest.raises(SemanticTypeError):
+            check_value(3, BOOL)
+        with pytest.raises(SemanticTypeError):
+            check_value(True, INT)
+
+    def test_pairs_and_lists(self):
+        from repro.core.types import list_of
+
+        check_value((1, True), pair(INT, BOOL))
+        check_value((1, 2, 3), list_of(INT))
+        with pytest.raises(SemanticTypeError):
+            check_value((1, 2), pair(INT, BOOL))
+
+    def test_infer_value_type(self):
+        assert infer_value_type(3) == INT
+        assert infer_value_type((1, True)) == pair(INT, BOOL)
+        assert infer_value_type(object()) is None
+
+
+class TestPreservationOnLiveStates:
+    """eval preserves semantic typing: |= eval(e) : tau."""
+
+    def test_overview_results_inhabit_their_types(self, overview_program):
+        _, program, _ = overview_program
+        tau = typecheck(program)
+        value = evaluate(program)
+        check_value(value, tau)
+
+    def test_rule_closure_from_partial_resolution(self):
+        # The closure returned by a higher-order query carries eta; it
+        # must satisfy TyRClos at the query's rule type.
+        inner_rho = rule(pair(A, A), [BOOL, A], ["a"])
+        inner = crule(inner_rho, PairE(ask(A), ask(A)))
+        query_rho = rule(pair(INT, INT), [INT])
+        program = implicit(
+            [BoolLit(True), (inner, inner_rho)], ask(query_rho), query_rho
+        )
+        tau = typecheck(program)
+        value = evaluate(program)
+        assert isinstance(value, RuleClosure)
+        assert value.partial  # Bool evidence stashed in eta
+        check_value(value, tau)
+
+    def test_plain_rule_closure(self):
+        rho = rule(INT, [BOOL])
+        program = crule(rho, If(ask(BOOL), IntLit(1), IntLit(0)))
+        value = evaluate(program)
+        check_value(value, rho)
+
+    def test_wrong_claim_rejected(self):
+        rho = rule(INT, [BOOL])
+        program = crule(rho, If(ask(BOOL), IntLit(1), IntLit(0)))
+        value = evaluate(program)
+        assert not well_typed(value, rule(BOOL, [INT]))
+
+    def test_tampered_eta_rejected(self):
+        # Forge a closure whose eta evidence has the wrong type.
+        rho = rule(INT, [BOOL])
+        program = crule(rho, If(ask(BOOL), IntLit(1), IntLit(0)))
+        value = evaluate(program)
+        forged = RuleClosure(
+            value.rho,
+            value.body,
+            value.term_env,
+            value.impl_env,
+            partial=((STRING, 42),),  # claims a String, holds an int
+        )
+        assert not well_typed(forged, rho)

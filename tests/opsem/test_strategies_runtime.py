@@ -1,0 +1,78 @@
+"""Runtime behaviour of the alternative resolution strategies.
+
+The static elaboration can supply evidence for EXTENDING-style
+assumptions (the lambda-bound evidence variables); the *runtime*
+interpreter cannot -- the paper's "we do not have any value-level
+evidence (box)" remark -- so the operational semantics must fail cleanly
+if a hypothetical assumption is actually demanded.
+"""
+
+import pytest
+
+from repro.core.builders import ask, call_prim, crule, implicit, with_
+from repro.core.resolution import ResolutionStrategy, Resolver
+from repro.core.terms import If, IntLit, StrLit
+from repro.core.types import BOOL, INT, STRING, rule
+from repro.errors import NoMatchingRuleError
+from repro.opsem.interp import Interpreter
+from repro.pipeline import Semantics, run_core
+
+
+def _transitive_program():
+    """{Bool}=>Int, {String}=>Bool in scope; query {String}=>Int."""
+    f_rho = rule(INT, [BOOL])
+    g_rho = rule(BOOL, [STRING])
+    f = crule(f_rho, If(ask(BOOL), IntLit(1), IntLit(0)))
+    g = crule(g_rho, call_prim("primEqString", ask(STRING), StrLit("")))
+    query_rho = rule(INT, [STRING])
+    return implicit(
+        [(f, f_rho), (g, g_rho)],
+        with_(ask(query_rho), [(StrLit(""), STRING)]),
+        INT,
+    )
+
+
+class TestExtendingAtRuntime:
+    def test_elaboration_supplies_evidence(self):
+        resolver = Resolver(strategy=ResolutionStrategy.EXTENDING)
+        run = run_core(_transitive_program(), resolver=resolver, verify=True)
+        assert run.value == 1
+
+    def test_operational_semantics_cannot(self):
+        # The paper's own objection to the extending rule: "we do not
+        # have any value-level evidence (box)".  Elaboration *can* supply
+        # it (the assumption becomes a statically-bound evidence
+        # variable), but the runtime interpreter has no value to hand
+        # when the hypothetical assumption is demanded mid-resolution --
+        # it must fail cleanly rather than crash.
+        resolver = Resolver(strategy=ResolutionStrategy.EXTENDING)
+        with pytest.raises(NoMatchingRuleError, match="hypothetical assumption"):
+            run_core(
+                _transitive_program(),
+                resolver=resolver,
+                semantics=Semantics.OPERATIONAL,
+            )
+
+    def test_missing_evidence_is_a_clean_error(self):
+        # Force the interpreter to *demand* a hypothetical assumption:
+        # resolve {Int}=>Int where the only Int rule is the assumption.
+        from repro.core.env import ImplicitEnv
+
+        interp = Interpreter(strategy=ResolutionStrategy.EXTENDING)
+        env = ImplicitEnv.empty()
+        with pytest.raises(NoMatchingRuleError):
+            interp.dyn_resolve(env, rule(INT, [INT]), 16)
+
+
+class TestSyntacticRefusesTransitivity:
+    def test_static(self):
+        from repro.errors import ResolutionError
+
+        with pytest.raises(ResolutionError):
+            run_core(_transitive_program())
+
+    def test_operational(self):
+        from repro.errors import ResolutionError
+
+        with pytest.raises(ResolutionError):
+            run_core(_transitive_program(), semantics=Semantics.OPERATIONAL)

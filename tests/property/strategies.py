@@ -1,0 +1,170 @@
+"""Hypothesis strategies for types, substitutions, environments, programs.
+
+Environment/program generation is *constructive*: rules are built so that
+their contexts are satisfiable from what the environment already
+provides, which keeps the conditional metatheory properties (resolution
+implies entailment, preservation, semantics agreement) from being
+vacuously true.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.builders import ask, crule, implicit
+from repro.core.env import ImplicitEnv
+from repro.core.terms import BoolLit, Expr, IntLit, PairE, StrLit
+from repro.core.types import (
+    BOOL,
+    CHAR,
+    INT,
+    STRING,
+    TFun,
+    TVar,
+    Type,
+    pair,
+    rule,
+)
+
+BASE_TYPES = (INT, BOOL, STRING, CHAR)
+
+base_type = st.sampled_from(BASE_TYPES)
+
+tvar_name = st.sampled_from(["a", "b", "c"])
+
+
+def simple_types(max_depth: int = 3) -> st.SearchStrategy[Type]:
+    """Ground simple types (no variables)."""
+    return st.recursive(
+        base_type,
+        lambda inner: st.one_of(
+            st.tuples(inner, inner).map(lambda t: TFun(*t)),
+            st.tuples(inner, inner).map(lambda t: pair(*t)),
+        ),
+        max_leaves=max_depth,
+    )
+
+
+def open_simple_types(names: tuple[str, ...]) -> st.SearchStrategy[Type]:
+    """Simple types possibly mentioning the given type variables."""
+    leaves = st.one_of(base_type, st.sampled_from(names).map(TVar)) if names else base_type
+    return st.recursive(
+        leaves,
+        lambda inner: st.one_of(
+            st.tuples(inner, inner).map(lambda t: TFun(*t)),
+            st.tuples(inner, inner).map(lambda t: pair(*t)),
+        ),
+        max_leaves=4,
+    )
+
+
+@st.composite
+def substitutions(draw) -> dict[str, Type]:
+    names = draw(st.sets(tvar_name, max_size=3))
+    return {name: draw(simple_types()) for name in names}
+
+
+@st.composite
+def rule_types(draw) -> Type:
+    """Arbitrary (possibly polymorphic, possibly higher-order) rule types."""
+    tvars = tuple(sorted(draw(st.sets(tvar_name, max_size=2))))
+    head = draw(open_simple_types(tvars))
+    # Ensure quantified variables occur in the head (unambiguous).
+    for name in tvars:
+        head = pair(TVar(name), head)
+    n_ctx = draw(st.integers(0, 2))
+    context = [draw(open_simple_types(tvars)) for _ in range(n_ctx)]
+    if not tvars and not context:
+        return head
+    return rule(head, context, tvars)
+
+
+@st.composite
+def derivable_environments(draw) -> tuple[ImplicitEnv, list[Type]]:
+    """An environment plus a list of queries known to be resolvable.
+
+    Construction invariant: every rule's context only mentions types that
+    an *outer or same* frame already provides, so resolution of any
+    provided head succeeds (no overlap is introduced within one frame).
+    """
+    env = ImplicitEnv.empty()
+    provided: list[Type] = []
+    queries: list[Type] = []
+    n_frames = draw(st.integers(1, 3))
+    for _ in range(n_frames):
+        frame: list[Type] = []
+        frame_heads: list[Type] = []
+        n_rules = draw(st.integers(1, 3))
+        for _ in range(n_rules):
+            if provided and draw(st.booleans()):
+                # A rule deriving a new pair type from available ones.
+                dep = draw(st.sampled_from(provided))
+                head = pair(dep, draw(base_type))
+                if any(h == head for h in frame_heads):
+                    continue
+                frame.append(rule(head, [dep]))
+            else:
+                head = draw(base_type)
+                if any(h == head for h in frame_heads):
+                    continue
+                frame.append(head)
+            frame_heads.append(head)
+        if not frame:
+            frame = [INT]
+            frame_heads = [INT]
+        env = env.push(frame)
+        provided = frame_heads + provided
+        queries.extend(frame_heads)
+    return env, queries
+
+
+_PROVIDERS = {
+    INT: IntLit(7),
+    BOOL: BoolLit(True),
+    STRING: StrLit("s"),
+}
+
+
+@st.composite
+def well_typed_programs(draw) -> tuple[Expr, object]:
+    """A closed, well-typed lambda_=> program and its expected value.
+
+    Shape: nested ``implicit`` scopes providing ground values and pair
+    rules, with a final query for a type the scopes provide.
+    """
+    available: dict[Type, object] = {}
+    layers = draw(st.integers(1, 3))
+    frames: list[list[tuple[Expr, Type]]] = []
+    a = TVar("a")
+    pair_rule_rho = rule(pair(a, a), [a], ["a"])
+    pair_rule = crule(pair_rule_rho, PairE(ask(a), ask(a)))
+    has_pair_rule = False
+    for _ in range(layers):
+        frame: list[tuple[Expr, Type]] = []
+        for tau, expr in _PROVIDERS.items():
+            if draw(st.booleans()):
+                frame.append((expr, tau))
+                available[tau] = expr.value
+        if not has_pair_rule and draw(st.booleans()):
+            frame.append((pair_rule, pair_rule_rho))
+            has_pair_rule = True
+        if not frame:
+            frame.append((IntLit(7), INT))
+            available[INT] = 7
+        frames.append(frame)
+    if not available:
+        frames[0].append((IntLit(7), INT))
+        available[INT] = 7
+    query_base = draw(st.sampled_from(sorted(available, key=str)))
+    expected = available[query_base]
+    query_type = query_base
+    if has_pair_rule:
+        depth = draw(st.integers(0, 2))
+        for _ in range(depth):
+            query_type = pair(query_type, query_type)
+            expected = (expected, expected)
+    program: Expr = ask(query_type)
+    result_type = query_type
+    for frame in reversed(frames):
+        program = implicit(frame, program, result_type)
+    return program, expected

@@ -1,0 +1,85 @@
+"""Property tests for the coherence/stability lemmas (proofs appendix).
+
+The appendix proves that the well-formedness predicates are *stable under
+substitution* (lemma `pred-stable`): if a rule set is distinct / unique /
+coherent, then so is every instance of it.  We check the executable
+versions of those statements on random rule sets and substitutions, plus
+lookup-stability on environments built to be coherent.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coherence import (
+    distinct,
+    distinct_context,
+    lookup_stable,
+    nonoverlap,
+    subst_env,
+    unique_instances,
+)
+from repro.core.env import ImplicitEnv
+from repro.core.subst import subst_type
+from repro.core.types import ftv
+
+from .strategies import derivable_environments, rule_types, substitutions
+
+
+@settings(max_examples=60)
+@given(rule_types(), rule_types(), substitutions())
+def test_nonoverlap_reflects_under_substitution(rho1, rho2, theta):
+    """Contrapositive of stability: overlapping instances imply the
+
+    originals overlapped (nonoverlap(r1, r2) => nonoverlap(θr1, θr2))."""
+    if nonoverlap(rho1, rho2):
+        assert nonoverlap(subst_type(theta, rho1), subst_type(theta, rho2))
+
+
+@settings(max_examples=60)
+@given(st.lists(rule_types(), min_size=1, max_size=3), substitutions())
+def test_unique_instances_stable(context, theta):
+    if unique_instances(context):
+        assert unique_instances([subst_type(theta, r) for r in context])
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(rule_types(), min_size=1, max_size=2),
+    st.lists(rule_types(), min_size=1, max_size=2),
+    substitutions(),
+)
+def test_distinct_stable(ctx1, ctx2, theta):
+    if distinct(ctx1, ctx2):
+        assert distinct(
+            [subst_type(theta, r) for r in ctx1],
+            [subst_type(theta, r) for r in ctx2],
+        )
+
+
+@settings(max_examples=60)
+@given(st.lists(rule_types(), min_size=1, max_size=3), substitutions())
+def test_distinct_context_stable(context, theta):
+    if distinct_context(context):
+        assert distinct_context([subst_type(theta, r) for r in context])
+
+
+@settings(max_examples=60, deadline=None)
+@given(derivable_environments(), substitutions())
+def test_ground_environments_are_lookup_stable(env_queries, theta):
+    """The generator builds variable-free, non-overlapping environments;
+
+    every lookup in them must be stable under every substitution."""
+    env, queries = env_queries
+    for query in queries:
+        if ftv(query):
+            continue
+        assert lookup_stable(env, query, theta)
+
+
+@settings(max_examples=40, deadline=None)
+@given(derivable_environments(), substitutions())
+def test_subst_env_preserves_structure(env_queries, theta):
+    env, _ = env_queries
+    out = subst_env(theta, env)
+    assert len(out) == len(env)
+    assert [len(f) for f in out.frames()] == [len(f) for f in env.frames()]

@@ -1,0 +1,47 @@
+"""Property tests for T2/T3 over randomly generated well-typed programs."""
+
+from hypothesis import given, settings
+
+from repro.core.typecheck import typecheck
+from repro.elaborate.translate import elaborate
+from repro.elaborate.types import translate_type
+from repro.opsem.interp import evaluate
+from repro.systemf.ast import ftypes_eq
+from repro.systemf.eval import feval
+from repro.systemf.typecheck import ftypecheck
+
+from .strategies import well_typed_programs
+
+
+@settings(max_examples=60, deadline=None)
+@given(well_typed_programs())
+def test_generated_programs_typecheck(program_expected):
+    program, _ = program_expected
+    typecheck(program)
+
+
+@settings(max_examples=60, deadline=None)
+@given(well_typed_programs())
+def test_type_preservation(program_expected):
+    """T2: |Gamma|,|Delta| |- E : |tau| for every elaborated program."""
+    program, _ = program_expected
+    tau, target = elaborate(program)
+    assert ftypes_eq(ftypecheck(target), translate_type(tau))
+
+
+@settings(max_examples=60, deadline=None)
+@given(well_typed_programs())
+def test_type_safety_and_expected_value(program_expected):
+    """T3: evaluation succeeds and produces the constructed value."""
+    program, expected = program_expected
+    _, target = elaborate(program)
+    assert feval(target) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(well_typed_programs())
+def test_semantics_agree(program_expected):
+    """T3: elaboration semantics == direct operational semantics."""
+    program, expected = program_expected
+    _, target = elaborate(program)
+    assert feval(target) == evaluate(program) == expected

@@ -1,0 +1,75 @@
+"""Property tests for resolution: Theorem 1 and engine invariants."""
+
+from hypothesis import given, settings
+
+from repro.errors import ResolutionError
+from repro.core.resolution import ResolutionStrategy, Resolver, resolve
+from repro.core.types import rule
+from repro.logic.encode import env_entails
+
+from .strategies import derivable_environments
+
+
+@settings(max_examples=60, deadline=None)
+@given(derivable_environments())
+def test_constructed_queries_resolve(env_queries):
+    """The generator's invariant: every provided head resolves."""
+    env, queries = env_queries
+    for query in queries:
+        resolve(env, query)
+
+
+@settings(max_examples=60, deadline=None)
+@given(derivable_environments())
+def test_resolution_specification(env_queries):
+    """Theorem 1: Delta |-r rho implies Delta-dagger |= rho-dagger."""
+    env, queries = env_queries
+    for query in queries:
+        try:
+            resolve(env, query)
+        except ResolutionError:
+            continue
+        assert env_entails(env, query, max_depth=48), (
+            f"resolved {query} but entailment failed"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(derivable_environments())
+def test_rule_type_queries_respect_specification(env_queries):
+    """Theorem 1 for higher-order queries {tau1} => tau2."""
+    env, queries = env_queries
+    for assumed in queries[:2]:
+        for wanted in queries[:2]:
+            query = rule(wanted, [assumed])
+            if query == wanted:
+                continue
+            try:
+                resolve(env, query)
+            except ResolutionError:
+                continue
+            assert env_entails(env, query, max_depth=48)
+
+
+@settings(max_examples=60, deadline=None)
+@given(derivable_environments())
+def test_stronger_strategies_subsume_syntactic(env_queries):
+    """Anything the paper's TyRes resolves, EXTENDING and BACKTRACKING
+    resolve too (they only add proofs, never remove them)."""
+    env, queries = env_queries
+    for query in queries:
+        try:
+            resolve(env, query)
+        except ResolutionError:
+            continue
+        for strategy in (ResolutionStrategy.EXTENDING, ResolutionStrategy.BACKTRACKING):
+            Resolver(strategy=strategy).resolve(env, query)
+
+
+@settings(max_examples=60, deadline=None)
+@given(derivable_environments())
+def test_derivation_size_positive_and_bounded(env_queries):
+    env, queries = env_queries
+    for query in queries:
+        derivation = resolve(env, query)
+        assert 1 <= derivation.size() <= 64

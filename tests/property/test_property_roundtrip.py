@@ -1,0 +1,47 @@
+"""Property tests: pretty-printing round-trips through the parsers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parser import parse_core_expr, parse_core_type
+from repro.core.pretty import pretty_expr, pretty_type
+from repro.core.types import types_alpha_eq
+
+from .strategies import open_simple_types, rule_types, well_typed_programs
+
+
+@settings(max_examples=100)
+@given(open_simple_types(("a", "b", "c")))
+def test_simple_type_roundtrip(tau):
+    assert types_alpha_eq(parse_core_type(pretty_type(tau)), tau)
+
+
+@settings(max_examples=100)
+@given(rule_types())
+def test_rule_type_roundtrip(rho):
+    assert types_alpha_eq(parse_core_type(pretty_type(rho)), rho)
+
+
+@settings(max_examples=60, deadline=None)
+@given(well_typed_programs())
+def test_program_roundtrip_preserves_meaning(program_expected):
+    """Printing and re-parsing a generated program yields the same value.
+
+    (Syntactic identity is not guaranteed -- the printer drops redundant
+    parentheses -- but evaluation must agree.)
+    """
+    from repro.opsem.interp import evaluate
+
+    program, expected = program_expected
+    reparsed = parse_core_expr(pretty_expr(program))
+    assert evaluate(reparsed) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(well_typed_programs())
+def test_program_roundtrip_preserves_type(program_expected):
+    from repro.core.typecheck import typecheck
+
+    program, _ = program_expected
+    reparsed = parse_core_expr(pretty_expr(program))
+    assert types_alpha_eq(typecheck(reparsed), typecheck(program))

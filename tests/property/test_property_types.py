@@ -1,0 +1,97 @@
+"""Property tests: substitution, alpha-equivalence, unification laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.subst import compose, subst_type
+from repro.core.types import (
+    RuleType,
+    TVar,
+    canonical_key,
+    ftv,
+    promote,
+    rule,
+    types_alpha_eq,
+)
+from repro.core.unify import match_type, mgu
+
+from .strategies import open_simple_types, rule_types, simple_types, substitutions
+
+
+@settings(max_examples=80)
+@given(substitutions(), substitutions(), open_simple_types(("a", "b", "c")))
+def test_substitution_composition(theta2, theta1, tau):
+    """subst (theta2 . theta1) == subst theta2 . subst theta1."""
+    combined = compose(theta2, theta1)
+    assert types_alpha_eq(
+        subst_type(combined, tau), subst_type(theta2, subst_type(theta1, tau))
+    )
+
+
+@settings(max_examples=80)
+@given(substitutions(), rule_types())
+def test_substitution_preserves_alpha_classes(theta, rho):
+    """Alpha-equal inputs give alpha-equal outputs."""
+    renamed = _alpha_rename(rho)
+    assert types_alpha_eq(rho, renamed)
+    assert types_alpha_eq(subst_type(theta, rho), subst_type(theta, renamed))
+
+
+def _alpha_rename(rho):
+    if not isinstance(rho, RuleType):
+        return rho
+    fresh = {v: TVar(f"{v}_renamed") for v in rho.tvars}
+    return RuleType(
+        tuple(fresh[v].name for v in rho.tvars),
+        tuple(subst_type(fresh, r) for r in rho.context),
+        subst_type(fresh, rho.head),
+    )
+
+
+@settings(max_examples=80)
+@given(substitutions(), open_simple_types(("a", "b", "c")))
+def test_subst_removes_substituted_ftv(theta, tau):
+    out_ftv = ftv(subst_type(theta, tau))
+    for name in theta:
+        if name in ftv(tau):
+            # Gone unless the *ranges* reintroduce it.
+            reintroduced = any(name in ftv(t) for t in theta.values())
+            assert reintroduced or name not in out_ftv
+
+
+@settings(max_examples=80)
+@given(rule_types())
+def test_canonical_key_invariant_under_renaming(rho):
+    assert canonical_key(rho) == canonical_key(_alpha_rename(rho))
+
+
+@settings(max_examples=80)
+@given(rule_types())
+def test_promotion_roundtrip(rho):
+    tvars, context, head = promote(rho)
+    assert types_alpha_eq(rule(head, context, tvars), rho)
+
+
+@settings(max_examples=80)
+@given(open_simple_types(("a", "b")), substitutions())
+def test_matching_soundness(pattern, theta):
+    """If theta' = match(pattern, theta pattern) then theta' pattern ==
+    theta pattern (matching recovers *a* unifier)."""
+    target = subst_type(theta, pattern)
+    theta2 = match_type(pattern, target, ftv(pattern))
+    if theta2 is not None:  # matching may fail only if pattern vars escape
+        assert types_alpha_eq(subst_type(theta2, pattern), target)
+
+
+@settings(max_examples=80)
+@given(open_simple_types(("a", "b")), open_simple_types(("a", "b")))
+def test_mgu_soundness(t1, t2):
+    theta = mgu(t1, t2)
+    if theta is not None:
+        assert types_alpha_eq(subst_type(theta, t1), subst_type(theta, t2))
+
+
+@settings(max_examples=80)
+@given(simple_types())
+def test_ground_matching_is_equality(tau):
+    assert match_type(tau, tau, []) == {}

@@ -1,0 +1,64 @@
+"""Tests for top-level ``def`` declarations (sugar over nested lets)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.pipeline import Semantics, run_source
+from repro.source.ast import SLet
+from repro.source.parser import parse_program
+
+
+class TestParsing:
+    def test_defs_desugar_to_lets(self):
+        program = parse_program("def x = 1;\ndef y = 2;\nx + y")
+        assert isinstance(program.body, SLet)
+        assert program.body.name == "x"
+        assert isinstance(program.body.body, SLet)
+        assert program.body.body.name == "y"
+
+    def test_annotated_def(self):
+        program = parse_program("def inc : Int -> Int = \\n . n + 1;\ninc 41")
+        assert program.body.scheme is not None
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("def x = 1\nx")
+
+    def test_defs_after_interfaces(self):
+        program = parse_program(
+            """
+            interface Eq a = { eq : a -> a -> Bool };
+            def eqInt : Eq Int = Eq { eq = primEqInt };
+            1
+            """
+        )
+        assert len(program.interfaces) == 1
+        assert program.body.name == "eqInt"
+
+
+class TestExecution:
+    @pytest.mark.parametrize("semantics", list(Semantics), ids=lambda s: s.value)
+    def test_full_program(self, semantics):
+        program = """
+        interface Show a = { shw : a -> String };
+        def showIt : forall a . {Show a} => a -> String = shw ?;
+        def showInt' : Show Int = Show { shw = showInt };
+        def double = \\n . n * 2;
+        implicit showInt' in showIt (double 21)
+        """
+        assert run_source(program, semantics=semantics) == "42"
+
+    def test_later_defs_see_earlier_ones(self):
+        program = """
+        def one = 1;
+        def two = one + one;
+        two + two
+        """
+        assert run_source(program) == 4
+
+    def test_generalised_def(self):
+        program = """
+        def id = \\x . x;
+        (id 1, id "s")
+        """
+        assert run_source(program) == (1, "s")

@@ -1,0 +1,86 @@
+"""Tests for optional let annotations (HM generalisation, section 5.2)."""
+
+import pytest
+
+from repro.core.typecheck import typecheck
+from repro.core.types import BOOL, INT, STRING, pair
+from repro.errors import SourceTypeError
+from repro.pipeline import Semantics, compile_source, run_source
+
+BOTH = [Semantics.ELABORATE, Semantics.OPERATIONAL]
+
+
+@pytest.fixture(params=BOTH, ids=["elaborate", "operational"])
+def semantics(request):
+    return request.param
+
+
+class TestMonomorphicLets:
+    def test_ground_binding(self, semantics):
+        assert run_source("let x = 41 in x + 1", semantics=semantics) == 42
+
+    def test_shadowing(self, semantics):
+        assert run_source("let x = 1 in let x = 2 in x", semantics=semantics) == 2
+
+    def test_string_binding(self, semantics):
+        assert run_source('let s = "a" in s ++ "b"', semantics=semantics) == "ab"
+
+
+class TestGeneralisation:
+    def test_identity_used_at_two_types(self, semantics):
+        result = run_source(
+            "let id = \\x . x in (id 3, id True)", semantics=semantics
+        )
+        assert result == (3, True)
+
+    def test_inferred_type_is_polymorphic(self):
+        compiled = compile_source("let id = \\x . x in (id 3, id True)")
+        assert compiled.type == pair(INT, BOOL)
+        typecheck(compiled.expr, signature=compiled.signature)
+
+    def test_const_combinator(self, semantics):
+        assert run_source("let k = \\x y . x in k 1 False", semantics=semantics) == 1
+
+    def test_composition(self, semantics):
+        program = """
+        let compose = \\f g x . f (g x) in
+        let inc = \\n . n + 1 in
+        compose showInt inc 41
+        """
+        assert run_source(program, semantics=semantics) == "42"
+
+    def test_nested_generalisation(self, semantics):
+        program = """
+        let apply = \\f x . f x in
+        let id = \\x . x in
+        (apply id 1, apply id "s")
+        """
+        assert run_source(program, semantics=semantics) == (1, "s")
+
+    def test_does_not_generalise_env_metas(self):
+        # \y . let f = \x . y in ... : the meta of y stays monomorphic.
+        program = "(\\y . let f = \\x . y in f 1 + f 2) 10"
+        assert run_source(program) == 20
+
+
+class TestMonomorphismRestrictionForImplicits:
+    def test_query_type_not_generalised(self, semantics):
+        program = """
+        implicit showInt in
+          let render = \\n . ? n in
+          let s : String = render 7 in s
+        """
+        assert run_source(program, semantics=semantics) == "7"
+
+    def test_annotated_let_still_abstracts_implicits(self, semantics):
+        # Contrast: the annotation *does* abstract the query's evidence.
+        program = """
+        let render : forall a . {a -> String} => a -> String = \\x . ? x in
+        implicit showInt in
+          let s : String = render 7 in s
+        """
+        assert run_source(program, semantics=semantics) == "7"
+
+    def test_unconstrained_query_stays_ambiguous(self):
+        with pytest.raises(SourceTypeError, match="ambiguous"):
+            compile_source("let f = \\x . ? x in 1")

@@ -1,0 +1,141 @@
+"""Unit tests for the source-language parser (Fig. 3 syntax)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.core.types import BOOL, INT, TCon, TFun, TVar, pair, rule, types_alpha_eq
+from repro.source.ast import (
+    SApp,
+    SBoolLit,
+    SIf,
+    SImplicit,
+    SIntLit,
+    SLam,
+    SLet,
+    SList,
+    SPair,
+    SQuery,
+    SRecord,
+    SStrLit,
+    SVar,
+)
+from repro.source.parser import parse_expr, parse_program, parse_scheme
+
+A = TVar("a")
+
+
+class TestSchemes:
+    def test_plain_type(self):
+        assert parse_scheme("Int -> Bool") == TFun(INT, BOOL)
+
+    def test_forall_context(self):
+        sigma = parse_scheme("forall a . {Eq a} => a -> a -> Bool")
+        assert types_alpha_eq(
+            sigma,
+            rule(TFun(A, TFun(A, BOOL)), [TCon("Eq", (A,))], ["a"]),
+        )
+
+    def test_context_without_forall(self):
+        sigma = parse_scheme("{Int} => Bool")
+        assert sigma == rule(BOOL, [INT])
+
+    def test_higher_order_context(self):
+        sigma = parse_scheme("{Int -> String, {Int -> String} => [Int] -> String} => String")
+        assert len(sigma.context) == 2
+
+
+class TestExpressions:
+    def test_atoms(self):
+        assert parse_expr("42") == SIntLit(42)
+        assert parse_expr("True") == SBoolLit(True)
+        assert parse_expr('"s"') == SStrLit("s")
+        assert parse_expr("x") == SVar("x")
+        assert parse_expr("?") == SQuery()
+
+    def test_application(self):
+        assert parse_expr("f x y") == SApp(SApp(SVar("f"), SVar("x")), SVar("y"))
+
+    def test_query_in_application(self):
+        assert parse_expr("eq ? p") == SApp(SApp(SVar("eq"), SQuery()), SVar("p"))
+
+    def test_lambda_multi_param(self):
+        assert parse_expr("\\x y . x") == SLam(("x", "y"), SVar("x"))
+
+    def test_let(self):
+        e = parse_expr("let f : Int = 1 in f")
+        assert e == SLet("f", INT, SIntLit(1), SVar("f"))
+
+    def test_implicit_braces(self):
+        e = parse_expr("implicit {a, b} in x")
+        assert e == SImplicit(("a", "b"), SVar("x"))
+
+    def test_implicit_single(self):
+        e = parse_expr("implicit showInt in x")
+        assert e == SImplicit(("showInt",), SVar("x"))
+
+    def test_if(self):
+        e = parse_expr("if True then 1 else 2")
+        assert e == SIf(SBoolLit(True), SIntLit(1), SIntLit(2))
+
+    def test_operators_precedence(self):
+        e = parse_expr("1 + 2 * 3")
+        assert e == SApp(
+            SApp(SVar("add"), SIntLit(1)),
+            SApp(SApp(SVar("mul"), SIntLit(2)), SIntLit(3)),
+        )
+
+    def test_boolean_operators(self):
+        e = parse_expr("a && b || c")
+        assert e == SApp(
+            SApp(SVar("or"), SApp(SApp(SVar("and"), SVar("a")), SVar("b"))),
+            SVar("c"),
+        )
+
+    def test_pair_list(self):
+        assert parse_expr("(1, 2)") == SPair(SIntLit(1), SIntLit(2))
+        assert parse_expr("[1, 2]") == SList((SIntLit(1), SIntLit(2)))
+        assert parse_expr("[]") == SList(())
+
+    def test_record(self):
+        e = parse_expr("Eq { eq = primEqInt }")
+        assert e == SRecord("Eq", (("eq", SVar("primEqInt")),))
+
+    def test_parenthesised(self):
+        assert parse_expr("(f x)") == SApp(SVar("f"), SVar("x"))
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 1 ,")
+
+
+class TestPrograms:
+    def test_interface_declaration(self):
+        program = parse_program(
+            "interface Eq a = { eq : a -> a -> Bool };\n1"
+        )
+        (decl,) = program.interfaces
+        assert decl.name == "Eq"
+        assert decl.tvars == ("a",)
+        assert decl.field_names() == ("eq",)
+
+    def test_multi_field_interface(self):
+        program = parse_program(
+            "interface Ord a = { cmp : a -> a -> Bool, eql : a -> a -> Bool };\n1"
+        )
+        (decl,) = program.interfaces
+        assert decl.field_names() == ("cmp", "eql")
+
+    def test_multiple_interfaces(self):
+        program = parse_program(
+            """
+            interface Eq a = { eq : a -> a -> Bool };
+            interface Show a = { show : a -> String };
+            1
+            """
+        )
+        assert len(program.interfaces) == 2
+
+    def test_program_body(self):
+        program = parse_program("1 + 1")
+        assert program.interfaces == ()
+        assert isinstance(program.body, SApp)

@@ -1,0 +1,72 @@
+"""Unit tests for System F types: alpha-equivalence and substitution."""
+
+from repro.systemf.ast import (
+    FForall,
+    FTCon,
+    FTFun,
+    FTVar,
+    F_BOOL,
+    F_INT,
+    f_forall,
+    f_fun,
+    f_pair,
+    ftype_ftv,
+    ftypes_eq,
+    subst_ftype,
+)
+
+A, B = FTVar("a"), FTVar("b")
+
+
+class TestAlphaEq:
+    def test_forall_alpha(self):
+        t1 = FForall("a", FTFun(A, A))
+        t2 = FForall("b", FTFun(B, B))
+        assert ftypes_eq(t1, t2)
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+    def test_free_vs_bound(self):
+        assert not ftypes_eq(FForall("a", FTFun(A, B)), FForall("b", FTFun(B, B)))
+
+    def test_structural(self):
+        assert ftypes_eq(f_fun(F_INT, F_BOOL), FTFun(F_INT, F_BOOL))
+        assert not ftypes_eq(F_INT, F_BOOL)
+
+    def test_nested_foralls(self):
+        t1 = f_forall(["a", "b"], f_fun(A, B))
+        t2 = f_forall(["x", "y"], f_fun(FTVar("x"), FTVar("y")))
+        t3 = f_forall(["x", "y"], f_fun(FTVar("y"), FTVar("x")))
+        assert ftypes_eq(t1, t2)
+        assert not ftypes_eq(t1, t3)
+
+
+class TestFtv:
+    def test_free(self):
+        assert ftype_ftv(f_fun(A, f_pair(B, F_INT))) == {"a", "b"}
+
+    def test_bound(self):
+        assert ftype_ftv(FForall("a", FTFun(A, B))) == {"b"}
+
+
+class TestSubst:
+    def test_basic(self):
+        assert subst_ftype({"a": F_INT}, f_fun(A, B)) == f_fun(F_INT, B)
+
+    def test_shadowing(self):
+        t = FForall("a", FTFun(A, A))
+        assert subst_ftype({"a": F_INT}, t) == t
+
+    def test_capture_avoidance(self):
+        # [b |-> a] (forall a. b -> a) must rename the binder.
+        t = FForall("a", FTFun(B, A))
+        out = subst_ftype({"b": A}, t)
+        assert isinstance(out, FForall)
+        assert out.var != "a"
+        assert ftype_ftv(out) == {"a"}
+        assert ftypes_eq(out, FForall("c", FTFun(A, FTVar("c"))))
+
+    def test_con_args(self):
+        assert subst_ftype({"a": F_INT}, FTCon("List", (A,))) == FTCon(
+            "List", (F_INT,)
+        )

@@ -1,0 +1,174 @@
+"""Unit tests for the small-step System F reduction (the paper's -->*)."""
+
+import pytest
+
+from repro.errors import EvalError
+from repro.core.parser import parse_core_expr
+from repro.elaborate.translate import elaborate
+from repro.systemf.ast import (
+    FApp,
+    FBoolLit,
+    FIf,
+    FIntLit,
+    FLam,
+    FListLit,
+    FPair,
+    FPrim,
+    FStrLit,
+    FTVar,
+    FTyApp,
+    FTyLam,
+    FVar,
+    F_INT,
+    f_app,
+)
+from repro.systemf.eval import feval
+from repro.systemf.smallstep import (
+    eval_smallstep,
+    is_value,
+    run,
+    step,
+    subst_term,
+    trace,
+)
+
+
+class TestValues:
+    def test_literals_are_values(self):
+        assert is_value(FIntLit(1))
+        assert is_value(FBoolLit(True))
+        assert is_value(FStrLit("x"))
+        assert is_value(FLam("x", F_INT, FVar("x")))
+        assert is_value(FTyLam("a", FVar("x")))
+
+    def test_partial_prim_application_is_value(self):
+        assert is_value(FApp(FPrim("add"), FIntLit(1)))
+        assert not is_value(f_app(FPrim("add"), FIntLit(1), FIntLit(2)))
+
+    def test_compound_values(self):
+        assert is_value(FPair(FIntLit(1), FBoolLit(True)))
+        assert not is_value(FPair(f_app(FPrim("add"), FIntLit(1), FIntLit(1)), FIntLit(0)))
+
+    def test_step_of_value_is_none(self):
+        assert step(FIntLit(5)) is None
+
+
+class TestReduction:
+    def test_beta(self):
+        e = FApp(FLam("x", F_INT, FVar("x")), FIntLit(3))
+        assert step(e) == FIntLit(3)
+
+    def test_left_to_right_cbv(self):
+        # ((\x.x) (\y.y)) ((1+1)): function position reduces first.
+        inner = f_app(FPrim("add"), FIntLit(1), FIntLit(1))
+        e = FApp(FApp(FLam("x", F_INT, FVar("x")), FLam("y", F_INT, FVar("y"))), inner)
+        first = step(e)
+        assert isinstance(first, FApp)
+        assert isinstance(first.fn, FLam)  # the fn position was reduced
+
+    def test_type_beta(self):
+        e = FTyApp(FTyLam("a", FLam("x", FTVar("a"), FVar("x"))), F_INT)
+        stepped = step(e)
+        assert stepped == FLam("x", F_INT, FVar("x"))
+
+    def test_if_steps_condition(self):
+        e = FIf(f_app(FPrim("isEven"), FIntLit(2)), FIntLit(1), FIntLit(0))
+        assert run(e) == FIntLit(1)
+
+    def test_delta_arithmetic(self):
+        assert run(f_app(FPrim("add"), FIntLit(2), FIntLit(3))) == FIntLit(5)
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError, match="division"):
+            run(f_app(FPrim("div"), FIntLit(1), FIntLit(0)))
+
+    def test_stuck_term(self):
+        with pytest.raises(EvalError):
+            run(FApp(FIntLit(1), FIntLit(2)))
+        with pytest.raises(EvalError):
+            run(FVar("ghost"))
+
+    def test_trace_is_finite_and_monotone(self):
+        e = f_app(FPrim("add"), FIntLit(1), f_app(FPrim("mul"), FIntLit(2), FIntLit(3)))
+        states = list(trace(e))
+        assert states[0] == e
+        assert states[-1] == FIntLit(7)
+        assert all(not is_value(s) for s in states[:-1])
+
+    def test_step_bound(self):
+        # An artificially tiny budget reports divergence-style failure.
+        e = f_app(FPrim("add"), FIntLit(1), f_app(FPrim("mul"), FIntLit(2), FIntLit(3)))
+        with pytest.raises(EvalError, match="steps"):
+            run(e, max_steps=1)
+
+
+class TestHigherOrderPrims:
+    def test_map_unfolds(self):
+        inc = FLam("x", F_INT, f_app(FPrim("add"), FVar("x"), FIntLit(1)))
+        e = f_app(
+            FTyApp(FTyApp(FPrim("map"), F_INT), F_INT),
+            inc,
+            FListLit((FIntLit(1), FIntLit(2)), F_INT),
+        )
+        assert eval_smallstep(e) == (2, 3)
+
+    def test_foldr(self):
+        e = f_app(
+            FTyApp(FTyApp(FPrim("foldr"), F_INT), F_INT),
+            FPrim("add"),
+            FIntLit(0),
+            FListLit(tuple(FIntLit(i) for i in range(1, 5)), F_INT),
+        )
+        assert eval_smallstep(e) == 10
+
+    def test_filter(self):
+        e = f_app(
+            FTyApp(FPrim("filter"), F_INT),
+            FPrim("isEven"),
+            FListLit(tuple(FIntLit(i) for i in range(6)), F_INT),
+        )
+        assert eval_smallstep(e) == (0, 2, 4)
+
+    def test_sort_by(self):
+        e = f_app(
+            FTyApp(FPrim("sortBy"), F_INT),
+            FPrim("ltInt"),
+            FListLit((FIntLit(3), FIntLit(1), FIntLit(2)), F_INT),
+        )
+        assert eval_smallstep(e) == (1, 2, 3)
+
+
+class TestAgreementWithBigStep:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "1 + 2 * 3",
+            '"a" ++ "b"',
+            "implicit {1, True} in (?Int + 1, #not ?Bool) : (Int, Bool)",
+            "#sortBy[Int] #ltInt [3, 1, 2]",
+            '#intercalate "," (#map[Int, String] #showInt [1, 2, 3])',
+            "#foldr[Int, Int] #add 0 [1, 2, 3, 4]",
+            "#filter[Int] #isEven [1, 2, 3, 4]",
+            "(\\x : Int . x + 1) 41",
+            "#fst[Int, Bool] (1, True)",
+        ],
+    )
+    def test_same_value(self, text):
+        _, target = elaborate(parse_core_expr(text))
+        assert eval_smallstep(target) == feval(target)
+
+    def test_overview_programs(self, overview_program):
+        _, program, expected = overview_program
+        _, target = elaborate(program)
+        assert eval_smallstep(target) == expected
+
+
+class TestSubstitution:
+    def test_shadowing(self):
+        e = FLam("x", F_INT, FVar("x"))
+        assert subst_term("x", FIntLit(1), e) == e
+
+    def test_free_occurrence(self):
+        e = FLam("y", F_INT, FVar("x"))
+        out = subst_term("x", FIntLit(1), e)
+        assert out == FLam("y", F_INT, FIntLit(1))

@@ -1,0 +1,108 @@
+"""Unit tests for the System F type checker (appendix figure)."""
+
+import pytest
+
+from repro.errors import SystemFTypeError
+from repro.systemf.ast import (
+    FApp,
+    FBoolLit,
+    FForall,
+    FIf,
+    FIntLit,
+    FLam,
+    FListLit,
+    FPair,
+    FPrim,
+    FProject,
+    FRecord,
+    FStrLit,
+    FTCon,
+    FTFun,
+    FTVar,
+    FTyApp,
+    FTyLam,
+    FVar,
+    F_BOOL,
+    F_INT,
+    F_STRING,
+    f_fun,
+    f_list,
+    f_pair,
+    ftypes_eq,
+)
+from repro.systemf.typecheck import FInterface, FSignature, ftypecheck
+
+A = FTVar("a")
+
+
+class TestBasics:
+    def test_literals(self):
+        assert ftypecheck(FIntLit(1)) == F_INT
+        assert ftypecheck(FBoolLit(True)) == F_BOOL
+        assert ftypecheck(FStrLit("s")) == F_STRING
+
+    def test_unbound_variable(self):
+        with pytest.raises(SystemFTypeError, match="unbound"):
+            ftypecheck(FVar("x"))
+
+    def test_lambda_app(self):
+        e = FApp(FLam("x", F_INT, FVar("x")), FIntLit(1))
+        assert ftypecheck(e) == F_INT
+
+    def test_application_errors(self):
+        with pytest.raises(SystemFTypeError, match="non-function"):
+            ftypecheck(FApp(FIntLit(1), FIntLit(2)))
+        with pytest.raises(SystemFTypeError, match="mismatch"):
+            ftypecheck(FApp(FLam("x", F_INT, FVar("x")), FBoolLit(True)))
+
+
+class TestPolymorphism:
+    def test_type_abstraction(self):
+        e = FTyLam("a", FLam("x", A, FVar("x")))
+        t = ftypecheck(e)
+        assert ftypes_eq(t, FForall("a", FTFun(A, A)))
+
+    def test_type_application(self):
+        e = FTyApp(FTyLam("a", FLam("x", A, FVar("x"))), F_INT)
+        assert ftypecheck(e) == FTFun(F_INT, F_INT)
+
+    def test_f_tabs_side_condition(self):
+        # /\a . x where x : a captures the environment variable.
+        e = FLam("x", A, FTyLam("a", FVar("x")))
+        with pytest.raises(SystemFTypeError, match="captures"):
+            ftypecheck(e)
+
+    def test_tyapp_of_monotype(self):
+        with pytest.raises(SystemFTypeError, match="non-polymorphic"):
+            ftypecheck(FTyApp(FIntLit(1), F_INT))
+
+    def test_prim_polymorphic(self):
+        e = FTyApp(FTyApp(FPrim("fst"), F_INT), F_BOOL)
+        assert ftypecheck(e) == FTFun(f_pair(F_INT, F_BOOL), F_INT)
+
+
+class TestExtensions:
+    def test_if(self):
+        assert ftypecheck(FIf(FBoolLit(True), FIntLit(1), FIntLit(2))) == F_INT
+        with pytest.raises(SystemFTypeError):
+            ftypecheck(FIf(FIntLit(1), FIntLit(1), FIntLit(2)))
+        with pytest.raises(SystemFTypeError):
+            ftypecheck(FIf(FBoolLit(True), FIntLit(1), FBoolLit(True)))
+
+    def test_pair_and_list(self):
+        assert ftypecheck(FPair(FIntLit(1), FBoolLit(True))) == f_pair(F_INT, F_BOOL)
+        assert ftypecheck(FListLit((FIntLit(1),), F_INT)) == f_list(F_INT)
+        with pytest.raises(SystemFTypeError):
+            ftypecheck(FListLit((FBoolLit(True),), F_INT))
+
+    def test_records(self):
+        sig = FSignature(
+            [FInterface("Eq", ("a",), (("eq", f_fun(A, A, F_BOOL)),))]
+        )
+        record = FRecord("Eq", (F_INT,), (("eq", FPrim("primEqInt")),))
+        assert ftypecheck(record, sig) == FTCon("Eq", (F_INT,))
+        assert ftypecheck(FProject(record, "eq"), sig) == f_fun(F_INT, F_INT, F_BOOL)
+
+    def test_record_errors(self):
+        with pytest.raises(SystemFTypeError, match="unknown interface"):
+            ftypecheck(FRecord("Nope", (), ()))
