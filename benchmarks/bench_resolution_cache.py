@@ -1,0 +1,74 @@
+"""B9: the resolution derivation cache (memoization speedup + hit rate).
+
+The workload re-resolves the nested-pair query family (B2's shape) many
+times against one environment -- exactly the pattern the type checker
+and elaborator produce, since both re-query the same scopes repeatedly.
+Uncached, every repetition pays the full ``O(2^d)`` proof search;
+cached, repetitions collapse to one dictionary probe, and the nested
+queries even share subderivation entries across depths (``Pair^4`` is a
+subquery of ``Pair^6``).
+
+``test_cache_speedup_and_hit_rate`` asserts the ISSUE's acceptance
+thresholds (>= 2x wall-clock speedup, > 50% hit rate) and is marked
+``slow`` so `pytest -m "not slow"` skips it; the pytest-benchmark rows
+report the per-query numbers.
+"""
+
+import time
+
+import pytest
+
+from repro.core.cache import ResolutionCache
+from repro.core.resolution import Resolver
+from repro.obs import ResolutionStats
+
+from .conftest import nested_pair_type, pair_env
+
+DEPTHS = (4, 6, 8)
+REPS = 60
+
+
+def run_workload(resolver, env):
+    for depth in DEPTHS:
+        query = nested_pair_type(depth)
+        for _ in range(REPS):
+            resolver.resolve(env, query)
+
+
+@pytest.mark.slow
+def test_cache_speedup_and_hit_rate():
+    env = pair_env()
+    uncached = Resolver(cache=None)
+    stats = ResolutionStats()
+    cached = Resolver(cache=ResolutionCache(), stats=stats)
+
+    start = time.perf_counter()
+    run_workload(uncached, env)
+    uncached_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    run_workload(cached, env)
+    cached_time = time.perf_counter() - start
+
+    assert stats.hit_rate() > 0.5, f"hit rate only {stats.hit_rate():.1%}"
+    assert uncached_time >= 2.0 * cached_time, (
+        f"cache speedup below 2x: uncached {uncached_time:.4f}s vs "
+        f"cached {cached_time:.4f}s"
+    )
+
+
+@pytest.mark.parametrize("mode", ["uncached", "cached"])
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_repeated_query(benchmark, mode, depth):
+    env = pair_env()
+    query = nested_pair_type(depth)
+    stats = ResolutionStats()
+    resolver = Resolver(
+        cache=None if mode == "uncached" else ResolutionCache(), stats=stats
+    )
+    resolver.resolve(env, query)  # warm: steady-state is the interesting row
+    benchmark.group = f"B9 cache depth={depth}"
+    derivation = benchmark(lambda: resolver.resolve(env, query))
+    assert derivation.size() == depth + 1
+    benchmark.extra_info["hit_rate"] = round(stats.hit_rate(), 3)
+    benchmark.extra_info["mode"] = mode

@@ -13,6 +13,10 @@ Options:
     --verify           re-check the System F target against |tau|
     --most-specific    companion overlap policy instead of no_overlap
     --strategy S       syntactic | extending | backtracking
+    --stats            print resolution counters (cache hit rate, lookups,
+                       unifications, recursion depth, fuel) to stderr
+    --no-cache         disable the resolution derivation cache
+    --trace            print the resolution trace-event stream to stderr
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .core.cache import ResolutionCache
 from .core.env import OverlapPolicy
 from .core.parser import parse_core_expr
 from .core.pretty import pretty_expr, pretty_type
@@ -27,6 +32,7 @@ from .core.resolution import ResolutionStrategy, Resolver
 from .core.terms import EMPTY_SIGNATURE
 from .elaborate.translate import Elaborator
 from .errors import ImplicitCalculusError
+from .obs import ResolutionStats, Tracer, collecting
 from .pipeline import Semantics, compile_source, run_core, typecheck_core
 from .systemf.ast import pretty_fexpr
 
@@ -71,6 +77,22 @@ def _build_parser() -> argparse.ArgumentParser:
             default=ResolutionStrategy.SYNTACTIC.value,
             help="resolution strategy (default: the paper's TyRes)",
         )
+        cmd.add_argument(
+            "--stats",
+            action="store_true",
+            help="print resolution counters (cache hit rate, lookups, "
+            "unifications, depth, fuel) to stderr",
+        )
+        cmd.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the resolution derivation cache",
+        )
+        cmd.add_argument(
+            "--trace",
+            action="store_true",
+            help="print the resolution trace-event stream to stderr",
+        )
     return parser
 
 
@@ -81,57 +103,69 @@ def _read(path: str) -> str:
         return handle.read()
 
 
-def _resolver(args: argparse.Namespace) -> Resolver:
+def _resolver(args: argparse.Namespace, tracer: Tracer | None) -> Resolver:
     return Resolver(
         policy=OverlapPolicy.MOST_SPECIFIC
         if args.most_specific
         else OverlapPolicy.REJECT,
         strategy=ResolutionStrategy(args.strategy),
+        cache=None if args.no_cache else ResolutionCache(),
+        tracer=tracer,
     )
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     text = _read(args.file)
-    resolver = _resolver(args)
+    tracer = Tracer() if args.trace else None
+    stats = ResolutionStats() if args.stats else None
+    resolver = _resolver(args, tracer)
     try:
-        if args.core:
-            expr = parse_core_expr(text)
-            signature = EMPTY_SIGNATURE
-        else:
-            compiled = compile_source(text)
-            expr = compiled.expr
-            signature = compiled.signature
+        with collecting(stats):
+            if args.core:
+                expr = parse_core_expr(text)
+                signature = EMPTY_SIGNATURE
+            else:
+                compiled = compile_source(text)
+                expr = compiled.expr
+                signature = compiled.signature
 
-        if args.command == "compile":
-            print(pretty_expr(expr))
+            if args.command == "compile":
+                print(pretty_expr(expr))
+                return 0
+            if args.command == "check":
+                tau = typecheck_core(expr, signature=signature, resolver=resolver)
+                print(pretty_type(tau))
+                return 0
+            if args.command == "elaborate":
+                elaborator = Elaborator(signature=signature, resolver=resolver)
+                tau, target = elaborator.elaborate_program(expr)
+                print(f"-- : {pretty_type(tau)}")
+                print(pretty_fexpr(target))
+                return 0
+            semantics = (
+                Semantics.OPERATIONAL if args.operational else Semantics.ELABORATE
+            )
+            run = run_core(
+                expr,
+                signature=signature,
+                resolver=resolver,
+                semantics=semantics,
+                verify=args.verify,
+            )
+            print(f"-- : {pretty_type(run.type)}")
+            print(run.value)
             return 0
-        if args.command == "check":
-            tau = typecheck_core(expr, signature=signature, resolver=resolver)
-            print(pretty_type(tau))
-            return 0
-        if args.command == "elaborate":
-            elaborator = Elaborator(signature=signature, resolver=resolver)
-            tau, target = elaborator.elaborate_program(expr)
-            print(f"-- : {pretty_type(tau)}")
-            print(pretty_fexpr(target))
-            return 0
-        semantics = (
-            Semantics.OPERATIONAL if args.operational else Semantics.ELABORATE
-        )
-        run = run_core(
-            expr,
-            signature=signature,
-            resolver=resolver,
-            semantics=semantics,
-            verify=args.verify,
-        )
-        print(f"-- : {pretty_type(run.type)}")
-        print(run.value)
-        return 0
     except ImplicitCalculusError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if tracer is not None and len(tracer):
+            print("-- resolution trace --", file=sys.stderr)
+            print(tracer.render(), file=sys.stderr)
+        if stats is not None:
+            print("-- resolution stats --", file=sys.stderr)
+            print(stats.format(), file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

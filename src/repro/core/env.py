@@ -32,8 +32,9 @@ from ..errors import (
     NoMatchingRuleError,
     OverlappingRulesError,
 )
+from ..obs import record_lookup
 from .subst import fresh_tvar, subst_type
-from .types import RuleType, TVar, Type, promote
+from .types import RuleType, TVar, Type, canonical_key, promote
 from .unify import match_type
 
 
@@ -79,13 +80,68 @@ class LookupResult:
         return self.entry.payload
 
 
+class EnvFingerprint:
+    """A structural, frame-stack-aware identity token for an environment.
+
+    Two environments carry equal fingerprints **iff** their frame stacks
+    are structurally equal: same number of frames, and frame-by-frame the
+    same sequence of entry types up to alpha-equivalence (payloads are
+    deliberately ignored -- see :meth:`ImplicitEnv.payload_witness` for
+    the companion token that distinguishes evidence).  Equality is exact
+    (full canonical keys are retained), while the hash is *chained*: each
+    ``push`` combines the parent's hash with the new frame's key in O(new
+    frame), so fingerprints are cheap to extend incrementally and equal
+    key sequences always hash alike.
+    """
+
+    __slots__ = ("key", "_hash")
+
+    def __init__(self, key: tuple, hash_: int):
+        self.key = key
+        self._hash = hash_
+
+    def extend(self, frame_key: tuple) -> "EnvFingerprint":
+        return EnvFingerprint(self.key + (frame_key,), hash((self._hash, frame_key)))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, EnvFingerprint):
+            return NotImplemented
+        return self._hash == other._hash and self.key == other.key
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"EnvFingerprint(depth={len(self.key)}, hash={self._hash:#x})"
+
+
+_EMPTY_FINGERPRINT = EnvFingerprint((), hash(("implicit-env-root",)))
+
+
+def _frame_key(frame: tuple[RuleEntry, ...]) -> tuple:
+    """The structural key of one rule set (entry order is significant)."""
+    return tuple(canonical_key(entry.rho) for entry in frame)
+
+
 class ImplicitEnv:
     """An immutable stack of rule sets (``Delta ::= . | Delta; rho-bar``)."""
 
-    __slots__ = ("_frames",)
+    __slots__ = ("_frames", "_fingerprint", "_witness")
 
-    def __init__(self, frames: tuple[tuple[RuleEntry, ...], ...] = ()):
+    def __init__(
+        self,
+        frames: tuple[tuple[RuleEntry, ...], ...] = (),
+        fingerprint: EnvFingerprint | None = None,
+    ):
         self._frames = frames
+        self._fingerprint = fingerprint
+        self._witness: tuple | None = None
 
     @staticmethod
     def empty() -> "ImplicitEnv":
@@ -95,11 +151,55 @@ class ImplicitEnv:
         """Extend with a new innermost rule set.
 
         Bare types are wrapped in payload-less entries for convenience.
+        The child's fingerprint is derived incrementally from this
+        environment's: pushing extends the key chain, and "popping" --
+        resuming use of this (immutable) environment -- re-yields the old
+        fingerprint, so caches keyed on it re-hit after a scope exits.
         """
         frame = tuple(
             e if isinstance(e, RuleEntry) else RuleEntry(e) for e in entries
         )
-        return ImplicitEnv(self._frames + (frame,))
+        return ImplicitEnv(
+            self._frames + (frame,), self.fingerprint().extend(_frame_key(frame))
+        )
+
+    def fingerprint(self) -> EnvFingerprint:
+        """The structural fingerprint of this frame stack (see
+        :class:`EnvFingerprint`; computed lazily for directly-constructed
+        environments, incrementally via :meth:`push`)."""
+        fp = self._fingerprint
+        if fp is None:
+            fp = _EMPTY_FINGERPRINT
+            for frame in self._frames:
+                fp = fp.extend(_frame_key(frame))
+            self._fingerprint = fp
+        return fp
+
+    def payload_witness(self) -> tuple:
+        """Identity token for the payloads carried by this environment.
+
+        The structural fingerprint ignores payloads, but consumers such
+        as the elaborator read evidence off lookup results, so a
+        derivation cache must not conflate structurally equal
+        environments carrying *different* evidence.  The witness is the
+        per-entry tuple of payload object identities (``None`` for bare
+        entries); a cache that keys on ``(fingerprint, witness)`` and
+        keeps the witnessed environment alive (so ids cannot be recycled)
+        therefore only ever matches environments whose payloads are the
+        very same objects.  Pure type checking pushes payload-less
+        entries, making the witness a tuple of ``None`` -- structurally
+        equal environments then share cache entries, which is the hot
+        path the cache exists for.
+        """
+        witness = self._witness
+        if witness is None:
+            witness = tuple(
+                None if entry.payload is None else id(entry.payload)
+                for frame in self._frames
+                for entry in frame
+            )
+            self._witness = witness
+        return witness
 
     def frames(self) -> tuple[tuple[RuleEntry, ...], ...]:
         """Outermost-first tuple of rule sets."""
@@ -127,6 +227,7 @@ class ImplicitEnv:
         variable of the winning rule uninstantiated (the extended report's
         "ambiguous instantiation" runtime error, caught here statically).
         """
+        record_lookup()
         for frame in reversed(self._frames):
             matches = _frame_matches(frame, tau)
             if not matches:
@@ -150,6 +251,7 @@ class ImplicitEnv:
         stuck.  No ``no_overlap`` check is performed: provability, not
         coherence, is the point of that strategy.
         """
+        record_lookup()
         for frame in reversed(self._frames):
             yield from _frame_matches(frame, tau)
 

@@ -37,14 +37,30 @@ Two strategies are provided:
 Recursive resolution may diverge (appendix "Termination of Resolution");
 a fuel bound turns divergence into :class:`ResolutionDivergenceError`.
 The static termination conditions live in :mod:`repro.core.termination`.
+
+Resolution is memoized: every :class:`Resolver` owns a
+:class:`~repro.core.cache.ResolutionCache` (pass ``cache=None`` to
+disable) keyed on the environment's structural fingerprint, its payload
+witness, the query's canonical key, and the strategy/policy pair.  Cache
+discipline -- fuel monotonicity, never caching divergence, evidence
+identity -- is documented in :mod:`repro.core.cache`; per-query counters
+and an optional trace stream live in :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from ..errors import ResolutionDivergenceError
+from ..errors import (
+    NoMatchingRuleError,
+    OverlappingRulesError,
+    ResolutionDivergenceError,
+)
+from ..obs import active_stats, collecting
+from ..obs.stats import ResolutionStats
+from ..obs.trace import CACHE_HIT, CACHE_MISS, FAILURE, QUERY, SUCCESS, Tracer
+from .cache import ResolutionCache
 from .env import ImplicitEnv, LookupResult, OverlapPolicy, RuleEntry
 from .types import Type, canonical_key, promote
 
@@ -121,11 +137,26 @@ class Derivation:
 
 @dataclass(frozen=True)
 class Resolver:
-    """Configured resolution engine."""
+    """Configured resolution engine.
+
+    ``cache``, ``stats`` and ``tracer`` are operational attachments, not
+    semantics: they are excluded from equality/hash, and the differential
+    test harness asserts that cached and cache-disabled resolvers agree
+    on every derivation and every failure.
+    """
 
     policy: OverlapPolicy = OverlapPolicy.REJECT
     strategy: ResolutionStrategy = ResolutionStrategy.SYNTACTIC
     fuel: int = DEFAULT_FUEL
+    #: Per-resolver derivation memo; ``None`` disables caching entirely.
+    cache: ResolutionCache | None = field(
+        default_factory=ResolutionCache, compare=False
+    )
+    #: Counters for this resolver's queries; ``None`` falls back to the
+    #: ambient :func:`repro.obs.collecting` scope, if any.
+    stats: ResolutionStats | None = field(default=None, compare=False)
+    #: Optional trace-event stream (``repro --trace``).
+    tracer: Tracer | None = field(default=None, compare=False)
 
     def resolve(self, env: ImplicitEnv, rho: Type) -> Derivation:
         """Derive ``Delta |-r rho`` or raise a :class:`ResolutionError`."""
@@ -136,6 +167,15 @@ class Resolver:
         needed = self.fuel * 12 + 1000
         if sys.getrecursionlimit() < needed:
             sys.setrecursionlimit(needed)
+        if self.stats is not None and active_stats() is not self.stats:
+            with collecting(self.stats):
+                return self._resolve_query(env, rho)
+        return self._resolve_query(env, rho)
+
+    def _resolve_query(self, env: ImplicitEnv, rho: Type) -> Derivation:
+        stats = active_stats()
+        if stats is not None:
+            stats.queries += 1
         return self._resolve(env, rho, self.fuel)
 
     def resolvable(self, env: ImplicitEnv, rho: Type) -> bool:
@@ -147,12 +187,66 @@ class Resolver:
             return False
         return True
 
-    def _resolve(self, env: ImplicitEnv, rho: Type, fuel: int) -> Derivation:
+    def _resolve(
+        self, env: ImplicitEnv, rho: Type, fuel: int, depth: int = 0
+    ) -> Derivation:
         if fuel <= 0:
             raise ResolutionDivergenceError(
                 f"resolution exceeded fuel while resolving {rho}; "
                 "the rule environment likely violates the termination condition"
             )
+        stats = active_stats()
+        if stats is not None:
+            stats.resolve_steps += 1
+            if depth > stats.max_depth:
+                stats.max_depth = depth
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(QUERY, depth, str(rho))
+
+        cache = self.cache
+        key: tuple | None = None
+        if cache is not None:
+            key = cache.key_for(env, rho, self.strategy, self.policy)
+            entry = cache.get(key, fuel)
+            if entry is not None:
+                if stats is not None:
+                    stats.cache_hits += 1
+                if tracer is not None:
+                    tracer.emit(
+                        CACHE_HIT,
+                        depth,
+                        str(rho),
+                        "derivation" if entry.is_success else "failure",
+                    )
+                if entry.is_success:
+                    return entry.outcome
+                raise entry.outcome
+            if stats is not None:
+                stats.cache_misses += 1
+            if tracer is not None:
+                tracer.emit(CACHE_MISS, depth, str(rho))
+
+        try:
+            derivation = self._resolve_step(env, rho, fuel, depth)
+        except ResolutionDivergenceError:
+            raise  # never cached: the outcome depends on available fuel
+        except (NoMatchingRuleError, OverlappingRulesError) as exc:
+            if cache is not None:
+                cache.put_failure(key, exc, env, fuel)
+            if tracer is not None:
+                tracer.emit(FAILURE, depth, str(rho), type(exc).__name__)
+            raise
+        if cache is not None:
+            cache.put_success(key, derivation, env, fuel)
+        if tracer is not None:
+            tracer.emit(SUCCESS, depth, str(rho))
+        return derivation
+
+    def _resolve_step(
+        self, env: ImplicitEnv, rho: Type, fuel: int, depth: int
+    ) -> Derivation:
+        """One uncached application of the unified resolution rule."""
         tvars, context, head = promote(rho)
         assumptions = tuple(Assumption(r, i) for i, r in enumerate(context))
         recurse_env = env
@@ -165,10 +259,10 @@ class Resolver:
             )
         if self.strategy is ResolutionStrategy.BACKTRACKING:
             return self._resolve_backtracking(
-                env, recurse_env, rho, tvars, context, head, assumptions, fuel
+                env, recurse_env, rho, tvars, context, head, assumptions, fuel, depth
             )
         result = env.lookup(head, self.policy)
-        premises = self._discharge(recurse_env, result, assumptions, fuel)
+        premises = self._discharge(recurse_env, result, assumptions, fuel, depth)
         return Derivation(
             query=rho,
             tvars=tvars,
@@ -185,6 +279,7 @@ class Resolver:
         result: "LookupResult",
         assumptions: tuple[Assumption, ...],
         fuel: int,
+        depth: int = 0,
     ) -> tuple[Premise, ...]:
         """Discharge each element of the matched rule's context (TyRes)."""
         by_key = {canonical_key(tok.rho): tok for tok in assumptions}
@@ -195,7 +290,9 @@ class Resolver:
                 premises.append(ByAssumption(token))
             else:
                 premises.append(
-                    ByResolution(self._resolve(recurse_env, rho_i, fuel - 1))
+                    ByResolution(
+                        self._resolve(recurse_env, rho_i, fuel - 1, depth + 1)
+                    )
                 )
         return tuple(premises)
 
@@ -209,13 +306,16 @@ class Resolver:
         head: Type,
         assumptions: tuple[Assumption, ...],
         fuel: int,
+        depth: int = 0,
     ) -> Derivation:
-        from ..errors import NoMatchingRuleError, ResolutionError
+        from ..errors import ResolutionError
 
         last_error: ResolutionError | None = None
         for result in recurse_env.lookup_all(head):
             try:
-                premises = self._discharge(recurse_env, result, assumptions, fuel)
+                premises = self._discharge(
+                    recurse_env, result, assumptions, fuel, depth
+                )
             except ResolutionError as exc:
                 if isinstance(exc, ResolutionDivergenceError):
                     raise
@@ -238,6 +338,7 @@ class Resolver:
 
 
 _DEFAULT = Resolver()
+_UNSET: ResolutionCache | None = ResolutionCache(max_entries=1)  # sentinel
 
 
 def resolve(
@@ -247,11 +348,35 @@ def resolve(
     policy: OverlapPolicy = OverlapPolicy.REJECT,
     strategy: ResolutionStrategy = ResolutionStrategy.SYNTACTIC,
     fuel: int = DEFAULT_FUEL,
+    cache: ResolutionCache | None = _UNSET,
+    stats: ResolutionStats | None = None,
+    tracer: Tracer | None = None,
 ) -> Derivation:
-    """Functional facade over :class:`Resolver`."""
-    if (policy, strategy, fuel) == (_DEFAULT.policy, _DEFAULT.strategy, _DEFAULT.fuel):
+    """Functional facade over :class:`Resolver`.
+
+    Default-configured calls share one module-level resolver (and hence
+    one derivation cache), so repeated queries memoize across calls;
+    evidence identity is still guaranteed by the payload witness in the
+    cache key.  Pass ``cache=None`` to force uncached resolution.
+    """
+    if (
+        cache is _UNSET
+        and stats is None
+        and tracer is None
+        and (policy, strategy, fuel)
+        == (_DEFAULT.policy, _DEFAULT.strategy, _DEFAULT.fuel)
+    ):
         return _DEFAULT.resolve(env, rho)
-    return Resolver(policy=policy, strategy=strategy, fuel=fuel).resolve(env, rho)
+    if cache is _UNSET:
+        cache = ResolutionCache()
+    return Resolver(
+        policy=policy,
+        strategy=strategy,
+        fuel=fuel,
+        cache=cache,
+        stats=stats,
+        tracer=tracer,
+    ).resolve(env, rho)
 
 
 def resolvable(env: ImplicitEnv, rho: Type, **kwargs) -> bool:

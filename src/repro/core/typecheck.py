@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..errors import AmbiguousRuleTypeError, TypecheckError
+from ..obs import collecting
+from ..obs.stats import ResolutionStats
 from .env import ImplicitEnv, RuleEntry
 from .prims import prim_spec
 from .resolution import Resolver
@@ -95,6 +97,9 @@ class TypeChecker:
     strict_coherence: bool = False
     #: Check well-kindedness (constructor arities) of every annotation.
     kind_check: bool = True
+    #: Optional counters for every resolution this checker performs
+    #: (``repro check --stats``); see :mod:`repro.obs`.
+    stats: ResolutionStats | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         from .kinds import KindChecker
@@ -110,7 +115,8 @@ class TypeChecker:
 
     def check_program(self, e: Expr) -> Type:
         """Type a closed program (empty ``Gamma`` and ``Delta``)."""
-        return self.check(e, {}, ImplicitEnv.empty())
+        with collecting(self.stats):
+            return self.check(e, {}, ImplicitEnv.empty())
 
     def check(self, e: Expr, gamma: Mapping[str, Type], delta: ImplicitEnv) -> Type:
         match e:

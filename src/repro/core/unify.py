@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from ..obs import record_unify
 from .subst import fresh_tvar, subst_type
 from .types import RuleType, TCon, TFun, TVar, Type, ftv, types_alpha_eq
 
@@ -35,6 +36,7 @@ def match_type(
     This is the paper's ``unify(tau', tau; a-bar)`` as used by environment
     lookup: only the rule's quantified variables may be instantiated.
     """
+    record_unify()
     meta = frozenset(meta)
     theta: dict[str, Type] = {}
     try:
@@ -53,6 +55,7 @@ def mgu(t1: Type, t2: Type, flex: Iterable[str] | None = None) -> dict[str, Type
     overlap and coherence conditions, which quantify over *all*
     substitutions).
     """
+    record_unify()
     if flex is None:
         flex = ftv(t1) | ftv(t2)
     theta: dict[str, Type] = {}

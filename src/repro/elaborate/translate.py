@@ -29,6 +29,8 @@ from typing import Mapping
 
 from ..core.env import ImplicitEnv, RuleEntry
 from ..core.prims import prim_spec
+from ..obs import collecting
+from ..obs.stats import ResolutionStats
 from ..core.resolution import (
     Assumption,
     ByAssumption,
@@ -111,10 +113,13 @@ class Elaborator:
     resolver: Resolver = field(default_factory=Resolver)
     #: Mirror of :attr:`TypeChecker.strict_coherence`.
     strict_coherence: bool = False
+    #: Mirror of :attr:`TypeChecker.stats`.
+    stats: ResolutionStats | None = field(default=None, compare=False)
 
     def elaborate_program(self, e: Expr) -> tuple[Type, FExpr]:
         """Translate a closed program; returns ``(tau, E)``."""
-        return self.elaborate(e, {}, ImplicitEnv.empty())
+        with collecting(self.stats):
+            return self.elaborate(e, {}, ImplicitEnv.empty())
 
     # -- the main judgment ----------------------------------------------
 

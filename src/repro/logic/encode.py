@@ -102,8 +102,39 @@ def program_of_env(env: ImplicitEnv) -> tuple[Clause, ...]:
     return tuple(clause_of_type(entry.rho) for entry in env.entries())
 
 
-def env_entails(env: ImplicitEnv, rho: Type, max_depth: int = 64) -> bool:
-    """Check ``Delta-dagger |= rho-dagger`` with the bounded prover."""
+_ENV_ENTAILS_MEMO: dict[tuple, bool] = {}
+_ENV_ENTAILS_MEMO_MAX = 4096
+
+
+def clear_entailment_cache() -> None:
+    """Drop the memoized ``env_entails`` verdicts (test isolation hook)."""
+    _ENV_ENTAILS_MEMO.clear()
+
+
+def env_entails(
+    env: ImplicitEnv, rho: Type, max_depth: int = 64, *, cached: bool = True
+) -> bool:
+    """Check ``Delta-dagger |= rho-dagger`` with the bounded prover.
+
+    Verdicts are memoized on ``(env fingerprint, canonical query key,
+    depth bound)``: the encoding ``(.)-dagger`` only reads entry *types*,
+    which is exactly what the structural fingerprint captures, so two
+    structurally equal environments share one entailment check.  Pass
+    ``cached=False`` to force a fresh proof search.
+    """
+    from ..core.types import canonical_key
+    from ..obs import record_entails
     from .engine import entails
 
-    return entails(program_of_env(env), goal_of_type(rho), max_depth=max_depth)
+    if not cached:
+        return entails(program_of_env(env), goal_of_type(rho), max_depth=max_depth)
+    key = (env.fingerprint(), canonical_key(rho), max_depth)
+    cached_verdict = _ENV_ENTAILS_MEMO.get(key)
+    if cached_verdict is not None:
+        record_entails(hit=True)
+        return cached_verdict
+    verdict = entails(program_of_env(env), goal_of_type(rho), max_depth=max_depth)
+    if len(_ENV_ENTAILS_MEMO) >= _ENV_ENTAILS_MEMO_MAX:
+        _ENV_ENTAILS_MEMO.pop(next(iter(_ENV_ENTAILS_MEMO)))
+    _ENV_ENTAILS_MEMO[key] = verdict
+    return verdict

@@ -16,9 +16,10 @@ the bound, ``False`` means no proof was found within the bound.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
+from ..obs import record_entails, record_unify
 from .terms import (
     Atom,
     Clause,
@@ -78,11 +79,24 @@ def unify(t1: Term, t2: Term, subst: Subst) -> dict[str, Term] | None:
     return out
 
 
+_MEMO_MISS = object()
+
+
 @dataclass(frozen=True)
 class Engine:
-    """A depth-bounded hereditary Harrop prover."""
+    """A depth-bounded hereditary Harrop prover.
+
+    ``memo``, when supplied, caches :meth:`entails` verdicts keyed on
+    ``(program, goal, max_depth)``.  Terms, goals and clauses are frozen
+    dataclasses, so the key is structural; the verdict is a pure function
+    of it (fresh renaming inside the search never leaks into the
+    boolean), which makes memoization transparent.  Enumerating
+    :meth:`solve` directly bypasses the memo -- only the decision
+    procedure is cached.
+    """
 
     max_depth: int = 64
+    memo: dict | None = field(default=None, compare=False)
 
     def solve(
         self,
@@ -130,6 +144,7 @@ class Engine:
                 v: Var(fresh_var(v)) for v in clause.vars
             }
             fresh = instantiate_clause(clause, renaming)
+            record_unify()
             subst1 = unify(fresh.head, term, subst)
             if subst1 is None:
                 continue
@@ -137,10 +152,29 @@ class Engine:
 
     def entails(self, program: Iterable[Clause], goal: Goal) -> bool:
         """Whether ``program |= goal`` has a proof within the depth bound."""
-        for _ in self.solve(tuple(program), goal, {}, self.max_depth):
-            return True
-        return False
+        program = tuple(program)
+        memo = self.memo
+        if memo is not None:
+            key = (program, goal, self.max_depth)
+            cached = memo.get(key, _MEMO_MISS)
+            if cached is not _MEMO_MISS:
+                record_entails(hit=True)
+                return cached
+        record_entails()
+        result = False
+        for _ in self.solve(program, goal, {}, self.max_depth):
+            result = True
+            break
+        if memo is not None:
+            memo[key] = result
+        return result
 
 
-def entails(program: Iterable[Clause], goal: Goal, max_depth: int = 64) -> bool:
-    return Engine(max_depth=max_depth).entails(program, goal)
+def entails(
+    program: Iterable[Clause],
+    goal: Goal,
+    max_depth: int = 64,
+    *,
+    memo: dict | None = None,
+) -> bool:
+    return Engine(max_depth=max_depth, memo=memo).entails(program, goal)

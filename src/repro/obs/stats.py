@@ -1,0 +1,156 @@
+"""Resolution statistics: the counters behind ``repro --stats``.
+
+The ROADMAP's north star asks the hot path (resolution, ``Delta |-r
+rho``) to run "as fast as the hardware allows" *with observability to
+prove it*.  This module supplies the proof side: a plain counter object
+(:class:`ResolutionStats`) plus a process-global *recorder slot* that the
+low-level machinery (environment lookup, unification, the logic engine)
+reports into with near-zero overhead when nobody is listening.
+
+Design notes:
+
+* Counters are recorded through module-level functions
+  (:func:`record_lookup`, :func:`record_unify`, ...) guarded by a single
+  ``is None`` check, so instrumented call sites cost one global read when
+  collection is off.  This keeps the signatures of ``ImplicitEnv.lookup``
+  and ``match_type`` untouched -- every consumer (type checker,
+  elaborator, operational semantics, logic engine) is observable without
+  plumbing a stats object through each layer.
+* The slot is scoped with the :func:`collecting` context manager, which
+  saves and restores the previous occupant, so nested collections behave
+  lexically (the innermost collector wins).
+* ``ResolutionStats`` is deliberately a mutable, additive value: use
+  :meth:`ResolutionStats.merge` to aggregate across runs (the benchmark
+  suite does this to report whole-session hit rates).
+
+Counter glossary (see also ``docs/OBSERVABILITY.md``):
+
+============== ============================================================
+``queries``         top-level ``Resolver.resolve`` calls
+``resolve_steps``   recursive resolution steps; each consumes one unit of
+                    fuel, so this is exactly the *fuel consumed*
+``max_depth``       deepest recursion reached by any query
+``cache_hits``      resolution steps answered from the derivation cache
+``cache_misses``    resolution steps that had to be computed (cache on)
+``lookup_calls``    environment lookups (``Delta(tau)``; one per scanned
+                    *query*, not per scanned frame)
+``unify_calls``     head-matching/unification attempts (one per candidate
+                    rule inspected, plus one per logic-engine backchain)
+``entails_calls``   logic-engine entailment checks (``Delta+ |= rho+``)
+``entails_hits``    entailment checks answered from the entailment memo
+============== ============================================================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+from typing import Iterator
+
+
+@dataclass
+class ResolutionStats:
+    """Additive counters describing resolution work (see module docs)."""
+
+    queries: int = 0
+    resolve_steps: int = 0
+    max_depth: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    lookup_calls: int = 0
+    unify_calls: int = 0
+    entails_calls: int = 0
+    entails_hits: int = 0
+
+    # -- derived ---------------------------------------------------------
+
+    @property
+    def fuel_consumed(self) -> int:
+        """Alias: each resolution step burns exactly one unit of fuel."""
+        return self.resolve_steps
+
+    def hit_rate(self) -> float:
+        """Cache hits over all cache consultations (0.0 when cache off)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def merge(self, other: "ResolutionStats") -> None:
+        """Add ``other``'s counters into this object (max for depths)."""
+        for f in fields(self):
+            if f.name == "max_depth":
+                self.max_depth = max(self.max_depth, other.max_depth)
+            else:
+                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def snapshot(self) -> "ResolutionStats":
+        return ResolutionStats(**self.as_dict())
+
+    def format(self) -> str:
+        """Human-readable table (the body of ``repro --stats`` output)."""
+        rows = list(self.as_dict().items())
+        rows.append(("hit_rate", f"{self.hit_rate():.1%}"))
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(f"{name.ljust(width)}  {value}" for name, value in rows)
+
+
+# ---------------------------------------------------------------------------
+# The global recorder slot.
+# ---------------------------------------------------------------------------
+
+_ACTIVE: ResolutionStats | None = None
+
+
+def active_stats() -> ResolutionStats | None:
+    """The stats object currently collecting, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def collecting(stats: ResolutionStats | None) -> Iterator[ResolutionStats | None]:
+    """Route counters into ``stats`` for the duration of the block.
+
+    ``collecting(None)`` is a no-op context (convenient for optional
+    ``stats=`` parameters on the pipeline entry points).
+    """
+    global _ACTIVE
+    if stats is None:
+        yield None
+        return
+    previous = _ACTIVE
+    _ACTIVE = stats
+    try:
+        yield stats
+    finally:
+        _ACTIVE = previous
+
+
+def record_lookup() -> None:
+    """One environment lookup (``Delta(tau)``)."""
+    stats = _ACTIVE
+    if stats is not None:
+        stats.lookup_calls += 1
+
+
+def record_unify() -> None:
+    """One head-matching / unification attempt."""
+    stats = _ACTIVE
+    if stats is not None:
+        stats.unify_calls += 1
+
+
+def record_entails(hit: bool = False) -> None:
+    """One logic-engine entailment check (memoized or not)."""
+    stats = _ACTIVE
+    if stats is not None:
+        stats.entails_calls += 1
+        if hit:
+            stats.entails_hits += 1

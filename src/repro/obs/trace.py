@@ -1,0 +1,80 @@
+"""Trace-event stream for resolution (the ``explain``-grade firehose).
+
+Where :mod:`repro.obs.stats` aggregates, this module *narrates*: a
+:class:`Tracer` attached to a :class:`~repro.core.resolution.Resolver`
+receives one :class:`TraceEvent` per interesting moment of resolution --
+query entry, cache hit/miss, success, failure -- tagged with the
+recursion depth, so the stream renders directly as an indented proof
+search transcript (``repro run --trace ...``).
+
+Events deliberately carry *pre-rendered strings* rather than live
+``Type`` objects: a trace may outlive the resolution that produced it,
+and rendering at emit time keeps the consumer free of core imports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+#: Event kinds emitted by the resolver, in roughly chronological order.
+QUERY = "query"
+CACHE_HIT = "cache-hit"
+CACHE_MISS = "cache-miss"
+SUCCESS = "success"
+FAILURE = "failure"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of the resolution narrative."""
+
+    kind: str
+    depth: int
+    query: str
+    detail: str = ""
+
+    def render(self) -> str:
+        pad = "  " * self.depth
+        suffix = f"  [{self.detail}]" if self.detail else ""
+        return f"{pad}{self.kind:<10} {self.query}{suffix}"
+
+
+class Tracer:
+    """An append-only, bounded buffer of trace events.
+
+    The bound guards against diverging resolutions flooding memory: once
+    ``limit`` events are buffered, further emissions are counted but
+    dropped (``dropped`` reports how many).
+    """
+
+    __slots__ = ("events", "limit", "dropped")
+
+    def __init__(self, limit: int = 100_000):
+        self.events: list[TraceEvent] = []
+        self.limit = limit
+        self.dropped = 0
+
+    def emit(self, kind: str, depth: int, query: str, detail: str = "") -> None:
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(kind, depth, query, detail))
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def render(self) -> str:
+        """The whole stream as an indented transcript."""
+        lines = [event.render() for event in self.events]
+        if self.dropped:
+            lines.append(f"... {self.dropped} event(s) dropped (limit {self.limit})")
+        return "\n".join(lines)

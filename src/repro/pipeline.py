@@ -27,6 +27,7 @@ from typing import Any
 
 from .core.resolution import Resolver
 from .core.terms import EMPTY_SIGNATURE, Expr, Signature
+from .obs import ResolutionStats, collecting
 from .core.typecheck import TypeChecker
 from .core.types import Type
 from .elaborate.translate import Elaborator
@@ -66,6 +67,7 @@ def typecheck_core(
     signature: Signature = EMPTY_SIGNATURE,
     resolver: Resolver | None = None,
     strict_coherence: bool = False,
+    stats: ResolutionStats | None = None,
 ) -> Type:
     """Fig. 1: ``. | . |- e : tau``."""
     checker = TypeChecker(
@@ -73,7 +75,8 @@ def typecheck_core(
         resolver=resolver or Resolver(),
         strict_coherence=strict_coherence,
     )
-    return checker.check_program(expr)
+    with collecting(stats):
+        return checker.check_program(expr)
 
 
 def elaborate_core(
@@ -82,6 +85,7 @@ def elaborate_core(
     signature: Signature = EMPTY_SIGNATURE,
     resolver: Resolver | None = None,
     verify: bool = True,
+    stats: ResolutionStats | None = None,
 ) -> tuple[Type, FExpr]:
     """Fig. 2: ``. | . |- e : tau ~> E``.
 
@@ -90,7 +94,8 @@ def elaborate_core(
     before being returned.
     """
     elaborator = Elaborator(signature=signature, resolver=resolver or Resolver())
-    tau, target = elaborator.elaborate_program(expr)
+    with collecting(stats):
+        tau, target = elaborator.elaborate_program(expr)
     if verify:
         f_checker = FTypeChecker(signature=translate_signature(signature))
         actual = f_checker.check_program(target)
@@ -110,25 +115,27 @@ def run_core(
     resolver: Resolver | None = None,
     semantics: Semantics = Semantics.ELABORATE,
     verify: bool = False,
+    stats: ResolutionStats | None = None,
 ) -> CoreRun:
     """Type check and execute a closed lambda_=> program."""
     resolver = resolver or Resolver()
-    if semantics in (Semantics.ELABORATE, Semantics.SMALLSTEP):
-        tau, target = elaborate_core(
-            expr, signature=signature, resolver=resolver, verify=verify
-        )
-        if semantics is Semantics.SMALLSTEP:
-            from .systemf.smallstep import eval_smallstep
-
-            return CoreRun(
-                expr=expr, type=tau, value=eval_smallstep(target), systemf=target
+    with collecting(stats):
+        if semantics in (Semantics.ELABORATE, Semantics.SMALLSTEP):
+            tau, target = elaborate_core(
+                expr, signature=signature, resolver=resolver, verify=verify
             )
-        return CoreRun(expr=expr, type=tau, value=feval(target), systemf=target)
-    tau = typecheck_core(expr, signature=signature, resolver=resolver)
-    interpreter = Interpreter(
-        policy=resolver.policy, strategy=resolver.strategy, fuel=resolver.fuel
-    )
-    return CoreRun(expr=expr, type=tau, value=interpreter.run(expr))
+            if semantics is Semantics.SMALLSTEP:
+                from .systemf.smallstep import eval_smallstep
+
+                return CoreRun(
+                    expr=expr, type=tau, value=eval_smallstep(target), systemf=target
+                )
+            return CoreRun(expr=expr, type=tau, value=feval(target), systemf=target)
+        tau = typecheck_core(expr, signature=signature, resolver=resolver)
+        interpreter = Interpreter(
+            policy=resolver.policy, strategy=resolver.strategy, fuel=resolver.fuel
+        )
+        return CoreRun(expr=expr, type=tau, value=interpreter.run(expr))
 
 
 def compile_source(source: str) -> CompiledSource:
@@ -142,6 +149,7 @@ def run_source(
     resolver: Resolver | None = None,
     semantics: Semantics = Semantics.ELABORATE,
     verify: bool = False,
+    stats: ResolutionStats | None = None,
 ) -> Any:
     """Parse, encode, type check and execute a source program."""
     compiled = compile_source(source)
@@ -151,6 +159,7 @@ def run_source(
         resolver=resolver,
         semantics=semantics,
         verify=verify,
+        stats=stats,
     )
     return run.value
 
@@ -161,6 +170,7 @@ def run_source_full(
     resolver: Resolver | None = None,
     semantics: Semantics = Semantics.ELABORATE,
     verify: bool = True,
+    stats: ResolutionStats | None = None,
 ) -> tuple[CompiledSource, CoreRun]:
     """Like :func:`run_source` but returning all intermediate artifacts."""
     compiled = compile_source(source)
@@ -170,5 +180,6 @@ def run_source_full(
         resolver=resolver,
         semantics=semantics,
         verify=verify,
+        stats=stats,
     )
     return compiled, run

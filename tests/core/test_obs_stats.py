@@ -1,0 +1,258 @@
+"""Regression tests for the observability layer (repro.obs).
+
+The counter tests are *exact*: each expected dictionary is hand-derived
+from the resolution rules, so any change to how often lookup/unification
+runs -- intended or not -- shows up as a diff against a worked example.
+"""
+
+import pytest
+
+from repro.core.cache import ResolutionCache
+from repro.core.env import ImplicitEnv
+from repro.core.resolution import Resolver
+from repro.core.types import BOOL, INT, rule
+from repro.logic.encode import clear_entailment_cache, env_entails
+from repro.obs import (
+    CACHE_HIT,
+    CACHE_MISS,
+    QUERY,
+    SUCCESS,
+    ResolutionStats,
+    Tracer,
+    active_stats,
+    collecting,
+    record_lookup,
+    record_unify,
+)
+
+
+@pytest.fixture
+def simple_env():
+    """``Bool; {Bool} => Int``: resolving Int takes one recursive step."""
+    return ImplicitEnv.empty().push([BOOL, rule(INT, [BOOL])])
+
+
+class TestHandComputedCounters:
+    """Exact counters for section 3.2-style examples.
+
+    Derivation for ``simple_env |- Int`` (cold cache):
+
+    * 1 query, 2 resolution steps (Int, then the recursive Bool), so
+      max_depth is 1 and both steps miss the cache;
+    * 2 environment lookups (one per step);
+    * 4 unification attempts (each lookup scans the 2-entry frame).
+    """
+
+    def test_simple_resolution_counts(self, simple_env):
+        stats = ResolutionStats()
+        Resolver(cache=ResolutionCache(), stats=stats).resolve(simple_env, INT)
+        assert stats.as_dict() == {
+            "queries": 1,
+            "resolve_steps": 2,
+            "max_depth": 1,
+            "cache_hits": 0,
+            "cache_misses": 2,
+            "lookup_calls": 2,
+            "unify_calls": 4,
+            "entails_calls": 0,
+            "entails_hits": 0,
+        }
+        assert stats.fuel_consumed == 2  # one unit per resolution step
+
+    def test_second_identical_resolve_is_a_pure_hit(self, simple_env):
+        stats = ResolutionStats()
+        resolver = Resolver(cache=ResolutionCache(), stats=stats)
+        resolver.resolve(simple_env, INT)
+        resolver.resolve(simple_env, INT)
+        # One extra query and one extra step, answered entirely by the
+        # cache: zero new lookups, zero new unifications.
+        assert stats.as_dict() == {
+            "queries": 2,
+            "resolve_steps": 3,
+            "max_depth": 1,
+            "cache_hits": 1,
+            "cache_misses": 2,
+            "lookup_calls": 2,
+            "unify_calls": 4,
+            "entails_calls": 0,
+            "entails_hits": 0,
+        }
+        assert stats.hit_rate() == pytest.approx(1 / 3)
+
+    def test_rule_resolution_counts(self):
+        # Rule-type query whose context matches the rule's own context:
+        # no recursion at all (the paper's "rule resolution" case).
+        env = ImplicitEnv.empty().push([rule(INT, [BOOL])])
+        query = rule(INT, [BOOL])
+        stats = ResolutionStats()
+        resolver = Resolver(cache=ResolutionCache(), stats=stats)
+        resolver.resolve(env, query)
+        assert stats.as_dict() == {
+            "queries": 1,
+            "resolve_steps": 1,
+            "max_depth": 0,
+            "cache_hits": 0,
+            "cache_misses": 1,
+            "lookup_calls": 1,
+            "unify_calls": 1,
+            "entails_calls": 0,
+            "entails_hits": 0,
+        }
+        resolver.resolve(env, query)
+        after = stats.as_dict()
+        assert after["cache_hits"] == 1
+        assert after["lookup_calls"] == 1  # pure hit: no new work
+        assert after["unify_calls"] == 1
+
+    def test_cache_disabled_records_no_probes(self, simple_env):
+        stats = ResolutionStats()
+        resolver = Resolver(cache=None, stats=stats)
+        resolver.resolve(simple_env, INT)
+        resolver.resolve(simple_env, INT)
+        assert stats.as_dict() == {
+            "queries": 2,
+            "resolve_steps": 4,
+            "max_depth": 1,
+            "cache_hits": 0,
+            "cache_misses": 0,  # never consulted
+            "lookup_calls": 4,
+            "unify_calls": 8,
+            "entails_calls": 0,
+            "entails_hits": 0,
+        }
+        assert stats.hit_rate() == 0.0
+
+
+class TestEntailmentCounters:
+    def test_entailment_memo_counters(self, simple_env):
+        clear_entailment_cache()
+        stats = ResolutionStats()
+        with collecting(stats):
+            assert env_entails(simple_env, INT)
+            assert stats.entails_calls == 1
+            assert stats.entails_hits == 0
+            assert env_entails(simple_env, INT)
+            assert stats.entails_calls == 2
+            assert stats.entails_hits == 1
+            # A structurally equal environment shares the verdict.
+            twin = ImplicitEnv.empty().push([BOOL, rule(INT, [BOOL])])
+            assert env_entails(twin, INT)
+            assert stats.entails_hits == 2
+
+    def test_uncached_entailment_always_searches(self, simple_env):
+        clear_entailment_cache()
+        stats = ResolutionStats()
+        with collecting(stats):
+            env_entails(simple_env, INT, cached=False)
+            env_entails(simple_env, INT, cached=False)
+        assert stats.entails_calls == 2
+        assert stats.entails_hits == 0
+
+
+class TestCollecting:
+    def test_nested_collectors_are_lexical(self):
+        outer, inner = ResolutionStats(), ResolutionStats()
+        assert active_stats() is None
+        with collecting(outer):
+            record_lookup()
+            with collecting(inner):
+                record_lookup()
+                record_unify()
+                assert active_stats() is inner
+            record_lookup()
+            assert active_stats() is outer
+        assert active_stats() is None
+        assert outer.lookup_calls == 2
+        assert inner.lookup_calls == 1
+        assert inner.unify_calls == 1
+
+    def test_collecting_none_is_a_noop(self):
+        with collecting(None) as scope:
+            assert scope is None
+            assert active_stats() is None
+            record_lookup()  # silently dropped
+
+    def test_resolver_stats_field_routes_without_ambient_scope(self, simple_env):
+        stats = ResolutionStats()
+        Resolver(cache=None, stats=stats).resolve(simple_env, INT)
+        assert stats.queries == 1
+        assert active_stats() is None
+
+    def test_pipeline_stats_parameter(self):
+        from repro.pipeline import run_source
+
+        stats = ResolutionStats()
+        result = run_source(
+            "implicit showInt in let s : String = ? 3 in s", stats=stats
+        )
+        assert result == "3"
+        assert stats.queries > 0
+        assert stats.lookup_calls > 0
+        assert stats.resolve_steps > 0
+
+
+class TestStatsValue:
+    def test_merge_adds_counters_and_maxes_depth(self):
+        a = ResolutionStats(queries=1, resolve_steps=2, max_depth=3, unify_calls=4)
+        b = ResolutionStats(queries=10, resolve_steps=20, max_depth=1, unify_calls=40)
+        a.merge(b)
+        assert a.queries == 11
+        assert a.resolve_steps == 22
+        assert a.max_depth == 3
+        assert a.unify_calls == 44
+
+    def test_reset_and_snapshot(self):
+        stats = ResolutionStats(queries=5, cache_hits=2)
+        frozen = stats.snapshot()
+        stats.reset()
+        assert stats.queries == 0
+        assert frozen.queries == 5  # snapshot is independent
+        assert frozen.cache_hits == 2
+
+    def test_format_mentions_every_counter(self):
+        text = ResolutionStats(cache_hits=1, cache_misses=1).format()
+        for name in ResolutionStats().as_dict():
+            assert name in text
+        assert "hit_rate" in text
+        assert "50.0%" in text
+
+
+class TestTracer:
+    def test_trace_narrates_misses_then_hits(self, simple_env):
+        tracer = Tracer()
+        resolver = Resolver(cache=ResolutionCache(), tracer=tracer)
+        resolver.resolve(simple_env, INT)
+        resolver.resolve(simple_env, INT)
+        kinds = [event.kind for event in tracer]
+        assert kinds == [
+            QUERY, CACHE_MISS,          # outer Int, cold
+            QUERY, CACHE_MISS, SUCCESS,  # recursive Bool
+            SUCCESS,                     # outer Int completes
+            QUERY, CACHE_HIT,            # second resolve: answered instantly
+        ]
+        depths = [event.depth for event in tracer]
+        assert max(depths) == 1
+        assert "Int" in tracer.render()
+
+    def test_bounded_buffer_counts_drops(self):
+        tracer = Tracer(limit=2)
+        for i in range(5):
+            tracer.emit(QUERY, 0, f"q{i}")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert "3 event(s) dropped" in tracer.render()
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+    def test_cli_stats_flag_prints_counters(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "program.impl"
+        path.write_text("implicit showInt in let s : String = ? 3 in s")
+        assert main(["run", str(path), "--stats", "--trace"]) == 0
+        captured = capsys.readouterr()
+        assert "3" in captured.out
+        assert "-- resolution stats --" in captured.err
+        assert "hit_rate" in captured.err
+        assert "-- resolution trace --" in captured.err

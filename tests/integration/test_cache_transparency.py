@@ -1,0 +1,243 @@
+"""Differential harness: memoized resolution is observationally invisible.
+
+For a corpus of (environment, query) pairs spanning every interesting
+resolution behaviour -- simple/rule/partial resolution, polymorphic
+rules, the section 3.2 erratum example, overlap, missing rules,
+ambiguous instantiation, divergence -- and for every strategy x overlap
+policy combination, a cache-disabled resolver, a cold cached resolver
+and a warmed cached resolver must agree on:
+
+* the *derivation tree* for successes (compared structurally via
+  :func:`~repro.core.cache.derivation_key`, since assumption tokens are
+  fresh per uncached tree), and
+* the exception type and message for failures.
+
+A final pipeline-level check runs full source programs (elaboration,
+verification against |tau|, System F evaluation) with and without the
+cache and compares results.
+"""
+
+import pytest
+
+from repro.core.cache import ResolutionCache, derivation_key
+from repro.core.env import ImplicitEnv, OverlapPolicy
+from repro.core.resolution import ResolutionStrategy, Resolver
+from repro.core.types import BOOL, CHAR, INT, STRING, TCon, TVar, pair, rule
+from repro.errors import ImplicitCalculusError
+
+A = TVar("a")
+PAIR_RULE = rule(pair(A, A), [A], ["a"])
+
+
+def nested_pair(depth: int):
+    t = INT
+    for _ in range(depth):
+        t = pair(t, t)
+    return t
+
+
+def _corpus():
+    """(name, env, query) triples; outcomes vary with strategy/policy."""
+    base = ImplicitEnv.empty().push([INT])
+    pair_env = ImplicitEnv.empty().push([INT, PAIR_RULE])
+    partial_env = ImplicitEnv.empty().push([BOOL, rule(pair(A, A), [BOOL, A], ["a"])])
+    erratum = (
+        ImplicitEnv.empty()
+        .push([CHAR])
+        .push([rule(INT, [CHAR])])
+        .push([rule(INT, [BOOL])])
+    )
+    shadowed = (
+        ImplicitEnv.empty().push([INT]).push([PAIR_RULE]).push([BOOL])
+    )
+    within_frame_overlap = ImplicitEnv.empty().push(
+        [rule(INT, [BOOL]), rule(INT, [CHAR])]
+    )
+    specificity = ImplicitEnv.empty().push([BOOL, PAIR_RULE, pair(INT, INT)])
+    higher_order = ImplicitEnv.empty().push(
+        [BOOL, rule(rule(STRING, [INT]), [BOOL])]
+    )
+    ambiguous = ImplicitEnv.empty().push([rule(INT, [pair(A, A)], ["a"])])
+    diverging = ImplicitEnv.empty().push([rule(INT, [CHAR]), rule(CHAR, [INT])])
+    extending_pair = ImplicitEnv.empty().push(
+        [rule(TCon("Y"), [TCon("Z")]), rule(TCon("Z"), [TCon("X")])]
+    )
+
+    yield "base-success", base, INT
+    yield "base-failure", base, BOOL
+    yield "pair-depth-1", pair_env, nested_pair(1)
+    yield "pair-depth-3", pair_env, nested_pair(3)
+    yield "pair-rule-query", pair_env, rule(nested_pair(2), [INT])
+    yield "pair-polymorphic-self", pair_env, rule(pair(A, A), [A], ["a"])
+    yield "pair-missing", pair_env, STRING
+    yield "partial-resolution", partial_env, rule(pair(INT, INT), [INT])
+    yield "partial-wrong-assumption", partial_env, rule(
+        pair(INT, INT), [STRING]
+    )
+    # Erratum (section 3.2): succeeds only under BACKTRACKING.
+    yield "erratum-rule-query", erratum, rule(INT, [CHAR])
+    yield "erratum-simple-query", erratum, INT
+    yield "shadowed-inner-frames", shadowed, pair(BOOL, BOOL)
+    yield "shadowed-outer-int", shadowed, pair(INT, INT)
+    # Overlap within one frame: REJECT errors; MOST_SPECIFIC needs a
+    # unique winner (absent here -- both heads are Int).
+    yield "overlap-within-frame", within_frame_overlap, INT
+    # Here MOST_SPECIFIC picks the ground (Int, Int) over the poly rule.
+    yield "overlap-specificity", specificity, pair(INT, INT)
+    # E9's extending example: {X}=>Y from {Z}=>Y and {X}=>Z.
+    yield "extending-chain", extending_pair, rule(TCon("Y"), [TCon("X")])
+    # Higher-order rule head: assume Char, discharge Bool, yield the
+    # nested rule {Int}=>String.
+    yield "higher-order-head", higher_order, rule(
+        rule(STRING, [INT]), [CHAR]
+    )
+    yield "higher-order-exact", higher_order, rule(rule(STRING, [INT]), [BOOL])
+    yield "ambiguous-instantiation", ambiguous, INT
+    yield "diverging", diverging, INT
+
+
+CORPUS = list(_corpus())
+STRATEGIES = list(ResolutionStrategy)
+POLICIES = list(OverlapPolicy)
+
+
+def observe(resolver, env, query):
+    """A comparable summary of one resolution attempt."""
+    try:
+        return ("ok", derivation_key(resolver.resolve(env, query)))
+    except ImplicitCalculusError as exc:
+        return (type(exc).__name__, str(exc))
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.value)
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.value)
+def test_cached_equals_uncached_per_query(strategy, policy):
+    for name, env, query in CORPUS:
+        uncached = Resolver(strategy=strategy, policy=policy, cache=None)
+        cached = Resolver(
+            strategy=strategy, policy=policy, cache=ResolutionCache()
+        )
+        reference = observe(uncached, env, query)
+        cold = observe(cached, env, query)
+        warm = observe(cached, env, query)
+        assert cold == reference, f"{name}: cold cache diverged from uncached"
+        assert warm == reference, f"{name}: warm cache diverged from uncached"
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.value)
+def test_one_shared_cache_across_the_whole_corpus(strategy):
+    # Same as above, but one resolver (one cache) serves every query of
+    # the corpus twice over: entries for different envs/queries must
+    # never bleed into each other.
+    reference = [
+        observe(Resolver(strategy=strategy, cache=None), env, query)
+        for _, env, query in CORPUS
+    ]
+    shared = Resolver(strategy=strategy, cache=ResolutionCache())
+    for round_no in range(2):
+        got = [observe(shared, env, query) for _, env, query in CORPUS]
+        assert got == reference, f"round {round_no} diverged"
+
+
+def test_push_pop_scoping_is_cache_transparent():
+    # A nested scope shadowing Int must not be served the outer scope's
+    # derivation, and returning to the outer scope must re-hit it.
+    outer = ImplicitEnv.empty().push([INT, PAIR_RULE])
+    inner = outer.push([rule(INT, [BOOL]), BOOL])
+    resolver = Resolver(cache=ResolutionCache())
+    plain = Resolver(cache=None)
+    for env in (outer, inner, outer, inner):
+        assert derivation_key(resolver.resolve(env, pair(INT, INT))) == (
+            derivation_key(plain.resolve(env, pair(INT, INT)))
+        )
+    # The two scopes genuinely resolve differently (inner goes via Bool).
+    assert derivation_key(plain.resolve(outer, INT)) != derivation_key(
+        plain.resolve(inner, INT)
+    )
+
+
+EQ_PROGRAM = """
+interface Eq a = { eq : a -> a -> Bool };
+let eqv : forall a . {Eq a} => a -> a -> Bool = eq ? in
+let eqInt1 : Eq Int = Eq { eq = primEqInt } in
+let eqInt2 : Eq Int = Eq { eq = \\x y . isEven x && isEven y } in
+let eqBool : Eq Bool = Eq { eq = primEqBool } in
+let eqPair : forall a b . {Eq a, Eq b} => Eq (a, b) =
+  Eq { eq = \\x y . eqv (fst x) (fst y) && eqv (snd x) (snd y) } in
+let p1 : (Int, Bool) = (4, True) in
+let p2 : (Int, Bool) = (8, True) in
+implicit {eqInt1, eqBool, eqPair} in
+  (eqv p1 p2, implicit {eqInt2} in eqv p1 p2)
+"""
+
+SHOW_PROGRAM = """
+let show : forall a . {a -> String} => a -> String = ? in
+let comma : forall a . {a -> String} => [a] -> String =
+  \\xs . intercalate "," (map ? xs) in
+let o : {Int -> String, {Int -> String} => [Int] -> String} => String =
+  show [1, 2, 3] in
+implicit showInt in implicit comma in o
+"""
+
+
+@pytest.mark.parametrize("source, expected", [
+    (EQ_PROGRAM, (False, True)),
+    (SHOW_PROGRAM, "1,2,3"),
+], ids=["eq-program", "show-program"])
+def test_full_pipeline_cached_equals_uncached(source, expected):
+    from repro.pipeline import run_source
+
+    # verify=True re-checks the System F elaboration against |tau|, so
+    # this also asserts that cached evidence is well-typed evidence.
+    uncached = run_source(source, resolver=Resolver(cache=None), verify=True)
+    cached = run_source(source, resolver=Resolver(), verify=True)
+    assert uncached == cached == expected
+
+
+def _core_programs():
+    """Overview-section core programs exercising evidence-carrying envs."""
+    from repro.core import If, IntLit, PairE
+    from repro.core.builders import add, ask, crule, implicit
+
+    # Higher-order: implicit {3, {Int}=>Int*Int rule} in ?(Int*Int).
+    rho = rule(pair(INT, INT), [INT])
+    higher = implicit(
+        [IntLit(3), (crule(rho, PairE(ask(INT), add(ask(INT), IntLit(1)))), rho)],
+        ask(pair(INT, INT)),
+        pair(INT, INT),
+    )
+    yield "higher-order", higher, (3, 4)
+
+    # Nested scoping: the inner {Bool}=>Int rule shadows the outer 1.
+    inner_rho = rule(INT, [BOOL])
+    from repro.core import BoolLit
+
+    inner_rule = crule(inner_rho, If(ask(BOOL), IntLit(2), IntLit(0)))
+    nested = implicit(
+        [IntLit(1)],
+        implicit([BoolLit(True), (inner_rule, inner_rho)], ask(INT), INT),
+        INT,
+    )
+    yield "nested-scoping", nested, 2
+
+    # Polymorphic pair rule instantiated at two types.
+    poly = crule(PAIR_RULE, PairE(ask(A), ask(A)))
+    polymorphic = implicit(
+        [IntLit(3), BoolLit(True), (poly, PAIR_RULE)],
+        PairE(ask(pair(INT, INT)), ask(pair(BOOL, BOOL))),
+        pair(pair(INT, INT), pair(BOOL, BOOL)),
+    )
+    yield "polymorphic", polymorphic, ((3, 3), (True, True))
+
+
+def test_overview_programs_cached_equals_uncached():
+    from repro.pipeline import Semantics, run_core
+
+    for name, program, expected in _core_programs():
+        for semantics in (Semantics.ELABORATE, Semantics.OPERATIONAL):
+            uncached = run_core(
+                program, resolver=Resolver(cache=None), semantics=semantics
+            )
+            cached = run_core(program, semantics=semantics)
+            assert uncached.value == cached.value == expected, name
+            assert uncached.type == cached.type, name

@@ -1,0 +1,167 @@
+"""Property tests for the derivation cache and environment fingerprints.
+
+Two families:
+
+* **Fingerprint laws** -- equal fingerprints exactly characterise
+  structurally equal frame stacks (frame-by-frame, entry-by-entry, up to
+  alpha-equivalence of entry types), and pushing always changes the
+  fingerprint while "popping" (resuming the old immutable env) restores
+  it.
+* **Cache transparency** -- on generated derivable environments, cached
+  resolution agrees with uncached resolution on every query, and
+  returning to an environment after pushing/popping an unrelated scope
+  is answered entirely from the cache (a pure hit: no new lookups, no
+  new unifications, same derivation).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import ResolutionCache, derivation_key
+from repro.core.env import ImplicitEnv, RuleEntry
+from repro.core.resolution import ResolutionStrategy, Resolver
+from repro.core.types import TCon, canonical_key
+from repro.errors import ImplicitCalculusError
+from repro.obs import ResolutionStats
+
+from .strategies import derivable_environments
+
+#: A head no generated environment can provide (generators only use the
+#: base types and pairs over them).
+UNRELATED = TCon("Unrelated999")
+
+
+def frame_structure(env: ImplicitEnv):
+    return tuple(
+        tuple(canonical_key(entry.rho) for entry in frame)
+        for frame in env.frames()
+    )
+
+
+def rebuild(env: ImplicitEnv) -> ImplicitEnv:
+    """A structurally equal environment made of entirely fresh objects."""
+    fresh = ImplicitEnv.empty()
+    for frame in env.frames():
+        fresh = fresh.push(tuple(RuleEntry(entry.rho) for entry in frame))
+    return fresh
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint laws.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(derivable_environments(), derivable_environments())
+def test_fingerprint_equality_iff_structural_equality(a, b):
+    env_a, _ = a
+    env_b, _ = b
+    structurally_equal = frame_structure(env_a) == frame_structure(env_b)
+    assert (env_a.fingerprint() == env_b.fingerprint()) == structurally_equal
+    if structurally_equal:
+        assert hash(env_a.fingerprint()) == hash(env_b.fingerprint())
+
+
+@settings(max_examples=60, deadline=None)
+@given(derivable_environments())
+def test_rebuilt_environment_has_equal_fingerprint(env_queries):
+    env, _ = env_queries
+    fresh = rebuild(env)
+    assert fresh is not env
+    assert fresh.fingerprint() == env.fingerprint()
+    assert hash(fresh.fingerprint()) == hash(env.fingerprint())
+    # Payload-less environments also share their witness.
+    assert fresh.payload_witness() == env.payload_witness()
+
+
+@settings(max_examples=60, deadline=None)
+@given(derivable_environments())
+def test_push_changes_fingerprint_pop_restores_it(env_queries):
+    env, _ = env_queries
+    before = env.fingerprint()
+    pushed = env.push([UNRELATED])
+    assert pushed.fingerprint() != before
+    assert pushed.fingerprint().key[:-1] == before.key
+    # Popping is resuming the old immutable environment.
+    assert env.fingerprint() == before
+
+
+@settings(max_examples=60, deadline=None)
+@given(derivable_environments())
+def test_perturbing_any_frame_changes_the_fingerprint(env_queries):
+    env, _ = env_queries
+    frames = env.frames()
+    for index in range(len(frames)):
+        mutated = ImplicitEnv.empty()
+        for i, frame in enumerate(frames):
+            mutated = mutated.push(
+                frame + (RuleEntry(UNRELATED),) if i == index else frame
+            )
+        assert mutated.fingerprint() != env.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Cache transparency.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(derivable_environments(), st.sampled_from(list(ResolutionStrategy)))
+def test_cached_resolution_equals_uncached(env_queries, strategy):
+    env, queries = env_queries
+    uncached = Resolver(strategy=strategy, cache=None)
+    cached = Resolver(strategy=strategy, cache=ResolutionCache())
+    for query in queries:
+        try:
+            reference = ("ok", derivation_key(uncached.resolve(env, query)))
+        except ImplicitCalculusError as exc:
+            reference = (type(exc).__name__, str(exc))
+        for _ in range(2):  # cold, then warm
+            try:
+                got = ("ok", derivation_key(cached.resolve(env, query)))
+            except ImplicitCalculusError as exc:
+                got = (type(exc).__name__, str(exc))
+            assert got == reference
+
+
+@settings(max_examples=50, deadline=None)
+@given(derivable_environments())
+def test_unrelated_push_pop_is_answered_from_cache(env_queries):
+    env, queries = env_queries
+    query = queries[-1]
+    stats = ResolutionStats()
+    resolver = Resolver(cache=ResolutionCache(), stats=stats)
+    first = resolver.resolve(env, query)
+
+    # Enter an unrelated scope: different fingerprint, and the scope
+    # cannot shadow anything the generators provide.
+    pushed = resolver.resolve(env.push([UNRELATED]), query)
+    assert derivation_key(pushed) == derivation_key(first)
+
+    # Leave the scope: the original env's entries must re-hit, making the
+    # repeat query pure cache traffic -- no lookups, no unifications.
+    before = stats.snapshot()
+    again = resolver.resolve(env, query)
+    assert derivation_key(again) == derivation_key(first)
+    assert stats.cache_hits == before.cache_hits + 1
+    assert stats.cache_misses == before.cache_misses
+    assert stats.lookup_calls == before.lookup_calls
+    assert stats.unify_calls == before.unify_calls
+
+
+@settings(max_examples=50, deadline=None)
+@given(derivable_environments())
+def test_structurally_equal_environment_shares_the_cache(env_queries):
+    env, queries = env_queries
+    stats = ResolutionStats()
+    resolver = Resolver(cache=ResolutionCache(), stats=stats)
+    originals = [resolver.resolve(env, query) for query in queries]
+
+    fresh = rebuild(env)
+    before = stats.snapshot()
+    for query, original in zip(queries, originals):
+        replay = resolver.resolve(fresh, query)
+        assert derivation_key(replay) == derivation_key(original)
+    assert stats.cache_hits == before.cache_hits + len(queries)
+    assert stats.lookup_calls == before.lookup_calls
+    assert stats.unify_calls == before.unify_calls
