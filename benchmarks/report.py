@@ -6,11 +6,24 @@ runs every one and prints a paper-vs-measured row, so the whole claim
 surface of the reproduction is auditable in one command::
 
     python benchmarks/report.py
+
+Besides the human-readable table, every run writes a machine-readable
+snapshot (``BENCH_<date>.json`` in the repository root by default;
+``--json PATH`` overrides) containing the per-row verdicts and wall
+times, the aggregate resolution counters for the whole run, and -- unless
+``--quick`` is passed -- a timing section covering the two headline
+performance claims: head-constructor indexed lookup vs the naive scan on
+a wide environment, and cached vs uncached repeated resolution.
+``--quick`` is the CI smoke mode: correctness rows only.
 """
 
 from __future__ import annotations
 
+import argparse
+import datetime
+import json
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
@@ -61,12 +74,26 @@ implicit showInt in
   (implicit comma in o, implicit space in o)
 """
 
-ROWS: list[tuple[str, str, str, str]] = []
+ROWS: list[dict] = []
+_CLOCK = [0.0]
 
 
 def row(exp_id: str, what: str, stated: str, measured: str) -> None:
-    status = "ok " if stated == measured or stated in measured else "FAIL"
-    ROWS.append((exp_id, what, stated, f"{measured}  [{status.strip()}]"))
+    now = time.perf_counter()
+    seconds, _CLOCK[0] = now - _CLOCK[0], now
+    status = "ok" if stated == measured or stated in measured else "FAIL"
+    ROWS.append(
+        {
+            "id": exp_id,
+            "experiment": what,
+            "stated": stated,
+            "measured": measured,
+            "status": status,
+            # Wall time since the previous row: attributes each row the
+            # work computed for it (coarse but trend-comparable).
+            "seconds": round(seconds, 6),
+        }
+    )
 
 
 def both_semantics(program: str) -> str:
@@ -76,7 +103,7 @@ def both_semantics(program: str) -> str:
     return repr(values.pop())
 
 
-def main() -> int:
+def _run_experiments() -> None:
     # E1
     row("E1", "isort (section 1)", "((1, 2, 3), (3, 5, 9))", both_semantics(ISORT))
 
@@ -161,16 +188,105 @@ def main() -> int:
     )
     row("E9", "{C}=>B, {A}=>C |-r {A}=>B", "syntactic stuck, extending ok", measured)
 
-    width = max(len(r[1]) for r in ROWS) + 2
+
+def _run_timings() -> dict:
+    """The two headline performance claims, as wall-clock measurements."""
+    from benchmarks.bench_env_indexing import _timed, indexed_workload
+    from repro.core.cache import ResolutionCache
+    from repro.core.env import OverlapPolicy
+    from repro.core.resolution import Resolver
+
+    timings: dict = {}
+
+    env, queries = indexed_workload(120)
+    policy = OverlapPolicy.MOST_SPECIFIC
+    naive = _timed(Resolver(policy=policy, cache=None, use_index=False), env, queries)
+    indexed = _timed(Resolver(policy=policy, cache=None, use_index=True), env, queries)
+    timings["wide_lookup"] = {
+        "width": 120,
+        "naive_seconds": round(naive, 6),
+        "indexed_seconds": round(indexed, 6),
+        "speedup": round(naive / indexed, 2) if indexed else None,
+    }
+
+    from benchmarks.conftest import nested_pair_type, pair_env
+
+    env2 = pair_env()
+    query = nested_pair_type(7)
+
+    def resolve_many(resolver):
+        start = time.perf_counter()
+        for _ in range(40):
+            resolver.resolve(env2, query)
+        return time.perf_counter() - start
+
+    uncached = resolve_many(Resolver(cache=None))
+    cached = resolve_many(Resolver(cache=ResolutionCache()))
+    timings["repeated_resolution"] = {
+        "depth": 7,
+        "repetitions": 40,
+        "uncached_seconds": round(uncached, 6),
+        "cached_seconds": round(cached, 6),
+        "speedup": round(uncached / cached, 2) if cached else None,
+    }
+    return timings
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.obs import ResolutionStats, collecting
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="where to write the machine-readable snapshot "
+        "(default: BENCH_<date>.json in the repository root)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: correctness rows only, skip the timing sweeps",
+    )
+    args = parser.parse_args(argv)
+
+    stats = ResolutionStats()
+    _CLOCK[0] = time.perf_counter()
+    with collecting(stats):
+        _run_experiments()
+        timings = {} if args.quick else _run_timings()
+
+    width = max(len(r["experiment"]) for r in ROWS) + 2
     print(f"{'ID':<4} {'experiment':<{width}} stated -> measured")
     print("-" * (width + 40))
     failures = 0
-    for exp_id, what, stated, measured in ROWS:
-        print(f"{exp_id:<4} {what:<{width}} {stated}  ->  {measured}")
-        if "FAIL" in measured or "DISAGREE" in measured:
+    for r in ROWS:
+        print(
+            f"{r['id']:<4} {r['experiment']:<{width}} "
+            f"{r['stated']}  ->  {r['measured']}  [{r['status']}]"
+        )
+        if r["status"] != "ok" or "DISAGREE" in r["measured"]:
             failures += 1
     print("-" * (width + 40))
     print(f"{len(ROWS)} experiments, {failures} failure(s)")
+    for name, numbers in timings.items():
+        print(f"{name}: " + ", ".join(f"{k}={v}" for k, v in numbers.items()))
+
+    date = datetime.date.today().isoformat()
+    json_path = Path(
+        args.json if args.json else Path(__file__).resolve().parent.parent / f"BENCH_{date}.json"
+    )
+    snapshot = {
+        "schema": "repro-bench/1",
+        "date": date,
+        "quick": args.quick,
+        "rows": ROWS,
+        "resolution_stats": stats.as_dict(),
+        "timings": timings,
+        "failures": failures,
+    }
+    json_path.write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {json_path}")
     return 1 if failures else 0
 
 

@@ -16,6 +16,8 @@ Options:
     --stats            print resolution counters (cache hit rate, lookups,
                        unifications, recursion depth, fuel) to stderr
     --no-cache         disable the resolution derivation cache
+    --index/--no-index enable/disable head-constructor indexed lookup
+                       (default: enabled; see docs/PERFORMANCE.md)
     --trace            print the resolution trace-event stream to stderr
 """
 
@@ -25,7 +27,7 @@ import argparse
 import sys
 
 from .core.cache import ResolutionCache
-from .core.env import OverlapPolicy
+from .core.env import OverlapPolicy, set_indexing
 from .core.parser import parse_core_expr
 from .core.pretty import pretty_expr, pretty_type
 from .core.resolution import ResolutionStrategy, Resolver
@@ -89,6 +91,13 @@ def _build_parser() -> argparse.ArgumentParser:
             help="disable the resolution derivation cache",
         )
         cmd.add_argument(
+            "--index",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="head-constructor indexed rule lookup (on by default; "
+            "--no-index forces the naive frame scan)",
+        )
+        cmd.add_argument(
             "--trace",
             action="store_true",
             help="print the resolution trace-event stream to stderr",
@@ -120,6 +129,7 @@ def main(argv: list[str] | None = None) -> int:
     tracer = Tracer() if args.trace else None
     stats = ResolutionStats() if args.stats else None
     resolver = _resolver(args, tracer)
+    previous_indexing = set_indexing(args.index)
     try:
         with collecting(stats):
             if args.core:
@@ -160,6 +170,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
+        set_indexing(previous_indexing)
         if tracer is not None and len(tracer):
             print("-- resolution trace --", file=sys.stderr)
             print(tracer.render(), file=sys.stderr)

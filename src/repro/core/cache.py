@@ -9,7 +9,10 @@ whole :class:`~repro.core.resolution.Derivation` trees keyed on
      canonical_key(query), strategy, overlap policy)
 
 so a repeated query is answered by one dictionary probe instead of a
-full proof search.
+full proof search.  Since types are hash-consed
+(:mod:`repro.core.types`), ``canonical_key`` is usually a cached-field
+read and key hashing reuses each node's memoized hash, keeping probes
+cheap even for deep queries.
 
 Correctness invariants (each is load-bearing; the differential tests in
 ``tests/integration/test_cache_transparency.py`` pin them down):

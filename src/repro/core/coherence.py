@@ -42,13 +42,14 @@ from itertools import combinations
 from typing import Iterable
 
 from ..errors import CoherenceError, NoMatchingRuleError, OverlappingRulesError
-from .env import ImplicitEnv, OverlapPolicy, RuleEntry
+from .env import FrameIndex, ImplicitEnv, OverlapPolicy, RuleEntry, indexing_enabled
 from .subst import Subst, fresh_tvar, subst_type
 from .types import (
     RuleType,
     TVar,
     Type,
     ftv,
+    head_symbol,
     promote,
     types_alpha_eq,
 )
@@ -68,7 +69,11 @@ def nonoverlap(rho1: Type, rho2: Type) -> bool:
     quantified variables of both rules renamed apart and substitutable
     (e.g. ``forall a. a -> Int`` and ``forall b. Int -> b`` overlap at
     ``Int -> Int``)."""
-    return not unifiable(_freshened_head(rho1), _freshened_head(rho2))
+    h1 = _freshened_head(rho1)
+    h2 = _freshened_head(rho2)
+    if _rigid_syms_differ(h1, h2):
+        return True
+    return not unifiable(h1, h2)
 
 
 def distinct(context1: Iterable[Type], context2: Iterable[Type]) -> bool:
@@ -90,7 +95,8 @@ def unique_instances(context: Iterable[Type]) -> bool:
     ``Int`` at runtime)."""
     heads = [_freshened_head(rho) for rho in context]
     return all(
-        not unifiable(h1, h2) for (h1, h2) in combinations(heads, 2)
+        _rigid_syms_differ(h1, h2) or not unifiable(h1, h2)
+        for (h1, h2) in combinations(heads, 2)
     )
 
 
@@ -106,14 +112,17 @@ def has_most_specific(context: Iterable[Type]) -> bool:
     """
     context = tuple(context)
     frame = tuple(RuleEntry(rho) for rho in context)
+    index = FrameIndex(frame) if indexing_enabled() else None
     heads = [_freshened_head(rho) for rho in context]
     for h1, h2 in combinations(heads, 2):
+        if _rigid_syms_differ(h1, h2):
+            continue
         theta = mgu(h1, h2)
         if theta is None:
             continue
         meet = subst_type(theta, h1)
         try:
-            result = env_frame_lookup(frame, meet, OverlapPolicy.MOST_SPECIFIC)
+            result = env_frame_lookup(frame, meet, OverlapPolicy.MOST_SPECIFIC, index)
         except OverlappingRulesError:
             return False
         if result is None:  # pragma: no cover - meet always matches
@@ -126,6 +135,22 @@ def _freshened_head(rho: Type) -> Type:
     tvars, _, head = promote(rho)
     renaming = {old: TVar(fresh_tvar(old.split("%")[0])) for old in tvars}
     return subst_type(renaming, head)
+
+
+def _rigid_syms_differ(h1: Type, h2: Type) -> bool:
+    """Head-symbol prune for two-way unifiability of freshened heads.
+
+    The predicates above quantify over *all* substitutions, so every free
+    variable of either head is flexible -- which is exactly the reading
+    :func:`head_symbol` gives when the flex set is the head's own free
+    variables.  Two heads with distinct *rigid* root symbols cannot be
+    identified by any substitution, so :func:`unifiable` need not run.
+    """
+    s1 = head_symbol(h1, ftv(h1))
+    if s1 is None:
+        return False
+    s2 = head_symbol(h2, ftv(h2))
+    return s2 is not None and s1 != s2
 
 
 # ---------------------------------------------------------------------------
@@ -234,9 +259,15 @@ def check_query_coherence(
 
 def _winning_entry(env: ImplicitEnv, head: Type, policy: OverlapPolicy):
     frames = env.frames()
+    indexes = env.indexes() if indexing_enabled() else None
     for depth in range(len(frames) - 1, -1, -1):
         try:
-            result = env_frame_lookup(frames[depth], head, policy)
+            result = env_frame_lookup(
+                frames[depth],
+                head,
+                policy,
+                indexes[depth] if indexes is not None else None,
+            )
         except OverlappingRulesError:
             raise
         if result is not None:
@@ -244,11 +275,13 @@ def _winning_entry(env: ImplicitEnv, head: Type, policy: OverlapPolicy):
     return None, None
 
 
-def env_frame_lookup(frame, head: Type, policy: OverlapPolicy):
+def env_frame_lookup(
+    frame, head: Type, policy: OverlapPolicy, index: FrameIndex | None = None
+):
     """Lookup restricted to one rule set (internal helper)."""
     from .env import _frame_matches, _most_specific
 
-    matches = _frame_matches(frame, head)
+    matches = _frame_matches(frame, head, index)
     if not matches:
         return None
     if len(matches) > 1:

@@ -19,11 +19,25 @@ Entries carry an arbitrary *payload*: ``None`` during pure type checking,
 a System F evidence term during elaboration, a runtime closure in the
 operational semantics.  This mirrors how the paper reuses one lookup
 relation across Fig. 1, Fig. 2 and the big-step semantics.
+
+Lookup is **head-constructor indexed** (classic first-argument indexing
+from logic programming): every frame carries a :class:`FrameIndex`
+bucketing its entries by the rigid root constructor of their heads, plus
+a flex bucket of variable-headed rules that must always be consulted.
+Matching is only attempted against the candidates a query's own head
+symbol selects, turning one frame scan from O(entries) matching attempts
+into O(candidates).  Indexing is observably equivalent to the naive scan
+(same matches, in the same entry order, hence the same results *and* the
+same overlap failures) -- the differential tests in
+``tests/property/test_property_index.py`` pin this down -- and can be
+disabled globally with :func:`set_indexing` (CLI ``--no-index``) or per
+call via the ``use_index`` parameter.
 """
 
 from __future__ import annotations
 
 import enum
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
@@ -32,10 +46,39 @@ from ..errors import (
     NoMatchingRuleError,
     OverlappingRulesError,
 )
-from ..obs import record_lookup
+from ..obs import record_index, record_lookup
 from .subst import fresh_tvar, subst_type
-from .types import RuleType, TVar, Type, canonical_key, promote
+from .types import RuleType, TVar, Type, canonical_key, head_symbol, promote
 from .unify import match_type
+
+# ---------------------------------------------------------------------------
+# Global indexing toggle (CLI --index/--no-index).
+# ---------------------------------------------------------------------------
+
+_INDEXING = True
+
+
+def indexing_enabled() -> bool:
+    """Whether head-constructor indexing is globally enabled."""
+    return _INDEXING
+
+
+def set_indexing(enabled: bool) -> bool:
+    """Set the global indexing default; returns the previous value."""
+    global _INDEXING
+    previous = _INDEXING
+    _INDEXING = bool(enabled)
+    return previous
+
+
+@contextmanager
+def indexing(enabled: bool) -> Iterator[None]:
+    """Scoped :func:`set_indexing` (used by tests and benchmarks)."""
+    previous = set_indexing(enabled)
+    try:
+        yield
+    finally:
+        set_indexing(previous)
 
 
 class OverlapPolicy(enum.Enum):
@@ -129,19 +172,77 @@ def _frame_key(frame: tuple[RuleEntry, ...]) -> tuple:
     return tuple(canonical_key(entry.rho) for entry in frame)
 
 
+def _merge_positions(a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
+    """Merge two sorted position tuples, preserving entry order."""
+    if not a:
+        return b
+    if not b:
+        return a
+    out: list[int] = []
+    i = j = 0
+    la, lb = len(a), len(b)
+    while i < la and j < lb:
+        if a[i] < b[j]:
+            out.append(a[i])
+            i += 1
+        else:
+            out.append(b[j])
+            j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    return tuple(out)
+
+
+class FrameIndex:
+    """Head-constructor index over one rule set.
+
+    ``rigid`` buckets entry positions by the rigid head symbol of each
+    entry's rule head (see :func:`repro.core.types.head_symbol`);
+    ``flex`` holds the positions of variable-headed rules, which can
+    match *any* query and are merged into every candidate list.  Like
+    frames themselves, indexes are immutable and shared structurally
+    between an environment and everything pushed on top of it.
+    """
+
+    __slots__ = ("rigid", "flex", "width")
+
+    def __init__(self, frame: tuple[RuleEntry, ...]):
+        rigid: dict[tuple, list[int]] = {}
+        flex: list[int] = []
+        for pos, entry in enumerate(frame):
+            tvars, _, head = entry.parts()
+            sym = head_symbol(head, frozenset(tvars))
+            if sym is None:
+                flex.append(pos)
+            else:
+                rigid.setdefault(sym, []).append(pos)
+        self.rigid: dict[tuple, tuple[int, ...]] = {
+            sym: tuple(positions) for sym, positions in rigid.items()
+        }
+        self.flex: tuple[int, ...] = tuple(flex)
+        self.width = len(frame)
+
+    def candidates(self, sym: tuple) -> tuple[int, ...]:
+        """Positions that could match a query with head symbol ``sym``,
+        in entry order (so indexed and naive scans agree on ordering)."""
+        return _merge_positions(self.rigid.get(sym, ()), self.flex)
+
+
 class ImplicitEnv:
     """An immutable stack of rule sets (``Delta ::= . | Delta; rho-bar``)."""
 
-    __slots__ = ("_frames", "_fingerprint", "_witness")
+    __slots__ = ("_frames", "_fingerprint", "_witness", "_indexes")
 
     def __init__(
         self,
         frames: tuple[tuple[RuleEntry, ...], ...] = (),
         fingerprint: EnvFingerprint | None = None,
+        indexes: tuple[FrameIndex, ...] | None = None,
     ):
         self._frames = frames
         self._fingerprint = fingerprint
         self._witness: tuple | None = None
+        self._indexes = indexes
 
     @staticmethod
     def empty() -> "ImplicitEnv":
@@ -155,13 +256,27 @@ class ImplicitEnv:
         environment's: pushing extends the key chain, and "popping" --
         resuming use of this (immutable) environment -- re-yields the old
         fingerprint, so caches keyed on it re-hit after a scope exits.
+        The child's head-constructor index is likewise incremental: only
+        the new frame is indexed; the parent's frame indexes are shared.
         """
         frame = tuple(
             e if isinstance(e, RuleEntry) else RuleEntry(e) for e in entries
         )
         return ImplicitEnv(
-            self._frames + (frame,), self.fingerprint().extend(_frame_key(frame))
+            self._frames + (frame,),
+            self.fingerprint().extend(_frame_key(frame)),
+            self.indexes() + (FrameIndex(frame),),
         )
+
+    def indexes(self) -> tuple[FrameIndex, ...]:
+        """Per-frame head-constructor indexes, outermost first (computed
+        lazily for directly-constructed environments, incrementally via
+        :meth:`push`)."""
+        indexes = self._indexes
+        if indexes is None:
+            indexes = tuple(FrameIndex(frame) for frame in self._frames)
+            self._indexes = indexes
+        return indexes
 
     def fingerprint(self) -> EnvFingerprint:
         """The structural fingerprint of this frame stack (see
@@ -217,7 +332,10 @@ class ImplicitEnv:
         return bool(self._frames)
 
     def lookup(
-        self, tau: Type, policy: OverlapPolicy = OverlapPolicy.REJECT
+        self,
+        tau: Type,
+        policy: OverlapPolicy = OverlapPolicy.REJECT,
+        use_index: bool | None = None,
     ) -> LookupResult:
         """Find the rule for ``tau`` (Fig. 1's ``Delta(tau)``).
 
@@ -226,10 +344,22 @@ class ImplicitEnv:
         :class:`AmbiguousRuleTypeError` if matching leaves a quantified
         variable of the winning rule uninstantiated (the extended report's
         "ambiguous instantiation" runtime error, caught here statically).
+
+        ``use_index`` selects head-constructor indexed candidate
+        selection (``None`` defers to the global :func:`set_indexing`
+        toggle); indexed and naive scans are observably equivalent.
         """
         record_lookup()
-        for frame in reversed(self._frames):
-            matches = _frame_matches(frame, tau)
+        if use_index is None:
+            use_index = _INDEXING
+        if use_index:
+            indexes = self.indexes()
+            sym = head_symbol(tau)
+        for pos in range(len(self._frames) - 1, -1, -1):
+            frame = self._frames[pos]
+            matches = _frame_matches(
+                frame, tau, indexes[pos] if use_index else None, sym if use_index else None
+            )
             if not matches:
                 continue
             if len(matches) > 1:
@@ -242,7 +372,9 @@ class ImplicitEnv:
             return matches[0]
         raise NoMatchingRuleError(f"no rule matching {tau} in the implicit environment")
 
-    def lookup_all(self, tau: Type) -> Iterator[LookupResult]:
+    def lookup_all(
+        self, tau: Type, use_index: bool | None = None
+    ) -> Iterator[LookupResult]:
         """All matches for ``tau`` in nearness order (inner frames first).
 
         Used by the ``BACKTRACKING`` resolution strategy -- the "fully
@@ -252,18 +384,37 @@ class ImplicitEnv:
         coherence, is the point of that strategy.
         """
         record_lookup()
-        for frame in reversed(self._frames):
-            yield from _frame_matches(frame, tau)
+        if use_index is None:
+            use_index = _INDEXING
+        if use_index:
+            indexes = self.indexes()
+            sym = head_symbol(tau)
+        for pos in range(len(self._frames) - 1, -1, -1):
+            yield from _frame_matches(
+                self._frames[pos],
+                tau,
+                indexes[pos] if use_index else None,
+                sym if use_index else None,
+            )
 
 
-@dataclass(frozen=True)
-class _Match:
-    entry: RuleEntry
-    result: LookupResult
-
-
-def _frame_matches(frame: tuple[RuleEntry, ...], tau: Type) -> list[LookupResult]:
+def _frame_matches(
+    frame: tuple[RuleEntry, ...],
+    tau: Type,
+    index: FrameIndex | None = None,
+    sym: tuple | None = None,
+) -> list[LookupResult]:
     found: list[LookupResult] = []
+    if index is not None:
+        if sym is None:
+            sym = head_symbol(tau)
+        positions = index.candidates(sym)
+        record_index(len(frame) - len(positions))
+        for pos in positions:
+            result = _try_match(frame[pos], tau)
+            if result is not None:
+                found.append(result)
+        return found
     for entry in frame:
         result = _try_match(entry, tau)
         if result is not None:
@@ -302,6 +453,11 @@ def _instance_of(a: LookupResult, b: LookupResult) -> bool:
     """Whether ``a``'s head is a substitution instance of ``b``'s head."""
     _, _, a_head = a.entry.parts()
     b_tvars, _, b_head = b.entry.parts()
+    # Head-symbol prune: a rigid-headed pattern can only instantiate to
+    # heads with the identical root constructor.
+    b_sym = head_symbol(b_head, frozenset(b_tvars))
+    if b_sym is not None and b_sym != head_symbol(a_head):
+        return False
     fresh_b = tuple(fresh_tvar("s") for _ in b_tvars)
     ren_b = {old: TVar(new) for old, new in zip(b_tvars, fresh_b)}
     # a's own quantified variables act as rigid constants here.

@@ -148,6 +148,12 @@ class Resolver:
     policy: OverlapPolicy = OverlapPolicy.REJECT
     strategy: ResolutionStrategy = ResolutionStrategy.SYNTACTIC
     fuel: int = DEFAULT_FUEL
+    #: Head-constructor indexed lookup: ``True``/``False`` force it on or
+    #: off for this resolver, ``None`` defers to the global
+    #: :func:`repro.core.env.set_indexing` toggle.  Operational, not
+    #: semantic (indexed and naive lookup are observably equivalent), so
+    #: excluded from equality like the other attachments below.
+    use_index: bool | None = field(default=None, compare=False)
     #: Per-resolver derivation memo; ``None`` disables caching entirely.
     cache: ResolutionCache | None = field(
         default_factory=ResolutionCache, compare=False
@@ -261,7 +267,7 @@ class Resolver:
             return self._resolve_backtracking(
                 env, recurse_env, rho, tvars, context, head, assumptions, fuel, depth
             )
-        result = env.lookup(head, self.policy)
+        result = env.lookup(head, self.policy, use_index=self.use_index)
         premises = self._discharge(recurse_env, result, assumptions, fuel, depth)
         return Derivation(
             query=rho,
@@ -311,7 +317,7 @@ class Resolver:
         from ..errors import ResolutionError
 
         last_error: ResolutionError | None = None
-        for result in recurse_env.lookup_all(head):
+        for result in recurse_env.lookup_all(head, use_index=self.use_index):
             try:
                 premises = self._discharge(
                     recurse_env, result, assumptions, fuel, depth
@@ -348,6 +354,7 @@ def resolve(
     policy: OverlapPolicy = OverlapPolicy.REJECT,
     strategy: ResolutionStrategy = ResolutionStrategy.SYNTACTIC,
     fuel: int = DEFAULT_FUEL,
+    use_index: bool | None = None,
     cache: ResolutionCache | None = _UNSET,
     stats: ResolutionStats | None = None,
     tracer: Tracer | None = None,
@@ -363,6 +370,7 @@ def resolve(
         cache is _UNSET
         and stats is None
         and tracer is None
+        and use_index is None
         and (policy, strategy, fuel)
         == (_DEFAULT.policy, _DEFAULT.strategy, _DEFAULT.fuel)
     ):
@@ -373,6 +381,7 @@ def resolve(
         policy=policy,
         strategy=strategy,
         fuel=fuel,
+        use_index=use_index,
         cache=cache,
         stats=stats,
         tracer=tracer,

@@ -47,6 +47,12 @@ def subst_type(theta: Subst, tau: Type) -> Type:
     """Apply ``theta`` to ``tau``, avoiding capture under rule binders."""
     if not theta:
         return tau
+    if theta.keys().isdisjoint(ftv(tau)):
+        # No free variable of ``tau`` is in the substitution's domain:
+        # the result is ``tau`` itself.  The cached free-variable set
+        # makes this an O(domain) probe, and returning the interned node
+        # unchanged preserves physical sharing for downstream fast paths.
+        return tau
     match tau:
         case TVar(name):
             return theta.get(name, tau)

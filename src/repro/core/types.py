@@ -11,26 +11,48 @@ lists, interface types of the source language) are expressible without
 touching the metatheory: a ``TCon`` behaves exactly like ``Int`` does in
 the paper, and its arguments behave like the components of ``tau1 -> tau2``.
 
-Two representation choices (documented in DESIGN.md):
+Representation choices (documented in DESIGN.md and docs/PERFORMANCE.md):
 
 * A *degenerate* rule type -- no quantifiers and an empty context -- is not
   representable; ``rule(head=tau)`` simply returns ``tau``.  The paper
   identifies ``tau`` with ``forall . {} => tau`` via promotion, so this
   loses nothing and removes the unit-wrapper from the elaboration.
 * Rule types compare and hash up to alpha-equivalence: bound variables are
-  canonically renamed before comparison, and contexts are stored
-  deduplicated and sorted by canonical key (the paper assumes contexts are
-  lexicographically ordered so the type translation is unique).
+  canonically numbered (de Bruijn indices) before comparison, and contexts
+  are stored deduplicated and sorted by canonical key (the paper assumes
+  contexts are lexicographically ordered so the type translation is
+  unique).
+* Types are **hash-consed**: every constructor call goes through a global
+  intern table (weak-valued, so unused types are collectable), and each
+  node caches its hash, free-variable set, size and context-free canonical
+  key *once*.  Structurally equal simple types are therefore the *same*
+  object, which makes unification's ``t1 is t2`` fast path, the
+  occurs-check, environment fingerprinting and derivation-cache keys O(1)
+  on shared structure instead of O(size) re-traversals.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import weakref
 from typing import Iterable, Iterator
+
+#: Global hash-consing table.  Keys are structural identities (tag, class,
+#: fields); values are the canonical instances, held weakly so the table
+#: never pins garbage.  Child types inside a key are kept alive by the
+#: interned parent itself (it references them through its fields), so the
+#: strong key references add no retention beyond the parent's lifetime.
+_INTERN: "weakref.WeakValueDictionary[tuple, Type]" = weakref.WeakValueDictionary()
+
+_EMPTY_FSET: frozenset[str] = frozenset()
 
 
 class Type:
-    """Base class of all implicit-calculus types."""
+    """Base class of all implicit-calculus types.
+
+    Instances are immutable, interned and carry cached structural
+    metadata in slots (``_hash``, ``_ftv``, ``_size``, ``_key``); there is
+    no instance ``__dict__``, so attribute injection is impossible.
+    """
 
     __slots__ = ()
 
@@ -39,18 +61,56 @@ class Type:
 
         return pretty_type(self)
 
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"{type(self).__name__} is immutable; cannot set {name}"
+        )
 
-@dataclass(frozen=True, repr=False)
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(
+            f"{type(self).__name__} is immutable; cannot delete {name}"
+        )
+
+
 class TVar(Type):
     """A type variable ``alpha``."""
 
+    __slots__ = ("name", "_hash", "_ftv", "_size", "_key", "__weakref__")
+    __match_args__ = ("name",)
+
     name: str
+
+    def __new__(cls, name: str) -> "TVar":
+        key = ("tvar", cls, name)
+        self = _INTERN.get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        _set = object.__setattr__
+        _set(self, "name", name)
+        _set(self, "_ftv", frozenset((name,)))
+        _set(self, "_size", 1)
+        _set(self, "_key", ("fv", name))
+        _set(self, "_hash", hash(("fv", name)))
+        return _INTERN.setdefault(key, self)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, TVar):
+            return self.name == other.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (type(self), (self.name,))
 
     def __repr__(self) -> str:
         return f"TVar({self.name!r})"
 
 
-@dataclass(frozen=True, repr=False)
 class TCon(Type):
     """A type constructor applied to arguments.
 
@@ -59,12 +119,49 @@ class TCon(Type):
     become ``TCon("Eq", (a,))``.
     """
 
-    name: str
-    args: tuple[Type, ...] = ()
+    __slots__ = ("name", "args", "_hash", "_ftv", "_size", "_key", "__weakref__")
+    __match_args__ = ("name", "args")
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.args, tuple):
-            object.__setattr__(self, "args", tuple(self.args))
+    name: str
+    args: tuple[Type, ...]
+
+    def __new__(cls, name: str, args: Iterable[Type] = ()) -> "TCon":
+        if not isinstance(args, tuple):
+            args = tuple(args)
+        key = ("tcon", cls, name, args)
+        self = _INTERN.get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        _set = object.__setattr__
+        _set(self, "name", name)
+        _set(self, "args", args)
+        if args:
+            ftv_ = frozenset().union(*(a._ftv for a in args))
+            size_ = 1 + sum(a._size for a in args)
+            key_ = None  # assembled lazily from the children's keys
+        else:
+            ftv_ = _EMPTY_FSET
+            size_ = 1
+            key_ = ("con", name, ())
+        _set(self, "_ftv", ftv_)
+        _set(self, "_size", size_)
+        _set(self, "_key", key_)
+        _set(self, "_hash", hash(("con", name, args)))
+        return _INTERN.setdefault(key, self)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, TCon):
+            return self.name == other.name and self.args == other.args
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (type(self), (self.name, self.args))
 
     def __repr__(self) -> str:
         if not self.args:
@@ -72,12 +169,42 @@ class TCon(Type):
         return f"TCon({self.name!r}, {self.args!r})"
 
 
-@dataclass(frozen=True, repr=False)
 class TFun(Type):
     """A function type ``tau1 -> tau2``."""
 
+    __slots__ = ("arg", "res", "_hash", "_ftv", "_size", "_key", "__weakref__")
+    __match_args__ = ("arg", "res")
+
     arg: Type
     res: Type
+
+    def __new__(cls, arg: Type, res: Type) -> "TFun":
+        key = ("tfun", cls, arg, res)
+        self = _INTERN.get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        _set = object.__setattr__
+        _set(self, "arg", arg)
+        _set(self, "res", res)
+        _set(self, "_ftv", arg._ftv | res._ftv)
+        _set(self, "_size", 1 + arg._size + res._size)
+        _set(self, "_key", None)
+        _set(self, "_hash", hash(("fun", arg, res)))
+        return _INTERN.setdefault(key, self)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, TFun):
+            return self.arg == other.arg and self.res == other.res
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (type(self), (self.arg, self.res))
 
     def __repr__(self) -> str:
         return f"TFun({self.arg!r}, {self.res!r})"
@@ -100,13 +227,16 @@ class RuleType(Type):
     :func:`rule` smart constructor, which collapses them to their head.
     """
 
-    __slots__ = ("tvars", "context", "head", "_canon")
+    __slots__ = ("tvars", "context", "head", "_hash", "_ftv", "_size", "_key", "__weakref__")
+    __match_args__ = ()
 
     tvars: tuple[str, ...]
     context: tuple[Type, ...]
     head: Type
 
-    def __init__(self, tvars: Iterable[str], context: Iterable[Type], head: Type):
+    def __new__(
+        cls, tvars: Iterable[str], context: Iterable[Type], head: Type
+    ) -> "RuleType":
         tvars = tuple(tvars)
         context = _canonical_context(context)
         if not tvars and not context:
@@ -116,20 +246,31 @@ class RuleType(Type):
             )
         if len(set(tvars)) != len(tvars):
             raise ValueError(f"duplicate quantified variables in {tvars}")
-        object.__setattr__(self, "tvars", tvars)
-        object.__setattr__(self, "context", context)
-        object.__setattr__(self, "head", head)
-        object.__setattr__(self, "_canon", None)
-
-    def __setattr__(self, name: str, value: object) -> None:
-        raise AttributeError(f"RuleType is immutable; cannot set {name}")
+        key = ("rule", cls, tvars, context, head)
+        self = _INTERN.get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        _set = object.__setattr__
+        _set(self, "tvars", tvars)
+        _set(self, "context", context)
+        _set(self, "head", head)
+        ftv_ = head._ftv
+        size_ = 1 + head._size
+        for rho in context:
+            ftv_ = ftv_ | rho._ftv
+            size_ += rho._size
+        _set(self, "_ftv", ftv_ - frozenset(tvars))
+        _set(self, "_size", size_)
+        _set(self, "_key", None)
+        _set(self, "_hash", None)
+        return _INTERN.setdefault(key, self)
 
     def canonical_key(self) -> tuple:
         """A hashable key identifying this type up to alpha-equivalence."""
-        key = object.__getattribute__(self, "_canon")
+        key = self._key
         if key is None:
             key = _canonical_key(self, {})
-            object.__setattr__(self, "_canon", key)
         return key
 
     def __eq__(self, other: object) -> bool:
@@ -140,7 +281,14 @@ class RuleType(Type):
         return self.canonical_key() == other.canonical_key()
 
     def __hash__(self) -> int:
-        return hash(self.canonical_key())
+        h = self._hash
+        if h is None:
+            h = hash(self.canonical_key())
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __reduce__(self):
+        return (type(self), (self.tvars, self.context, self.head))
 
     def __repr__(self) -> str:
         return f"RuleType({self.tvars!r}, {self.context!r}, {self.head!r})"
@@ -211,79 +359,172 @@ def fun(*taus: Type) -> Type:
 
 
 # ---------------------------------------------------------------------------
-# Free variables, subterms, canonical keys.
+# Free variables, subterms, sizes -- all O(1) off the interned metadata.
 # ---------------------------------------------------------------------------
 
 
 def ftv(tau: Type) -> frozenset[str]:
-    """Free type variables of ``tau`` (quantified variables are bound)."""
-    match tau:
-        case TVar(name):
-            return frozenset((name,))
-        case TCon(_, args):
-            out: frozenset[str] = frozenset()
-            for arg in args:
-                out |= ftv(arg)
-            return out
-        case TFun(arg, res):
-            return ftv(arg) | ftv(res)
-        case RuleType():
-            out = ftv(tau.head)
-            for rho in tau.context:
-                out |= ftv(rho)
-            return out - frozenset(tau.tvars)
-    raise TypeError(f"not a Type: {tau!r}")
+    """Free type variables of ``tau`` (quantified variables are bound).
+
+    Cached per interned node: computed once bottom-up at construction, so
+    this is an O(1) slot read even for very deep types.
+    """
+    try:
+        return tau._ftv
+    except AttributeError:
+        raise TypeError(f"not a Type: {tau!r}") from None
 
 
 def subterms(tau: Type) -> Iterator[Type]:
-    """Pre-order traversal of all subterms of ``tau`` (including itself)."""
-    yield tau
-    match tau:
-        case TVar(_):
-            return
-        case TCon(_, args):
-            for arg in args:
-                yield from subterms(arg)
-        case TFun(arg, res):
-            yield from subterms(arg)
-            yield from subterms(res)
-        case RuleType():
-            for rho in tau.context:
-                yield from subterms(rho)
-            yield from subterms(tau.head)
+    """Pre-order traversal of all subterms of ``tau`` (including itself).
+
+    Iterative (explicit work stack), so deeply nested types (~thousands of
+    constructors) do not hit the interpreter recursion limit.
+    """
+    stack: list[Type] = [tau]
+    while stack:
+        t = stack.pop()
+        yield t
+        if isinstance(t, TVar):
+            continue
+        if isinstance(t, TCon):
+            for a in reversed(t.args):
+                stack.append(a)
+        elif isinstance(t, TFun):
+            stack.append(t.res)
+            stack.append(t.arg)
+        elif isinstance(t, RuleType):
+            stack.append(t.head)
+            for r in reversed(t.context):
+                stack.append(r)
+        else:
+            raise TypeError(f"not a Type: {t!r}")
 
 
 def type_size(tau: Type) -> int:
-    """Number of constructors/variables in ``tau`` (termination measure)."""
-    return sum(1 for _ in subterms(tau))
+    """Number of constructors/variables in ``tau`` (termination measure).
+
+    Cached per interned node (see :func:`ftv`)."""
+    try:
+        return tau._size
+    except AttributeError:
+        raise TypeError(f"not a Type: {tau!r}") from None
 
 
-def _canonical_key(tau: Type, bound: dict[str, int]) -> tuple:
-    """Structural key with bound variables replaced by de-Bruijn-ish levels."""
-    match tau:
-        case TVar(name):
-            if name in bound:
-                return ("bv", bound[name])
-            return ("fv", name)
-        case TCon(name, args):
-            return ("con", name, tuple(_canonical_key(a, bound) for a in args))
-        case TFun(arg, res):
-            return ("fun", _canonical_key(arg, bound), _canonical_key(res, bound))
-        case RuleType():
-            inner = dict(bound)
-            base = len(bound)
-            for i, name in enumerate(tau.tvars):
-                inner[name] = base + i
-            ctx = tuple(_canonical_key(rho, inner) for rho in tau.context)
-            return ("rule", len(tau.tvars), ctx, _canonical_key(tau.head, inner))
+# ---------------------------------------------------------------------------
+# Head-constructor symbols (first-argument indexing).
+# ---------------------------------------------------------------------------
+
+
+def head_symbol(tau: Type, flex: Iterable[str] = _EMPTY_FSET) -> tuple | None:
+    """The rigid head-constructor symbol of ``tau``, or ``None`` if flexible.
+
+    One-way matching of a rule head against a query can only succeed when
+    the two root constructors agree exactly (unification has no theory:
+    distinct constructors, arities, binder counts or context lengths never
+    unify), *unless* the head is a variable in ``flex`` (the rule's
+    quantified variables), which matches anything.  This is the classic
+    first-argument index key of logic programming; the environment and the
+    logic engine bucket their rules/clauses by it (see docs/PERFORMANCE.md).
+    """
+    if isinstance(tau, TVar):
+        return None if tau.name in flex else ("var", tau.name)
+    if isinstance(tau, TCon):
+        return ("con", tau.name, len(tau.args))
+    if isinstance(tau, TFun):
+        return ("fun",)
+    if isinstance(tau, RuleType):
+        return ("rule", len(tau.tvars), len(tau.context))
     raise TypeError(f"not a Type: {tau!r}")
 
 
+# ---------------------------------------------------------------------------
+# Canonical (alpha-invariant) keys.
+# ---------------------------------------------------------------------------
+
+
+def _canonical_key(tau: Type, bound: dict[str, int], depth: int | None = None) -> tuple:
+    """Structural key with bound variables replaced by de Bruijn indices.
+
+    ``bound`` maps in-scope quantified names to the *level* (count of
+    binder variables introduced before them); an occurrence at binder
+    depth ``d`` is keyed ``("bv", d - 1 - level)`` -- its de Bruijn index.
+    Indices (unlike levels) are independent of the enclosing context, so
+    any subterm whose free variables are disjoint from ``bound`` has the
+    same key it would have in isolation; such subterms reuse (and
+    populate) the per-node cached key instead of being re-traversed.
+
+    The traversal is an explicit work stack, not recursion, so canonical
+    keys of very deep types do not overflow the interpreter stack.
+    """
+    if depth is None:
+        depth = len(bound)
+    out: list[tuple] = []
+    # Work items:  ("eval", type, bound, depth, dest)
+    #              ("con"|"fun"|"rule", node, parts, dest, cacheable[, nctx])
+    stack: list[tuple] = [("eval", tau, bound, depth, out)]
+    while stack:
+        item = stack.pop()
+        op = item[0]
+        if op == "eval":
+            _, t, b, d, dest = item
+            if isinstance(t, TVar):
+                level = b.get(t.name)
+                dest.append(("fv", t.name) if level is None else ("bv", d - 1 - level))
+                continue
+            cacheable = not b or b.keys().isdisjoint(t._ftv)
+            if cacheable:
+                k = t._key
+                if k is not None:
+                    dest.append(k)
+                    continue
+            if isinstance(t, TCon):
+                parts: list[tuple] = []
+                stack.append(("con", t, parts, dest, cacheable))
+                for a in reversed(t.args):
+                    stack.append(("eval", a, b, d, parts))
+            elif isinstance(t, TFun):
+                parts = []
+                stack.append(("fun", t, parts, dest, cacheable))
+                stack.append(("eval", t.res, b, d, parts))
+                stack.append(("eval", t.arg, b, d, parts))
+            elif isinstance(t, RuleType):
+                inner = dict(b)
+                for i, name in enumerate(t.tvars):
+                    inner[name] = d + i
+                d2 = d + len(t.tvars)
+                parts = []
+                stack.append(("rule", t, parts, dest, cacheable, len(t.context)))
+                stack.append(("eval", t.head, inner, d2, parts))
+                for r in reversed(t.context):
+                    stack.append(("eval", r, inner, d2, parts))
+            else:
+                raise TypeError(f"not a Type: {t!r}")
+        else:
+            if op == "con":
+                _, t, parts, dest, cacheable = item
+                key = ("con", t.name, tuple(parts))
+            elif op == "fun":
+                _, t, parts, dest, cacheable = item
+                key = ("fun", parts[0], parts[1])
+            else:  # "rule"
+                _, t, parts, dest, cacheable, nctx = item
+                key = ("rule", len(t.tvars), tuple(parts[:nctx]), parts[nctx])
+            if cacheable and t._key is None:
+                object.__setattr__(t, "_key", key)
+            dest.append(key)
+    return out[0]
+
+
 def canonical_key(tau: Type) -> tuple:
-    """Public alpha-invariant key for any type."""
-    if isinstance(tau, RuleType):
-        return tau.canonical_key()
-    return _canonical_key(tau, {})
+    """Public alpha-invariant key for any type (cached per interned node)."""
+    try:
+        key = tau._key
+    except AttributeError:
+        raise TypeError(f"not a Type: {tau!r}") from None
+    if key is None:
+        key = _canonical_key(tau, {})
+    return key
 
 
 def _canonical_context(context: Iterable[Type]) -> tuple[Type, ...]:
@@ -305,7 +546,7 @@ def _key_sort_token(key: tuple) -> str:
 
 def types_alpha_eq(a: Type, b: Type) -> bool:
     """Alpha-equivalence on arbitrary types."""
-    return canonical_key(a) == canonical_key(b)
+    return a is b or canonical_key(a) == canonical_key(b)
 
 
 def context_contains(context: Iterable[Type], rho: Type) -> bool:

@@ -112,9 +112,21 @@ def _walk(tau: Type, theta: dict[str, Type]) -> Type:
 
 def _occurs(name: str, tau: Type, theta: dict[str, Type]) -> bool:
     tau = _walk(tau, theta)
+    # Cached-ftv prune: ``name`` occurs in ``tau`` (under ``theta``) only
+    # if it is free in ``tau`` directly, or reachable through a binding of
+    # some other free variable of ``tau``.  ``name`` itself is never in
+    # ``theta`` (the engine checks before binding), so a direct free
+    # occurrence is a real occurrence, and a ``tau`` whose free variables
+    # avoid both ``name`` and ``theta``'s domain cannot contain it at all.
+    # This keeps the occurs-check O(1) on ground subterms of any depth.
+    fvs = ftv(tau)
+    if name in fvs:
+        return True
+    if not theta or theta.keys().isdisjoint(fvs):
+        return False
     match tau:
-        case TVar(other):
-            return other == name
+        case TVar(_):
+            return False
         case TCon(_, args):
             return any(_occurs(name, a, theta) for a in args)
         case TFun(arg, res):
@@ -131,9 +143,17 @@ def _mentions_locals(tau: Type, theta: dict[str, Type], locals_: frozenset[str])
     if not locals_:
         return False
     tau = _walk(tau, theta)
+    # Cached-ftv prune (see _occurs): locals are rigid skolems, never in
+    # ``theta``'s domain, so a direct free occurrence is definitive and a
+    # term whose free variables avoid both sets cannot reach one.
+    fvs = ftv(tau)
+    if not fvs.isdisjoint(locals_):
+        return True
+    if not theta or theta.keys().isdisjoint(fvs):
+        return False
     match tau:
-        case TVar(name):
-            return name in locals_
+        case TVar(_):
+            return False
         case TCon(_, args):
             return any(_mentions_locals(a, theta, locals_) for a in args)
         case TFun(arg, res):

@@ -98,17 +98,35 @@ def program_of_env(env: ImplicitEnv) -> tuple[Clause, ...]:
     whether *some* proof exists, which is exactly why it over-approximates
     the paper's deterministic resolution (Theorem 1 is an implication, not
     an equivalence).
-    """
-    return tuple(clause_of_type(entry.rho) for entry in env.entries())
 
+    The translation only reads entry *types*, which is exactly what the
+    environment's structural fingerprint captures, so the clause program
+    is memoized per fingerprint (bounded FIFO; structurally equal
+    environments -- including an environment re-surfacing after a nested
+    scope pops -- share one translation).
+    """
+    key = env.fingerprint()
+    program = _PROGRAM_MEMO.get(key)
+    if program is None:
+        program = tuple(clause_of_type(entry.rho) for entry in env.entries())
+        if len(_PROGRAM_MEMO) >= _PROGRAM_MEMO_MAX:
+            _PROGRAM_MEMO.pop(next(iter(_PROGRAM_MEMO)))
+        _PROGRAM_MEMO[key] = program
+    return program
+
+
+_PROGRAM_MEMO: dict[object, tuple[Clause, ...]] = {}
+_PROGRAM_MEMO_MAX = 512
 
 _ENV_ENTAILS_MEMO: dict[tuple, bool] = {}
 _ENV_ENTAILS_MEMO_MAX = 4096
 
 
 def clear_entailment_cache() -> None:
-    """Drop the memoized ``env_entails`` verdicts (test isolation hook)."""
+    """Drop the memoized ``env_entails`` verdicts and clause programs
+    (test isolation hook)."""
     _ENV_ENTAILS_MEMO.clear()
+    _PROGRAM_MEMO.clear()
 
 
 def env_entails(

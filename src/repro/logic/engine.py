@@ -9,6 +9,16 @@ The solver follows the standard lambda-Prolog discipline:
   deterministic resolution deliberately approximates), rename its
   variables to fresh logic variables, unify the head, and prove the body.
 
+Backchaining is *first-argument indexed* (the same head-constructor
+indexing :mod:`repro.core.env` applies to rule lookup): a
+:class:`ClauseIndex` buckets program clauses by the root functor/arity of
+their heads, with variable-headed clauses in an always-consulted flex
+bucket, so an atomic goal with a rigid root only attempts unification
+against clauses that could possibly match.  Implication goals extend the
+index incrementally alongside the program; the index respects clause
+order, so solution enumeration order is unchanged.  The global
+:func:`repro.core.env.set_indexing` toggle governs it.
+
 Search is depth-bounded so that the entailment check is a decision
 procedure usable inside property tests: ``True`` means provable within
 the bound, ``False`` means no proof was found within the bound.
@@ -19,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
-from ..obs import record_entails, record_unify
+from ..obs import record_entails, record_index, record_unify
 from .terms import (
     Atom,
     Clause,
@@ -79,7 +89,77 @@ def unify(t1: Term, t2: Term, subst: Subst) -> dict[str, Term] | None:
     return out
 
 
+class ClauseIndex:
+    """First-argument index over a clause program.
+
+    ``rigid`` buckets clause positions by ``(functor, arity)`` of the
+    clause head; ``flex`` holds positions of variable-headed clauses
+    (possible for context entries like ``forall a. {a} => ...``, whose
+    encoding has a bare logic variable as its head).  Flex-headed clauses
+    can match any atom -- and, once their variable is instantiated by an
+    earlier unification, may stand for an arbitrary structure -- so they
+    are merged into every candidate list.  Candidate lists preserve
+    program order, keeping solution enumeration identical to the
+    unindexed scan.
+    """
+
+    __slots__ = ("rigid", "flex", "width")
+
+    def __init__(self, program: tuple[Clause, ...]):
+        rigid: dict[tuple[str, int], list[int]] = {}
+        flex: list[int] = []
+        for pos, clause in enumerate(program):
+            head = clause.head
+            if isinstance(head, Struct):
+                rigid.setdefault((head.functor, len(head.args)), []).append(pos)
+            else:
+                flex.append(pos)
+        self.rigid = rigid
+        self.flex = flex
+        self.width = len(program)
+
+    def extended(self, clauses: tuple[Clause, ...]) -> "ClauseIndex":
+        """The index of ``program + clauses`` (incremental, non-mutating)."""
+        out = ClauseIndex.__new__(ClauseIndex)
+        out.rigid = {sym: list(positions) for sym, positions in self.rigid.items()}
+        out.flex = list(self.flex)
+        out.width = self.width
+        for clause in clauses:
+            head = clause.head
+            if isinstance(head, Struct):
+                out.rigid.setdefault((head.functor, len(head.args)), []).append(
+                    out.width
+                )
+            else:
+                out.flex.append(out.width)
+            out.width += 1
+        return out
+
+    def candidates(self, sym: tuple[str, int]) -> list[int]:
+        """Positions possibly matching a rigid goal head, in program order."""
+        rigid = self.rigid.get(sym)
+        flex = self.flex
+        if not rigid:
+            return flex
+        if not flex:
+            return rigid
+        out: list[int] = []
+        i = j = 0
+        la, lb = len(rigid), len(flex)
+        while i < la and j < lb:
+            if rigid[i] < flex[j]:
+                out.append(rigid[i])
+                i += 1
+            else:
+                out.append(flex[j])
+                j += 1
+        out.extend(rigid[i:])
+        out.extend(flex[j:])
+        return out
+
+
 _MEMO_MISS = object()
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -104,23 +184,41 @@ class Engine:
         goal: Goal,
         subst: Subst,
         depth: int,
+        index: ClauseIndex | None = _UNSET,  # type: ignore[assignment]
     ) -> Iterator[dict[str, Term]]:
+        if index is _UNSET:
+            index = self._initial_index(program)
         if depth <= 0:
             return
         match goal:
             case Atom(term):
-                yield from self._backchain(program, term, subst, depth)
+                yield from self._backchain(program, term, subst, depth, index)
             case Conj(goals):
-                yield from self._solve_all(program, goals, subst, depth)
+                yield from self._solve_all(program, goals, subst, depth, index)
             case Implies(clauses, inner):
-                yield from self.solve(program + tuple(clauses), inner, subst, depth)
+                clauses = tuple(clauses)
+                yield from self.solve(
+                    program + clauses,
+                    inner,
+                    subst,
+                    depth,
+                    None if index is None else index.extended(clauses),
+                )
             case ForallG(vars, inner):
                 renaming: dict[str, Term] = {v: fresh_const(v) for v in vars}
                 from .terms import rename_goal
 
-                yield from self.solve(program, rename_goal(inner, renaming), subst, depth)
+                yield from self.solve(
+                    program, rename_goal(inner, renaming), subst, depth, index
+                )
             case _:
                 raise TypeError(f"not a Goal: {goal!r}")
+
+    @staticmethod
+    def _initial_index(program: tuple[Clause, ...]) -> ClauseIndex | None:
+        from ..core.env import indexing_enabled
+
+        return ClauseIndex(program) if indexing_enabled() else None
 
     def _solve_all(
         self,
@@ -128,18 +226,35 @@ class Engine:
         goals: tuple[Goal, ...],
         subst: Subst,
         depth: int,
+        index: ClauseIndex | None = None,
     ) -> Iterator[dict[str, Term]]:
         if not goals:
             yield dict(subst)
             return
         head, rest = goals[0], goals[1:]
-        for subst1 in self.solve(program, head, subst, depth):
-            yield from self._solve_all(program, rest, subst1, depth)
+        for subst1 in self.solve(program, head, subst, depth, index):
+            yield from self._solve_all(program, rest, subst1, depth, index)
 
     def _backchain(
-        self, program: tuple[Clause, ...], term: Term, subst: Subst, depth: int
+        self,
+        program: tuple[Clause, ...],
+        term: Term,
+        subst: Subst,
+        depth: int,
+        index: ClauseIndex | None = None,
     ) -> Iterator[dict[str, Term]]:
-        for clause in program:
+        candidates: Iterable[Clause] = program
+        if index is not None:
+            goal_head = walk(term, subst)
+            if isinstance(goal_head, Struct):
+                # A rigid goal root can only unify with clause heads that
+                # share it, or with flex (variable-headed) clauses; a
+                # variable goal root can match anything, so fall through
+                # to the full scan.
+                positions = index.candidates((goal_head.functor, len(goal_head.args)))
+                record_index(len(program) - len(positions))
+                candidates = (program[pos] for pos in positions)
+        for clause in candidates:
             renaming: dict[str, Term] = {
                 v: Var(fresh_var(v)) for v in clause.vars
             }
@@ -148,7 +263,7 @@ class Engine:
             subst1 = unify(fresh.head, term, subst)
             if subst1 is None:
                 continue
-            yield from self._solve_all(program, fresh.body, subst1, depth - 1)
+            yield from self._solve_all(program, fresh.body, subst1, depth - 1, index)
 
     def entails(self, program: Iterable[Clause], goal: Goal) -> bool:
         """Whether ``program |= goal`` has a proof within the depth bound."""

@@ -28,7 +28,7 @@ class Term:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Var(Term):
     """A logic variable (a clause variable after renaming-apart, or a
 
@@ -40,7 +40,7 @@ class Var(Term):
         return self.name.capitalize()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Struct(Term):
     """A functor applied to arguments; constants are nullary structs."""
 
@@ -63,7 +63,7 @@ class Goal:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Atom(Goal):
     """An atomic goal: prove that this proposition is entailed."""
 
@@ -73,7 +73,7 @@ class Atom(Goal):
         return str(self.term)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Conj(Goal):
     """A conjunction of goals."""
 
@@ -87,7 +87,7 @@ class Conj(Goal):
         return " /\\ ".join(map(str, self.goals)) or "true"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Implies(Goal):
     """An implication goal ``D-bar => G``: extend the program, prove G."""
 
@@ -102,7 +102,7 @@ class Implies(Goal):
         return f"({', '.join(map(str, self.clauses))}) => {self.goal}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ForallG(Goal):
     """A universally quantified goal ``forall X-bar. G``."""
 
@@ -117,7 +117,7 @@ class ForallG(Goal):
         return f"forall {' '.join(self.vars)}. {self.goal}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Clause:
     """A program clause ``forall X-bar. body-bar => head``.
 

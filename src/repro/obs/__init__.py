@@ -20,6 +20,7 @@ from .stats import (
     active_stats,
     collecting,
     record_entails,
+    record_index,
     record_lookup,
     record_unify,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "active_stats",
     "collecting",
     "record_entails",
+    "record_index",
     "record_lookup",
     "record_unify",
     "TraceEvent",

@@ -36,6 +36,10 @@ Counter glossary (see also ``docs/OBSERVABILITY.md``):
                     *query*, not per scanned frame)
 ``unify_calls``     head-matching/unification attempts (one per candidate
                     rule inspected, plus one per logic-engine backchain)
+``index_hits``      frame scans answered through the head-constructor
+                    index (one per frame consulted with indexing on)
+``candidates_pruned`` rule entries the index proved irrelevant without a
+                    matching attempt (skipped candidates)
 ``entails_calls``   logic-engine entailment checks (``Delta+ |= rho+``)
 ``entails_hits``    entailment checks answered from the entailment memo
 ============== ============================================================
@@ -59,6 +63,8 @@ class ResolutionStats:
     cache_misses: int = 0
     lookup_calls: int = 0
     unify_calls: int = 0
+    index_hits: int = 0
+    candidates_pruned: int = 0
     entails_calls: int = 0
     entails_hits: int = 0
 
@@ -145,6 +151,14 @@ def record_unify() -> None:
     stats = _ACTIVE
     if stats is not None:
         stats.unify_calls += 1
+
+
+def record_index(pruned: int) -> None:
+    """One indexed frame scan, skipping ``pruned`` irrelevant entries."""
+    stats = _ACTIVE
+    if stats is not None:
+        stats.index_hits += 1
+        stats.candidates_pruned += pruned
 
 
 def record_entails(hit: bool = False) -> None:

@@ -40,7 +40,10 @@ class TestHandComputedCounters:
     * 1 query, 2 resolution steps (Int, then the recursive Bool), so
       max_depth is 1 and both steps miss the cache;
     * 2 environment lookups (one per step);
-    * 4 unification attempts (each lookup scans the 2-entry frame).
+    * 2 unification attempts: the head-constructor index narrows each
+      2-entry frame scan to the single entry with the right head symbol
+      (2 index hits, 2 pruned candidates); the naive scan would have
+      attempted all 4.
     """
 
     def test_simple_resolution_counts(self, simple_env):
@@ -53,7 +56,9 @@ class TestHandComputedCounters:
             "cache_hits": 0,
             "cache_misses": 2,
             "lookup_calls": 2,
-            "unify_calls": 4,
+            "unify_calls": 2,
+            "index_hits": 2,
+            "candidates_pruned": 2,
             "entails_calls": 0,
             "entails_hits": 0,
         }
@@ -73,7 +78,9 @@ class TestHandComputedCounters:
             "cache_hits": 1,
             "cache_misses": 2,
             "lookup_calls": 2,
-            "unify_calls": 4,
+            "unify_calls": 2,
+            "index_hits": 2,
+            "candidates_pruned": 2,
             "entails_calls": 0,
             "entails_hits": 0,
         }
@@ -95,6 +102,8 @@ class TestHandComputedCounters:
             "cache_misses": 1,
             "lookup_calls": 1,
             "unify_calls": 1,
+            "index_hits": 1,
+            "candidates_pruned": 0,
             "entails_calls": 0,
             "entails_hits": 0,
         }
@@ -116,7 +125,9 @@ class TestHandComputedCounters:
             "cache_hits": 0,
             "cache_misses": 0,  # never consulted
             "lookup_calls": 4,
-            "unify_calls": 8,
+            "unify_calls": 4,
+            "index_hits": 4,
+            "candidates_pruned": 4,
             "entails_calls": 0,
             "entails_hits": 0,
         }
