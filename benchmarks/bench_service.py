@@ -1,0 +1,246 @@
+"""B11: resolution-service throughput -- warm sessions vs one-shot calls.
+
+The service's reason to exist is amortization: a session keeps one
+environment (fingerprint, frame indexes) and one warm derivation cache
+across thousands of queries, where the one-shot pipeline rebuilds all
+of it per call.  B11 measures that claim with a closed-loop load
+generator: ``CLIENTS`` threads each drive sequential requests against
+an in-process :class:`ResolutionService` (real worker pool, real
+dispatch -- only the JSON pipes are skipped) and record per-request
+latency.
+
+Two headline numbers, asserted by the slow-marked tests and reported
+into ``BENCH_<date>.json`` via ``benchmarks/report.py``:
+
+* **warm vs one-shot**: requests/s for session ``resolve`` of a
+  depth-``DEPTH`` left-nested pair query vs one-shot
+  :func:`repro.pipeline.run_core` invocations of the equivalent program
+  (parse, typecheck, elaborate, resolve, evaluate -- from scratch each
+  call).  Acceptance: the warm session clears **5x**.
+* **coalescing**: ``FAN`` identical concurrent queries against a cold
+  deep-chain session collapse onto one execution, observed through the
+  ``coalesced_requests`` counter.
+
+The query family is *left*-nested -- ``T_k = (T_{k-1}, Int)`` -- so the
+query text grows linearly with depth (balanced nesting would grow it
+exponentially and benchmark the parser instead).
+"""
+
+import threading
+import time
+from statistics import median
+
+import pytest
+
+from repro.core.parser import parse_core_expr
+from repro.pipeline import run_core
+from repro.service.server import ResolutionService
+
+DEPTH = 24  # resolution takes DEPTH+1 steps; text stays linear
+REQUESTS = 500
+CLIENTS = 4
+FAN = 16  # identical concurrent queries in the coalescing round
+COALESCE_CHAIN = 1200  # ground-rule chain: a ~20ms cold resolution
+
+RULES = ["Int", "forall a . {a} => (a, Int)"]
+
+
+def type_text(depth: int) -> str:
+    text = "Int"
+    for _ in range(depth):
+        text = f"({text}, Int)"
+    return text
+
+
+def program_text(depth: int) -> str:
+    """The one-shot equivalent of ``resolve T_depth``, as a full program."""
+    t = type_text(depth)
+    return (
+        "implicit {1 : Int, rule(forall a . {a} => (a, Int), (?a, 1))"
+        f" : forall a . {{a}} => (a, Int)}} in ?({t}) : {t}"
+    )
+
+
+def run_one_shot(n: int, depth: int = DEPTH) -> float:
+    """``n`` cold pipeline calls (parse + typecheck + resolve + eval)."""
+    program = program_text(depth)
+    start = time.perf_counter()
+    for _ in range(n):
+        run_core(parse_core_expr(program))
+    return time.perf_counter() - start
+
+
+def run_warm_session(
+    n: int, depth: int = DEPTH, clients: int = CLIENTS
+) -> tuple[float, list[float]]:
+    """Closed-loop: ``clients`` threads, ``n`` total warm ``resolve`` s.
+
+    Returns total wall time and the per-request latencies (seconds).
+    """
+    service = ResolutionService(workers=clients, queue_depth=4 * clients)
+    query = type_text(depth)
+    try:
+        service.handle_sync({"id": 0, "op": "session/new", "params": {"name": "b"}})
+        service.handle_sync(
+            {
+                "id": 0,
+                "op": "session/push_rules",
+                "params": {"session": "b", "rules": RULES},
+            }
+        )
+        # One priming request so the measured window is the warm regime.
+        primed = service.handle_sync(
+            {"id": 0, "op": "resolve", "params": {"session": "b", "type": query}}
+        )
+        assert primed["ok"], primed
+
+        latencies: list[list[float]] = [[] for _ in range(clients)]
+        barrier = threading.Barrier(clients + 1)
+
+        def client(index: int, budget: int) -> None:
+            barrier.wait()
+            for i in range(budget):
+                t0 = time.perf_counter()
+                response = service.handle_sync(
+                    {
+                        "id": (index, i),
+                        "op": "resolve",
+                        "params": {"session": "b", "type": query},
+                    }
+                )
+                latencies[index].append(time.perf_counter() - t0)
+                assert response["ok"], response
+
+        share, remainder = divmod(n, clients)
+        threads = [
+            threading.Thread(
+                target=client, args=(i, share + (1 if i < remainder else 0))
+            )
+            for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        return elapsed, sorted(x for per in latencies for x in per)
+    finally:
+        service.shutdown()
+
+
+def run_coalescing_round(fan: int = FAN, chain: int = COALESCE_CHAIN) -> dict:
+    """Fire ``fan`` identical queries at a cold session; return counters.
+
+    The chain resolution takes tens of milliseconds cold, so all
+    ``fan`` workers reach the singleflight while the leader is still
+    proving -- the followers coalesce instead of redoing the work.
+    """
+    service = ResolutionService(workers=fan, queue_depth=4 * fan)
+    try:
+        service.handle_sync(
+            {
+                "id": 0,
+                "op": "session/new",
+                "params": {"name": "c", "fuel": 4 * chain},
+            }
+        )
+        rules = ["C0"] + ["{C%d} => C%d" % (i - 1, i) for i in range(1, chain + 1)]
+        service.handle_sync(
+            {
+                "id": 0,
+                "op": "session/push_rules",
+                "params": {"session": "c", "rules": rules},
+            }
+        )
+        barrier = threading.Barrier(fan)
+        responses = [None] * fan
+
+        def fire(index: int) -> None:
+            barrier.wait()
+            responses[index] = service.handle_sync(
+                {
+                    "id": index,
+                    "op": "resolve",
+                    "params": {"session": "c", "type": f"C{chain}"},
+                }
+            )
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(fan)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(r["ok"] for r in responses), responses
+        assert len({r["result"]["matched"] for r in responses}) == 1
+        counters = service.handle_sync({"id": 9, "op": "server/stats"})["result"][
+            "counters"
+        ]
+        return counters
+    finally:
+        service.shutdown()
+
+
+def measure_service(
+    one_shot_calls: int = REQUESTS, warm_requests: int = REQUESTS
+) -> dict:
+    """The numbers report.py embeds in the snapshot's timing section."""
+    one_shot_seconds = run_one_shot(one_shot_calls)
+    warm_seconds, latencies = run_warm_session(warm_requests)
+    counters = run_coalescing_round()
+    p50 = median(latencies)
+    p99 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+    one_shot_rps = one_shot_calls / one_shot_seconds
+    warm_rps = warm_requests / warm_seconds
+    return {
+        "depth": DEPTH,
+        "one_shot_calls": one_shot_calls,
+        "warm_requests": warm_requests,
+        "clients": CLIENTS,
+        "one_shot_rps": round(one_shot_rps, 1),
+        "warm_rps": round(warm_rps, 1),
+        "speedup": round(warm_rps / one_shot_rps, 2),
+        "p50_ms": round(p50 * 1000, 3),
+        "p99_ms": round(p99 * 1000, 3),
+        "coalesced_of": FAN - 1,
+        "coalesced_requests": counters["coalesced_requests"],
+    }
+
+
+@pytest.mark.slow
+def test_warm_session_beats_one_shot_by_5x():
+    one_shot_seconds = run_one_shot(REQUESTS)
+    warm_seconds, latencies = run_warm_session(REQUESTS)
+    one_shot_rps = REQUESTS / one_shot_seconds
+    warm_rps = REQUESTS / warm_seconds
+    assert warm_rps >= 5.0 * one_shot_rps, (
+        f"warm session only {warm_rps:.0f} req/s vs one-shot "
+        f"{one_shot_rps:.0f} req/s ({warm_rps / one_shot_rps:.1f}x < 5x)"
+    )
+    assert median(latencies) < 0.05  # warm queries answer in milliseconds
+
+
+@pytest.mark.slow
+def test_concurrent_identical_queries_coalesce():
+    counters = run_coalescing_round()
+    # All FAN workers pick the identical query up while the ~20ms leader
+    # proof is in flight; allow a little scheduling slack but require
+    # the bulk of the fan-out to have collapsed onto the leader.
+    assert counters["coalesced_requests"] >= FAN - 4, counters
+    assert counters["queries"] <= 4  # the leader's proof, not FAN proofs
+
+
+@pytest.mark.slow
+def test_measure_service_summary_shape():
+    summary = measure_service(one_shot_calls=50, warm_requests=100)
+    assert summary["speedup"] > 1.0
+    assert summary["p99_ms"] >= summary["p50_ms"] > 0.0
+
+
+if __name__ == "__main__":
+    import json
+    import sys
+
+    sys.path.insert(0, ".")
+    print(json.dumps(measure_service(), indent=2))

@@ -22,6 +22,8 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -76,6 +78,32 @@ implicit showInt in
 
 ROWS: list[dict] = []
 _CLOCK = [0.0]
+
+
+def snapshot_meta() -> dict:
+    """Provenance header for BENCH_<date>.json: commit, python, platform.
+
+    Additive -- the schema stays ``repro-bench/1`` and older consumers
+    that ignore unknown keys keep working.  The commit hash is best
+    effort: outside a git checkout it is recorded as ``unknown``.
+    """
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip() or "unknown"
+    except Exception:  # noqa: BLE001 - git absent or not a checkout
+        commit = "unknown"
+    return {
+        "commit": commit,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
 
 
 def row(exp_id: str, what: str, stated: str, measured: str) -> None:
@@ -229,6 +257,12 @@ def _run_timings() -> dict:
         "cached_seconds": round(cached, 6),
         "speedup": round(uncached / cached, 2) if cached else None,
     }
+
+    # B11: the resolution service -- warm-session throughput vs one-shot
+    # pipeline calls, tail latency, and coalescing collapse.
+    from benchmarks.bench_service import measure_service
+
+    timings["service"] = measure_service(one_shot_calls=150, warm_requests=300)
     return timings
 
 
@@ -279,6 +313,7 @@ def main(argv: list[str] | None = None) -> int:
     snapshot = {
         "schema": "repro-bench/1",
         "date": date,
+        "meta": snapshot_meta(),
         "quick": args.quick,
         "rows": ROWS,
         "resolution_stats": stats.as_dict(),

@@ -7,6 +7,14 @@ Usage::
     python -m repro compile PROGRAM.impl        # show the lambda_=> encoding
     python -m repro elaborate PROGRAM.impl      # show the System F target
     python -m repro check PROGRAM.impl          # type check only
+    python -m repro serve --stdio               # resolution server (JSON lines)
+    python -m repro --version
+
+Failures exit non-zero with one structured line on stderr and no
+traceback: ``error: <slug>: message``, where the slug is the snake_case
+exception class (``parse_error``, ``no_matching_rule``, ...).  Parse
+errors exit 2; semantic failures (type errors, resolution failures,
+evaluation errors) exit 1.
 
 Options:
     --operational      use the direct big-step semantics
@@ -26,6 +34,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+import re
+
 from .core.cache import ResolutionCache
 from .core.env import OverlapPolicy, set_indexing
 from .core.parser import parse_core_expr
@@ -33,16 +43,44 @@ from .core.pretty import pretty_expr, pretty_type
 from .core.resolution import ResolutionStrategy, Resolver
 from .core.terms import EMPTY_SIGNATURE
 from .elaborate.translate import Elaborator
-from .errors import ImplicitCalculusError
+from .errors import ImplicitCalculusError, ParseError
 from .obs import ResolutionStats, Tracer, collecting
 from .pipeline import Semantics, compile_source, run_core, typecheck_core
 from .systemf.ast import pretty_fexpr
+
+
+def _package_version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # noqa: BLE001 - not installed as a distribution
+        from . import __version__
+
+        return __version__
+
+
+def error_slug(exc: BaseException) -> str:
+    """``NoMatchingRuleError`` -> ``no_matching_rule``, etc."""
+    name = type(exc).__name__
+    name = name[: -len("Error")] if name.endswith("Error") else name
+    return re.sub(r"(?<=[a-z0-9])(?=[A-Z])", "_", name).lower()
+
+
+def report_error(exc: ImplicitCalculusError) -> int:
+    """One structured line on stderr, no traceback; returns the exit code."""
+    message = " ".join(str(exc).split())  # guarantee a single line
+    print(f"error: {error_slug(exc)}: {message}", file=sys.stderr)
+    return 2 if isinstance(exc, ParseError) else 1
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="The implicit calculus (PLDI 2012), reproduced in Python.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {_package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
     for name, help_text in [
@@ -102,7 +140,57 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print the resolution trace-event stream to stderr",
         )
+    serve = sub.add_parser(
+        "serve",
+        help="start the concurrent resolution server (docs/SERVICE.md)",
+    )
+    transport = serve.add_mutually_exclusive_group(required=True)
+    transport.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve JSON lines over stdin/stdout until EOF or shutdown",
+    )
+    transport.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        help="listen on a TCP address, one thread per connection",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker threads executing resolution requests (default 4)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="bounded queue watermark; beyond it requests are shed "
+        "with a retryable 'overloaded' error (default 64)",
+    )
+    serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable singleflight coalescing of identical concurrent requests",
+    )
     return parser
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from .service import ResolutionService, serve_stdio, serve_tcp
+
+    service = ResolutionService(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        coalesce=not args.no_coalesce,
+    )
+    if args.stdio:
+        return serve_stdio(service)
+    host, _, port_text = args.tcp.rpartition(":")
+    if not host or not port_text.isdigit():
+        print("error: invalid_request: --tcp expects HOST:PORT", file=sys.stderr)
+        return 2
+    return serve_tcp(service, host, int(port_text))
 
 
 def _read(path: str) -> str:
@@ -125,7 +213,13 @@ def _resolver(args: argparse.Namespace, tracer: Tracer | None) -> Resolver:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    text = _read(args.file)
+    if args.command == "serve":
+        return _serve(args)
+    try:
+        text = _read(args.file)
+    except OSError as exc:
+        print(f"error: io: {exc}", file=sys.stderr)
+        return 2
     tracer = Tracer() if args.trace else None
     stats = ResolutionStats() if args.stats else None
     resolver = _resolver(args, tracer)
@@ -167,8 +261,7 @@ def main(argv: list[str] | None = None) -> int:
             print(run.value)
             return 0
     except ImplicitCalculusError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return report_error(exc)
     finally:
         set_indexing(previous_indexing)
         if tracer is not None and len(tracer):

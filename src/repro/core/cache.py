@@ -49,13 +49,27 @@ Correctness invariants (each is load-bearing; the differential tests in
 Eviction is FIFO with a configurable bound; resolution caches are
 workload-local, and insertion order approximates age well enough without
 the bookkeeping of an LRU chain on the hot path.
+
+The cache is **thread-safe**: the resolution server
+(:mod:`repro.service`) shares one cache per session across a pool of
+worker threads, so probes and inserts are serialized on a per-cache
+lock.  The critical sections are a dictionary probe or an
+insert-plus-FIFO-evict -- short enough that the lock is uncontended in
+practice -- and entries themselves are immutable apart from the
+monotonically shrinking ``min_fuel`` bound, which is only rewritten
+under the same lock.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any
 
-from ..errors import ResolutionDivergenceError, ResolutionError
+from ..errors import (
+    DeadlineExceededError,
+    ResolutionDivergenceError,
+    ResolutionError,
+)
 from .env import ImplicitEnv, OverlapPolicy
 from .types import Type, canonical_key
 
@@ -81,13 +95,14 @@ class _Entry:
 class ResolutionCache:
     """A bounded memo table for resolution outcomes."""
 
-    __slots__ = ("_entries", "max_entries")
+    __slots__ = ("_entries", "max_entries", "_lock")
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self._entries: dict[tuple, _Entry] = {}
         self.max_entries = max_entries
+        self._lock = threading.Lock()
 
     # -- keys ------------------------------------------------------------
 
@@ -115,39 +130,43 @@ class ResolutionCache:
         An entry only answers when the probe has at least as much fuel as
         the outcome was observed with (fuel monotonicity, module docs).
         """
-        entry = self._entries.get(key)
-        if entry is None or fuel < entry.min_fuel:
-            return None
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or fuel < entry.min_fuel:
+                return None
+            return entry
 
     def put_success(
         self, key: tuple, derivation: "Derivation", env: ImplicitEnv, fuel: int
     ) -> None:
-        existing = self._entries.get(key)
-        if existing is not None and existing.is_success:
-            # Same deterministic outcome observed at lower fuel: widen the
-            # entry's applicability instead of re-inserting.
-            if fuel < existing.min_fuel:
-                existing.min_fuel = fuel
-            return
-        self._insert(key, _Entry(derivation, True, fuel, env))
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None and existing.is_success:
+                # Same deterministic outcome observed at lower fuel: widen the
+                # entry's applicability instead of re-inserting.
+                if fuel < existing.min_fuel:
+                    existing.min_fuel = fuel
+                return
+            self._insert(key, _Entry(derivation, True, fuel, env))
 
     def put_failure(
         self, key: tuple, error: ResolutionError, env: ImplicitEnv, fuel: int
     ) -> None:
-        if isinstance(error, ResolutionDivergenceError):
+        if isinstance(error, (ResolutionDivergenceError, DeadlineExceededError)):
             raise ValueError(
-                "refusing to cache a diverging resolution as a negative "
-                "result; divergence depends on available fuel"
+                "refusing to cache a fuel- or deadline-dependent outcome as "
+                "a negative result; it is not a property of the query"
             )
-        existing = self._entries.get(key)
-        if existing is not None and not existing.is_success:
-            if fuel < existing.min_fuel:
-                existing.min_fuel = fuel
-            return
-        self._insert(key, _Entry(error, False, fuel, env))
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None and not existing.is_success:
+                if fuel < existing.min_fuel:
+                    existing.min_fuel = fuel
+                return
+            self._insert(key, _Entry(error, False, fuel, env))
 
     def _insert(self, key: tuple, entry: _Entry) -> None:
+        # Caller holds ``self._lock``.
         entries = self._entries
         if key not in entries and len(entries) >= self.max_entries:
             entries.pop(next(iter(entries)))  # FIFO: dicts preserve insertion
@@ -156,7 +175,8 @@ class ResolutionCache:
     # -- maintenance -----------------------------------------------------
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -50,9 +50,11 @@ and an optional trace stream live in :mod:`repro.obs`.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 
 from ..errors import (
+    DeadlineExceededError,
     NoMatchingRuleError,
     OverlappingRulesError,
     ResolutionDivergenceError,
@@ -154,6 +156,15 @@ class Resolver:
     #: semantic (indexed and naive lookup are observably equivalent), so
     #: excluded from equality like the other attachments below.
     use_index: bool | None = field(default=None, compare=False)
+    #: Wall-clock deadline as a :func:`time.monotonic` timestamp, or
+    #: ``None`` for no deadline.  Checked on every fuel-consuming
+    #: resolution step, so a stuck proof search surfaces as a structured
+    #: :class:`~repro.errors.DeadlineExceededError` instead of hanging a
+    #: server worker.  Like fuel exhaustion, the outcome depends on the
+    #: budget rather than the query: it is never cached and propagates
+    #: through every strategy (including backtracking).  Operational, not
+    #: semantic, hence excluded from equality.
+    deadline: float | None = field(default=None, compare=False)
     #: Per-resolver derivation memo; ``None`` disables caching entirely.
     cache: ResolutionCache | None = field(
         default_factory=ResolutionCache, compare=False
@@ -201,6 +212,11 @@ class Resolver:
                 f"resolution exceeded fuel while resolving {rho}; "
                 "the rule environment likely violates the termination condition"
             )
+        deadline = self.deadline
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceededError(
+                f"resolution exceeded its deadline while resolving {rho}"
+            )
         stats = active_stats()
         if stats is not None:
             stats.resolve_steps += 1
@@ -235,8 +251,8 @@ class Resolver:
 
         try:
             derivation = self._resolve_step(env, rho, fuel, depth)
-        except ResolutionDivergenceError:
-            raise  # never cached: the outcome depends on available fuel
+        except (ResolutionDivergenceError, DeadlineExceededError):
+            raise  # never cached: the outcome depends on the budget
         except (NoMatchingRuleError, OverlappingRulesError) as exc:
             if cache is not None:
                 cache.put_failure(key, exc, env, fuel)
@@ -323,7 +339,7 @@ class Resolver:
                     recurse_env, result, assumptions, fuel, depth
                 )
             except ResolutionError as exc:
-                if isinstance(exc, ResolutionDivergenceError):
+                if isinstance(exc, (ResolutionDivergenceError, DeadlineExceededError)):
                     raise
                 last_error = exc
                 continue
@@ -355,6 +371,7 @@ def resolve(
     strategy: ResolutionStrategy = ResolutionStrategy.SYNTACTIC,
     fuel: int = DEFAULT_FUEL,
     use_index: bool | None = None,
+    deadline: float | None = None,
     cache: ResolutionCache | None = _UNSET,
     stats: ResolutionStats | None = None,
     tracer: Tracer | None = None,
@@ -371,6 +388,7 @@ def resolve(
         and stats is None
         and tracer is None
         and use_index is None
+        and deadline is None
         and (policy, strategy, fuel)
         == (_DEFAULT.policy, _DEFAULT.strategy, _DEFAULT.fuel)
     ):
@@ -382,6 +400,7 @@ def resolve(
         strategy=strategy,
         fuel=fuel,
         use_index=use_index,
+        deadline=deadline,
         cache=cache,
         stats=stats,
         tracer=tracer,

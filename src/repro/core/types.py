@@ -33,6 +33,7 @@ Representation choices (documented in DESIGN.md and docs/PERFORMANCE.md):
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Iterable, Iterator
 
@@ -42,6 +43,17 @@ from typing import Iterable, Iterator
 #: interned parent itself (it references them through its fields), so the
 #: strong key references add no retention beyond the parent's lifetime.
 _INTERN: "weakref.WeakValueDictionary[tuple, Type]" = weakref.WeakValueDictionary()
+
+#: Serializes the miss path of interning.  The lock-free ``get`` probe is
+#: safe (a stale miss only means taking the slow path), but
+#: ``WeakValueDictionary.setdefault`` is check-then-act in pure Python:
+#: two racing threads could each observe a miss and each install *their
+#: own* instance, breaking the "structurally equal implies identical"
+#: invariant that the ``is`` fast paths in unification and the O(1)
+#: cached-metadata reads rely on.  All constructors therefore intern
+#: under this lock; concurrent constructions of the same type converge on
+#: one canonical instance (see ``tests/core/test_thread_safety.py``).
+_INTERN_LOCK = threading.Lock()
 
 _EMPTY_FSET: frozenset[str] = frozenset()
 
@@ -92,7 +104,8 @@ class TVar(Type):
         _set(self, "_size", 1)
         _set(self, "_key", ("fv", name))
         _set(self, "_hash", hash(("fv", name)))
-        return _INTERN.setdefault(key, self)
+        with _INTERN_LOCK:
+            return _INTERN.setdefault(key, self)
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -148,7 +161,8 @@ class TCon(Type):
         _set(self, "_size", size_)
         _set(self, "_key", key_)
         _set(self, "_hash", hash(("con", name, args)))
-        return _INTERN.setdefault(key, self)
+        with _INTERN_LOCK:
+            return _INTERN.setdefault(key, self)
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -191,7 +205,8 @@ class TFun(Type):
         _set(self, "_size", 1 + arg._size + res._size)
         _set(self, "_key", None)
         _set(self, "_hash", hash(("fun", arg, res)))
-        return _INTERN.setdefault(key, self)
+        with _INTERN_LOCK:
+            return _INTERN.setdefault(key, self)
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -264,7 +279,8 @@ class RuleType(Type):
         _set(self, "_size", size_)
         _set(self, "_key", None)
         _set(self, "_hash", None)
-        return _INTERN.setdefault(key, self)
+        with _INTERN_LOCK:
+            return _INTERN.setdefault(key, self)
 
     def canonical_key(self) -> tuple:
         """A hashable key identifying this type up to alpha-equivalence."""

@@ -52,6 +52,17 @@ class ResolutionDivergenceError(ResolutionError):
     """Recursive resolution exceeded its fuel (dynamic divergence guard)."""
 
 
+class DeadlineExceededError(ResolutionError):
+    """Resolution exceeded its wall-clock deadline.
+
+    Raised by :class:`~repro.core.resolution.Resolver` when a deadline is
+    attached (the resolution server maps per-request deadlines onto the
+    fuel loop; see ``docs/SERVICE.md``).  Like divergence, the outcome is
+    a property of the *budget*, not the query, so it is never cached and
+    always propagates -- even through the backtracking strategy.
+    """
+
+
 class TerminationError(ImplicitCalculusError):
     """A rule violates the static termination conditions of the appendix."""
 

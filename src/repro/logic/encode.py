@@ -22,6 +22,8 @@ program clause, which is a logical equivalence.
 
 from __future__ import annotations
 
+import threading
+
 from ..core.env import ImplicitEnv
 from ..core.types import RuleType, TCon, TFun, TVar, Type
 from .terms import Atom, Clause, ForallG, Goal, Implies, Struct, Term, Var
@@ -109,9 +111,10 @@ def program_of_env(env: ImplicitEnv) -> tuple[Clause, ...]:
     program = _PROGRAM_MEMO.get(key)
     if program is None:
         program = tuple(clause_of_type(entry.rho) for entry in env.entries())
-        if len(_PROGRAM_MEMO) >= _PROGRAM_MEMO_MAX:
-            _PROGRAM_MEMO.pop(next(iter(_PROGRAM_MEMO)))
-        _PROGRAM_MEMO[key] = program
+        with _MEMO_LOCK:
+            if len(_PROGRAM_MEMO) >= _PROGRAM_MEMO_MAX:
+                _PROGRAM_MEMO.pop(next(iter(_PROGRAM_MEMO)), None)
+            _PROGRAM_MEMO[key] = program
     return program
 
 
@@ -120,6 +123,11 @@ _PROGRAM_MEMO_MAX = 512
 
 _ENV_ENTAILS_MEMO: dict[tuple, bool] = {}
 _ENV_ENTAILS_MEMO_MAX = 4096
+
+#: Guards the check-then-evict-then-insert sequences of the two memo
+#: tables above against concurrent server workers.  Lock-free reads are
+#: fine (a stale miss just recomputes the same deterministic value).
+_MEMO_LOCK = threading.Lock()
 
 
 def clear_entailment_cache() -> None:
@@ -152,7 +160,8 @@ def env_entails(
         record_entails(hit=True)
         return cached_verdict
     verdict = entails(program_of_env(env), goal_of_type(rho), max_depth=max_depth)
-    if len(_ENV_ENTAILS_MEMO) >= _ENV_ENTAILS_MEMO_MAX:
-        _ENV_ENTAILS_MEMO.pop(next(iter(_ENV_ENTAILS_MEMO)))
-    _ENV_ENTAILS_MEMO[key] = verdict
+    with _MEMO_LOCK:
+        if len(_ENV_ENTAILS_MEMO) >= _ENV_ENTAILS_MEMO_MAX:
+            _ENV_ENTAILS_MEMO.pop(next(iter(_ENV_ENTAILS_MEMO)), None)
+        _ENV_ENTAILS_MEMO[key] = verdict
     return verdict

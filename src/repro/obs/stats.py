@@ -11,11 +11,16 @@ Design notes:
 
 * Counters are recorded through module-level functions
   (:func:`record_lookup`, :func:`record_unify`, ...) guarded by a single
-  ``is None`` check, so instrumented call sites cost one global read when
+  ``is None`` check, so instrumented call sites cost one slot read when
   collection is off.  This keeps the signatures of ``ImplicitEnv.lookup``
   and ``match_type`` untouched -- every consumer (type checker,
   elaborator, operational semantics, logic engine) is observable without
   plumbing a stats object through each layer.
+* The slot is **thread-local**: each thread owns its own recorder, so
+  concurrent requests in the resolution server (:mod:`repro.service`)
+  collect into disjoint per-request objects without locking the hot
+  path.  Aggregation across threads is explicit -- collect per thread,
+  then :meth:`ResolutionStats.merge` under a lock.
 * The slot is scoped with the :func:`collecting` context manager, which
   saves and restores the previous occupant, so nested collections behave
   lexically (the innermost collector wins).
@@ -42,11 +47,19 @@ Counter glossary (see also ``docs/OBSERVABILITY.md``):
                     matching attempt (skipped candidates)
 ``entails_calls``   logic-engine entailment checks (``Delta+ |= rho+``)
 ``entails_hits``    entailment checks answered from the entailment memo
+``coalesced_requests`` service requests answered by sharing another
+                    in-flight identical request's computation
+                    (singleflight; :mod:`repro.service.worker`)
+``shed_requests``   service requests rejected with ``overloaded`` because
+                    the worker queue was past its watermark
+``deadline_timeouts`` service requests that exceeded their deadline
+                    (either in the queue or mid-resolution)
 ============== ============================================================
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, fields
 from typing import Iterator
@@ -67,6 +80,9 @@ class ResolutionStats:
     candidates_pruned: int = 0
     entails_calls: int = 0
     entails_hits: int = 0
+    coalesced_requests: int = 0
+    shed_requests: int = 0
+    deadline_timeouts: int = 0
 
     # -- derived ---------------------------------------------------------
 
@@ -109,53 +125,52 @@ class ResolutionStats:
 
 
 # ---------------------------------------------------------------------------
-# The global recorder slot.
+# The thread-local recorder slot.
 # ---------------------------------------------------------------------------
 
-_ACTIVE: ResolutionStats | None = None
+_SLOT = threading.local()
 
 
 def active_stats() -> ResolutionStats | None:
-    """The stats object currently collecting, if any."""
-    return _ACTIVE
+    """The stats object currently collecting *in this thread*, if any."""
+    return getattr(_SLOT, "stats", None)
 
 
 @contextmanager
 def collecting(stats: ResolutionStats | None) -> Iterator[ResolutionStats | None]:
-    """Route counters into ``stats`` for the duration of the block.
+    """Route this thread's counters into ``stats`` for the block.
 
     ``collecting(None)`` is a no-op context (convenient for optional
     ``stats=`` parameters on the pipeline entry points).
     """
-    global _ACTIVE
     if stats is None:
         yield None
         return
-    previous = _ACTIVE
-    _ACTIVE = stats
+    previous = getattr(_SLOT, "stats", None)
+    _SLOT.stats = stats
     try:
         yield stats
     finally:
-        _ACTIVE = previous
+        _SLOT.stats = previous
 
 
 def record_lookup() -> None:
     """One environment lookup (``Delta(tau)``)."""
-    stats = _ACTIVE
+    stats = getattr(_SLOT, "stats", None)
     if stats is not None:
         stats.lookup_calls += 1
 
 
 def record_unify() -> None:
     """One head-matching / unification attempt."""
-    stats = _ACTIVE
+    stats = getattr(_SLOT, "stats", None)
     if stats is not None:
         stats.unify_calls += 1
 
 
 def record_index(pruned: int) -> None:
     """One indexed frame scan, skipping ``pruned`` irrelevant entries."""
-    stats = _ACTIVE
+    stats = getattr(_SLOT, "stats", None)
     if stats is not None:
         stats.index_hits += 1
         stats.candidates_pruned += pruned
@@ -163,7 +178,7 @@ def record_index(pruned: int) -> None:
 
 def record_entails(hit: bool = False) -> None:
     """One logic-engine entailment check (memoized or not)."""
-    stats = _ACTIVE
+    stats = getattr(_SLOT, "stats", None)
     if stats is not None:
         stats.entails_calls += 1
         if hit:

@@ -29,6 +29,7 @@ Design notes (deviations documented in DESIGN.md):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -63,7 +64,12 @@ from ..core.types import (
     promote,
     rule,
 )
-from ..errors import EvalError, NoMatchingRuleError, ResolutionDivergenceError
+from ..errors import (
+    DeadlineExceededError,
+    EvalError,
+    NoMatchingRuleError,
+    ResolutionDivergenceError,
+)
 from ..systemf.eval import PrimValue, RecordValue
 from .values import ConstRuleClosure, LamClosure, RuleClosure, TermEnv
 
@@ -75,6 +81,10 @@ class Interpreter:
     policy: OverlapPolicy = OverlapPolicy.REJECT
     strategy: ResolutionStrategy = ResolutionStrategy.SYNTACTIC
     fuel: int = DEFAULT_FUEL
+    #: Monotonic wall-clock bound, mirroring ``Resolver.deadline``:
+    #: checked on every runtime resolution step so a deadline reaches
+    #: the OPERATIONAL semantics too (the service relies on this).
+    deadline: float | None = field(default=None, compare=False)
 
     def run(self, e: Expr) -> Any:
         """Evaluate a closed program."""
@@ -217,6 +227,11 @@ class Interpreter:
             raise ResolutionDivergenceError(
                 f"runtime resolution exceeded fuel while resolving {rho}"
             )
+        deadline = self.deadline
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceededError(
+                f"runtime resolution exceeded its deadline while resolving {rho}"
+            )
         tvars, context, head = promote(rho)
         if self.strategy is ResolutionStrategy.BACKTRACKING:
             return self._dyn_resolve_backtracking(ienv, rho, tvars, context, head, fuel)
@@ -273,7 +288,9 @@ class Interpreter:
         for result in ienv.lookup_all(head):
             try:
                 return self._finish(ienv, rho, tvars, context, result, fuel)
-            except ResolutionDivergenceError:
+            except (ResolutionDivergenceError, DeadlineExceededError):
+                # Budget exhaustion is not a candidate failure to roll
+                # back past -- the next candidate has no more budget.
                 raise
             except ResolutionError as exc:
                 last = exc

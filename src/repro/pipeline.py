@@ -133,7 +133,10 @@ def run_core(
             return CoreRun(expr=expr, type=tau, value=feval(target), systemf=target)
         tau = typecheck_core(expr, signature=signature, resolver=resolver)
         interpreter = Interpreter(
-            policy=resolver.policy, strategy=resolver.strategy, fuel=resolver.fuel
+            policy=resolver.policy,
+            strategy=resolver.strategy,
+            fuel=resolver.fuel,
+            deadline=resolver.deadline,
         )
         return CoreRun(expr=expr, type=tau, value=interpreter.run(expr))
 

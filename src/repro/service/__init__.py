@@ -1,0 +1,71 @@
+"""repro.service -- a concurrent resolution server for the implicit calculus.
+
+The paper's core judgment ``Delta |-r rho`` has exactly the shape of a
+query service: a long-lived rule environment answering many small
+queries.  Every one-shot entry point (:mod:`repro.pipeline`, the CLI)
+rebuilds environments and throws away the derivation cache and frame
+indexes between invocations; this package makes the resolver a
+persistent, concurrent backend instead:
+
+* :mod:`repro.service.protocol` -- the JSON-lines request/response wire
+  format and its error vocabulary;
+* :mod:`repro.service.sessions` -- named sessions holding a persistent
+  :class:`~repro.core.env.ImplicitEnv` and a warm
+  :class:`~repro.core.resolution.Resolver` (derivation cache, frame
+  indexes) so clients amortize environment construction across
+  thousands of queries;
+* :mod:`repro.service.worker` -- the bounded thread pool with in-flight
+  request coalescing (singleflight) and watermark load-shedding;
+* :mod:`repro.service.server` -- operation dispatch plus the stdio and
+  TCP transports behind ``repro serve``;
+* :mod:`repro.service.client` -- the Python client used by the examples,
+  the tests, the B11 load generator and the CI smoke drive.
+
+Protocol, session lifecycle and deadline/load-shed semantics are
+documented in ``docs/SERVICE.md``.
+"""
+
+from .protocol import (
+    PROTOCOL_VERSION,
+    ErrorCode,
+    ProtocolError,
+    Request,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .server import ResolutionService, serve_stdio, serve_tcp
+from .sessions import Session, SessionConfig, SessionRegistry
+from .worker import Overloaded, SingleFlight, WorkerPool
+
+
+def __getattr__(name: str):
+    # The client is imported lazily so that ``python -m
+    # repro.service.client`` does not trigger the double-import warning
+    # for the module it is itself executing.
+    if name in ("ServiceClient", "SessionHandle"):
+        from . import client
+
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ErrorCode",
+    "Overloaded",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "ResolutionService",
+    "ServiceClient",
+    "Session",
+    "SessionConfig",
+    "SessionHandle",
+    "SessionRegistry",
+    "SingleFlight",
+    "WorkerPool",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "serve_stdio",
+    "serve_tcp",
+]

@@ -1,0 +1,145 @@
+"""The JSON-lines wire protocol of the resolution service.
+
+One request per line, one response per line, UTF-8, ``\n``-terminated.
+Responses carry the request's ``id`` and may arrive **out of order**
+(the server executes requests on a worker pool), so clients match
+replies by id rather than by position.
+
+Request::
+
+    {"id": 1, "op": "resolve", "params": {"session": "s1", "type": "Int"}}
+
+Success response::
+
+    {"id": 1, "ok": true, "result": {...}}
+
+Error response::
+
+    {"id": 1, "ok": false,
+     "error": {"code": "overloaded", "message": "...",
+               "retryable": true, "backoff_ms": 25}}
+
+``retryable`` tells the client whether resending the identical request
+can succeed later: ``overloaded`` and ``timeout`` are retryable
+(transient budget/capacity conditions); ``resolution_failure`` and the
+protocol errors are not (the same request will fail the same way).
+
+The operation vocabulary (dispatched in :mod:`repro.service.server`):
+
+=================== ========================================================
+``ping``            liveness probe; echoes ``params``
+``version``         package + protocol versions
+``server/stats``    server-wide counters, queue depth, session count
+``shutdown``        stop accepting requests, drain, exit cleanly
+``session/new``     create a named session (environment + warm resolver)
+``session/push_rules`` push one rule-set frame (a list of rule-type
+                    strings) onto the session's environment
+``session/pop``     pop the innermost frame
+``session/stats``   per-session counters, cache size, environment depth
+``session/close``   drop the session and its caches
+``resolve``         resolve a query type against the session environment
+``typecheck``       type check a program (source or core syntax)
+``run_core``        type check + execute a core-calculus program
+``run_source``      parse, encode, type check + execute a source program
+``debug/sleep``     hold a worker for ``seconds`` (load/shed testing only)
+=================== ========================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Bumped on incompatible wire changes; served by the ``version`` op so
+#: clients can refuse to talk to a server they do not understand.
+PROTOCOL_VERSION = 1
+
+
+class ErrorCode:
+    """The closed vocabulary of ``error.code`` values."""
+
+    PARSE_ERROR = "parse_error"  # request line is not valid JSON
+    INVALID_REQUEST = "invalid_request"  # JSON, but not a valid request
+    UNKNOWN_OP = "unknown_op"
+    UNKNOWN_SESSION = "unknown_session"
+    RESOLUTION_FAILURE = "resolution_failure"  # Delta |-r rho failed
+    TYPE_ERROR = "type_error"  # static semantics rejected the program
+    PROGRAM_PARSE_ERROR = "program_parse_error"  # program text did not parse
+    EVAL_ERROR = "eval_error"
+    TIMEOUT = "timeout"  # deadline exceeded (queue or resolution)
+    OVERLOADED = "overloaded"  # shed: queue past its watermark
+    SHUTTING_DOWN = "shutting_down"
+    INTERNAL = "internal"
+
+    #: Codes a client may retry verbatim after backing off.
+    RETRYABLE = frozenset({TIMEOUT, OVERLOADED, SHUTTING_DOWN})
+
+
+class ProtocolError(Exception):
+    """A malformed request line (carries the response error code)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded request."""
+
+    id: Any
+    op: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+def parse_request(line: str) -> Request:
+    """Decode one request line, raising :class:`ProtocolError` if bad."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(ErrorCode.PARSE_ERROR, f"bad JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            ErrorCode.INVALID_REQUEST, "request must be a JSON object"
+        )
+    op = payload.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError(
+            ErrorCode.INVALID_REQUEST, "request needs a non-empty string 'op'"
+        )
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(
+            ErrorCode.INVALID_REQUEST, "'params' must be a JSON object"
+        )
+    return Request(id=payload.get("id"), op=op, params=params)
+
+
+def ok_response(request_id: Any, result: Any) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: Any,
+    code: str,
+    message: str,
+    *,
+    backoff_ms: int | None = None,
+    details: dict | None = None,
+) -> dict:
+    error: dict[str, Any] = {
+        "code": code,
+        "message": message,
+        "retryable": code in ErrorCode.RETRYABLE,
+    }
+    if backoff_ms is not None:
+        error["backoff_ms"] = backoff_ms
+    if details:
+        error["details"] = details
+    return {"id": request_id, "ok": False, "error": error}
+
+
+def encode(response: dict) -> str:
+    """One response as a single JSON line (no embedded newlines)."""
+    return json.dumps(response, separators=(",", ":"), default=str)

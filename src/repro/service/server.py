@@ -1,0 +1,598 @@
+"""The resolution server: operation dispatch plus stdio/TCP transports.
+
+Architecture (see ``docs/SERVICE.md`` for the wire-level view)::
+
+    transport (stdio line loop / TCP connection threads)
+        |  parse_request
+        v
+    ResolutionService.process_line
+        |-- control ops (session/*, stats, ping, shutdown): inline,
+        |   they only touch registry state under short locks
+        `-- work ops (resolve, typecheck, run_*): submitted to the
+            bounded WorkerPool -> Future[response dict]
+                |-- queue past watermark  -> `overloaded` (shed at the door)
+                |-- deadline expired while queued -> `timeout`
+                `-- singleflight: identical concurrent work keyed on the
+                    derivation-cache key shares one execution
+
+Responses may complete out of order; transports write them under a lock
+as their futures land, and clients match on ``id``.
+
+Every work request collects into a fresh per-request
+:class:`~repro.obs.ResolutionStats` (the recorder slot is thread-local),
+which is then merged into the owning session's totals and the server's
+totals -- served by ``session/stats`` and ``server/stats``.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import sys
+import threading
+import time
+from concurrent.futures import Future, wait as wait_futures
+from typing import Any, Callable, TextIO
+
+from .. import __version__
+from ..core.cache import ResolutionCache
+from ..core.parser import parse_core_expr, parse_core_type
+from ..core.pretty import pretty_type
+from ..core.terms import EMPTY_SIGNATURE
+from ..errors import (
+    DeadlineExceededError,
+    EvalError,
+    ImplicitCalculusError,
+    ParseError,
+    ResolutionError,
+)
+from ..obs import ResolutionStats, collecting
+from ..pipeline import Semantics, compile_source, run_core, typecheck_core
+from .protocol import (
+    PROTOCOL_VERSION,
+    ErrorCode,
+    ProtocolError,
+    Request,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .sessions import SessionConfig, SessionRegistry
+from .worker import Overloaded, SingleFlight, WorkerPool
+
+#: Cap for ``debug/sleep`` so a hostile client cannot park a worker.
+MAX_DEBUG_SLEEP = 5.0
+
+
+class ResolutionService:
+    """Dispatches decoded requests; owns sessions, pool and counters."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 4,
+        queue_depth: int = 64,
+        coalesce: bool = True,
+        default_config: SessionConfig | None = None,
+    ):
+        self.registry = SessionRegistry()
+        self.pool = WorkerPool(workers=workers, watermark=queue_depth)
+        self.flight = SingleFlight() if coalesce else None
+        self.default_config = default_config or SessionConfig()
+        self.stats = ResolutionStats()
+        self._stats_lock = threading.Lock()
+        self.requests = 0
+        self.stopping = threading.Event()
+        self._started = time.monotonic()
+        self._control: dict[str, Callable[[Request], Any]] = {
+            "ping": self._op_ping,
+            "version": self._op_version,
+            "server/stats": self._op_server_stats,
+            "shutdown": self._op_shutdown,
+            "session/new": self._op_session_new,
+            "session/push_rules": self._op_session_push,
+            "session/pop": self._op_session_pop,
+            "session/stats": self._op_session_stats,
+            "session/close": self._op_session_close,
+        }
+        self._work: dict[str, Callable[[Request, float | None, ResolutionStats], Any]] = {
+            "resolve": self._op_resolve,
+            "typecheck": self._op_typecheck,
+            "run_core": self._op_run_core,
+            "run_source": self._op_run_source,
+            "debug/sleep": self._op_debug_sleep,
+        }
+
+    # -- entry point -------------------------------------------------------
+
+    def process_line(self, line: str) -> "dict | Future":
+        """One request line -> a response dict or a Future of one.
+
+        Control operations complete inline; work operations return a
+        :class:`~concurrent.futures.Future` resolving to the response
+        dict (never raising -- errors are encoded as error responses).
+        """
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            return error_response(None, exc.code, str(exc))
+        return self.process(request)
+
+    def process(self, request: Request) -> "dict | Future":
+        with self._stats_lock:
+            self.requests += 1
+        handler = self._control.get(request.op)
+        if handler is not None:
+            try:
+                return ok_response(request.id, handler(request))
+            except ProtocolError as exc:
+                return error_response(request.id, exc.code, str(exc))
+            except ParseError as exc:
+                # Rule-type strings in session/new and session/push_rules.
+                return error_response(
+                    request.id, ErrorCode.PROGRAM_PARSE_ERROR, str(exc)
+                )
+            except Exception as exc:  # noqa: BLE001 - protocol boundary
+                return error_response(request.id, ErrorCode.INTERNAL, repr(exc))
+        if request.op not in self._work:
+            return error_response(
+                request.id, ErrorCode.UNKNOWN_OP, f"unknown op {request.op!r}"
+            )
+        if self.stopping.is_set():
+            return error_response(
+                request.id,
+                ErrorCode.SHUTTING_DOWN,
+                "server is shutting down",
+                backoff_ms=100,
+            )
+        deadline = self._deadline_of(request)
+        if isinstance(deadline, dict):  # invalid deadline_ms param
+            return deadline
+        try:
+            return self.pool.submit(lambda: self._execute(request, deadline))
+        except Overloaded as exc:
+            with self._stats_lock:
+                self.stats.shed_requests += 1
+            return error_response(
+                request.id,
+                ErrorCode.OVERLOADED,
+                str(exc),
+                backoff_ms=exc.backoff_ms,
+                details={"queue_depth": exc.depth, "watermark": exc.watermark},
+            )
+
+    def handle_sync(self, request_payload: dict) -> dict:
+        """Convenience for in-process callers: dict in, dict out."""
+        import json
+
+        outcome = self.process_line(json.dumps(request_payload))
+        if isinstance(outcome, Future):
+            return outcome.result()
+        return outcome
+
+    # -- request execution -------------------------------------------------
+
+    @staticmethod
+    def _deadline_of(request: Request) -> "float | None | dict":
+        deadline_ms = request.params.get("deadline_ms")
+        if deadline_ms is None:
+            return None
+        if not isinstance(deadline_ms, (int, float)) or deadline_ms < 0:
+            return error_response(
+                request.id,
+                ErrorCode.INVALID_REQUEST,
+                "'deadline_ms' must be a non-negative number",
+            )
+        return time.monotonic() + deadline_ms / 1000.0
+
+    def _execute(self, request: Request, deadline: float | None) -> dict:
+        """Runs on a worker thread; always returns a response dict."""
+        request_stats = ResolutionStats()
+        session = None
+        session_name = request.params.get("session")
+        try:
+            if session_name is not None:
+                session = self.registry.get(session_name)
+            if deadline is not None and time.monotonic() >= deadline:
+                # Expired while queued: answer without wasting the worker.
+                raise DeadlineExceededError(
+                    "deadline expired before execution started"
+                )
+            with collecting(request_stats):
+                result = self._work[request.op](request, deadline, request_stats)
+            response = ok_response(request.id, result)
+        except ProtocolError as exc:
+            response = error_response(request.id, exc.code, str(exc))
+        except DeadlineExceededError as exc:
+            request_stats.deadline_timeouts += 1
+            response = error_response(
+                request.id, ErrorCode.TIMEOUT, str(exc), backoff_ms=50
+            )
+        except ResolutionError as exc:
+            response = error_response(
+                request.id,
+                ErrorCode.RESOLUTION_FAILURE,
+                str(exc),
+                details={"error": type(exc).__name__},
+            )
+        except ParseError as exc:
+            response = error_response(
+                request.id, ErrorCode.PROGRAM_PARSE_ERROR, str(exc)
+            )
+        except EvalError as exc:
+            response = error_response(request.id, ErrorCode.EVAL_ERROR, str(exc))
+        except ImplicitCalculusError as exc:
+            response = error_response(
+                request.id,
+                ErrorCode.TYPE_ERROR,
+                str(exc),
+                details={"error": type(exc).__name__},
+            )
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            response = error_response(request.id, ErrorCode.INTERNAL, repr(exc))
+        if request.params.get("stats"):
+            response["stats"] = request_stats.as_dict()
+        if session is not None:
+            session.record(request_stats)
+        with self._stats_lock:
+            self.stats.merge(request_stats)
+        return response
+
+    def _coalesced(
+        self,
+        key: tuple | None,
+        fn: Callable[[], Any],
+        request_stats: ResolutionStats,
+    ) -> Any:
+        """Run ``fn`` through singleflight when a key is available."""
+        if key is None or self.flight is None:
+            return fn()
+        result, coalesced = self.flight.do(key, fn)
+        if coalesced:
+            request_stats.coalesced_requests += 1
+        return result
+
+    # -- control operations ------------------------------------------------
+
+    def _op_ping(self, request: Request) -> dict:
+        return {"pong": True, "echo": request.params.get("echo")}
+
+    def _op_version(self, request: Request) -> dict:
+        return {
+            "package": __version__,
+            "protocol": PROTOCOL_VERSION,
+            "python": sys.version.split()[0],
+        }
+
+    def _op_server_stats(self, request: Request) -> dict:
+        with self._stats_lock:
+            counters = self.stats.as_dict()
+            requests = self.requests
+        return {
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "requests": requests,
+            "sessions": len(self.registry),
+            "sessions_created": self.registry.created,
+            "workers": self.pool.workers,
+            "queue_depth": self.pool.queue_depth(),
+            "queue_watermark": self.pool.watermark,
+            "queue_high_water": self.pool.high_water,
+            "coalescing": self.flight is not None,
+            "counters": counters,
+        }
+
+    def _op_shutdown(self, request: Request) -> dict:
+        self.stopping.set()
+        return {"stopping": True}
+
+    def _op_session_new(self, request: Request) -> dict:
+        name = request.params.get("name")
+        if name is not None and not isinstance(name, str):
+            raise ProtocolError(ErrorCode.INVALID_REQUEST, "'name' must be a string")
+        rules = request.params.get("rules")
+        if rules is not None and (
+            not isinstance(rules, list) or not all(isinstance(r, str) for r in rules)
+        ):
+            raise ProtocolError(
+                ErrorCode.INVALID_REQUEST, "'rules' must be a list of type strings"
+            )
+        config = (
+            SessionConfig.from_params(request.params)
+            if set(request.params) - {"name", "rules"}
+            else self.default_config
+        )
+        session = self.registry.create(name, config)
+        depth = 0
+        if rules:
+            try:
+                depth = session.push_rules(rules)
+            except Exception:
+                # A bad initial frame must not leave a half-built session
+                # behind under the requested name.
+                self.registry.close(session.name)
+                raise
+        return {"session": session.name, "depth": depth}
+
+    def _op_session_push(self, request: Request) -> dict:
+        session = self.registry.get(request.params.get("session"))
+        rules = request.params.get("rules")
+        if not isinstance(rules, list) or not all(
+            isinstance(r, str) for r in rules
+        ):
+            raise ProtocolError(
+                ErrorCode.INVALID_REQUEST, "'rules' must be a list of type strings"
+            )
+        return {"session": session.name, "depth": session.push_rules(rules)}
+
+    def _op_session_pop(self, request: Request) -> dict:
+        session = self.registry.get(request.params.get("session"))
+        return {"session": session.name, "depth": session.pop()}
+
+    def _op_session_stats(self, request: Request) -> dict:
+        return self.registry.get(request.params.get("session")).stats_result()
+
+    def _op_session_close(self, request: Request) -> dict:
+        session = self.registry.close(request.params.get("session"))
+        return {"session": session.name, "closed": True}
+
+    # -- work operations ---------------------------------------------------
+
+    def _op_resolve(
+        self, request: Request, deadline: float | None, request_stats: ResolutionStats
+    ) -> dict:
+        session = self.registry.get(request.params.get("session"))
+        query_text = request.params.get("type")
+        if not isinstance(query_text, str):
+            raise ProtocolError(ErrorCode.INVALID_REQUEST, "'type' must be a string")
+        rho = parse_core_type(query_text)
+        env = session.current_env()
+        resolver = session.resolver_for(deadline)
+        key = None
+        if deadline is None:
+            # The derivation-cache key *is* the identity of this unit of
+            # work (PR-1): identical concurrent queries share one proof.
+            key = (
+                "resolve",
+                session.name,
+                ResolutionCache.key_for(env, rho, resolver.strategy, resolver.policy),
+                resolver.fuel,
+            )
+
+        def work() -> dict:
+            derivation = resolver.resolve(env, rho)
+            result = {
+                "resolved": True,
+                "query": str(rho),
+                "matched": str(derivation.lookup.entry.rho),
+                "size": derivation.size(),
+            }
+            if request.params.get("explain"):
+                from ..core.explain import explain_derivation
+
+                result["explain"] = explain_derivation(derivation)
+            return result
+
+        return self._coalesced(key, work, request_stats)
+
+    def _session_and_semantics(
+        self, request: Request
+    ) -> tuple[Any, Semantics, bool]:
+        session = self.registry.get(request.params.get("session"))
+        semantics_name = request.params.get("semantics")
+        if semantics_name is None:
+            semantics = session.config.semantics
+        else:
+            try:
+                semantics = Semantics(semantics_name)
+            except ValueError as exc:
+                raise ProtocolError(ErrorCode.INVALID_REQUEST, str(exc)) from exc
+        verify = bool(request.params.get("verify", False))
+        return session, semantics, verify
+
+    @staticmethod
+    def _program_text(request: Request) -> str:
+        text = request.params.get("program")
+        if not isinstance(text, str):
+            raise ProtocolError(ErrorCode.INVALID_REQUEST, "'program' must be a string")
+        return text
+
+    def _op_typecheck(
+        self, request: Request, deadline: float | None, request_stats: ResolutionStats
+    ) -> dict:
+        session, _, _ = self._session_and_semantics(request)
+        text = self._program_text(request)
+        core = bool(request.params.get("core", False))
+        resolver = session.resolver_for(deadline)
+        key = None
+        if deadline is None:
+            key = ("typecheck", session.name, core, text,
+                   resolver.strategy, resolver.policy, resolver.fuel)
+
+        def work() -> dict:
+            if core:
+                expr, signature = parse_core_expr(text), EMPTY_SIGNATURE
+            else:
+                compiled = compile_source(text)
+                expr, signature = compiled.expr, compiled.signature
+            tau = typecheck_core(expr, signature=signature, resolver=resolver)
+            return {"type": pretty_type(tau)}
+
+        return self._coalesced(key, work, request_stats)
+
+    def _run_program(
+        self,
+        request: Request,
+        deadline: float | None,
+        request_stats: ResolutionStats,
+        core: bool,
+    ) -> dict:
+        session, semantics, verify = self._session_and_semantics(request)
+        text = self._program_text(request)
+        resolver = session.resolver_for(deadline)
+        key = None
+        if deadline is None:
+            key = ("run", session.name, core, text, semantics, verify,
+                   resolver.strategy, resolver.policy, resolver.fuel)
+
+        def work() -> dict:
+            if core:
+                expr, signature = parse_core_expr(text), EMPTY_SIGNATURE
+            else:
+                compiled = compile_source(text)
+                expr, signature = compiled.expr, compiled.signature
+            run = run_core(
+                expr,
+                signature=signature,
+                resolver=resolver,
+                semantics=semantics,
+                verify=verify,
+            )
+            return {
+                "type": pretty_type(run.type),
+                "value": repr(run.value),
+                "semantics": semantics.value,
+            }
+
+        return self._coalesced(key, work, request_stats)
+
+    def _op_run_core(
+        self, request: Request, deadline: float | None, request_stats: ResolutionStats
+    ) -> dict:
+        return self._run_program(request, deadline, request_stats, core=True)
+
+    def _op_run_source(
+        self, request: Request, deadline: float | None, request_stats: ResolutionStats
+    ) -> dict:
+        return self._run_program(request, deadline, request_stats, core=False)
+
+    def _op_debug_sleep(
+        self, request: Request, deadline: float | None, request_stats: ResolutionStats
+    ) -> dict:
+        seconds = request.params.get("seconds", 0.1)
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            raise ProtocolError(
+                ErrorCode.INVALID_REQUEST, "'seconds' must be non-negative"
+            )
+        seconds = min(float(seconds), MAX_DEBUG_SLEEP)
+        end = time.monotonic() + seconds
+        while True:
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                raise DeadlineExceededError("debug/sleep exceeded its deadline")
+            if now >= end:
+                return {"slept": seconds}
+            time.sleep(min(0.01, end - now))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self) -> None:
+        self.stopping.set()
+        self.pool.shutdown(wait=True)
+
+
+# ---------------------------------------------------------------------------
+# Transports.
+# ---------------------------------------------------------------------------
+
+
+def _pump(
+    service: ResolutionService,
+    read_line: Callable[[], str],
+    write_line: Callable[[str], None],
+) -> None:
+    """Shared transport loop: read, dispatch, write completions.
+
+    ``write_line`` must be safe to call from worker callback threads (the
+    transports pass a lock-guarded writer).  Returns when the input is
+    exhausted or a ``shutdown`` request was answered; outstanding futures
+    are drained before returning so shutdown is clean, never lossy.
+    """
+    outstanding: set[Future] = set()
+    tracking = threading.Lock()
+    while True:
+        line = read_line()
+        if not line:
+            break
+        if not line.strip():
+            continue
+        outcome = service.process_line(line)
+        if isinstance(outcome, Future):
+            with tracking:
+                outstanding.add(outcome)
+
+            def _finish(future: Future) -> None:
+                with tracking:
+                    outstanding.discard(future)
+                write_line(encode(future.result()))
+
+            outcome.add_done_callback(_finish)
+            continue
+        write_line(encode(outcome))
+        if service.stopping.is_set():
+            break
+    with tracking:
+        pending = tuple(outstanding)
+    wait_futures(pending)
+
+
+def serve_stdio(
+    service: ResolutionService,
+    stdin: TextIO | None = None,
+    stdout: TextIO | None = None,
+) -> int:
+    """Serve JSON-lines over stdio until EOF or a ``shutdown`` request."""
+    reader = stdin if stdin is not None else sys.stdin
+    writer = stdout if stdout is not None else sys.stdout
+    write_lock = threading.Lock()
+
+    def write_line(text: str) -> None:
+        with write_lock:
+            writer.write(text + "\n")
+            writer.flush()
+
+    try:
+        _pump(service, reader.readline, write_line)
+    finally:
+        service.shutdown()
+    return 0
+
+
+def serve_tcp(service: ResolutionService, host: str, port: int) -> int:
+    """Serve JSON-lines over TCP; one thread per connection.
+
+    A ``shutdown`` request stops the whole server (all connections), not
+    just the issuing connection.
+    """
+
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self) -> None:  # pragma: no cover - exercised via tests
+            write_lock = threading.Lock()
+
+            def write_line(text: str) -> None:
+                with write_lock:
+                    try:
+                        self.wfile.write(text.encode("utf-8") + b"\n")
+                        self.wfile.flush()
+                    except (BrokenPipeError, OSError):
+                        pass  # client went away; nothing to tell it
+
+            def read_line() -> str:
+                data = self.rfile.readline()
+                return data.decode("utf-8") if data else ""
+
+            _pump(service, read_line, write_line)
+            if service.stopping.is_set():
+                threading.Thread(target=server.shutdown, daemon=True).start()
+
+    class Server(socketserver.ThreadingTCPServer):
+        allow_reuse_address = True
+        daemon_threads = True
+
+    with Server((host, port), Handler) as server:
+        try:
+            server.serve_forever(poll_interval=0.1)
+        except KeyboardInterrupt:  # pragma: no cover
+            pass
+        finally:
+            service.shutdown()
+    return 0

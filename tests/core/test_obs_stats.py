@@ -61,6 +61,9 @@ class TestHandComputedCounters:
             "candidates_pruned": 2,
             "entails_calls": 0,
             "entails_hits": 0,
+            "coalesced_requests": 0,
+            "shed_requests": 0,
+            "deadline_timeouts": 0,
         }
         assert stats.fuel_consumed == 2  # one unit per resolution step
 
@@ -83,6 +86,9 @@ class TestHandComputedCounters:
             "candidates_pruned": 2,
             "entails_calls": 0,
             "entails_hits": 0,
+            "coalesced_requests": 0,
+            "shed_requests": 0,
+            "deadline_timeouts": 0,
         }
         assert stats.hit_rate() == pytest.approx(1 / 3)
 
@@ -106,6 +112,9 @@ class TestHandComputedCounters:
             "candidates_pruned": 0,
             "entails_calls": 0,
             "entails_hits": 0,
+            "coalesced_requests": 0,
+            "shed_requests": 0,
+            "deadline_timeouts": 0,
         }
         resolver.resolve(env, query)
         after = stats.as_dict()
@@ -130,6 +139,9 @@ class TestHandComputedCounters:
             "candidates_pruned": 4,
             "entails_calls": 0,
             "entails_hits": 0,
+            "coalesced_requests": 0,
+            "shed_requests": 0,
+            "deadline_timeouts": 0,
         }
         assert stats.hit_rate() == 0.0
 

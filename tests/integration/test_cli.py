@@ -68,10 +68,24 @@ class TestCommands:
         assert main(["run", str(bad)]) == 1
         assert "error:" in capsys.readouterr().err
 
-    def test_parse_error(self, capsys, tmp_path):
+    def test_parse_error_exits_2_with_slug(self, capsys, tmp_path):
         bad = tmp_path / "bad.impl"
         bad.write_text("let let let")
+        assert main(["run", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: parse:")
+        assert err.count("\n") == 1  # exactly one structured line
+
+    def test_resolution_failure_exits_1_with_slug(self, capsys, tmp_path):
+        bad = tmp_path / "bad.impl"
+        bad.write_text("let x : Int = ? in x")  # empty implicit environment
         assert main(["run", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: no_matching_rule:")
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["run", str(tmp_path / "nope.impl")]) == 2
+        assert "error: io:" in capsys.readouterr().err
 
     def test_stdin(self, monkeypatch, capsys):
         import io
@@ -90,3 +104,26 @@ class TestModuleEntryPoint:
         )
         assert result.returncode == 0
         assert "(2, False)" in result.stdout
+
+    def test_version_flag(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert result.stdout.startswith("repro ")
+        # Whatever the resolved version is, it must look like one.
+        assert result.stdout.split()[1][0].isdigit()
+
+    def test_failures_never_print_tracebacks(self, tmp_path):
+        bad = tmp_path / "bad.impl"
+        bad.write_text("let x : Int = ? in x")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "run", str(bad)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "Traceback" not in result.stderr
+        assert result.stderr.startswith("error: no_matching_rule:")

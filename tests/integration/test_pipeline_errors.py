@@ -1,0 +1,95 @@
+"""Error paths and semantics cross-checks for the pipeline API.
+
+Covers the failure modes a library user actually sees: the preservation
+check raising :class:`SystemFTypeError`, resolution failures naming the
+unresolvable query, and the SMALLSTEP semantics agreeing with the
+direct OPERATIONAL interpreter on source programs.
+"""
+
+import pytest
+
+from repro.core.builders import ask, implicit
+from repro.core.terms import IntLit
+from repro.core.types import INT
+from repro.errors import (
+    NoMatchingRuleError,
+    ParseError,
+    ResolutionError,
+    SystemFTypeError,
+)
+from repro.pipeline import (
+    Semantics,
+    elaborate_core,
+    run_core,
+    run_source,
+)
+
+PRELUDE_PROGRAMS = [
+    "implicit showInt in let s : String = ? 3 in s",
+    (
+        "let isort : forall a . {a -> a -> Bool} => [a] -> [a] ="
+        " \\xs . sortBy ? xs in implicit ltInt in isort [2, 1, 3]"
+    ),
+    "1 + 2 * 3",
+]
+
+
+class TestPreservationSurfacing:
+    def test_systemf_type_error_names_both_types(self, monkeypatch):
+        # Force the preservation check to report a mismatch: the error
+        # must surface as SystemFTypeError and show expected vs actual.
+        import repro.pipeline as pipeline
+
+        monkeypatch.setattr(pipeline, "ftypes_eq", lambda a, b: False)
+        program = implicit([IntLit(3)], ask(INT), INT)
+        with pytest.raises(SystemFTypeError) as excinfo:
+            elaborate_core(program, verify=True)
+        message = str(excinfo.value)
+        assert "type preservation" in message
+        assert "Int" in message  # both sides of the failed equation
+
+    def test_verify_false_skips_the_check(self, monkeypatch):
+        import repro.pipeline as pipeline
+
+        def boom(a, b):  # pragma: no cover - must not run
+            raise AssertionError("preservation check ran with verify=False")
+
+        monkeypatch.setattr(pipeline, "ftypes_eq", boom)
+        program = implicit([IntLit(3)], ask(INT), INT)
+        tau, target = elaborate_core(program, verify=False)
+        assert tau == INT and target is not None
+
+    def test_run_core_verify_passes_on_honest_elaboration(self):
+        program = implicit([IntLit(3)], ask(INT), INT)
+        assert run_core(program, verify=True).value == 3
+
+
+class TestResolutionFailureMessages:
+    def test_run_source_failure_names_the_query_type(self):
+        # `?` at type Bool with only showInt in scope: the error must
+        # say *which* type could not be resolved.
+        with pytest.raises(NoMatchingRuleError) as excinfo:
+            run_source("implicit showInt in let b : Bool = ? in b")
+        assert "Bool" in str(excinfo.value)
+
+    def test_failure_is_also_a_resolution_error(self):
+        with pytest.raises(ResolutionError):
+            run_source("let x : Int = ? in x")
+
+    def test_parse_error_is_distinct_from_resolution_error(self):
+        with pytest.raises(ParseError):
+            run_source("let let let")
+
+
+class TestSmallstepAgreement:
+    @pytest.mark.parametrize("program", PRELUDE_PROGRAMS)
+    def test_smallstep_matches_operational(self, program):
+        smallstep = run_source(program, semantics=Semantics.SMALLSTEP)
+        operational = run_source(program, semantics=Semantics.OPERATIONAL)
+        assert smallstep == operational
+
+    def test_smallstep_matches_elaborate_with_verification(self):
+        program = PRELUDE_PROGRAMS[0]
+        smallstep = run_source(program, semantics=Semantics.SMALLSTEP, verify=True)
+        elaborated = run_source(program, semantics=Semantics.ELABORATE, verify=True)
+        assert smallstep == elaborated == "3"

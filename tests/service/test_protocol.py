@@ -1,0 +1,81 @@
+"""The JSON-lines wire format: parsing, responses, error vocabulary."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ErrorCode,
+    ProtocolError,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+
+class TestParseRequest:
+    def test_minimal(self):
+        request = parse_request('{"op": "ping"}')
+        assert request.op == "ping"
+        assert request.id is None
+        assert request.params == {}
+
+    def test_full(self):
+        request = parse_request(
+            '{"id": 7, "op": "resolve", "params": {"type": "Int"}}'
+        )
+        assert request.id == 7
+        assert request.params == {"type": "Int"}
+
+    @pytest.mark.parametrize(
+        "line,code",
+        [
+            ("{not json", ErrorCode.PARSE_ERROR),
+            ('"a string"', ErrorCode.INVALID_REQUEST),
+            ("[1, 2]", ErrorCode.INVALID_REQUEST),
+            ('{"op": 3}', ErrorCode.INVALID_REQUEST),
+            ('{"op": ""}', ErrorCode.INVALID_REQUEST),
+            ('{"op": "x", "params": []}', ErrorCode.INVALID_REQUEST),
+            ("{}", ErrorCode.INVALID_REQUEST),
+        ],
+    )
+    def test_rejections_carry_the_right_code(self, line, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(line)
+        assert excinfo.value.code == code
+
+
+class TestResponses:
+    def test_ok_shape(self):
+        assert ok_response(4, {"x": 1}) == {"id": 4, "ok": True, "result": {"x": 1}}
+
+    def test_error_retryability_follows_the_code(self):
+        for code in (ErrorCode.TIMEOUT, ErrorCode.OVERLOADED, ErrorCode.SHUTTING_DOWN):
+            assert error_response(1, code, "m")["error"]["retryable"] is True
+        for code in (
+            ErrorCode.RESOLUTION_FAILURE,
+            ErrorCode.INVALID_REQUEST,
+            ErrorCode.INTERNAL,
+        ):
+            assert error_response(1, code, "m")["error"]["retryable"] is False
+
+    def test_error_optional_fields(self):
+        response = error_response(
+            2, ErrorCode.OVERLOADED, "m", backoff_ms=25, details={"depth": 3}
+        )
+        assert response["error"]["backoff_ms"] == 25
+        assert response["error"]["details"] == {"depth": 3}
+        bare = error_response(2, ErrorCode.TIMEOUT, "m")
+        assert "backoff_ms" not in bare["error"]
+        assert "details" not in bare["error"]
+
+    def test_encode_is_one_line_valid_json(self):
+        response = ok_response(1, {"text": "a\nb"})
+        line = encode(response)
+        assert "\n" not in line
+        assert json.loads(line) == response
+
+    def test_protocol_version_is_served(self):
+        assert isinstance(PROTOCOL_VERSION, int) and PROTOCOL_VERSION >= 1
