@@ -7,6 +7,7 @@ Usage::
     python -m repro compile PROGRAM.impl        # show the lambda_=> encoding
     python -m repro elaborate PROGRAM.impl      # show the System F target
     python -m repro check PROGRAM.impl          # type check only
+    python -m repro lint PROGRAM.impl           # static diagnostics (no run)
     python -m repro serve --stdio               # resolution server (JSON lines)
     python -m repro --version
 
@@ -140,6 +141,38 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print the resolution trace-event stream to stderr",
         )
+    lint = sub.add_parser(
+        "lint",
+        help="static diagnostics with stable IC codes (docs/DIAGNOSTICS.md)",
+    )
+    lint.add_argument(
+        "files", nargs="+", metavar="file", help="program files ('-' for stdin)"
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="text with caret underlines, or one JSON object per finding "
+        "per line (sorted, byte-stable across runs)",
+    )
+    lint.add_argument(
+        "--max-warnings",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fail (exit 1) when more than N warnings are reported",
+    )
+    lint.add_argument(
+        "--most-specific",
+        action="store_true",
+        help="lint overlap under the specificity policy (companion material)",
+    )
+    lint.add_argument(
+        "--no-semantic",
+        action="store_true",
+        help="skip the semantic pass (inference + type checking); report "
+        "only syntactic well-formedness findings",
+    )
     serve = sub.add_parser(
         "serve",
         help="start the concurrent resolution server (docs/SERVICE.md)",
@@ -193,6 +226,55 @@ def _serve(args: argparse.Namespace) -> int:
     return serve_tcp(service, host, int(port_text))
 
 
+def _lint(args: argparse.Namespace) -> int:
+    """Run the static analyzer over each file; never raises on findings.
+
+    Exit codes: 0 when clean (or warnings within ``--max-warnings``),
+    1 when any error-severity diagnostic is reported or the warning
+    budget is exceeded, 2 when a file cannot be read.
+    """
+    from .diagnostics import Severity, lint_source, render_json, render_text
+
+    policy = (
+        OverlapPolicy.MOST_SPECIFIC if args.most_specific else OverlapPolicy.REJECT
+    )
+    errors = warnings = 0
+    io_failed = False
+    blocks: list[str] = []
+    for path in args.files:
+        try:
+            text = _read(path)
+        except OSError as exc:
+            print(f"error: io: {exc}", file=sys.stderr)
+            io_failed = True
+            continue
+        diagnostics = lint_source(
+            text, policy=policy, check_semantic=not args.no_semantic
+        )
+        errors += sum(d.severity is Severity.ERROR for d in diagnostics)
+        warnings += sum(d.severity is Severity.WARNING for d in diagnostics)
+        if not diagnostics:
+            continue
+        if args.format == "json":
+            blocks.append(render_json(diagnostics, path))
+        else:
+            blocks.append(render_text(diagnostics, text, path))
+    if blocks:
+        print("\n".join(blocks))
+    if io_failed:
+        return 2
+    if errors:
+        return 1
+    if args.max_warnings is not None and warnings > args.max_warnings:
+        print(
+            f"error: max_warnings: {warnings} warnings "
+            f"(limit {args.max_warnings})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _read(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
@@ -215,6 +297,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "lint":
+        return _lint(args)
     try:
         text = _read(args.file)
     except OSError as exc:

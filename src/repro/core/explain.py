@@ -61,14 +61,21 @@ def _render(derivation: Derivation, depth: int, lines: list[str]) -> None:
             _render(premise.derivation, depth + 1, lines)
 
 
-def explain_failure(env: ImplicitEnv, rho: Type) -> str:
+def explain_failure(
+    env: ImplicitEnv,
+    rho: Type,
+    *,
+    policy: OverlapPolicy = OverlapPolicy.REJECT,
+) -> str:
     """Diagnose why ``rho`` does not resolve against ``env``.
 
     Walks the stack innermost-out, reporting for each frame whether its
     rules' heads match, and for the first head match, which recursive
-    premise failed.
+    premise failed.  ``policy`` selects the overlap policy the probe
+    resolver runs under -- a query that fails under ``REJECT`` (two
+    matching heads in one frame) may resolve under ``MOST_SPECIFIC``.
     """
-    resolver = Resolver()
+    resolver = Resolver(policy=policy)
     try:
         resolver.resolve(env, rho)
     except ResolutionError as failure:
@@ -110,7 +117,7 @@ def explain_failure(env: ImplicitEnv, rho: Type) -> str:
                 continue
             lines.append(f"    - {pretty_type(entry.rho)}: head matches; needs:")
             for premise in remainder:
-                ok = Resolver().resolvable(env, premise)
+                ok = Resolver(policy=policy).resolvable(env, premise)
                 status = "ok" if ok else "UNRESOLVABLE"
                 lines.append(f"        {pretty_type(premise)}  [{status}]")
         if any_match:
@@ -134,5 +141,5 @@ def explain_query(
     try:
         derivation = resolver.resolve(env, rho)
     except ResolutionError:
-        return explain_failure(env, rho)
+        return explain_failure(env, rho, policy=policy)
     return explain_derivation(derivation)

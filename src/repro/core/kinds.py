@@ -39,6 +39,8 @@ BUILTIN_ARITIES: dict[str, int] = {
 class KindError(TypecheckError):
     """A type is not well-kinded (unknown or mis-applied constructor)."""
 
+    code = "IC0204"
+
 
 @dataclass(frozen=True)
 class KindChecker:

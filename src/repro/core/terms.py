@@ -22,9 +22,10 @@ the type checker, the elaborator and the operational semantics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..span import Span
 from .types import Type
 
 
@@ -244,6 +245,7 @@ class InterfaceDecl:
     name: str
     tvars: tuple[str, ...]
     fields: tuple[tuple[str, Type], ...]
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.tvars, tuple):

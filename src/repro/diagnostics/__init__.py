@@ -1,0 +1,37 @@
+"""Static diagnostics (``repro lint``): coded, span-carrying analysis.
+
+The package turns the paper's well-formedness conditions into a
+collect-don't-raise lint pass:
+
+* :mod:`repro.diagnostics.diagnostic` -- the :class:`Diagnostic` record
+  (stable ``IC``-code, severity, message, :class:`~repro.span.Span`);
+* :mod:`repro.diagnostics.codes` -- the code catalogue, kept in
+  lockstep with ``docs/DIAGNOSTICS.md`` by ``tests/docs``;
+* :mod:`repro.diagnostics.analyzer` -- the pass itself
+  (:func:`lint_source` / :func:`lint_program` for ``.impl`` programs,
+  :func:`lint_rules` / :func:`lint_env` for core-calculus rule sets);
+* :mod:`repro.diagnostics.render` -- caret-underlined text and stable
+  JSON renderers backing ``repro lint --format text|json``.
+"""
+
+from .analyzer import Analyzer, lint_env, lint_program, lint_rules, lint_source
+from .codes import CATALOGUE, CodeInfo, exception_code_map, info_for, severity_for
+from .diagnostic import Diagnostic, Severity
+from .render import render_json, render_text
+
+__all__ = [
+    "Analyzer",
+    "CATALOGUE",
+    "CodeInfo",
+    "Diagnostic",
+    "Severity",
+    "exception_code_map",
+    "info_for",
+    "lint_env",
+    "lint_program",
+    "lint_rules",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "severity_for",
+]

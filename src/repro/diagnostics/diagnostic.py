@@ -1,0 +1,64 @@
+"""The :class:`Diagnostic` record emitted by the static analysis pass.
+
+A diagnostic is the collect-don't-raise counterpart of the exception
+hierarchy in :mod:`repro.errors`: same stable codes, same messages, but
+as inert data with a severity and a source :class:`~repro.span.Span`, so
+one ``repro lint`` run can report *every* finding instead of stopping at
+the first raise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..span import Span
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings reject the program (the runtime pipeline would
+    raise); ``WARNING`` findings are the IC05xx style lints -- the
+    program runs, but something is suspicious.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: stable code, severity, message, optional span."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Span | None = None
+    #: The file (or pseudo-file like ``<stdin>``) the finding is in; set
+    #: by the CLI driver, ``None`` for API-level runs on bare text.
+    source: str | None = None
+
+    def sort_key(self) -> tuple:
+        """Deterministic order: position, then code, then message."""
+        span_key = self.span.sort_key() if self.span else (0, 0, 0, 0)
+        return (self.source or "", span_key, self.code, self.message)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form with stable key order (see ``--format json``)."""
+        payload: dict = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "span": self.span.as_dict() if self.span else None,
+        }
+        if self.source is not None:
+            payload["path"] = self.source
+        return payload
+
+    def with_source(self, source: str) -> "Diagnostic":
+        return Diagnostic(self.code, self.severity, self.message, self.span, source)
+
+    def __str__(self) -> str:
+        location = f"{self.span}: " if self.span else ""
+        return f"{location}{self.severity.value}[{self.code}]: {self.message}"

@@ -1,0 +1,65 @@
+"""Diagnostic renderers: caret-underlined text and stable JSON lines.
+
+Text format (one finding)::
+
+    examples/programs/broken.impl:6:11: error[IC0301]: implicit rule set: ...
+        6 | implicit {anyToInt, intToInt} in ?Int
+          |           ^^^^^^^^
+
+JSON format is one object per diagnostic per line, fields in a fixed
+order, findings sorted by position -- byte-stable across runs (no
+timestamps, no environment-dependent content), so tooling can diff two
+lint runs directly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .diagnostic import Diagnostic
+
+
+def render_text(
+    diagnostics: list[Diagnostic],
+    source_text: str | None = None,
+    path: str | None = None,
+) -> str:
+    """All findings with caret underlines (when the source is at hand)."""
+    lines = source_text.splitlines() if source_text is not None else None
+    blocks = [_render_one(d, lines, path) for d in diagnostics]
+    return "\n".join(blocks)
+
+
+def _render_one(
+    diagnostic: Diagnostic, lines: list[str] | None, path: str | None
+) -> str:
+    where = diagnostic.source or path
+    prefix = f"{where}:" if where else ""
+    location = f"{diagnostic.span}:" if diagnostic.span else ""
+    header = (
+        f"{prefix}{location} {diagnostic.severity.value}"
+        f"[{diagnostic.code}]: {diagnostic.message}"
+    ).lstrip()
+    span = diagnostic.span
+    if lines is None or span is None or not (1 <= span.line <= len(lines)):
+        return header
+    source_line = lines[span.line - 1]
+    gutter = f"{span.line:>5} | "
+    underline_start = max(span.column - 1, 0)
+    if span.end_line == span.line:
+        width = max(span.end_column - span.column, 1)
+    else:  # multi-line span: underline to the end of the first line
+        width = max(len(source_line) - underline_start, 1)
+    width = max(min(width, max(len(source_line) - underline_start, 1)), 1)
+    carets = " " * len(f"{span.line:>5}") + " | " + " " * underline_start + "^" * width
+    return f"{header}\n{gutter}{source_line}\n{carets}"
+
+
+def render_json(diagnostics: list[Diagnostic], path: str | None = None) -> str:
+    """One JSON object per line, sorted and timestamp-free (stable)."""
+    out = []
+    for diagnostic in diagnostics:
+        if path is not None and diagnostic.source is None:
+            diagnostic = diagnostic.with_source(path)
+        out.append(json.dumps(diagnostic.as_dict(), sort_keys=False))
+    return "\n".join(out)

@@ -14,29 +14,69 @@ report, section "Runtime Errors and Coherence Failures"):
 Each class maps to a dedicated exception so that callers (type checker,
 resolution engine, interpreters, source-language front end) can signal
 precisely which well-formedness condition a program violates.
+
+Every class additionally carries a **stable diagnostic code** (its
+``code`` class attribute) and an optional source :class:`~repro.span.Span`
+(``span`` keyword argument / attribute), so errors surface identically
+through exceptions, the CLI and the ``repro lint`` static pass.  The code
+bands follow ``docs/DIAGNOSTICS.md``:
+
+========  ==========================================================
+IC01xx    lexing / parsing
+IC02xx    typing (core, source, System F, kinds, plain resolution)
+IC03xx    overlap and coherence (sections 3.3-3.4)
+IC04xx    termination, ambiguity and resolution budgets
+IC05xx    style warnings (emitted only by ``repro lint``)
+========  ==========================================================
+
+The full catalogue -- including the lint-only IC05xx codes that have no
+exception class -- lives in :mod:`repro.diagnostics.codes`, and
+``tests/docs`` asserts it stays in lockstep with ``docs/DIAGNOSTICS.md``.
 """
 
 from __future__ import annotations
 
+from .span import Span
+
 
 class ImplicitCalculusError(Exception):
-    """Base class for every error raised by this library."""
+    """Base class for every error raised by this library.
+
+    ``code`` is the stable diagnostic code of the class (see
+    ``docs/DIAGNOSTICS.md``); ``span`` is the source range the error
+    points at, when the raiser knows one (front-end errors do, checks on
+    hand-built core terms usually do not).
+    """
+
+    code: str = "IC0001"
+
+    def __init__(self, *args: object, span: Span | None = None):
+        super().__init__(*args)
+        self.span = span
 
 
 class TypecheckError(ImplicitCalculusError):
     """A static typing judgment of the core calculus failed."""
 
+    code = "IC0201"
+
 
 class ResolutionError(TypecheckError):
     """Resolution ``Delta |-r rho`` failed."""
+
+    code = "IC0208"
 
 
 class NoMatchingRuleError(ResolutionError):
     """Lookup found no rule whose head matches the queried type."""
 
+    code = "IC0207"
+
 
 class OverlappingRulesError(ResolutionError):
     """Lookup found several matching rules in one rule set (``no_overlap``)."""
+
+    code = "IC0301"
 
 
 class AmbiguousRuleTypeError(TypecheckError):
@@ -47,9 +87,13 @@ class AmbiguousRuleTypeError(TypecheckError):
     and resolution would be ambiguous.
     """
 
+    code = "IC0402"
+
 
 class ResolutionDivergenceError(ResolutionError):
     """Recursive resolution exceeded its fuel (dynamic divergence guard)."""
+
+    code = "IC0403"
 
 
 class DeadlineExceededError(ResolutionError):
@@ -62,27 +106,55 @@ class DeadlineExceededError(ResolutionError):
     always propagates -- even through the backtracking strategy.
     """
 
+    code = "IC0404"
+
 
 class TerminationError(ImplicitCalculusError):
     """A rule violates the static termination conditions of the appendix."""
+
+    code = "IC0401"
 
 
 class CoherenceError(TypecheckError):
     """A program violates a coherence condition (companion material)."""
 
+    code = "IC0302"
+
 
 class UnificationError(ImplicitCalculusError):
     """One-way matching unification failed (internal signalling)."""
+
+    code = "IC0205"
 
 
 class ParseError(ImplicitCalculusError):
     """Concrete syntax could not be parsed."""
 
-    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+    code = "IC0102"
+
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        column: int | None = None,
+        span: Span | None = None,
+    ):
+        if span is None and line is not None:
+            span = Span.point(line, 1 if column is None else column)
         location = "" if line is None else f" at {line}:{column}"
-        super().__init__(f"{message}{location}")
+        super().__init__(f"{message}{location}", span=span)
         self.line = line
         self.column = column
+
+
+class LexError(ParseError):
+    """The lexer hit an unterminated literal or a stray character.
+
+    Always carries a line/column (regression: lexer errors used to be
+    reported by raw character offset only).
+    """
+
+    code = "IC0101"
 
 
 class EvalError(ImplicitCalculusError):
@@ -92,10 +164,16 @@ class EvalError(ImplicitCalculusError):
     bypass type checking).
     """
 
+    code = "IC0206"
+
 
 class SystemFTypeError(ImplicitCalculusError):
     """The System F target term failed to type check."""
 
+    code = "IC0203"
+
 
 class SourceTypeError(ImplicitCalculusError):
     """The source-language front end rejected a program."""
+
+    code = "IC0202"

@@ -43,6 +43,8 @@ from .values import ConstRuleClosure, LamClosure, RuleClosure
 class SemanticTypeError(TypecheckError):
     """A runtime value does not inhabit its claimed type."""
 
+    code = "IC0209"
+
 
 def check_value(value: Any, rho: Type, signature: Signature | None = None) -> None:
     """``|= v : rho`` -- raise :class:`SemanticTypeError` on mismatch.

@@ -41,6 +41,10 @@ The operation vocabulary (dispatched in :mod:`repro.service.server`):
 ``typecheck``       type check a program (source or core syntax)
 ``run_core``        type check + execute a core-calculus program
 ``run_source``      parse, encode, type check + execute a source program
+``lint``            static diagnostics (docs/DIAGNOSTICS.md): over a
+                    ``program`` param when given, else over the
+                    session's implicit environment; always ``ok``,
+                    findings are returned as data
 ``debug/sleep``     hold a worker for ``seconds`` (load/shed testing only)
 =================== ========================================================
 """

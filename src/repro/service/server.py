@@ -100,6 +100,7 @@ class ResolutionService:
             "typecheck": self._op_typecheck,
             "run_core": self._op_run_core,
             "run_source": self._op_run_source,
+            "lint": self._op_lint,
             "debug/sleep": self._op_debug_sleep,
         }
 
@@ -464,6 +465,40 @@ class ResolutionService:
         self, request: Request, deadline: float | None, request_stats: ResolutionStats
     ) -> dict:
         return self._run_program(request, deadline, request_stats, core=False)
+
+    def _op_lint(
+        self, request: Request, deadline: float | None, request_stats: ResolutionStats
+    ) -> dict:
+        """Static diagnostics over a source program or the session env.
+
+        With a ``program`` param the source text is linted in full
+        (parse, well-formedness, style); without one the session's
+        current implicit environment is linted frame by frame.  Findings
+        are data, not failures: the response is always ``ok`` and
+        carries the sorted diagnostic list.
+        """
+        from ..diagnostics import lint_env, lint_source
+
+        session = self.registry.get(request.params.get("session"))
+        policy = session.config.policy
+        text = request.params.get("program")
+        if text is not None and not isinstance(text, str):
+            raise ProtocolError(ErrorCode.INVALID_REQUEST, "'program' must be a string")
+        env = session.current_env()
+        key = ("lint", session.name, policy, text, env.fingerprint())
+
+        def work() -> dict:
+            if text is not None:
+                diagnostics = lint_source(text, policy=policy)
+            else:
+                diagnostics = lint_env(env, policy=policy)
+            return {
+                "diagnostics": [d.as_dict() for d in diagnostics],
+                "errors": sum(d.severity.value == "error" for d in diagnostics),
+                "warnings": sum(d.severity.value == "warning" for d in diagnostics),
+            }
+
+        return self._coalesced(key, work, request_stats)
 
     def _op_debug_sleep(
         self, request: Request, deadline: float | None, request_stats: ResolutionStats

@@ -19,10 +19,11 @@ this code base).  Interface declarations are likewise shared
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.terms import InterfaceDecl
 from ..core.types import Type
+from ..span import Span
 
 
 class SExpr:
@@ -34,16 +35,19 @@ class SExpr:
 @dataclass(frozen=True)
 class SIntLit(SExpr):
     value: int
+    span: Span | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class SBoolLit(SExpr):
     value: bool
+    span: Span | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class SStrLit(SExpr):
     value: str
+    span: Span | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -55,6 +59,7 @@ class SVar(SExpr):
     """
 
     name: str
+    span: Span | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -63,6 +68,7 @@ class SLam(SExpr):
 
     params: tuple[str, ...]
     body: SExpr
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.params, tuple):
@@ -73,6 +79,7 @@ class SLam(SExpr):
 class SApp(SExpr):
     fn: SExpr
     arg: SExpr
+    span: Span | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -90,6 +97,10 @@ class SLet(SExpr):
     scheme: Type | None
     bound: SExpr
     body: SExpr
+    span: Span | None = field(default=None, compare=False, repr=False)
+    #: The span of the ``: sigma`` annotation alone, when present
+    #: (ambiguity diagnostics point here rather than at the whole let).
+    scheme_span: Span | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -100,6 +111,10 @@ class SImplicit(SExpr):
 
     names: tuple[str, ...]
     body: SExpr
+    span: Span | None = field(default=None, compare=False, repr=False)
+    #: One span per element of ``names`` (rule-level diagnostics point
+    #: at the offending name, not at the whole construct).
+    name_spans: tuple[Span, ...] | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.names, tuple):
@@ -110,23 +125,28 @@ class SImplicit(SExpr):
 class SQuery(SExpr):
     """The inferred query ``?`` (a Coq-style placeholder)."""
 
+    span: Span | None = field(default=None, compare=False, repr=False)
+
 
 @dataclass(frozen=True)
 class SIf(SExpr):
     cond: SExpr
     then: SExpr
     orelse: SExpr
+    span: Span | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class SPair(SExpr):
     first: SExpr
     second: SExpr
+    span: Span | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class SList(SExpr):
     elems: tuple[SExpr, ...]
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.elems, tuple):
@@ -141,6 +161,7 @@ class SRecord(SExpr):
 
     iface: str
     fields: tuple[tuple[str, SExpr], ...]
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.fields, tuple):
@@ -153,7 +174,21 @@ class SProgram:
 
     interfaces: tuple[InterfaceDecl, ...]
     body: SExpr
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.interfaces, tuple):
             object.__setattr__(self, "interfaces", tuple(self.interfaces))
+
+
+def with_span(node, span: Span | None):
+    """Attach ``span`` to a freshly built node (no-op if it has one).
+
+    Nodes are frozen dataclasses; the parser builds them bottom-up and
+    only afterwards knows the full extent, so spans are attached via
+    ``object.__setattr__`` -- legitimate because ``span`` never takes
+    part in equality or hashing (``compare=False``).
+    """
+    if span is not None and getattr(node, "span", None) is None:
+        object.__setattr__(node, "span", span)
+    return node

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import ParseError
+from ..errors import LexError, ParseError
+from ..span import Span
 
 KEYWORDS = frozenset(
     {
@@ -76,6 +77,12 @@ class Token:
     def __repr__(self) -> str:
         return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
 
+    def span(self) -> Span:
+        """The source range this token covers (single-line tokens only,
+        which is every token this lexer produces -- string literals may
+        *contain* escaped newlines but never raw ones)."""
+        return Span.point(self.line, self.column, max(len(self.text), 1))
+
 
 def tokenize(source: str) -> list[Token]:
     tokens: list[Token] = []
@@ -117,7 +124,7 @@ def tokenize(source: str) -> list[Token]:
                     chunks.append(source[i])
                     i += 1
             if i >= n:
-                raise ParseError("unterminated string literal", line, column)
+                raise LexError("unterminated string literal", line, column)
             i += 1
             tokens.append(Token("STRING", "".join(chunks), line, column))
             column += i - start
@@ -143,7 +150,7 @@ def tokenize(source: str) -> list[Token]:
                 column += len(symbol)
                 break
         else:
-            raise ParseError(f"unexpected character {ch!r}", line, column)
+            raise LexError(f"unexpected character {ch!r}", line, column)
     tokens.append(Token("EOF", "", line, column))
     return tokens
 
@@ -158,6 +165,15 @@ class TokenStream:
     @property
     def current(self) -> Token:
         return self._tokens[self._pos]
+
+    @property
+    def last(self) -> Token:
+        """The most recently consumed token (for building end positions)."""
+        return self._tokens[max(self._pos - 1, 0)]
+
+    def span_from(self, start: Token) -> Span:
+        """Span covering ``start`` through the last consumed token."""
+        return start.span().merge(self.last.span())
 
     def peek(self, offset: int = 0) -> Token:
         index = min(self._pos + offset, len(self._tokens) - 1)
@@ -201,4 +217,9 @@ class TokenStream:
     def error(self, message: str) -> ParseError:
         token = self.current
         found = token.text or "end of input"
-        return ParseError(f"{message}, found {found!r}", token.line, token.column)
+        return ParseError(
+            f"{message}, found {found!r}",
+            token.line,
+            token.column,
+            span=token.span(),
+        )

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from ..core.terms import InterfaceDecl
 from ..core.types import TCon, TFun, TVar, Type, list_of, pair, rule
+from ..span import Span
 from .ast import (
     SApp,
     SBoolLit,
@@ -50,6 +51,7 @@ from .ast import (
     SRecord,
     SStrLit,
     SVar,
+    with_span,
 )
 from .lexer import TokenStream, tokenize
 
@@ -85,27 +87,33 @@ def parse_program(source: str) -> SProgram:
     interfaces: list[InterfaceDecl] = []
     while stream.at_keyword("interface"):
         interfaces.append(_parse_interface(stream))
-    definitions: list[tuple[str, Type | None, SExpr]] = []
+    definitions: list[tuple[str, Type | None, SExpr, Span, Span | None]] = []
     while stream.at_keyword("def"):
         definitions.append(_parse_definition(stream))
     body = _parse_expr(stream)
     if stream.current.kind != "EOF":
         raise stream.error("unexpected trailing input")
-    for name, scheme, bound in reversed(definitions):
-        body = SLet(name, scheme, bound, body)
+    for name, scheme, bound, span, scheme_span in reversed(definitions):
+        body = SLet(name, scheme, bound, body, span=span, scheme_span=scheme_span)
     return SProgram(tuple(interfaces), body)
 
 
-def _parse_definition(stream: TokenStream) -> tuple[str, Type | None, SExpr]:
+def _parse_definition(
+    stream: TokenStream,
+) -> tuple[str, Type | None, SExpr, Span, Span | None]:
+    start = stream.current
     stream.eat_keyword("def")
     name = stream.eat("LIDENT").text
     scheme = None
+    scheme_span = None
     if stream.try_symbol(":"):
+        scheme_start = stream.current
         scheme = _parse_scheme(stream)
+        scheme_span = stream.span_from(scheme_start)
     stream.eat_symbol("=")
     bound = _parse_expr(stream)
     stream.eat_symbol(";")
-    return name, scheme, bound
+    return name, scheme, bound, stream.span_from(start), scheme_span
 
 
 def parse_expr(source: str) -> SExpr:
@@ -132,6 +140,7 @@ def parse_scheme(source: str) -> Type:
 
 
 def _parse_interface(stream: TokenStream) -> InterfaceDecl:
+    start = stream.current
     stream.eat_keyword("interface")
     name = stream.eat("UIDENT").text
     tvars: list[str] = []
@@ -148,7 +157,9 @@ def _parse_interface(stream: TokenStream) -> InterfaceDecl:
             break
     stream.eat_symbol("}")
     stream.try_symbol(";")
-    return InterfaceDecl(name, tuple(tvars), tuple(fields))
+    return InterfaceDecl(
+        name, tuple(tvars), tuple(fields), span=stream.span_from(start)
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -248,38 +259,62 @@ def _parse_atype(stream: TokenStream) -> Type:
 
 
 def _parse_expr(stream: TokenStream) -> SExpr:
+    start = stream.current
     if stream.at_keyword("let"):
         stream.advance()
         name = stream.eat("LIDENT").text
         scheme = None
+        scheme_span = None
         if stream.try_symbol(":"):
+            scheme_start = stream.current
             scheme = _parse_scheme(stream)
+            scheme_span = stream.span_from(scheme_start)
         stream.eat_symbol("=")
         bound = _parse_expr(stream)
         stream.eat_keyword("in")
         body = _parse_expr(stream)
-        return SLet(name, scheme, bound, body)
+        return SLet(
+            name,
+            scheme,
+            bound,
+            body,
+            span=stream.span_from(start),
+            scheme_span=scheme_span,
+        )
     if stream.at_keyword("implicit"):
         stream.advance()
         names: list[str] = []
+        name_spans: list[Span] = []
+
+        def eat_name() -> None:
+            token = stream.eat("LIDENT")
+            names.append(token.text)
+            name_spans.append(token.span())
+
         if stream.try_symbol("{"):
             while True:
-                names.append(stream.eat("LIDENT").text)
+                eat_name()
                 if not stream.try_symbol(","):
                     break
             stream.eat_symbol("}")
         else:
-            names.append(stream.eat("LIDENT").text)
+            eat_name()
         stream.eat_keyword("in")
         body = _parse_expr(stream)
-        return SImplicit(tuple(names), body)
+        return SImplicit(
+            tuple(names),
+            body,
+            span=stream.span_from(start),
+            name_spans=tuple(name_spans),
+        )
     if stream.at_symbol("\\"):
         stream.advance()
         params: list[str] = [stream.eat("LIDENT").text]
         while stream.current.kind == "LIDENT":
             params.append(stream.advance().text)
         stream.eat_symbol(".")
-        return SLam(tuple(params), _parse_expr(stream))
+        body = _parse_expr(stream)
+        return SLam(tuple(params), body, span=stream.span_from(start))
     if stream.at_keyword("if"):
         stream.advance()
         cond = _parse_expr(stream)
@@ -287,29 +322,36 @@ def _parse_expr(stream: TokenStream) -> SExpr:
         then = _parse_expr(stream)
         stream.eat_keyword("else")
         orelse = _parse_expr(stream)
-        return SIf(cond, then, orelse)
+        return SIf(cond, then, orelse, span=stream.span_from(start))
     return _parse_operators(stream, 1)
 
 
 def _parse_operators(stream: TokenStream, min_precedence: int) -> SExpr:
     if min_precedence >= _MAX_PRECEDENCE:
         return _parse_application(stream)
+    start = stream.current
     left = _parse_operators(stream, min_precedence + 1)
     while stream.current.kind == "SYMBOL":
         op = stream.current.text
         spec = BINARY_OPERATORS.get(op)
         if spec is None or spec[1] != min_precedence:
             break
+        op_span = stream.current.span()
         stream.advance()
         right = _parse_operators(stream, min_precedence + 1)
-        left = SApp(SApp(SVar(spec[0]), left), right)
+        left = SApp(
+            with_span(SApp(with_span(SVar(spec[0]), op_span), left), op_span),
+            right,
+            span=stream.span_from(start),
+        )
     return left
 
 
 def _parse_application(stream: TokenStream) -> SExpr:
+    start = stream.current
     expr = _parse_atom(stream)
     while _at_atom(stream):
-        expr = SApp(expr, _parse_atom(stream))
+        expr = SApp(expr, _parse_atom(stream), span=stream.span_from(start))
     return expr
 
 
@@ -326,29 +368,29 @@ def _parse_atom(stream: TokenStream) -> SExpr:
     token = stream.current
     if token.kind == "INT":
         stream.advance()
-        return SIntLit(int(token.text))
+        return SIntLit(int(token.text), span=token.span())
     if token.kind == "STRING":
         stream.advance()
-        return SStrLit(token.text)
+        return SStrLit(token.text, span=token.span())
     if stream.at_keyword("True"):
         stream.advance()
-        return SBoolLit(True)
+        return SBoolLit(True, span=token.span())
     if stream.at_keyword("False"):
         stream.advance()
-        return SBoolLit(False)
+        return SBoolLit(False, span=token.span())
     if token.kind == "LIDENT":
         stream.advance()
-        return SVar(token.text)
+        return SVar(token.text, span=token.span())
     if token.kind == "UIDENT":
         return _parse_record(stream)
     if stream.try_symbol("?"):
-        return SQuery()
+        return SQuery(span=token.span())
     if stream.try_symbol("("):
         first = _parse_expr(stream)
         if stream.try_symbol(","):
             second = _parse_expr(stream)
             stream.eat_symbol(")")
-            return SPair(first, second)
+            return SPair(first, second, span=stream.span_from(token))
         stream.eat_symbol(")")
         return first
     if stream.try_symbol("["):
@@ -359,11 +401,12 @@ def _parse_atom(stream: TokenStream) -> SExpr:
                 if not stream.try_symbol(","):
                     break
         stream.eat_symbol("]")
-        return SList(tuple(elems))
+        return SList(tuple(elems), span=stream.span_from(token))
     raise stream.error("expected an expression")
 
 
 def _parse_record(stream: TokenStream) -> SExpr:
+    start = stream.current
     iface = stream.eat("UIDENT").text
     stream.eat_symbol("{")
     fields: list[tuple[str, SExpr]] = []
@@ -374,4 +417,4 @@ def _parse_record(stream: TokenStream) -> SExpr:
         if not stream.try_symbol(","):
             break
     stream.eat_symbol("}")
-    return SRecord(iface, tuple(fields))
+    return SRecord(iface, tuple(fields), span=stream.span_from(start))

@@ -1,0 +1,57 @@
+"""Source spans: 1-based line/column ranges attached to tokens, AST
+nodes, exceptions and diagnostics.
+
+This module is a dependency leaf (it imports nothing from the rest of
+the package) so that :mod:`repro.errors`, the lexer and the diagnostics
+pass can all share one span type without import cycles.
+
+Conventions:
+
+* ``line``/``column`` are 1-based, like every editor statusbar;
+* ``end_line``/``end_column`` point one past the last character
+  (half-open, so a one-character span at 3:7 is ``3:7..3:8``);
+* a span rendered for humans is ``line:column`` (the start), which is
+  what ``file:line:column`` jump-to-error conventions expect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open source range ``[start, end)`` in line/column space."""
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    @staticmethod
+    def point(line: int, column: int, width: int = 1) -> "Span":
+        """A span covering ``width`` characters on one line."""
+        return Span(line, column, line, column + max(width, 1))
+
+    def merge(self, other: "Span") -> "Span":
+        """The smallest span covering both ``self`` and ``other``."""
+        start = min((self.line, self.column), (other.line, other.column))
+        end = max(
+            (self.end_line, self.end_column), (other.end_line, other.end_column)
+        )
+        return Span(start[0], start[1], end[0], end[1])
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (used by ``repro lint --format json``)."""
+        return {
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+        }
+
+    def sort_key(self) -> tuple[int, int, int, int]:
+        return (self.line, self.column, self.end_line, self.end_column)
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"

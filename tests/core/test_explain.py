@@ -1,6 +1,6 @@
 """Unit tests for derivation/failure explanations."""
 
-from repro.core.env import ImplicitEnv
+from repro.core.env import ImplicitEnv, OverlapPolicy
 from repro.core.explain import explain_derivation, explain_failure, explain_query
 from repro.core.resolution import resolve
 from repro.core.types import BOOL, CHAR, INT, TVar, pair, rule
@@ -49,6 +49,59 @@ class TestExplainFailure:
     def test_success_reported(self, pair_env):
         text = explain_failure(pair_env, INT)
         assert "resolves fine" in text
+
+
+class TestExplainFailurePolicies:
+    """The probe resolver honours the policy the caller resolves under."""
+
+    def overlapping_env(self) -> ImplicitEnv:
+        # (Int, Int) and forall a . (a, a) both match ?(Int, Int):
+        # rejected under the paper's no_overlap, resolved by
+        # specificity under the companion's policy.
+        return ImplicitEnv.empty().push(
+            [pair(INT, INT), rule(pair(A, A), [], ["a"])]
+        )
+
+    def test_overlap_fails_under_reject(self):
+        text = explain_failure(self.overlapping_env(), pair(INT, INT))
+        assert "failed to resolve" in text
+        assert "overlap or ambiguity" in text
+
+    def test_same_query_resolves_under_most_specific(self):
+        text = explain_failure(
+            self.overlapping_env(),
+            pair(INT, INT),
+            policy=OverlapPolicy.MOST_SPECIFIC,
+        )
+        assert "resolves fine" in text
+
+    def test_premise_status_depends_on_policy(self):
+        # {(Int, Int), Char} => Bool: the pair premise hits the
+        # overlapping outer frame, so its status flips with the policy
+        # while the query keeps failing on Char either way.
+        env = self.overlapping_env().push([rule(BOOL, [pair(INT, INT), CHAR])])
+        under_reject = explain_failure(env, BOOL)
+        assert "(Int, Int)  [UNRESOLVABLE]" in under_reject
+        assert "Char  [UNRESOLVABLE]" in under_reject
+        under_most_specific = explain_failure(
+            env, BOOL, policy=OverlapPolicy.MOST_SPECIFIC
+        )
+        assert "(Int, Int)  [ok]" in under_most_specific
+        assert "Char  [UNRESOLVABLE]" in under_most_specific
+
+    def test_empty_environment_is_policy_independent(self):
+        for policy in OverlapPolicy:
+            text = explain_failure(ImplicitEnv.empty(), INT, policy=policy)
+            assert "the implicit environment is empty" in text
+
+    def test_partial_resolution_remainder_reported(self, partial_env):
+        # Query {Bool} => (Int, Int): the assumed Bool discharges part
+        # of the matched rule's context; the Int remainder is what
+        # fails (partial resolution, paper section 3.2).
+        text = explain_failure(partial_env, rule(pair(INT, INT), [BOOL]))
+        assert "head matches; needs:" in text
+        assert "Int  [UNRESOLVABLE]" in text
+        assert "Bool" not in text.split("needs:")[1]
 
 
 class TestExplainQuery:

@@ -1,0 +1,192 @@
+"""Unit tests for the static analyzer (``repro lint``)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.env import ImplicitEnv, OverlapPolicy
+from repro.core.types import BOOL, INT, TVar, pair, rule
+from repro.diagnostics import (
+    Severity,
+    lint_env,
+    lint_rules,
+    lint_source,
+)
+from repro.span import Span
+
+BROKEN = (
+    Path(__file__).resolve().parents[2] / "examples" / "programs" / "broken.impl"
+)
+
+A = TVar("a")
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestSourceLevelCodes:
+    def test_lex_error_becomes_ic0101(self):
+        (d,) = lint_source('let s : String = "oops in s')
+        assert d.code == "IC0101"
+        assert d.severity is Severity.ERROR
+        assert d.span == Span.point(1, 18)
+
+    def test_parse_error_becomes_ic0102(self):
+        (d,) = lint_source("let x = in 1")
+        assert d.code == "IC0102"
+        assert d.span.line == 1 and d.span.column == 9
+
+    def test_unbound_variable_ic0202_with_span(self):
+        (d,) = lint_source("let x : Int = 1 in missing")
+        assert d.code == "IC0202"
+        assert "missing" in d.message
+        assert d.span == Span(1, 20, 1, 27)
+
+    def test_unresolved_query_ic0207(self):
+        (d,) = lint_source("let use : {Int -> Int} => Int = ? 1 in use")
+        assert d.code == "IC0207"
+
+    def test_ambiguous_annotation_ic0402(self):
+        diagnostics = lint_source("def bad : forall b . {b} => Int = 42;\nbad")
+        assert codes(diagnostics) == ["IC0402"]
+        assert diagnostics[0].span.line == 1
+        assert diagnostics[0].span.column == 11  # the annotation, not the def
+
+    def test_nonterminating_rule_ic0401(self):
+        text = "def loop : forall a . {a} => a = ?;\nimplicit loop in ? + 1"
+        diagnostics = lint_source(text)
+        assert codes(diagnostics) == ["IC0401"]
+        assert diagnostics[0].span == Span(2, 10, 2, 14)  # the name 'loop'
+
+    def test_overlap_ic0301_under_reject(self):
+        text = (
+            "def anyId : forall a . a -> a = \\x . x;\n"
+            "def intId : Int -> Int = \\n . n;\n"
+            "implicit {anyId, intId} in ? 1"
+        )
+        diagnostics = lint_source(text)
+        assert codes(diagnostics) == ["IC0301"]
+        assert "anyId" in diagnostics[0].message
+        assert "intId" in diagnostics[0].message
+
+    def test_overlap_suppressed_under_most_specific(self):
+        text = (
+            "def anyId : forall a . a -> a = \\x . x;\n"
+            "def intId : Int -> Int = \\n . n;\n"
+            "let r : Int = implicit {anyId, intId} in ? 1 in r"
+        )
+        assert lint_source(text, policy=OverlapPolicy.MOST_SPECIFIC) == []
+
+    def test_overlap_without_winner_reported_under_most_specific(self):
+        text = (
+            "def f : forall a . a -> a = \\x . x;\n"
+            "def g : forall b . b -> b = \\x . x;\n"
+            "let r : Int = implicit {f, g} in ? 1 in r"
+        )
+        diagnostics = lint_source(text, policy=OverlapPolicy.MOST_SPECIFIC)
+        assert "IC0301" in codes(diagnostics)
+        assert "no most-specific winner" in diagnostics[0].message
+
+    def test_unused_rule_ic0501(self):
+        text = (
+            'def showBool : Bool -> String = \\b . "?";\n'
+            "def use : {Int -> Int} => Int = ? 1;\n"
+            "implicit showBool in use"
+        )
+        diagnostics = lint_source(text)
+        assert codes(diagnostics) == ["IC0207", "IC0501"]
+        unused = diagnostics[1]
+        assert unused.severity is Severity.WARNING
+        assert unused.span == Span(3, 10, 3, 18)
+
+    def test_wildcard_query_suppresses_unused(self):
+        text = (
+            'def showBool : Bool -> String = \\b . "?";\n'
+            "implicit showBool in ? True"
+        )
+        assert "IC0501" not in codes(lint_source(text))
+
+    def test_shadowed_rule_ic0502(self):
+        text = (
+            "def up   : Int -> Int -> Bool = \\a . \\b . a < b;\n"
+            "def down : Int -> Int -> Bool = \\a . \\b . b < a;\n"
+            "let r : Bool = implicit up in implicit down in ? 1 2 in r"
+        )
+        diagnostics = lint_source(text)
+        assert codes(diagnostics) == ["IC0502"]
+        assert "down" in diagnostics[0].message
+        assert "up" in diagnostics[0].message
+
+    def test_duplicate_name_ic0503(self):
+        text = "def f : Int -> Int = \\n . n;\nimplicit {f, f} in ? 1"
+        assert "IC0503" in codes(lint_source(text))
+
+    def test_clean_program_has_no_findings(self):
+        text = (
+            "def intId : Int -> Int = \\n . n;\n"
+            "let use : {Int -> Int} => Int = ? 1 in\n"
+            "implicit intId in use"
+        )
+        assert lint_source(text) == []
+
+
+class TestOnePass:
+    def test_broken_example_reports_all_defects_at_once(self):
+        text = BROKEN.read_text(encoding="utf-8")
+        diagnostics = lint_source(text)
+        assert codes(diagnostics) == ["IC0402", "IC0301", "IC0501", "IC0401"]
+        # Sorted by position, each anchored to the offending line.
+        assert [d.span.line for d in diagnostics] == [8, 15, 16, 17]
+
+    def test_semantic_pass_can_be_disabled(self):
+        text = "let use : {Int -> Int} => Int = ? 1 in use"
+        assert codes(lint_source(text)) == ["IC0207"]
+        assert lint_source(text, check_semantic=False) == []
+
+    def test_semantic_pass_skipped_when_syntactic_errors_exist(self):
+        # One pass never mixes a parse failure with downstream noise.
+        assert codes(lint_source("let x = in 1")) == ["IC0102"]
+
+    def test_diagnostics_are_sorted_and_stable(self):
+        text = BROKEN.read_text(encoding="utf-8")
+        first = lint_source(text)
+        second = lint_source(text)
+        assert first == second
+        assert [d.sort_key() for d in first] == sorted(
+            d.sort_key() for d in first
+        )
+
+
+class TestCoreLevel:
+    def test_lint_rules_flags_all_three_conditions(self):
+        diagnostics = lint_rules(
+            [rule(INT, [A], ["a"]), rule(A, [A], ["a"]), INT]
+        )
+        found = set(codes(diagnostics))
+        assert {"IC0402", "IC0401", "IC0301"} <= found
+
+    def test_lint_rules_clean_set(self):
+        assert lint_rules([INT, BOOL, rule(pair(A, A), [A], ["a"])]) == []
+
+    def test_lint_env_numbers_scopes_innermost_zero(self):
+        env = ImplicitEnv.empty().push([rule(A, [A], ["a"])]).push([INT])
+        diagnostics = lint_env(env)
+        assert codes(diagnostics) == ["IC0401"]
+        assert "scope 1" in diagnostics[0].message
+
+    def test_lint_env_shadowing_across_frames(self):
+        env = ImplicitEnv.empty().push([INT, BOOL]).push([INT])
+        diagnostics = lint_env(env)
+        assert codes(diagnostics) == ["IC0502"]
+        assert "scope 0" in diagnostics[0].message
+        assert "scope 1" in diagnostics[0].message
+
+    def test_lint_env_alpha_equivalent_shadowing(self):
+        outer = rule(pair(TVar("a"), TVar("a")), [TVar("a")], ["a"])
+        inner = rule(pair(TVar("b"), TVar("b")), [TVar("b")], ["b"])
+        env = ImplicitEnv.empty().push([outer]).push([inner])
+        assert "IC0502" in codes(lint_env(env))
+
+    def test_lint_env_empty(self):
+        assert lint_env(ImplicitEnv.empty()) == []

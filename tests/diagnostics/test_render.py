@@ -1,0 +1,79 @@
+"""Renderer tests: caret underlines and byte-stable JSON."""
+
+import json
+
+from repro.diagnostics import Diagnostic, Severity, render_json, render_text
+from repro.span import Span
+
+SOURCE = "def bad : forall b . {b} => Int = 42;\nimplicit x in ? 1\n"
+
+
+def diag(code="IC0402", severity=Severity.ERROR, message="boom", span=None):
+    return Diagnostic(code, severity, message, span)
+
+
+class TestRenderText:
+    def test_caret_width_matches_span(self):
+        text = render_text(
+            [diag(span=Span(1, 11, 1, 32))], SOURCE, "p.impl"
+        )
+        header, source_line, carets = text.splitlines()
+        assert header == "p.impl:1:11: error[IC0402]: boom"
+        assert source_line == "    1 | def bad : forall b . {b} => Int = 42;"
+        assert carets.count("^") == 32 - 11
+        assert carets.index("^") == source_line.index("forall")
+
+    def test_point_span_single_caret(self):
+        text = render_text([diag(span=Span.point(2, 10, 1))], SOURCE)
+        assert text.splitlines()[-1].strip("| ").count("^") == 1
+
+    def test_no_span_renders_header_only(self):
+        text = render_text([diag(span=None)], SOURCE, "p.impl")
+        assert text == "p.impl: error[IC0402]: boom"
+
+    def test_no_source_renders_header_only(self):
+        text = render_text([diag(span=Span(1, 1, 1, 4))], None, "p.impl")
+        assert "\n" not in text
+
+    def test_multiline_span_underlines_first_line(self):
+        text = render_text([diag(span=Span(1, 11, 2, 5))], SOURCE)
+        carets = text.splitlines()[-1]
+        line1 = SOURCE.splitlines()[0]
+        assert carets.count("^") == len(line1) - 10
+
+    def test_warning_severity_in_header(self):
+        text = render_text(
+            [diag(code="IC0501", severity=Severity.WARNING)], SOURCE
+        )
+        assert "warning[IC0501]" in text
+
+
+class TestRenderJson:
+    def test_one_object_per_line(self):
+        ds = [
+            diag(span=Span(1, 11, 1, 32)),
+            diag(code="IC0501", severity=Severity.WARNING, message="meh"),
+        ]
+        lines = render_json(ds, "p.impl").splitlines()
+        assert len(lines) == 2
+        objects = [json.loads(line) for line in lines]
+        assert objects[0]["code"] == "IC0402"
+        assert objects[0]["span"] == {
+            "line": 1, "column": 11, "end_line": 1, "end_column": 32,
+        }
+        assert objects[1]["span"] is None
+        assert all(o["path"] == "p.impl" for o in objects)
+
+    def test_field_order_is_fixed(self):
+        line = render_json([diag(span=Span(1, 1, 1, 2))]).splitlines()[0]
+        keys = list(json.loads(line))
+        assert keys == ["code", "severity", "message", "span"]
+
+    def test_byte_stable_across_runs(self):
+        ds = [diag(span=Span(3, 1, 3, 9)), diag(code="IC0301")]
+        assert render_json(ds, "p.impl") == render_json(ds, "p.impl")
+
+    def test_existing_source_not_overridden(self):
+        d = diag().with_source("original.impl")
+        (obj,) = map(json.loads, render_json([d], "other.impl").splitlines())
+        assert obj["path"] == "original.impl"

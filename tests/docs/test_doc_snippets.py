@@ -1,0 +1,116 @@
+"""The executable-docs contract.
+
+Two promises are enforced here:
+
+1. Every fenced ```python block in README.md and docs/TUTORIAL.md
+   actually runs and produces the output it shows.  Blocks within one
+   file share a namespace and run top to bottom, like a reader typing
+   them into one REPL session.
+2. docs/DIAGNOSTICS.md and the code catalogue
+   (:data:`repro.diagnostics.CATALOGUE`) list exactly the same codes,
+   and every exception class's code is registered -- the error-code
+   reference cannot drift from the implementation.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.diagnostics import CATALOGUE, exception_code_map, info_for
+
+ROOT = Path(__file__).resolve().parents[2]
+DIAGNOSTICS_MD = ROOT / "docs" / "DIAGNOSTICS.md"
+
+#: Files whose ```python blocks must execute (order matters: blocks in
+#: one file share a namespace, like one REPL session).
+EXECUTABLE_DOCS = [ROOT / "README.md", ROOT / "docs" / "TUTORIAL.md"]
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_HEADING = re.compile(r"^## (IC\d{4}) ", re.MULTILINE)
+
+
+def python_blocks(path: Path) -> list[str]:
+    return _FENCE.findall(path.read_text(encoding="utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# 1. README / TUTORIAL snippets execute.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "path", EXECUTABLE_DOCS, ids=lambda p: p.name
+)
+def test_python_blocks_execute(path: Path):
+    blocks = python_blocks(path)
+    assert blocks, f"{path.name} has no ```python blocks"
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(optionflags=doctest.NORMALIZE_WHITESPACE)
+    namespace: dict = {}
+    for index, block in enumerate(blocks, 1):
+        if ">>>" not in block:
+            exec(compile(block, f"{path.name}-block{index}", "exec"), namespace)
+            continue
+        test = parser.get_doctest(
+            block, namespace, f"{path.name}-block{index}", str(path), 0
+        )
+        transcript: list[str] = []
+        runner.run(test, out=transcript.append, clear_globs=False)
+        # get_doctest copies the namespace; fold definitions back so the
+        # next block sees them.
+        namespace.update(test.globs)
+        assert runner.failures == 0, (
+            f"{path.name} block {index} failed:\n" + "".join(transcript)
+        )
+
+
+# ---------------------------------------------------------------------------
+# 2. DIAGNOSTICS.md <-> catalogue lockstep.
+# ---------------------------------------------------------------------------
+
+
+def documented_codes() -> list[str]:
+    return _HEADING.findall(DIAGNOSTICS_MD.read_text(encoding="utf-8"))
+
+
+def test_every_catalogue_code_is_documented():
+    missing = set(CATALOGUE) - set(documented_codes())
+    assert not missing, f"codes without a '## ICxxxx' section: {sorted(missing)}"
+
+
+def test_every_documented_code_is_registered():
+    unknown = set(documented_codes()) - set(CATALOGUE)
+    assert not unknown, f"documented codes not in CATALOGUE: {sorted(unknown)}"
+
+
+def test_documentation_order_and_uniqueness():
+    codes = documented_codes()
+    assert len(codes) == len(set(codes)), "duplicate '## ICxxxx' sections"
+    assert codes == sorted(codes), "sections must be in code order"
+
+
+def test_documented_severity_matches_catalogue():
+    text = DIAGNOSTICS_MD.read_text(encoding="utf-8")
+    sections = re.split(r"^## (IC\d{4}) ", text, flags=re.MULTILINE)
+    # re.split alternates [prelude, code, body, code, body, ...]
+    for code, body in zip(sections[1::2], sections[2::2]):
+        expected = info_for(code).severity.value
+        assert f"**Severity: {expected}.**" in body, (
+            f"{code}: section must state '**Severity: {expected}.**'"
+        )
+
+
+def test_every_exception_code_is_in_catalogue():
+    stray = set(exception_code_map()) - set(CATALOGUE)
+    assert not stray, f"exception classes carry unregistered codes: {sorted(stray)}"
+
+
+def test_lint_only_band_has_no_exceptions():
+    # IC05xx findings are produced only by the analyzer; no exception
+    # class may claim a code in the style band.
+    style = {c for c in exception_code_map() if c.startswith("IC05")}
+    assert not style

@@ -9,6 +9,9 @@ import pytest
 ROOT = pathlib.Path(__file__).resolve().parents[2]
 EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
 PROGRAMS = sorted((ROOT / "examples" / "programs").glob("*.impl"))
+# broken.impl is the deliberately ill-formed lint showcase: it must
+# *fail* to run (tested below) while `repro lint` reports every defect.
+RUNNABLE = [p for p in PROGRAMS if p.name != "broken.impl"]
 
 EXPECTED_PROGRAM_OUTPUT = {
     "eq.impl": "(False, True)",
@@ -25,20 +28,32 @@ def test_example_script_runs(script):
     assert result.returncode == 0, result.stderr
 
 
-@pytest.mark.parametrize("program", PROGRAMS, ids=lambda p: p.name)
+@pytest.mark.parametrize("program", RUNNABLE, ids=lambda p: p.name)
 def test_impl_program_via_cli(program):
     from repro.cli import main
 
     assert main(["run", str(program)]) == 0
 
 
-@pytest.mark.parametrize("program", PROGRAMS, ids=lambda p: p.name)
+@pytest.mark.parametrize("program", RUNNABLE, ids=lambda p: p.name)
 def test_impl_program_output(program, capsys):
     from repro.cli import main
 
     main(["run", str(program)])
     out = capsys.readouterr().out
     assert EXPECTED_PROGRAM_OUTPUT[program.name] in out
+
+
+def test_broken_example_fails_run_but_lints_fully(capsys):
+    from repro.cli import main
+
+    broken = ROOT / "examples" / "programs" / "broken.impl"
+    assert main(["run", str(broken)]) != 0
+    capsys.readouterr()
+    assert main(["lint", str(broken)]) == 1
+    out = capsys.readouterr().out
+    for code in ["IC0402", "IC0301", "IC0501", "IC0401"]:
+        assert code in out
 
 
 def test_example_inventory():

@@ -171,6 +171,88 @@ class TestDispatch:
         assert response["error"]["retryable"]
 
 
+class TestLintOp:
+    def test_lint_program_reports_findings_as_data(self, service):
+        new_session(service, rules=None)
+        response = service.handle_sync(
+            {
+                "id": 1,
+                "op": "lint",
+                "params": {
+                    "session": "t",
+                    "program": "def bad : forall b . {b} => Int = 42;\nbad",
+                },
+            }
+        )
+        assert response["ok"]  # findings are data, not failures
+        result = response["result"]
+        assert result["errors"] == 1 and result["warnings"] == 0
+        (d,) = result["diagnostics"]
+        assert d["code"] == "IC0402"
+        assert d["span"]["line"] == 1 and d["span"]["column"] == 11
+
+    def test_lint_clean_program(self, service):
+        new_session(service, rules=None)
+        response = service.handle_sync(
+            {"id": 1, "op": "lint", "params": {"session": "t", "program": "1 + 1"}}
+        )
+        assert response["ok"]
+        assert response["result"]["diagnostics"] == []
+
+    def test_lint_session_environment(self, service):
+        # Without a program the session's own rule frames are linted:
+        # forall a . {a} => a violates termination, and the duplicated
+        # Int across frames is a shadowing warning.
+        new_session(service, rules=["Int", "forall a . {a} => a"])
+        service.handle_sync(
+            {
+                "id": 1,
+                "op": "session/push_rules",
+                "params": {"session": "t", "rules": ["Int"]},
+            }
+        )
+        response = service.handle_sync(
+            {"id": 2, "op": "lint", "params": {"session": "t"}}
+        )
+        assert response["ok"]
+        found = {d["code"] for d in response["result"]["diagnostics"]}
+        assert {"IC0401", "IC0502"} <= found
+
+    def test_lint_respects_session_policy(self, service):
+        # Int and forall a . a overlap under reject, resolve by
+        # specificity under most_specific.
+        for name, policy in [("strict", "reject"), ("loose", "most_specific")]:
+            assert service.handle_sync(
+                {
+                    "id": 1,
+                    "op": "session/new",
+                    "params": {"name": name, "policy": policy},
+                }
+            )["ok"]
+            service.handle_sync(
+                {
+                    "id": 2,
+                    "op": "session/push_rules",
+                    "params": {"session": name, "rules": ["Int", "forall a . a"]},
+                }
+            )
+        strict = service.handle_sync(
+            {"id": 3, "op": "lint", "params": {"session": "strict"}}
+        )["result"]
+        loose = service.handle_sync(
+            {"id": 4, "op": "lint", "params": {"session": "loose"}}
+        )["result"]
+        assert any(d["code"] == "IC0301" for d in strict["diagnostics"])
+        assert not any(d["code"] == "IC0301" for d in loose["diagnostics"])
+
+    def test_lint_bad_program_param(self, service):
+        new_session(service, rules=None)
+        response = service.handle_sync(
+            {"id": 1, "op": "lint", "params": {"session": "t", "program": 42}}
+        )
+        assert response["error"]["code"] == ErrorCode.INVALID_REQUEST
+
+
 class TestDeadlines:
     def test_expired_while_queued(self, service):
         new_session(service)

@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.errors import ParseError
+from repro.errors import LexError, ParseError
 from repro.source.lexer import Token, TokenStream, tokenize
+from repro.span import Span
 
 
 def kinds(source):
@@ -61,6 +62,37 @@ class TestTokenize:
 
     def test_eof_token(self):
         assert tokenize("")[-1].kind == "EOF"
+
+
+class TestLexErrorPositions:
+    """Regression: lexical failures carry line/column and a span."""
+
+    def test_unexpected_character_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("a b\n  $ c")
+        assert (excinfo.value.line, excinfo.value.column) == (2, 3)
+        assert "2:3" in str(excinfo.value)
+        assert excinfo.value.span == Span.point(2, 3)
+
+    def test_unterminated_string_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize('let s = "oops')
+        assert (excinfo.value.line, excinfo.value.column) == (1, 9)
+        assert excinfo.value.span == Span.point(1, 9)
+
+    def test_lex_error_is_a_parse_error_with_code(self):
+        # LexError refines ParseError (callers catching ParseError keep
+        # working) and carries the IC0101 band, not the parser's IC0102.
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("$")
+        assert isinstance(excinfo.value, LexError)
+        assert excinfo.value.code == "IC0101"
+        assert ParseError.code == "IC0102"
+
+    def test_token_spans(self):
+        tokens = tokenize("ab\n  cde")
+        assert tokens[0].span() == Span(1, 1, 1, 3)
+        assert tokens[1].span() == Span(2, 3, 2, 6)
 
 
 class TestTokenStream:
