@@ -9,6 +9,7 @@ Usage::
     python -m repro check PROGRAM.impl          # type check only
     python -m repro lint PROGRAM.impl           # static diagnostics (no run)
     python -m repro serve --stdio               # resolution server (JSON lines)
+    python -m repro fuzz --seed 0 --cases 500   # differential fuzzing
     python -m repro --version
 
 Failures exit non-zero with one structured line on stderr and no
@@ -206,6 +207,72 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable singleflight coalescing of identical concurrent requests",
     )
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="generative differential fuzzing of the engine pairs "
+        "(docs/TESTING.md)",
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="corpus seed; the same seed always yields the same cases "
+        "(default 0)",
+    )
+    fuzz.add_argument(
+        "--cases",
+        type=int,
+        default=200,
+        help="number of generated cases to run (default 200)",
+    )
+    fuzz.add_argument(
+        "--budget-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; the run stops cleanly after the case "
+        "in flight when exceeded (cases are independently seeded, so "
+        "truncation never changes the cases that did run)",
+    )
+    fuzz.add_argument(
+        "--oracle",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to one oracle (repeatable); default: the full "
+        "matrix (index, cache, logic, semantics, service, alpha, "
+        "permute, lint)",
+    )
+    fuzz.add_argument(
+        "--artifact-dir",
+        default=None,
+        metavar="DIR",
+        help="write one replayable JSON artifact per disagreement",
+    )
+    fuzz.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="re-run the shrunk case of a saved artifact instead of "
+        "fuzzing; exit 0 when the recorded classification reproduces",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report disagreements without delta-debugging them",
+    )
+    fuzz.add_argument(
+        "--inject-fault",
+        default=None,
+        metavar="ORACLE",
+        help="(testing the harness itself) corrupt one side of the "
+        "named oracle so every resolvable case disagrees",
+    )
+    fuzz.add_argument(
+        "--stats",
+        action="store_true",
+        help="print resolution counters (including fuzz_*) to stderr",
+    )
     return parser
 
 
@@ -293,12 +360,61 @@ def _resolver(args: argparse.Namespace, tracer: Tracer | None) -> Resolver:
     )
 
 
+def _fuzz(args: argparse.Namespace) -> int:
+    """Run (or replay) the differential fuzz harness; see docs/TESTING.md.
+
+    Exit codes: 0 when every comparison agrees (or a replayed artifact
+    reproduces its recorded classification), 1 when a disagreement is
+    found (or a replay fails to reproduce), 2 on bad usage/IO.
+    """
+    from .fuzz import (
+        inject_fault,
+        load_artifact,
+        replay_artifact,
+        resolve_oracle_selection,
+        run_fuzz,
+    )
+
+    stats = ResolutionStats() if args.stats else None
+    try:
+        with inject_fault(args.inject_fault), collecting(stats):
+            if args.replay is not None:
+                try:
+                    payload = load_artifact(args.replay)
+                except OSError as exc:
+                    print(f"error: io: {exc}", file=sys.stderr)
+                    return 2
+                result = replay_artifact(payload)
+                print(result.format())
+                return 0 if result.reproduced else 1
+            oracles = resolve_oracle_selection(args.oracle)
+            report = run_fuzz(
+                args.seed,
+                args.cases,
+                oracles=list(oracles),
+                budget_s=args.budget_s,
+                artifact_dir=args.artifact_dir,
+                shrink=not args.no_shrink,
+            )
+            print(report.format())
+            return 0 if report.ok else 1
+    except ValueError as exc:
+        print(f"error: invalid_request: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if stats is not None:
+            print("-- resolution stats --", file=sys.stderr)
+            print(stats.format(), file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "serve":
         return _serve(args)
     if args.command == "lint":
         return _lint(args)
+    if args.command == "fuzz":
+        return _fuzz(args)
     try:
         text = _read(args.file)
     except OSError as exc:

@@ -1,0 +1,72 @@
+"""Generative fuzzing and differential-oracle harness (`repro fuzz`).
+
+Seeded, fully deterministic: :mod:`.gen` builds cases from an explicit
+``random.Random``; :mod:`.oracles` runs each case through pairs of
+semantically equivalent engines plus metamorphic checks; :mod:`.shrink`
+delta-debugs any disagreement to a minimal replayable artifact;
+:mod:`.runner` orchestrates runs and replay.  See docs/TESTING.md.
+"""
+
+from .gen import (
+    DEFAULT_CONFIG,
+    FORMAT_VERSION,
+    FuzzCase,
+    GenConfig,
+    case_rng,
+    generate_case,
+    generate_corpus,
+    rename_case,
+    rename_type,
+    renaming_for_case,
+)
+from .oracles import (
+    ORACLES,
+    OracleContext,
+    Outcome,
+    Verdict,
+    derivation_signature,
+    inject_fault,
+    oracle_names,
+    set_fault,
+)
+from .runner import (
+    Disagreement,
+    FuzzReport,
+    ReplayResult,
+    load_artifact,
+    replay_artifact,
+    resolve_oracle_selection,
+    run_fuzz,
+    write_artifact,
+)
+from .shrink import shrink_case
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "FORMAT_VERSION",
+    "FuzzCase",
+    "GenConfig",
+    "ORACLES",
+    "OracleContext",
+    "Outcome",
+    "Verdict",
+    "Disagreement",
+    "FuzzReport",
+    "ReplayResult",
+    "case_rng",
+    "derivation_signature",
+    "generate_case",
+    "generate_corpus",
+    "inject_fault",
+    "load_artifact",
+    "oracle_names",
+    "rename_case",
+    "rename_type",
+    "renaming_for_case",
+    "replay_artifact",
+    "resolve_oracle_selection",
+    "run_fuzz",
+    "set_fault",
+    "shrink_case",
+    "write_artifact",
+]

@@ -1,0 +1,400 @@
+"""Seeded, deterministic generators for the fuzz harness (`repro fuzz`).
+
+Everything here is driven by one explicit ``random.Random`` instance and
+a small size budget: no wall clocks, no global entropy, no dependence on
+hash ordering.  The same ``(seed, index)`` pair therefore always yields
+the *same* :class:`FuzzCase`, byte for byte once serialized -- the
+determinism contract ``tests/fuzz/test_gen_determinism.py`` pins with a
+golden seed-0 sample.
+
+A case packages everything the oracle matrix consumes:
+
+* ``frames`` -- a stack of rule sets, each entry a ``(expr, rho)``
+  binding.  The *types* alone form an implicit environment (resolution
+  oracles); the expressions make the same bindings runnable, so the case
+  doubles as a well-typed core program (semantic oracles).
+* ``query`` -- the type asked at the bottom of the program.  Coherent
+  cases are built constructively (every rule's context is satisfiable
+  from outer or same frames, no overlap within one frame), mirroring
+  ``tests/property/strategies.py``; a configurable fraction of cases is
+  deliberately *incoherent* (duplicate heads in one frame) or asks an
+  unprovided query, so the failure paths of every engine pair are
+  exercised too.
+
+Serialization round-trips through the pretty printer and the core
+parser (``pretty_type``/``parse_core_type``, ``pretty_expr``/
+``parse_core_expr``), which the round-trip property tests already pin,
+so a JSON artifact replays into a structurally equal case.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from ..core.builders import ask, crule
+from ..core.env import ImplicitEnv, OverlapPolicy
+from ..core.parser import parse_core_expr, parse_core_type
+from ..core.pretty import pretty_expr, pretty_type
+from ..core.resolution import ResolutionStrategy
+from ..core.terms import BoolLit, Expr, IntLit, PairE, RuleAbs, RuleApp, StrLit
+from ..core.types import BOOL, CHAR, INT, STRING, TVar, Type, pair, rule
+
+#: Artifact / corpus schema version (bump on incompatible change).
+FORMAT_VERSION = 1
+
+#: Ground base types with literal providers (CHAR is deliberately left
+#: out so it can serve as the "never provided" failure probe).
+_BASE_TYPES = (INT, BOOL, STRING)
+
+
+def _literal_for(rng: random.Random, tau: Type) -> Expr:
+    if tau is INT:
+        return IntLit(rng.randrange(0, 100))
+    if tau is BOOL:
+        return BoolLit(rng.random() < 0.5)
+    if tau is STRING:
+        return StrLit(rng.choice(("x", "y", "fuzz", "")))
+    raise ValueError(f"no literal provider for {tau}")
+
+
+Binding = tuple[Expr, Type]
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated scenario: an environment-as-program plus a query."""
+
+    seed: int
+    index: int
+    frames: tuple[tuple[Binding, ...], ...]
+    query: Type
+    #: ``True`` when the generator deliberately introduced overlap
+    #: within one frame (the case is expected to fail coherently).
+    overlapping: bool = False
+
+    # -- derived views -----------------------------------------------------
+
+    def env(self) -> ImplicitEnv:
+        """The implicit environment of the case (types only)."""
+        env = ImplicitEnv.empty()
+        for frame in self.frames:
+            env = env.push([rho for _, rho in frame])
+        return env
+
+    def program(self) -> Expr:
+        """The same bindings as a runnable core program.
+
+        ``implicit frame_1 in ... implicit frame_n in ?query`` --
+        built directly as rule application over a rule abstraction so
+        duplicated context types (overlapping cases) are preserved
+        rather than silently deduplicated by the ``implicit`` sugar.
+        """
+        body: Expr = ask(self.query)
+        result = self.query
+        for frame in reversed(self.frames):
+            context = tuple(rho for _, rho in frame)
+            body = RuleApp(RuleAbs(rule(result, context), body), tuple(frame))
+        return body
+
+    def rule_count(self) -> int:
+        return sum(len(frame) for frame in self.frames)
+
+    # -- serialization -----------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-ready description (stable key order, pretty-printed)."""
+        return {
+            "seed": self.seed,
+            "index": self.index,
+            "overlapping": self.overlapping,
+            "frames": [
+                [
+                    {"expr": pretty_expr(e), "type": pretty_type(rho)}
+                    for e, rho in frame
+                ]
+                for frame in self.frames
+            ],
+            "query": pretty_type(self.query),
+        }
+
+    def as_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "FuzzCase":
+        frames = tuple(
+            tuple(
+                (parse_core_expr(b["expr"]), parse_core_type(b["type"]))
+                for b in frame
+            )
+            for frame in payload["frames"]
+        )
+        return FuzzCase(
+            seed=int(payload["seed"]),
+            index=int(payload["index"]),
+            frames=frames,
+            query=parse_core_type(payload["query"]),
+            overlapping=bool(payload.get("overlapping", False)),
+        )
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Size budget and mix knobs of the generator (all deterministic)."""
+
+    max_frames: int = 3
+    max_rules_per_frame: int = 3
+    max_query_nesting: int = 2
+    #: Fraction of cases with a deliberately overlapping frame.
+    overlap_fraction: float = 0.15
+    #: Fraction of cases querying a type nothing provides.
+    unprovided_fraction: float = 0.15
+    policy: OverlapPolicy = OverlapPolicy.REJECT
+    strategy: ResolutionStrategy = ResolutionStrategy.SYNTACTIC
+
+
+DEFAULT_CONFIG = GenConfig()
+
+
+def case_rng(seed: int, index: int) -> random.Random:
+    """The per-case RNG: a pure function of ``(seed, index)``.
+
+    Cases are independently seeded so that any prefix of a run -- or a
+    single replayed index -- regenerates identically regardless of how
+    many cases came before it (the ``--budget-s`` wall-clock cutoff can
+    truncate a run without perturbing the cases it did reach).
+    """
+    return random.Random((seed & 0xFFFFFFFF) * 0x1_0000_0000 + (index & 0xFFFFFFFF))
+
+
+def generate_case(
+    seed: int, index: int, config: GenConfig = DEFAULT_CONFIG
+) -> FuzzCase:
+    """Generate the ``index``-th case of a run seeded with ``seed``."""
+    rng = case_rng(seed, index)
+    overlapping = rng.random() < config.overlap_fraction
+    frames: list[tuple[Binding, ...]] = []
+    provided: list[Type] = []  # heads available to later rules/queries
+    has_poly_pair = False
+    n_frames = rng.randint(1, config.max_frames)
+    for _ in range(n_frames):
+        frame: list[Binding] = []
+        frame_heads: list[Type] = []
+        n_rules = rng.randint(1, config.max_rules_per_frame)
+        for _ in range(n_rules):
+            choice = rng.random()
+            if provided and choice < 0.30:
+                # A rule deriving a pair type from an available head.
+                dep = rng.choice(provided)
+                base = rng.choice(_BASE_TYPES)
+                head: Type = pair(dep, base)
+                if any(h == head for h in frame_heads):
+                    continue
+                rho = rule(head, [dep])
+                expr = crule(rho, PairE(ask(dep), _literal_for(rng, base)))
+            elif not has_poly_pair and choice < 0.45:
+                # The paper's polymorphic pair rule (at most one per case).
+                a = TVar("a")
+                head = pair(a, a)
+                rho = rule(head, [a], ["a"])
+                expr = crule(rho, PairE(ask(a), ask(a)))
+                has_poly_pair = True
+            else:
+                head = rng.choice(_BASE_TYPES)
+                if any(h == head for h in frame_heads):
+                    continue
+                rho = head
+                expr = _literal_for(rng, head)
+            frame.append((expr, rho))
+            frame_heads.append(head)
+        if not frame:
+            base = rng.choice(_BASE_TYPES)
+            frame.append((_literal_for(rng, base), base))
+            frame_heads.append(base)
+        frames.append(tuple(frame))
+        provided = frame_heads + provided
+    if overlapping:
+        # Duplicate one ground entry inside one frame: same head, a
+        # (possibly) different payload -- the paper's no_overlap failure.
+        pos = rng.randrange(len(frames))
+        dupable = [
+            (e, rho) for e, rho in frames[pos] if rho in _BASE_TYPES
+        ]
+        if dupable:
+            e, rho = rng.choice(dupable)
+            frames[pos] = frames[pos] + ((_literal_for(rng, rho), rho),)
+        else:
+            frames[pos] = frames[pos] + (frames[pos][0],)
+    query = _generate_query(rng, provided, has_poly_pair, config)
+    return FuzzCase(
+        seed=seed,
+        index=index,
+        frames=tuple(frames),
+        query=query,
+        overlapping=overlapping,
+    )
+
+
+def _generate_query(
+    rng: random.Random,
+    provided: list[Type],
+    has_poly_pair: bool,
+    config: GenConfig,
+) -> Type:
+    # Queries are ground: heads containing variables (the poly pair
+    # rule, derived rules over it) provide *schemes*, not askable types.
+    provided = [t for t in provided if not _all_names(t)]
+    if rng.random() < config.unprovided_fraction or not provided:
+        # CHAR is never provided; nesting it in a pair exercises the
+        # recursive failure path when a poly pair rule is in scope.
+        query: Type = CHAR
+        if has_poly_pair and rng.random() < 0.5:
+            query = pair(query, query)
+        return query
+    query = rng.choice(provided)
+    if has_poly_pair:
+        for _ in range(rng.randint(0, config.max_query_nesting)):
+            query = pair(query, query)
+    return query
+
+
+def generate_corpus(
+    seed: int, count: int, config: GenConfig = DEFAULT_CONFIG
+) -> Iterator[FuzzCase]:
+    """The first ``count`` cases of the run seeded with ``seed``."""
+    for index in range(count):
+        yield generate_case(seed, index, config)
+
+
+# ---------------------------------------------------------------------------
+# Alpha-renaming support (the metamorphic `alpha` oracle and its inverse).
+# ---------------------------------------------------------------------------
+
+
+def rename_type(tau: Type, mapping: dict[str, str]) -> Type:
+    """Apply a *bijective* variable renaming to every ``TVar`` in ``tau``.
+
+    Unlike substitution this renames bound occurrences and binders too:
+    a bijection on names preserves alpha-classes, scoping and overlap
+    structure, which is exactly the invariance the ``alpha`` oracle
+    checks.  Names outside the mapping pass through unchanged.
+    """
+    from ..core.types import RuleType, TCon, TFun
+
+    match tau:
+        case TVar(name):
+            return TVar(mapping.get(name, name))
+        case TCon(name, args):
+            if not args:
+                return tau
+            return TCon(name, tuple(rename_type(a, mapping) for a in args))
+        case TFun(arg, res):
+            return TFun(rename_type(arg, mapping), rename_type(res, mapping))
+        case RuleType():
+            return RuleType(
+                tuple(mapping.get(v, v) for v in tau.tvars),
+                tuple(rename_type(r, mapping) for r in tau.context),
+                rename_type(tau.head, mapping),
+            )
+    raise TypeError(f"not a Type: {tau!r}")
+
+
+def renaming_for_case(case: FuzzCase) -> dict[str, str]:
+    """A deterministic bijection over every variable name in the case."""
+    names: set[str] = set()
+    for frame in case.frames:
+        for _, rho in frame:
+            names.update(_all_names(rho))
+    names.update(_all_names(case.query))
+    return {name: f"fz_{name}" for name in sorted(names)}
+
+
+def _all_names(tau: Type) -> set[str]:
+    from ..core.types import RuleType, subterms
+
+    out: set[str] = set()
+    for t in subterms(tau):
+        if isinstance(t, TVar):
+            out.add(t.name)
+        elif isinstance(t, RuleType):
+            out.update(t.tvars)
+    return out
+
+
+def rename_case(case: FuzzCase, mapping: dict[str, str]) -> FuzzCase:
+    """The case with every type consistently renamed (payloads re-typed)."""
+    frames = tuple(
+        tuple(
+            (_rename_expr(e, mapping), rename_type(rho, mapping))
+            for e, rho in frame
+        )
+        for frame in case.frames
+    )
+    return replace(case, frames=frames, query=rename_type(case.query, mapping))
+
+
+def _rename_expr(e: Expr, mapping: dict[str, str]) -> Expr:
+    """Rename every type annotation inside ``e`` (binders included)."""
+    from ..core.terms import (
+        App,
+        If,
+        Lam,
+        ListLit,
+        PairE,
+        Prim,
+        Project,
+        Query,
+        Record,
+        TyApp,
+        Var,
+    )
+
+    match e:
+        case IntLit() | BoolLit() | StrLit() | Var() | Prim():
+            return e
+        case Lam(var, var_type, body):
+            return Lam(var, rename_type(var_type, mapping), _rename_expr(body, mapping))
+        case App(fn, arg):
+            return App(_rename_expr(fn, mapping), _rename_expr(arg, mapping))
+        case Query(rho):
+            return Query(rename_type(rho, mapping))
+        case RuleAbs(rho, body):
+            return RuleAbs(rename_type(rho, mapping), _rename_expr(body, mapping))
+        case TyApp(expr, type_args):
+            return TyApp(
+                _rename_expr(expr, mapping),
+                tuple(rename_type(t, mapping) for t in type_args),
+            )
+        case RuleApp(expr, args):
+            return RuleApp(
+                _rename_expr(expr, mapping),
+                tuple(
+                    (_rename_expr(a, mapping), rename_type(rho, mapping))
+                    for a, rho in args
+                ),
+            )
+        case If(cond, then, orelse):
+            return If(
+                _rename_expr(cond, mapping),
+                _rename_expr(then, mapping),
+                _rename_expr(orelse, mapping),
+            )
+        case PairE(first, second):
+            return PairE(_rename_expr(first, mapping), _rename_expr(second, mapping))
+        case ListLit(elems, elem_type):
+            return ListLit(
+                tuple(_rename_expr(el, mapping) for el in elems),
+                None if elem_type is None else rename_type(elem_type, mapping),
+            )
+        case Record(iface, type_args, fields):
+            return Record(
+                iface,
+                tuple(rename_type(t, mapping) for t in type_args),
+                tuple((name, _rename_expr(f, mapping)) for name, f in fields),
+            )
+        case Project(expr, field_name):
+            return Project(_rename_expr(expr, mapping), field_name)
+    raise TypeError(f"not an Expr: {e!r}")

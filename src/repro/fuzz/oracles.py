@@ -1,0 +1,465 @@
+"""Differential and metamorphic oracles over generated cases.
+
+Each oracle runs one :class:`~repro.fuzz.gen.FuzzCase` through a *pair*
+of semantically equivalent engines and classifies the outcome:
+
+``agree``
+    both sides succeeded with equal (alpha-invariant) results;
+``both_fail``
+    both sides failed with the identical error class;
+``disagree``
+    anything else -- the case is a counterexample worth shrinking.
+
+The engine pairs mirror every redundancy the repo has accumulated:
+
+=============  ==========================================================
+``index``      head-constructor indexed lookup vs the naive frame scan
+``cache``      memoized resolution (two resolves through one cache)
+               vs cache-disabled resolution
+``logic``      the deterministic Resolver vs the logic engine's
+               backchaining (Theorem 1: resolution implies entailment;
+               the converse is *not* claimed, so a Resolver failure
+               with a successful entailment still counts as agreement)
+``semantics``  SMALLSTEP vs OPERATIONAL evaluation of the case program
+``service``    the in-process pipeline vs the concurrent resolution
+               service (sessions, worker pool, protocol encode/decode)
+``alpha``      metamorphic: resolution is invariant under a bijective
+               renaming of every type variable in the case
+``permute``    metamorphic: under the ``no_overlap`` policy, permuting
+               entries *within* a frame cannot change the outcome
+``lint``       metamorphic: ``repro lint`` findings (JSON) are stable
+               under re-parse of the pretty-printed rule environment
+=============  ==========================================================
+
+Success results are compared through :func:`derivation_signature`, an
+alpha-invariant structural summary of the derivation tree (canonical
+type keys, matched rules, premise shapes), so incidental differences in
+fresh-variable naming can never masquerade as disagreements.
+
+Fault injection (test-only): :func:`inject_fault` corrupts one side of
+the named oracle so the shrinker, artifact writer and ``--replay`` path
+can be exercised end to end without a real bug in the engines.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from ..core.cache import ResolutionCache
+from ..core.env import OverlapPolicy, indexing
+from ..core.pretty import pretty_type
+from ..core.resolution import (
+    ByAssumption,
+    ByResolution,
+    Derivation,
+    ResolutionStrategy,
+    Resolver,
+)
+from ..core.types import Type, canonical_key
+from ..errors import ImplicitCalculusError
+from ..pipeline import Semantics, run_core
+from .gen import FuzzCase, rename_case, rename_type, renaming_for_case
+
+# ---------------------------------------------------------------------------
+# Outcomes and verdicts.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """One engine's answer: ``ok`` with a comparable detail, or ``fail``
+    with the error class name."""
+
+    status: str  # "ok" | "fail"
+    detail: Any
+
+    def describe(self) -> str:
+        return f"{self.status}: {self.detail!r}"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The classified comparison of two outcomes for one oracle."""
+
+    oracle: str
+    classification: str  # "agree" | "disagree" | "both_fail"
+    left: Outcome
+    right: Outcome
+    note: str = ""
+
+    @property
+    def disagrees(self) -> bool:
+        return self.classification == "disagree"
+
+    def as_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "classification": self.classification,
+            "left": self.left.describe(),
+            "right": self.right.describe(),
+            "note": self.note,
+        }
+
+
+def classify(oracle: str, left: Outcome, right: Outcome, note: str = "") -> Verdict:
+    if left == right:
+        kind = "both_fail" if left.status == "fail" else "agree"
+    else:
+        kind = "disagree"
+    return Verdict(oracle, kind, left, right, note)
+
+
+# ---------------------------------------------------------------------------
+# Test-only fault injection.
+# ---------------------------------------------------------------------------
+
+_FAULT: str | None = None
+
+_INJECTED = Outcome("fail", "InjectedFault")
+
+
+def set_fault(name: str | None) -> str | None:
+    """Corrupt one side of the named oracle; returns the previous fault."""
+    global _FAULT
+    previous = _FAULT
+    _FAULT = name
+    return previous
+
+
+@contextmanager
+def inject_fault(name: str | None) -> Iterator[None]:
+    previous = set_fault(name)
+    try:
+        yield
+    finally:
+        set_fault(previous)
+
+
+def _faulted(oracle: str, outcome: Outcome) -> Outcome:
+    """The right-hand outcome, corrupted when a fault targets ``oracle``.
+
+    The corruption flips successes into a sentinel failure, so every
+    case the engines *can* resolve becomes a disagreement -- which is
+    exactly what a real one-sided bug would look like to the harness.
+    """
+    if _FAULT == oracle and outcome.status == "ok":
+        return _INJECTED
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Alpha-invariant derivation signatures.
+# ---------------------------------------------------------------------------
+
+
+def derivation_signature(
+    derivation: Derivation, unmap: dict[str, str] | None = None
+) -> tuple:
+    """A structural, alpha-invariant summary of a derivation tree.
+
+    ``unmap`` (used by the ``alpha`` oracle) renames the variables of a
+    renamed case back before keying, so the signature of the renamed
+    run is directly comparable with the original's.
+    """
+
+    def key(tau: Type) -> tuple:
+        if unmap:
+            tau = rename_type(tau, unmap)
+        return canonical_key(tau)
+
+    premises = []
+    for premise in derivation.premises:
+        if isinstance(premise, ByAssumption):
+            premises.append(("assume", premise.token.index))
+        else:
+            assert isinstance(premise, ByResolution)
+            premises.append(
+                ("resolve", derivation_signature(premise.derivation, unmap))
+            )
+    return (key(derivation.query), key(derivation.lookup.entry.rho), tuple(premises))
+
+
+def resolve_outcome(
+    case: FuzzCase,
+    *,
+    env=None,
+    query: Type | None = None,
+    use_index: bool | None = None,
+    cache: ResolutionCache | None = None,
+    unmap: dict[str, str] | None = None,
+) -> Outcome:
+    """Run one resolution through a configured Resolver; normalize."""
+    resolver = Resolver(
+        policy=OverlapPolicy.REJECT,
+        strategy=ResolutionStrategy.SYNTACTIC,
+        use_index=use_index,
+        cache=cache,
+    )
+    try:
+        derivation = resolver.resolve(
+            case.env() if env is None else env,
+            case.query if query is None else query,
+        )
+    except ImplicitCalculusError as exc:
+        return Outcome("fail", type(exc).__name__)
+    return Outcome("ok", derivation_signature(derivation, unmap))
+
+
+# ---------------------------------------------------------------------------
+# The shared per-run context (owns the lazily started in-process service).
+# ---------------------------------------------------------------------------
+
+
+class OracleContext:
+    """Shared machinery for one fuzz run (service, session naming)."""
+
+    def __init__(self):
+        self._service = None
+        self._session_counter = 0
+
+    def service(self):
+        if self._service is None:
+            from ..service.server import ResolutionService
+
+            self._service = ResolutionService(workers=2, queue_depth=32)
+        return self._service
+
+    def next_session_name(self) -> str:
+        self._session_counter += 1
+        return f"fuzz-{self._session_counter}"
+
+    def close(self) -> None:
+        if self._service is not None:
+            self._service.shutdown()
+            self._service = None
+
+    def __enter__(self) -> "OracleContext":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Engine-pair oracles.
+# ---------------------------------------------------------------------------
+
+
+def oracle_index(case: FuzzCase, ctx: OracleContext) -> Verdict:
+    """Indexed vs naive rule lookup (PR 2's equivalence claim)."""
+    left = resolve_outcome(case, use_index=True)
+    right = _faulted("index", resolve_outcome(case, use_index=False))
+    return classify("index", left, right)
+
+
+def oracle_cache(case: FuzzCase, ctx: OracleContext) -> Verdict:
+    """Cached vs uncached resolution (PR 1's transparency claim).
+
+    The cached side resolves *twice* through one warm cache; the second
+    (hit-serving) outcome is the one compared, and the two cached
+    outcomes must agree with each other as well.
+    """
+    cache = ResolutionCache()
+    first = resolve_outcome(case, cache=cache)
+    second = resolve_outcome(case, cache=cache)
+    if first != second:
+        return Verdict(
+            "cache", "disagree", first, second, note="cold vs warm cache differ"
+        )
+    right = _faulted("cache", resolve_outcome(case, cache=None))
+    return classify("cache", second, right)
+
+
+def oracle_logic(case: FuzzCase, ctx: OracleContext) -> Verdict:
+    """Resolver vs logic-engine backchaining (paper Theorem 1).
+
+    The theorem is an implication: deterministic resolution success must
+    entail ``Delta-dagger |= rho-dagger``.  The converse direction is
+    explicitly not claimed (the logic engine proves more, e.g. through
+    overlapped or shadowed rules), so a Resolver failure never counts
+    against the entailment side -- unless *both* deny the query, which
+    is reported as ``both_fail`` for corpus statistics.
+    """
+    from ..logic.encode import env_entails
+
+    left = resolve_outcome(case)
+    entailed = env_entails(case.env(), case.query, cached=False)
+    right = _faulted("logic", Outcome("ok", ("entails", entailed)))
+    if right.status == "fail":
+        return Verdict("logic", "disagree", left, right)
+    if left.status == "ok":
+        kind = "agree" if right.detail == ("entails", True) else "disagree"
+        return Verdict("logic", kind, left, right)
+    if right.detail == ("entails", False):
+        return Verdict("logic", "both_fail", left, right)
+    return Verdict(
+        "logic", "agree", left, right, note="entailment over-approximates"
+    )
+
+
+def _run_outcome(case: FuzzCase, semantics: Semantics) -> Outcome:
+    try:
+        run = run_core(
+            case.program(),
+            resolver=Resolver(cache=ResolutionCache()),
+            semantics=semantics,
+        )
+    except ImplicitCalculusError as exc:
+        return Outcome("fail", type(exc).__name__)
+    return Outcome("ok", (pretty_type(run.type), repr(run.value)))
+
+
+def oracle_semantics(case: FuzzCase, ctx: OracleContext) -> Verdict:
+    """SMALLSTEP vs OPERATIONAL execution of the elaborated program."""
+    left = _run_outcome(case, Semantics.SMALLSTEP)
+    right = _faulted("semantics", _run_outcome(case, Semantics.OPERATIONAL))
+    return classify("semantics", left, right)
+
+
+def oracle_service(case: FuzzCase, ctx: OracleContext) -> Verdict:
+    """In-process pipeline vs the concurrent resolution service.
+
+    The service side goes through the real request path: session
+    creation, per-frame ``session/push_rules`` (re-parsing the
+    pretty-printed rule types), worker-pool dispatch and protocol
+    encoding.  Compared on the service's own result shape: the matched
+    rule's printed type and the derivation size.
+    """
+    service = ctx.service()
+    name = ctx.next_session_name()
+    service_outcome: Outcome | None = None
+    response = service.handle_sync(
+        {"id": 1, "op": "session/new", "params": {"name": name}}
+    )
+    if not response.get("ok"):
+        service_outcome = Outcome("fail", response["error"]["code"])
+    if service_outcome is None:
+        for frame in case.frames:
+            response = service.handle_sync(
+                {
+                    "id": 2,
+                    "op": "session/push_rules",
+                    "params": {
+                        "session": name,
+                        "rules": [pretty_type(rho) for _, rho in frame],
+                    },
+                }
+            )
+            if not response.get("ok"):
+                service_outcome = Outcome("fail", response["error"]["code"])
+                break
+    if service_outcome is None:
+        response = service.handle_sync(
+            {
+                "id": 3,
+                "op": "resolve",
+                "params": {"session": name, "type": pretty_type(case.query)},
+            }
+        )
+        if response.get("ok"):
+            result = response["result"]
+            service_outcome = Outcome("ok", (result["matched"], result["size"]))
+        else:
+            error = response["error"]
+            detail = (error.get("details") or {}).get("error", error["code"])
+            service_outcome = Outcome("fail", detail)
+    service.handle_sync(
+        {"id": 4, "op": "session/close", "params": {"session": name}}
+    )
+    # Pipeline side, normalized to the service's result shape.
+    resolver = Resolver(cache=None)
+    try:
+        derivation = resolver.resolve(case.env(), case.query)
+        left = Outcome(
+            "ok", (str(derivation.lookup.entry.rho), derivation.size())
+        )
+    except ImplicitCalculusError as exc:
+        left = Outcome("fail", type(exc).__name__)
+    return classify("service", left, _faulted("service", service_outcome))
+
+
+# ---------------------------------------------------------------------------
+# Metamorphic oracles.
+# ---------------------------------------------------------------------------
+
+
+def oracle_alpha(case: FuzzCase, ctx: OracleContext) -> Verdict:
+    """Resolution is invariant under bijective alpha-renaming."""
+    mapping = renaming_for_case(case)
+    unmap = {fresh: old for old, fresh in mapping.items()}
+    left = resolve_outcome(case)
+    renamed = rename_case(case, mapping)
+    right = _faulted("alpha", resolve_outcome(renamed, unmap=unmap))
+    return classify("alpha", left, right, note="alpha-renamed replay")
+
+
+def oracle_permute(case: FuzzCase, ctx: OracleContext) -> Verdict:
+    """Within-frame entry order is irrelevant under ``no_overlap``.
+
+    Lookup collects *all* matches of a frame before deciding, so a
+    permutation inside a frame can change neither the unique winner nor
+    the overlap failure.  (Frame *stack* order is load-bearing -- it is
+    the paper's lexical scoping -- and is left untouched.)
+    """
+    rng = random.Random(case.seed * 7919 + case.index + 1)
+    frames = tuple(
+        tuple(rng.sample(frame, len(frame))) for frame in case.frames
+    )
+    permuted = FuzzCase(
+        seed=case.seed,
+        index=case.index,
+        frames=frames,
+        query=case.query,
+        overlapping=case.overlapping,
+    )
+    left = resolve_outcome(case)
+    right = _faulted("permute", resolve_outcome(permuted))
+    return classify("permute", left, right, note="within-frame permutation")
+
+
+def oracle_lint(case: FuzzCase, ctx: OracleContext) -> Verdict:
+    """``repro lint`` JSON is stable under re-parse of printed rules."""
+    from ..core.parser import parse_core_type
+    from ..diagnostics import lint_env, render_json
+
+    left_json = render_json(lint_env(case.env()), "<fuzz>")
+    reparsed = FuzzCase(
+        seed=case.seed,
+        index=case.index,
+        frames=tuple(
+            tuple((e, parse_core_type(pretty_type(rho))) for e, rho in frame)
+            for frame in case.frames
+        ),
+        query=case.query,
+        overlapping=case.overlapping,
+    )
+    right_json = render_json(lint_env(reparsed.env()), "<fuzz>")
+    left = Outcome("ok", left_json)
+    right = _faulted("lint", Outcome("ok", right_json))
+    return classify("lint", left, right, note="lint JSON re-parse stability")
+
+
+# ---------------------------------------------------------------------------
+# Registry.
+# ---------------------------------------------------------------------------
+
+OracleFn = Callable[[FuzzCase, OracleContext], Verdict]
+
+#: The oracle matrix, in the order `repro fuzz` runs them.
+ORACLES: dict[str, OracleFn] = {
+    "index": oracle_index,
+    "cache": oracle_cache,
+    "logic": oracle_logic,
+    "semantics": oracle_semantics,
+    "service": oracle_service,
+    "alpha": oracle_alpha,
+    "permute": oracle_permute,
+    "lint": oracle_lint,
+}
+
+
+def oracle_names() -> tuple[str, ...]:
+    return tuple(ORACLES)

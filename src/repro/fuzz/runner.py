@@ -1,0 +1,237 @@
+"""Orchestration for `repro fuzz`: corpus runs, artifacts, replay.
+
+A run walks the seeded corpus case by case, evaluates the selected
+oracles on each, shrinks any disagreement and (optionally) writes a
+replayable JSON artifact per disagreement.  All counters thread through
+the active :class:`repro.obs.ResolutionStats`.
+
+Artifacts are self-contained: the shrunk case, the original case, the
+oracle name and the injected fault (if any), so
+``repro fuzz --replay FILE`` reconstructs the exact disagreement with
+no other state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..obs import record_fuzz_case, record_fuzz_disagreement
+from .gen import DEFAULT_CONFIG, FORMAT_VERSION, FuzzCase, GenConfig, generate_case
+from .oracles import ORACLES, OracleContext, Verdict, inject_fault, oracle_names
+from .shrink import shrink_case
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One counterexample: the found case, its minimization, the verdict."""
+
+    oracle: str
+    case: FuzzCase
+    shrunk: FuzzCase
+    verdict: Verdict  # verdict of the *shrunk* case
+    shrink_steps: int
+    artifact_path: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "version": FORMAT_VERSION,
+            "oracle": self.oracle,
+            "fault": _active_fault(),
+            "seed": self.case.seed,
+            "index": self.case.index,
+            "original": self.case.as_dict(),
+            "case": self.shrunk.as_dict(),
+            "verdict": self.verdict.as_dict(),
+            "shrink_steps": self.shrink_steps,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Summary of one fuzz run (what the CLI prints)."""
+
+    seed: int
+    oracles: tuple[str, ...]
+    cases_run: int = 0
+    comparisons: int = 0
+    agreements: int = 0
+    both_failed: int = 0
+    disagreements: list[Disagreement] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    budget_exhausted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    def format(self) -> str:
+        lines = [
+            f"fuzz: seed={self.seed} cases={self.cases_run} "
+            f"oracles={','.join(self.oracles)}",
+            f"fuzz: comparisons={self.comparisons} "
+            f"agree={self.agreements} both_fail={self.both_failed} "
+            f"disagree={len(self.disagreements)}"
+            + (" (budget exhausted)" if self.budget_exhausted else ""),
+        ]
+        for d in self.disagreements:
+            where = f" -> {d.artifact_path}" if d.artifact_path else ""
+            lines.append(
+                f"fuzz: DISAGREE oracle={d.oracle} case={d.case.index} "
+                f"shrunk_to={d.shrunk.rule_count()} rules "
+                f"({d.shrink_steps} steps){where}"
+            )
+        return "\n".join(lines)
+
+
+def _active_fault() -> str | None:
+    from . import oracles
+
+    return oracles._FAULT
+
+
+def resolve_oracle_selection(selection: list[str] | None) -> tuple[str, ...]:
+    """Validate ``--oracle`` values; ``None``/empty means the full matrix."""
+    if not selection:
+        return oracle_names()
+    unknown = [name for name in selection if name not in ORACLES]
+    if unknown:
+        known = ", ".join(oracle_names())
+        raise ValueError(
+            f"unknown oracle(s) {', '.join(unknown)} (known: {known})"
+        )
+    # Preserve matrix order, drop duplicates.
+    return tuple(name for name in oracle_names() if name in selection)
+
+
+def run_fuzz(
+    seed: int,
+    cases: int,
+    *,
+    oracles: list[str] | None = None,
+    budget_s: float | None = None,
+    artifact_dir: str | None = None,
+    config: GenConfig = DEFAULT_CONFIG,
+    shrink: bool = True,
+) -> FuzzReport:
+    """Run the corpus ``(seed, 0..cases)`` through the oracle matrix."""
+    selected = resolve_oracle_selection(oracles)
+    report = FuzzReport(seed=seed, oracles=selected)
+    started = time.monotonic()
+    with OracleContext() as ctx:
+        for index in range(cases):
+            if budget_s is not None and time.monotonic() - started > budget_s:
+                report.budget_exhausted = True
+                break
+            case = generate_case(seed, index, config)
+            record_fuzz_case()
+            report.cases_run += 1
+            for name in selected:
+                verdict = ORACLES[name](case, ctx)
+                report.comparisons += 1
+                if verdict.classification == "agree":
+                    report.agreements += 1
+                elif verdict.classification == "both_fail":
+                    report.both_failed += 1
+                else:
+                    record_fuzz_disagreement()
+                    report.disagreements.append(
+                        _minimize(case, name, verdict, ctx, artifact_dir, shrink)
+                    )
+    report.elapsed_s = time.monotonic() - started
+    return report
+
+
+def _minimize(
+    case: FuzzCase,
+    oracle: str,
+    verdict: Verdict,
+    ctx: OracleContext,
+    artifact_dir: str | None,
+    shrink: bool,
+) -> Disagreement:
+    if shrink:
+        shrunk, steps = shrink_case(case, ORACLES[oracle], ctx)
+        final = ORACLES[oracle](shrunk, ctx)
+    else:
+        shrunk, steps, final = case, 0, verdict
+    disagreement = Disagreement(
+        oracle=oracle,
+        case=case,
+        shrunk=shrunk,
+        verdict=final,
+        shrink_steps=steps,
+    )
+    if artifact_dir is not None:
+        path = write_artifact(disagreement, artifact_dir)
+        disagreement = Disagreement(
+            oracle=oracle,
+            case=case,
+            shrunk=shrunk,
+            verdict=final,
+            shrink_steps=steps,
+            artifact_path=path,
+        )
+    return disagreement
+
+
+def write_artifact(disagreement: Disagreement, artifact_dir: str) -> str:
+    os.makedirs(artifact_dir, exist_ok=True)
+    name = (
+        f"fuzz-seed{disagreement.case.seed}"
+        f"-case{disagreement.case.index}"
+        f"-{disagreement.oracle}.json"
+    )
+    path = os.path.join(artifact_dir, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(disagreement.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying an artifact: did the disagreement reproduce?"""
+
+    oracle: str
+    verdict: Verdict
+    expected: str
+    reproduced: bool
+
+    def format(self) -> str:
+        status = "reproduced" if self.reproduced else "NOT reproduced"
+        return (
+            f"replay: oracle={self.oracle} "
+            f"expected={self.expected} got={self.verdict.classification} "
+            f"-- {status}\n"
+            f"replay: left  {self.verdict.left.describe()}\n"
+            f"replay: right {self.verdict.right.describe()}"
+        )
+
+
+def replay_artifact(payload: dict) -> ReplayResult:
+    """Re-run the shrunk case of a saved artifact under its oracle.
+
+    Restores the recorded fault injection (if the artifact was produced
+    by a faulted run) so replay is deterministic end to end.
+    """
+    oracle = payload["oracle"]
+    if oracle not in ORACLES:
+        raise ValueError(f"artifact names unknown oracle {oracle!r}")
+    case = FuzzCase.from_dict(payload["case"])
+    expected = payload.get("verdict", {}).get("classification", "disagree")
+    with inject_fault(payload.get("fault")), OracleContext() as ctx:
+        verdict = ORACLES[oracle](case, ctx)
+    return ReplayResult(
+        oracle=oracle,
+        verdict=verdict,
+        expected=expected,
+        reproduced=verdict.classification == expected,
+    )
+
+
+def load_artifact(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,113 @@
+"""Greedy delta-debugging shrinker for disagreeing fuzz cases.
+
+Given a case on which an oracle disagrees, repeatedly try structurally
+smaller variants -- drop a whole frame, drop one rule, strip a rule to
+its head, drop one context premise, replace the query by a subterm or a
+base type -- and keep any variant on which the oracle *still*
+disagrees.  Iterate to a fixpoint.  Candidates are enumerated in a
+fixed order (largest reduction first) and the first still-disagreeing
+candidate is taken each round, so shrinking is fully deterministic: the
+same disagreement always minimizes to the same artifact.
+
+Shrunk variants need not stay well-typed as programs: an ill-typed
+variant fails *identically* on both sides of every oracle, classifies
+as ``both_fail`` and is simply never kept, which is what makes one
+shrinker sound for the resolution, semantic and metamorphic oracles
+alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from ..core.types import INT, RuleType, TCon, Type, rule
+from ..obs import record_fuzz_shrink
+from .gen import FuzzCase
+from .oracles import OracleContext, Verdict
+
+OracleFn = Callable[[FuzzCase, OracleContext], Verdict]
+
+#: Hard cap on oracle evaluations per shrink (cases are tiny; this is a
+#: backstop against a pathological candidate space, not a tuning knob).
+MAX_EVALUATIONS = 2000
+
+
+def shrink_case(
+    case: FuzzCase, oracle: OracleFn, ctx: OracleContext
+) -> tuple[FuzzCase, int]:
+    """Minimize ``case`` while ``oracle`` still disagrees.
+
+    Returns the fixpoint case and the number of accepted reduction
+    steps (recorded on the active :class:`ResolutionStats`, if any).
+    """
+    current = case
+    steps = 0
+    evaluations = 0
+    progress = True
+    while progress and evaluations < MAX_EVALUATIONS:
+        progress = False
+        for candidate in _candidates(current):
+            evaluations += 1
+            if oracle(candidate, ctx).disagrees:
+                current = candidate
+                steps += 1
+                progress = True
+                break
+            if evaluations >= MAX_EVALUATIONS:
+                break
+    record_fuzz_shrink(steps)
+    return current, steps
+
+
+def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Strictly smaller variants of ``case``, biggest reductions first."""
+    # 1. Drop a whole frame (keep at least one).
+    if len(case.frames) > 1:
+        for i in range(len(case.frames)):
+            frames = case.frames[:i] + case.frames[i + 1 :]
+            yield replace(case, frames=frames)
+    # 2. Drop one rule from a multi-rule frame.
+    for i, frame in enumerate(case.frames):
+        if len(frame) <= 1:
+            continue
+        for j in range(len(frame)):
+            shrunk = frame[:j] + frame[j + 1 :]
+            frames = case.frames[:i] + (shrunk,) + case.frames[i + 1 :]
+            yield replace(case, frames=frames)
+    # 3. Simplify one rule type: drop a context premise, or strip the
+    #    rule to its bare head (the payload expression is left as-is;
+    #    ill-typed variants fail identically on both sides and are
+    #    never kept).
+    for i, frame in enumerate(case.frames):
+        for j, (expr, rho) in enumerate(frame):
+            if not isinstance(rho, RuleType):
+                continue
+            for simpler in _simpler_rules(rho):
+                binding = ((expr, simpler),)
+                shrunk = frame[:j] + binding + frame[j + 1 :]
+                frames = case.frames[:i] + (shrunk,) + case.frames[i + 1 :]
+                yield replace(case, frames=frames)
+    # 4. Shrink the query: a direct subterm, then the base anchor.
+    for smaller in _simpler_types(case.query):
+        yield replace(case, query=smaller)
+
+
+def _simpler_rules(rho: RuleType) -> Iterator[Type]:
+    head = rho.head
+    context = rho.context
+    for k in range(len(context)):
+        try:
+            yield rule(head, context[:k] + context[k + 1 :], rho.tvars)
+        except Exception:  # noqa: BLE001 - malformed variant, skip it
+            continue
+    if not rho.tvars:
+        yield head
+
+
+def _simpler_types(tau: Type) -> Iterator[Type]:
+    if isinstance(tau, TCon) and tau.args:
+        for arg in tau.args:
+            yield arg
+    if tau != INT:
+        yield INT

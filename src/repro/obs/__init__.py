@@ -20,6 +20,9 @@ from .stats import (
     active_stats,
     collecting,
     record_entails,
+    record_fuzz_case,
+    record_fuzz_disagreement,
+    record_fuzz_shrink,
     record_index,
     record_lookup,
     record_unify,
@@ -39,6 +42,9 @@ __all__ = [
     "active_stats",
     "collecting",
     "record_entails",
+    "record_fuzz_case",
+    "record_fuzz_disagreement",
+    "record_fuzz_shrink",
     "record_index",
     "record_lookup",
     "record_unify",

@@ -54,6 +54,13 @@ Counter glossary (see also ``docs/OBSERVABILITY.md``):
                     the worker queue was past its watermark
 ``deadline_timeouts`` service requests that exceeded their deadline
                     (either in the queue or mid-resolution)
+``fuzz_cases``      generated cases evaluated by the fuzz harness
+                    (``repro fuzz``; :mod:`repro.fuzz`)
+``fuzz_disagreements`` oracle comparisons classified as *disagree* --
+                    any non-zero value here is a found bug (or an
+                    injected fault in the harness's self-tests)
+``fuzz_shrink_steps`` accepted delta-debugging reductions while
+                    minimizing disagreeing cases
 ============== ============================================================
 """
 
@@ -83,6 +90,9 @@ class ResolutionStats:
     coalesced_requests: int = 0
     shed_requests: int = 0
     deadline_timeouts: int = 0
+    fuzz_cases: int = 0
+    fuzz_disagreements: int = 0
+    fuzz_shrink_steps: int = 0
 
     # -- derived ---------------------------------------------------------
 
@@ -183,3 +193,24 @@ def record_entails(hit: bool = False) -> None:
         stats.entails_calls += 1
         if hit:
             stats.entails_hits += 1
+
+
+def record_fuzz_case() -> None:
+    """One generated case evaluated by the fuzz harness."""
+    stats = getattr(_SLOT, "stats", None)
+    if stats is not None:
+        stats.fuzz_cases += 1
+
+
+def record_fuzz_disagreement() -> None:
+    """One oracle comparison classified as *disagree*."""
+    stats = getattr(_SLOT, "stats", None)
+    if stats is not None:
+        stats.fuzz_disagreements += 1
+
+
+def record_fuzz_shrink(steps: int) -> None:
+    """``steps`` accepted reductions while minimizing one case."""
+    stats = getattr(_SLOT, "stats", None)
+    if stats is not None:
+        stats.fuzz_shrink_steps += steps

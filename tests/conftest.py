@@ -23,6 +23,26 @@ from repro.core import (
 from repro.core.builders import add, ask, crule, implicit, neg
 
 
+@pytest.fixture(autouse=True)
+def _reset_global_state():
+    """Restore every process-global toggle after each test.
+
+    Fuzz/property tests (and any test exercising the CLI) flip the
+    indexing toggle, install a stats recorder in the thread-local slot,
+    or inject harness faults; this fixture guarantees none of that
+    configuration leaks into later tests, whatever order they run in.
+    """
+    from repro.core.env import indexing_enabled, set_indexing
+    from repro.fuzz.oracles import set_fault
+    from repro.obs.stats import _SLOT
+
+    previous_indexing = indexing_enabled()
+    yield
+    set_indexing(previous_indexing)
+    set_fault(None)
+    _SLOT.stats = None
+
+
 @pytest.fixture
 def pair_env() -> ImplicitEnv:
     """E3's environment: ``Int; forall a. {a} => a * a``."""

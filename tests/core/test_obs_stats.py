@@ -64,6 +64,9 @@ class TestHandComputedCounters:
             "coalesced_requests": 0,
             "shed_requests": 0,
             "deadline_timeouts": 0,
+            "fuzz_cases": 0,
+            "fuzz_disagreements": 0,
+            "fuzz_shrink_steps": 0,
         }
         assert stats.fuel_consumed == 2  # one unit per resolution step
 
@@ -89,6 +92,9 @@ class TestHandComputedCounters:
             "coalesced_requests": 0,
             "shed_requests": 0,
             "deadline_timeouts": 0,
+            "fuzz_cases": 0,
+            "fuzz_disagreements": 0,
+            "fuzz_shrink_steps": 0,
         }
         assert stats.hit_rate() == pytest.approx(1 / 3)
 
@@ -115,6 +121,9 @@ class TestHandComputedCounters:
             "coalesced_requests": 0,
             "shed_requests": 0,
             "deadline_timeouts": 0,
+            "fuzz_cases": 0,
+            "fuzz_disagreements": 0,
+            "fuzz_shrink_steps": 0,
         }
         resolver.resolve(env, query)
         after = stats.as_dict()
@@ -142,6 +151,9 @@ class TestHandComputedCounters:
             "coalesced_requests": 0,
             "shed_requests": 0,
             "deadline_timeouts": 0,
+            "fuzz_cases": 0,
+            "fuzz_disagreements": 0,
+            "fuzz_shrink_steps": 0,
         }
         assert stats.hit_rate() == 0.0
 

@@ -1,0 +1,229 @@
+"""Direct unit tests for the worker pool and singleflight primitives.
+
+The server end-to-end tests exercise these through the request path;
+here the edge cases get pinned in isolation: degenerate capacities,
+deterministic shedding at watermark 1, and FIFO drain order after a
+shed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service.worker import Overloaded, SingleFlight, WorkerPool
+
+
+def _await(condition, timeout=10.0):
+    """Poll ``condition`` until true or fail the test after ``timeout``."""
+    deadline = time.monotonic() + timeout
+    while not condition():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.001)
+
+
+class TestWorkerPoolConstruction:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(workers=0, watermark=4)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(workers=-1, watermark=4)
+
+    def test_zero_watermark_rejected(self):
+        # A zero-capacity queue could never accept work: constructing
+        # one is a configuration error, not a pool that sheds 100%.
+        with pytest.raises(ValueError, match="watermark"):
+            WorkerPool(workers=1, watermark=0)
+
+    def test_negative_watermark_rejected(self):
+        with pytest.raises(ValueError, match="watermark"):
+            WorkerPool(workers=1, watermark=-3)
+
+
+@pytest.fixture
+def blocked_pool():
+    """A single-worker pool whose worker is parked on a gate job.
+
+    Yields ``(pool, gate, started)``: set ``gate`` to release the
+    worker.  The gate job has already been *dequeued* when the fixture
+    yields (``started`` is set), so the queue is empty and its full
+    capacity is available to the test.
+    """
+    pool = WorkerPool(workers=1, watermark=1)
+    gate = threading.Event()
+    started = threading.Event()
+
+    def blocker():
+        started.set()
+        gate.wait(timeout=10)
+        return "gate"
+
+    gate_future = pool.submit(blocker)
+    assert started.wait(timeout=10)
+    yield pool, gate, gate_future
+    gate.set()
+    pool.shutdown()
+
+
+class TestCapacityOne:
+    def test_shed_is_deterministic_at_watermark(self, blocked_pool):
+        pool, gate, gate_future = blocked_pool
+        # The worker is busy; the single queue slot takes exactly one job.
+        queued = pool.submit(lambda: "queued")
+        assert pool.queue_depth() == 1
+        with pytest.raises(Overloaded) as excinfo:
+            pool.submit(lambda: "shed")
+        assert excinfo.value.watermark == 1
+        assert excinfo.value.depth == 1
+        assert excinfo.value.backoff_ms > 0
+        # Shedding rejected only the overflow job: the queued one is intact.
+        gate.set()
+        assert gate_future.result(timeout=10) == "gate"
+        assert queued.result(timeout=10) == "queued"
+
+    def test_shed_then_drain_accepts_again(self, blocked_pool):
+        pool, gate, gate_future = blocked_pool
+        pool.submit(lambda: None)
+        with pytest.raises(Overloaded):
+            pool.submit(lambda: "first try")
+        gate.set()
+        gate_future.result(timeout=10)
+        # After the drain the same submission succeeds -- shedding is a
+        # point-in-time verdict, not a sticky state.
+        retried = pool.submit(lambda: "second try")
+        assert retried.result(timeout=10) == "second try"
+
+    def test_high_water_tracks_peak_depth(self, blocked_pool):
+        pool, gate, _ = blocked_pool
+        pool.submit(lambda: None)
+        assert pool.high_water == 1
+        gate.set()
+
+
+class TestDrainOrdering:
+    def test_queued_jobs_complete_in_fifo_order(self):
+        pool = WorkerPool(workers=1, watermark=4)
+        gate = threading.Event()
+        started = threading.Event()
+        order: list[str] = []
+
+        def blocker():
+            started.set()
+            gate.wait(timeout=10)
+
+        def job(name):
+            def run():
+                order.append(name)
+                return name
+
+            return run
+
+        try:
+            pool.submit(blocker)
+            assert started.wait(timeout=10)
+            futures = [pool.submit(job(name)) for name in ("a", "b", "c", "d")]
+            with pytest.raises(Overloaded):
+                pool.submit(job("overflow"))
+            gate.set()
+            assert [f.result(timeout=10) for f in futures] == ["a", "b", "c", "d"]
+            # One worker, one FIFO queue: completion order is submission
+            # order, and the shed job never ran.
+            assert order == ["a", "b", "c", "d"]
+        finally:
+            pool.shutdown()
+
+
+class TestShutdown:
+    def test_submit_after_shutdown_raises(self):
+        pool = WorkerPool(workers=2, watermark=4)
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.submit(lambda: None)
+
+    def test_shutdown_is_idempotent(self):
+        pool = WorkerPool(workers=1, watermark=1)
+        pool.shutdown()
+        pool.shutdown()  # second call is a no-op, not an error
+
+    def test_pending_work_completes_before_join(self):
+        pool = WorkerPool(workers=2, watermark=8)
+        futures = [pool.submit(lambda i=i: i * i) for i in range(8)]
+        pool.shutdown(wait=True)
+        assert [f.result(timeout=0) for f in futures] == [
+            i * i for i in range(8)
+        ]
+
+
+class TestSingleFlight:
+    def test_sequential_calls_do_not_coalesce(self):
+        flight = SingleFlight()
+        calls = []
+        result, coalesced = flight.do("k", lambda: calls.append(1) or "v")
+        assert (result, coalesced) == ("v", False)
+        result, coalesced = flight.do("k", lambda: calls.append(1) or "v")
+        assert (result, coalesced) == ("v", False)
+        assert len(calls) == 2  # across time is the cache's job
+
+    def test_concurrent_identical_keys_share_one_execution(self):
+        flight = SingleFlight()
+        gate = threading.Event()
+        entered = threading.Event()
+        executions = []
+        results = []
+
+        def leader_fn():
+            executions.append(1)
+            entered.set()
+            gate.wait(timeout=10)
+            return "shared"
+
+        def call():
+            results.append(flight.do("k", leader_fn))
+
+        leader = threading.Thread(target=call)
+        leader.start()
+        assert entered.wait(timeout=10)  # the flight is registered
+        followers = [threading.Thread(target=call) for _ in range(3)]
+        for t in followers:
+            t.start()
+        _await(lambda: flight.waiting() == 3)
+        gate.set()
+        leader.join(timeout=10)
+        for t in followers:
+            t.join(timeout=10)
+        assert len(executions) == 1
+        assert sorted(coalesced for _, coalesced in results) == [
+            False,
+            True,
+            True,
+            True,
+        ]
+        assert {value for value, _ in results} == {"shared"}
+
+    def test_leader_exception_replays_to_followers(self):
+        flight = SingleFlight()
+        gate = threading.Event()
+        errors = []
+
+        def failing():
+            gate.wait(timeout=10)
+            raise RuntimeError("boom")
+
+        def call():
+            try:
+                flight.do("k", failing)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=call) for _ in range(3)]
+        for t in threads:
+            t.start()
+        _await(lambda: flight.waiting() == 2)
+        gate.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert errors == ["boom", "boom", "boom"]
