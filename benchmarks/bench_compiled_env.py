@@ -1,0 +1,173 @@
+"""B12: compiled discrimination-trie matchers on wide and deep workloads.
+
+Two workload shapes bracket where rule lookup spends its time:
+
+* **wide** -- B10's many-rules scope (one extract rule per constructor
+  plus variable-headed catch-alls) under the MOST_SPECIFIC policy.
+  Every query matches one rigid rule *and* the catch-alls, so the
+  interpreted path re-runs generic matching and the quadratic
+  ``_more_specific`` overlap resolution on every repetition; the
+  compiled path answers from pointer-checking matchers and the
+  memoized overlap decision.  This is the ISSUE's >= 5x case.
+* **deep** -- a ground derivation chain ``D0; {D0}=>D1; ...``: resolving
+  ``D<depth>`` performs ``depth`` recursive lookups, one per rule
+  application, so the per-lookup saving is measured through the
+  resolver rather than around it (informational; both paths narrow the
+  scan to one candidate, so the gap is the per-match constant factor).
+
+``test_compiled_speedup_on_wide_envs`` asserts the >= 5x floor
+(compiled vs interpreted indexed lookup, warm artifacts, cache off);
+``measure_compiled_env`` feeds the same numbers into
+``benchmarks/report.py``'s ``BENCH_<date>.json`` snapshot.
+"""
+
+import time
+
+import pytest
+
+from repro.core.compile_env import compiled_env_for
+from repro.core.env import ImplicitEnv, OverlapPolicy, RuleEntry
+from repro.core.resolution import Resolver
+from repro.core.types import INT, TCon, TVar, Type, rule
+from repro.obs import ResolutionStats, collecting
+
+WIDTHS = (20, 100, 300)
+FLEX_RULES = 2
+REPS = 40
+
+
+def compiled_workload(width: int) -> tuple[ImplicitEnv, list[Type]]:
+    """B10's wide-scope shape: every query overlaps the catch-alls."""
+    a = TVar("a")
+    entries = [
+        RuleEntry(rule(TCon(f"C{i}", (a,)), [], ["a"]), payload=i)
+        for i in range(width)
+    ]
+    for j in range(FLEX_RULES):
+        entries.append(RuleEntry(rule(a, [TCon(f"Missing{j}")], ["a"])))
+    env = ImplicitEnv.empty().push(entries)
+    queries = [TCon(f"C{i}", (INT,)) for i in range(0, width, max(1, width // 10))]
+    return env, queries
+
+
+def deep_workload(depth: int) -> tuple[ImplicitEnv, Type]:
+    """A ground rule chain whose resolution recurses ``depth`` times."""
+    entries: list = [TCon("D0")]
+    for i in range(1, depth + 1):
+        entries.append(rule(TCon(f"D{i}"), [TCon(f"D{i - 1}")]))
+    return ImplicitEnv.empty().push(entries), TCon(f"D{depth}")
+
+
+def _timed(resolver: Resolver, env: ImplicitEnv, queries: list[Type],
+           reps: int = REPS) -> float:
+    start = time.perf_counter()
+    for query in queries:
+        for _ in range(reps):
+            resolver.resolve(env, query)
+    return time.perf_counter() - start
+
+
+def _resolver(mode: str) -> Resolver:
+    return Resolver(
+        policy=OverlapPolicy.MOST_SPECIFIC,
+        cache=None,
+        use_index=mode == "indexed",
+        use_compiled=mode == "compiled",
+    )
+
+
+@pytest.mark.slow
+def test_compiled_speedup_on_wide_envs():
+    env, queries = compiled_workload(120)
+    # Warm the compiled artifact so the one-off compilation cost is not
+    # measured against the steady-state claim (it is amortized across an
+    # environment's lifetime by the fingerprint memo).
+    compiled_env_for(env)
+    interpreted = _timed(_resolver("indexed"), env, queries)
+    compiled = _timed(_resolver("compiled"), env, queries)
+    assert interpreted >= 5.0 * compiled, (
+        f"compiled speedup below 5x on a 120-rule environment: "
+        f"interpreted {interpreted:.4f}s vs compiled {compiled:.4f}s"
+    )
+
+
+@pytest.mark.slow
+def test_compiled_never_loses_on_deep_chains():
+    env, query = deep_workload(60)
+    compiled_env_for(env)
+    naive = _timed(_resolver("naive"), env, [query], reps=5)
+    compiled = _timed(_resolver("compiled"), env, [query], reps=5)
+    # Informational shape: deep chains are recursion-bound, so only a
+    # loose no-regression bound is asserted (generous slack for noise).
+    assert compiled <= naive * 1.5 + 0.05, (
+        f"compiled path regressed a deep chain: compiled {compiled:.4f}s "
+        f"vs naive {naive:.4f}s"
+    )
+
+
+def test_compiled_and_interpreted_agree_on_the_workloads():
+    env, queries = compiled_workload(50)
+    policy = OverlapPolicy.MOST_SPECIFIC
+    for query in queries:
+        compiled = env.lookup(query, policy, use_compiled=True)
+        interpreted = env.lookup(query, policy, use_compiled=False)
+        assert compiled.entry is interpreted.entry
+    deep_env, deep_query = deep_workload(10)
+    d1 = _resolver("compiled").resolve(deep_env, deep_query)
+    d2 = _resolver("naive").resolve(deep_env, deep_query)
+    assert d1.size() == d2.size() == 11
+
+
+def test_compiled_counters_flow_through_stats():
+    env, queries = compiled_workload(20)
+    stats = ResolutionStats()
+    with collecting(stats):
+        env.lookup(queries[0], OverlapPolicy.MOST_SPECIFIC, use_compiled=True)
+    assert stats.compiled_hits >= 1
+    assert stats.compiled_fallbacks == 0  # no generic rules in this workload
+
+
+def measure_compiled_env(width: int = 120, depth: int = 60) -> dict:
+    """Wall-clock numbers for ``benchmarks/report.py`` (B12)."""
+    env, queries = compiled_workload(width)
+    compiled_env_for(env)
+    naive = _timed(_resolver("naive"), env, queries)
+    interpreted = _timed(_resolver("indexed"), env, queries)
+    compiled = _timed(_resolver("compiled"), env, queries)
+    deep_env, deep_query = deep_workload(depth)
+    compiled_env_for(deep_env)
+    deep_naive = _timed(_resolver("naive"), deep_env, [deep_query], reps=5)
+    deep_compiled = _timed(_resolver("compiled"), deep_env, [deep_query], reps=5)
+    return {
+        "width": width,
+        "naive_seconds": round(naive, 6),
+        "indexed_seconds": round(interpreted, 6),
+        "compiled_seconds": round(compiled, 6),
+        "speedup_vs_indexed": round(interpreted / compiled, 2) if compiled else None,
+        "speedup_vs_naive": round(naive / compiled, 2) if compiled else None,
+        "deep_depth": depth,
+        "deep_naive_seconds": round(deep_naive, 6),
+        "deep_compiled_seconds": round(deep_compiled, 6),
+    }
+
+
+@pytest.mark.parametrize("mode", ["naive", "indexed", "compiled"])
+@pytest.mark.parametrize("width", WIDTHS)
+def test_wide_compiled_lookup(benchmark, mode, width):
+    env, queries = compiled_workload(width)
+    policy = OverlapPolicy.MOST_SPECIFIC
+    use_compiled = mode == "compiled"
+    use_index = mode == "indexed"
+    if use_compiled:
+        compiled_env_for(env)
+
+    def lookup_sweep():
+        for query in queries:
+            env.lookup(
+                query, policy, use_index=use_index, use_compiled=use_compiled
+            )
+
+    benchmark.group = f"B12 compiled width={width}"
+    benchmark(lookup_sweep)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["queries"] = len(queries)

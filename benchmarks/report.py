@@ -263,6 +263,11 @@ def _run_timings() -> dict:
     from benchmarks.bench_service import measure_service
 
     timings["service"] = measure_service(one_shot_calls=150, warm_requests=300)
+
+    # B12: compiled trie matchers vs interpreted lookup, wide and deep.
+    from benchmarks.bench_compiled_env import measure_compiled_env
+
+    timings["compiled_env"] = measure_compiled_env(width=120, depth=60)
     return timings
 
 

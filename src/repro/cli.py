@@ -28,6 +28,9 @@ Options:
     --no-cache         disable the resolution derivation cache
     --index/--no-index enable/disable head-constructor indexed lookup
                        (default: enabled; see docs/PERFORMANCE.md)
+    --compile/--no-compile enable/disable compiled discrimination-trie
+                       matchers for frozen rule environments (default:
+                       disabled; see docs/PERFORMANCE.md)
     --trace            print the resolution trace-event stream to stderr
 """
 
@@ -39,7 +42,7 @@ import sys
 import re
 
 from .core.cache import ResolutionCache
-from .core.env import OverlapPolicy, set_indexing
+from .core.env import OverlapPolicy, set_compiling, set_indexing
 from .core.parser import parse_core_expr
 from .core.pretty import pretty_expr, pretty_type
 from .core.resolution import ResolutionStrategy, Resolver
@@ -136,6 +139,14 @@ def _build_parser() -> argparse.ArgumentParser:
             default=True,
             help="head-constructor indexed rule lookup (on by default; "
             "--no-index forces the naive frame scan)",
+        )
+        cmd.add_argument(
+            "--compile",
+            action=argparse.BooleanOptionalAction,
+            default=False,
+            help="compile frozen rule environments to discrimination-trie "
+            "matchers (off by default; pays off on repeated lookups "
+            "against wide environments)",
         )
         cmd.add_argument(
             "--trace",
@@ -240,8 +251,8 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="restrict to one oracle (repeatable); default: the full "
-        "matrix (index, cache, logic, semantics, service, alpha, "
-        "permute, lint)",
+        "matrix (index, compiled, cache, logic, semantics, service, "
+        "alpha, permute, lint)",
     )
     fuzz.add_argument(
         "--artifact-dir",
@@ -424,6 +435,7 @@ def main(argv: list[str] | None = None) -> int:
     stats = ResolutionStats() if args.stats else None
     resolver = _resolver(args, tracer)
     previous_indexing = set_indexing(args.index)
+    previous_compiling = set_compiling(args.compile)
     try:
         with collecting(stats):
             if args.core:
@@ -464,6 +476,7 @@ def main(argv: list[str] | None = None) -> int:
         return report_error(exc)
     finally:
         set_indexing(previous_indexing)
+        set_compiling(previous_compiling)
         if tracer is not None and len(tracer):
             print("-- resolution trace --", file=sys.stderr)
             print(tracer.render(), file=sys.stderr)

@@ -1,0 +1,764 @@
+"""Compiled environment matchers: discrimination tries + per-rule code.
+
+Theorem 1 reads an implicit environment as a logic program; PR 2's
+head-constructor indexing exploited only the root symbol of that
+reading.  This module compiles a *frozen* environment the rest of the
+way down, in the classic term-indexing style (discrimination tries over
+flattened term skeletons, as in the Handbook of Automated Reasoning's
+indexing chapter and Kiselyov et al.'s typeclasses-as-logic-programming
+line):
+
+* every frame gets a :class:`DiscriminationTrie` over the preorder token
+  stream of its rule heads -- one walk over the hash-consed query term
+  selects the candidate rule positions (a *superset* of the true matches,
+  in entry order; completeness is what the differential oracles pin);
+* every rule gets a specialized matcher replacing generic unification:
+
+  - **ground** heads (no quantified variable, no embedded rule type)
+    match by *pointer equality* -- hash-consing makes structural equality
+    of simple types object identity, so the whole match is one ``is``;
+  - **extracting** heads (rigid skeleton around quantified variables,
+    no embedded rule type) run a precompiled instruction sequence that
+    checks the skeleton and binds each variable's subterm directly --
+    no freshening, no substitution, no occurs checks.  The instantiated
+    head *is* the query (interning again), and contexts that mention no
+    variable are returned as precomputed constants;
+  - **generic** heads (any head embedding a :class:`RuleType`) fall back
+    to the interpreted ``_try_match``.  Rule-type matching involves
+    context *set* unification, whose equality is coarser than canonical
+    keys, so only the general engine reproduces it exactly; the
+    ``compiled_fallbacks`` counter makes the fallback rate observable.
+
+Frame compilation additionally memoizes the MOST_SPECIFIC overlap
+decision per *set of matched positions* (with a pairwise
+``_more_specific`` memo underneath), and whole match scans per interned
+query object -- sound because frames are immutable, types are interned
+and matching is deterministic.  These memos, not the trie walk, are
+where most of the steady-state wide-environment speedup comes from; the
+trie is what keeps the *first* scan of each query sublinear in the
+frame width.
+
+Artifacts are memoized like ``program_of_env``: compiled frames by frame
+identity (frames are immutable tuples shared structurally by ``push``,
+so an environment and everything pushed on top of it share compiled
+frames), compiled environments by ``(fingerprint, payload witness)``
+with an identity check on the frame stack, so a fingerprint can never
+alias entries with different payload objects -- lookup results must
+return the *very same* :class:`RuleEntry` objects the interpreted path
+returns.  Push/pop never sees a stale artifact because environments and
+frames are immutable: popping resumes the parent environment, whose
+compiled form is keyed by its own fingerprint.
+
+Everything is toggled like PR 2's indexing: globally via
+:func:`set_compiling` / :func:`compiling` (CLI ``--compile``), per call
+via ``use_compiled``.  The compiled and interpreted paths are observably
+equivalent -- same results, same failures, byte-identical messages --
+which ``tests/property/test_property_compile.py`` and the ``compiled``
+fuzz oracle enforce.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from ..errors import (
+    AmbiguousRuleTypeError,
+    NoMatchingRuleError,
+    OverlappingRulesError,
+)
+from ..obs import record_compiled
+from .env import (
+    ImplicitEnv,
+    LookupResult,
+    OverlapPolicy,
+    RuleEntry,
+    _more_specific,
+    _try_match,
+    compiling,
+    compiling_enabled,
+    set_compiling,
+)
+from .subst import subst_type
+from .types import (
+    RuleType,
+    TCon,
+    TFun,
+    TVar,
+    Type,
+    canonical_key,
+    ftv,
+    subterms,
+)
+from .unify import _Fail, _unify
+
+__all__ = [
+    "DiscriminationTrie",
+    "CompiledFrame",
+    "CompiledEnv",
+    "compiled_frame_for",
+    "compiled_env_for",
+    "clear_compiled_cache",
+    "compiling",
+    "compiling_enabled",
+    "set_compiling",
+    "set_trie_corruption",
+    "corrupt_tries",
+    "type_pattern_tokens",
+    "type_query_tokens",
+    "token_extents",
+]
+
+_EMPTY_FSET: frozenset[str] = frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Fault injection (the `compiled` fuzz oracle's trie-corruption arm).
+# ---------------------------------------------------------------------------
+
+_CORRUPT = False
+
+
+def set_trie_corruption(enabled: bool) -> bool:
+    """Drop the last trie candidate of every scan (simulating a missing
+    trie edge, i.e. an *incomplete* index); returns the previous value."""
+    global _CORRUPT
+    previous = _CORRUPT
+    _CORRUPT = bool(enabled)
+    return previous
+
+
+@contextmanager
+def corrupt_tries() -> Iterator[None]:
+    """Scoped :func:`set_trie_corruption` (test-only)."""
+    previous = set_trie_corruption(True)
+    try:
+        yield
+    finally:
+        set_trie_corruption(previous)
+
+
+# ---------------------------------------------------------------------------
+# Token streams: types flattened to preorder (token, arity) sequences.
+# ---------------------------------------------------------------------------
+
+#: A pattern position standing for "any one subterm" (a quantified
+#: variable, or an embedded rule type matched conservatively).
+STAR = None
+
+
+def type_pattern_tokens(head: Type, bound: frozenset[str]) -> list:
+    """The trie insertion stream of a rule head.
+
+    Each element is either :data:`STAR` or a ``(token, arity)`` pair;
+    quantified variables and embedded rule types become stars (one-subterm
+    wildcards), everything else its exact constructor token.
+    """
+    out: list = []
+    stack: list[Type] = [head]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, TVar):
+            out.append(STAR if t.name in bound else (("v", t.name), 0))
+        elif isinstance(t, TCon):
+            out.append((("c", t.name, len(t.args)), len(t.args)))
+            stack.extend(reversed(t.args))
+        elif isinstance(t, TFun):
+            out.append((("f",), 2))
+            stack.append(t.res)
+            stack.append(t.arg)
+        else:  # RuleType: conservatively one-subterm wildcard
+            out.append(STAR)
+    return out
+
+
+def type_query_tokens(tau: Type) -> list[tuple[tuple, int]]:
+    """The retrieval stream of a query: every position is rigid.
+
+    Rule types appear as opaque leaves -- only a pattern star can consume
+    them, which is exactly how :func:`type_pattern_tokens` emits them.
+    """
+    out: list[tuple[tuple, int]] = []
+    stack: list[Type] = [tau]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, TVar):
+            out.append((("v", t.name), 0))
+        elif isinstance(t, TCon):
+            out.append((("c", t.name, len(t.args)), len(t.args)))
+            stack.extend(reversed(t.args))
+        elif isinstance(t, TFun):
+            out.append((("f",), 2))
+            stack.append(t.res)
+            stack.append(t.arg)
+        else:
+            out.append((("r", len(t.tvars), len(t.context)), 0))
+    return out
+
+
+def token_extents(tokens: list) -> list[int]:
+    """``extents[i]`` = index one past the subterm starting at token ``i``.
+
+    Lets a pattern star skip a whole query subterm in O(1) during
+    retrieval.  Computed with a pending-arity stack in one forward pass.
+    """
+    extents = [0] * len(tokens)
+    pending: list[list[int]] = []  # [start, remaining children]
+    for i, tok in enumerate(tokens):
+        arity = tok[1]
+        pending.append([i, arity])
+        while pending and pending[-1][1] == 0:
+            start, _ = pending.pop()
+            extents[start] = i + 1
+            if pending:
+                pending[-1][1] -= 1
+    return extents
+
+
+class _TrieNode:
+    __slots__ = ("edges", "star", "positions")
+
+    def __init__(self):
+        self.edges: dict[tuple[tuple, int], _TrieNode] = {}
+        self.star: _TrieNode | None = None
+        self.positions: list[int] = []
+
+
+class DiscriminationTrie:
+    """A discrimination trie over preorder token streams.
+
+    Retrieval returns the sorted positions of every stored pattern that
+    could match the query -- an over-approximation (stars are matched
+    structurally, not semantically), never an under-approximation, so
+    downstream matchers only ever *filter* the candidate list.
+    """
+
+    __slots__ = ("root", "_skips")
+
+    def __init__(self):
+        self.root = _TrieNode()
+        #: Per-node memo of "consume exactly one pattern subterm" landing
+        #: sets, used for flexible query positions (logic-engine goals
+        #: with unbound variables).  Safe to cache: tries are frozen
+        #: after construction.
+        self._skips: dict[int, tuple[_TrieNode, ...]] = {}
+
+    def insert(self, tokens: list, position: int) -> None:
+        node = self.root
+        for tok in tokens:
+            if tok is STAR:
+                child = node.star
+                if child is None:
+                    child = node.star = _TrieNode()
+            else:
+                child = node.edges.get(tok)
+                if child is None:
+                    child = node.edges[tok] = _TrieNode()
+            node = child
+        node.positions.append(position)
+
+    def _skip_one(self, node: _TrieNode) -> tuple[_TrieNode, ...]:
+        """All nodes reachable by consuming one whole pattern subterm."""
+        memo = self._skips.get(id(node))
+        if memo is not None:
+            return memo
+        landed: list[_TrieNode] = []
+        stack: list[tuple[_TrieNode, int]] = [(node, 1)]
+        while stack:
+            current, need = stack.pop()
+            for tok, child in current.edges.items():
+                remaining = need - 1 + tok[1]
+                if remaining == 0:
+                    landed.append(child)
+                else:
+                    stack.append((child, remaining))
+            if current.star is not None:
+                if need == 1:
+                    landed.append(current.star)
+                else:
+                    stack.append((current.star, need - 1))
+        memo = tuple(landed)
+        self._skips[id(node)] = memo
+        return memo
+
+    def retrieve(
+        self,
+        tokens: list[tuple[tuple, int]],
+        extents: list[int],
+        flex: frozenset[int] = frozenset(),
+    ) -> list[int]:
+        """Sorted candidate positions for the query token stream.
+
+        ``flex`` marks query positions that are unconstrained (logic
+        variables): they match one whole pattern subterm, star or rigid.
+        """
+        n = len(tokens)
+        found: set[int] = set()
+        stack: list[tuple[_TrieNode, int]] = [(self.root, 0)]
+        seen: set[tuple[int, int]] = set()
+        while stack:
+            node, i = stack.pop()
+            state = (id(node), i)
+            if state in seen:
+                continue
+            seen.add(state)
+            if i == n:
+                found.update(node.positions)
+                continue
+            if i in flex:
+                for landing in self._skip_one(node):
+                    stack.append((landing, i + 1))
+                continue
+            tok = tokens[i]
+            child = node.edges.get(tok)
+            if child is not None:
+                stack.append((child, i + 1))
+            if node.star is not None:
+                stack.append((node.star, extents[i]))
+        return sorted(found)
+
+    def describe(self) -> tuple:
+        """A deterministic structural summary (edges sorted by token)."""
+
+        def node_key(node: _TrieNode) -> tuple:
+            edges = tuple(
+                (tok, node_key(child))
+                for tok, child in sorted(node.edges.items())
+            )
+            star = node_key(node.star) if node.star is not None else None
+            return (edges, star, tuple(node.positions))
+
+        return node_key(self.root)
+
+
+# ---------------------------------------------------------------------------
+# Per-rule specialized matchers.
+# ---------------------------------------------------------------------------
+
+
+def _contains_rule_type(tau: Type) -> bool:
+    return any(isinstance(t, RuleType) for t in subterms(tau))
+
+
+def _same_type(t1: Type, t2: Type) -> bool:
+    """Zero-flex type equality, exactly as ``match_type`` would compare a
+    repeated-variable occurrence: identity for interned simple trees,
+    full no-flex unification when rule types are involved (whose context
+    *set* pairing is coarser than canonical-key equality)."""
+    if t1 is t2:
+        return True
+    try:
+        _unify(t1, t2, _EMPTY_FSET, {}, frozenset())
+    except _Fail:
+        return False
+    return True
+
+
+class _GroundRule:
+    """Pointer-equality fast path for fully rigid heads."""
+
+    __slots__ = ("entry", "head", "result", "ambiguous")
+
+    kind = "ground"
+
+    def __init__(self, entry: RuleEntry, tvars: tuple[str, ...],
+                 context: tuple[Type, ...], head: Type):
+        self.entry = entry
+        self.head = head
+        # A ground head leaves *every* quantified variable undetermined;
+        # `_try_match` raises, and so do we (same wording, built lazily
+        # around the query below).
+        self.ambiguous = ", ".join(tvars) if tvars else None
+        self.result = (
+            None
+            if tvars
+            else LookupResult(entry=entry, type_args=(), context=context, head=head)
+        )
+
+    def match(self, tau: Type) -> LookupResult | None:
+        if tau is not self.head:
+            return None
+        if self.ambiguous is not None:
+            raise AmbiguousRuleTypeError(
+                f"matching {self.entry.rho} against {tau} leaves quantified "
+                f"variable(s) {self.ambiguous} undetermined"
+            )
+        return self.result
+
+    def describe(self) -> tuple:
+        return ("ground", canonical_key(self.head), self.ambiguous is not None)
+
+
+class _ExtractRule:
+    """Precompiled skeleton-check + binder-extraction matcher.
+
+    ``ops`` is a preorder instruction list run against an explicit stack
+    seeded with the query; maximal variable-free subterms of the head
+    collapse into single pointer-equality checks.
+    """
+
+    __slots__ = (
+        "entry", "tvars", "ops", "nslots", "missing",
+        "context", "context_ops", "needs_subst",
+    )
+
+    kind = "extract"
+
+    def __init__(self, entry: RuleEntry, tvars: tuple[str, ...],
+                 context: tuple[Type, ...], head: Type):
+        self.entry = entry
+        self.tvars = tvars
+        self.nslots = len(tvars)
+        slot_of = {name: i for i, name in enumerate(tvars)}
+        bound = frozenset(tvars)
+        head_vars = ftv(head) & bound
+        # Variables absent from the head are undetermined by any match.
+        self.missing = ", ".join(v for v in tvars if v not in head_vars) or None
+        ops: list[tuple] = []
+        seen: set[int] = set()
+        stack: list[Type] = [head]
+        while stack:
+            t = stack.pop()
+            if ftv(t).isdisjoint(bound):
+                ops.append(("e", t))
+            elif isinstance(t, TVar):
+                slot = slot_of[t.name]
+                if slot in seen:
+                    ops.append(("k", slot))
+                else:
+                    seen.add(slot)
+                    ops.append(("b", slot))
+            elif isinstance(t, TCon):
+                ops.append(("c", t.name, len(t.args)))
+                stack.extend(reversed(t.args))
+            else:  # TFun (RuleType heads are classified generic)
+                ops.append(("f",))
+                stack.append(t.res)
+                stack.append(t.arg)
+        self.ops = tuple(ops)
+        self.context = context
+        # Per-element context plan: constants pass through untouched,
+        # variable-mentioning elements are substituted at match time.
+        self.context_ops = tuple(
+            (False, rho) if ftv(rho).isdisjoint(bound) else (True, rho)
+            for rho in context
+        )
+        self.needs_subst = any(flag for flag, _ in self.context_ops)
+
+    def match(self, tau: Type) -> LookupResult | None:
+        slots: list[Type | None] = [None] * self.nslots
+        stack: list[Type] = [tau]
+        for op in self.ops:
+            t = stack.pop()
+            code = op[0]
+            if code == "c":
+                if type(t) is not TCon or t.name != op[1] or len(t.args) != op[2]:
+                    return None
+                stack.extend(reversed(t.args))
+            elif code == "b":
+                slots[op[1]] = t
+            elif code == "e":
+                if t is not op[1]:
+                    return None
+            elif code == "f":
+                if type(t) is not TFun:
+                    return None
+                stack.append(t.res)
+                stack.append(t.arg)
+            else:  # "k": repeated-occurrence check
+                if not _same_type(slots[op[1]], t):
+                    return None
+        if self.missing is not None:
+            raise AmbiguousRuleTypeError(
+                f"matching {self.entry.rho} against {tau} leaves quantified "
+                f"variable(s) {self.missing} undetermined"
+            )
+        if self.needs_subst:
+            theta = {name: slots[i] for i, name in enumerate(self.tvars)}
+            context = tuple(
+                subst_type(theta, rho) if flag else rho
+                for flag, rho in self.context_ops
+            )
+        else:
+            context = self.context
+        # theta(head) rebuilds exactly the query's structure, which
+        # interning collapses back onto the query object itself.
+        return LookupResult(
+            entry=self.entry,
+            type_args=tuple(slots),  # type: ignore[arg-type]
+            context=context,
+            head=tau,
+        )
+
+    def describe(self) -> tuple:
+        slot_names = {name: i for i, name in enumerate(self.tvars)}
+        ops = tuple(
+            ("e", canonical_key(op[1])) if op[0] == "e" else op
+            for op in self.ops
+        )
+        # Context elements canonicalized with binders as slot indices so
+        # alpha-variant rules describe identically.
+        to_slots = {name: TVar(f"%{i}") for name, i in slot_names.items()}
+        ctx = tuple(
+            (flag, canonical_key(subst_type(to_slots, rho)))
+            for flag, rho in self.context_ops
+        )
+        return ("extract", ops, self.missing is not None, ctx)
+
+
+class _GenericRule:
+    """Interpreted fallback (heads embedding rule types)."""
+
+    __slots__ = ("entry",)
+
+    kind = "generic"
+
+    def __init__(self, entry: RuleEntry, tvars: tuple[str, ...],
+                 context: tuple[Type, ...], head: Type):
+        self.entry = entry
+
+    def match(self, tau: Type) -> LookupResult | None:
+        return _try_match(self.entry, tau)
+
+    def describe(self) -> tuple:
+        return ("generic", canonical_key(self.entry.rho))
+
+
+def _compile_rule(entry: RuleEntry):
+    tvars, context, head = entry.parts()
+    if _contains_rule_type(head):
+        return _GenericRule(entry, tvars, context, head)
+    if ftv(head).isdisjoint(tvars):
+        return _GroundRule(entry, tvars, context, head)
+    return _ExtractRule(entry, tvars, context, head)
+
+
+# ---------------------------------------------------------------------------
+# Compiled frames and environments.
+# ---------------------------------------------------------------------------
+
+_AMBIGUOUS = object()
+
+
+class CompiledFrame:
+    """One rule set compiled to a trie plus per-rule matchers."""
+
+    __slots__ = ("frame", "rules", "trie", "_pairs", "_decisions", "_scans")
+
+    def __init__(self, frame: tuple[RuleEntry, ...]):
+        self.frame = frame
+        self.rules = tuple(_compile_rule(entry) for entry in frame)
+        trie = DiscriminationTrie()
+        for pos, entry in enumerate(frame):
+            tvars, _, head = entry.parts()
+            trie.insert(type_pattern_tokens(head, frozenset(tvars)), pos)
+        self.trie = trie
+        #: ``(p, q) -> bool`` memo of ``_more_specific`` between entries.
+        self._pairs: dict[tuple[int, int], bool] = {}
+        #: matched-position-set -> winning position (or _AMBIGUOUS).
+        self._decisions: dict[tuple[int, ...], Any] = {}
+        #: id(query) -> (query, matches | None, fallbacks, exception).
+        #: Sound to memoize whole scans: the frame is immutable, queries
+        #: are interned, and matching is deterministic -- so a repeated
+        #: query replays the recorded outcome (including an ambiguity
+        #: error).  The value pins the query, keeping its id valid.
+        self._scans: dict[int, tuple] = {}
+
+    def matches(self, tau: Type) -> list[tuple[int, LookupResult]]:
+        """All matches in entry order, via the trie and compiled rules.
+
+        Scans are memoized per query object; ``compiled_hits`` /
+        ``compiled_fallbacks`` count *logical* scans, so a memoized
+        replay records the same counters the original scan did.
+        """
+        memo = None if _CORRUPT else self._scans.get(id(tau))
+        if memo is not None and memo[0] is tau:
+            record_compiled(memo[2])
+            if memo[3] is not None:
+                raise memo[3]
+            return memo[1]
+        positions = self._retrieve(tau)
+        if _CORRUPT and positions:
+            positions = positions[:-1]
+        found: list[tuple[int, LookupResult]] = []
+        fallbacks = 0
+        error: AmbiguousRuleTypeError | None = None
+        rules = self.rules
+        try:
+            for pos in positions:
+                rule = rules[pos]
+                if rule.kind == "generic":
+                    fallbacks += 1
+                result = rule.match(tau)
+                if result is not None:
+                    found.append((pos, result))
+        except AmbiguousRuleTypeError as exc:
+            error = exc
+        record_compiled(fallbacks)
+        if not _CORRUPT:
+            if len(self._scans) >= _MAX_SCAN_MEMO:
+                self._scans.clear()
+            self._scans[id(tau)] = (
+                tau,
+                None if error is not None else found,
+                fallbacks,
+                error,
+            )
+        if error is not None:
+            raise error
+        return found
+
+    def _retrieve(self, tau: Type) -> list[int]:
+        tokens = type_query_tokens(tau)
+        return self.trie.retrieve(tokens, token_extents(tokens))
+
+    def most_specific(
+        self, matched: list[tuple[int, LookupResult]], tau: Type
+    ) -> LookupResult:
+        """MOST_SPECIFIC winner with position-set memoization.
+
+        Mirrors ``_most_specific``: the first match that is more specific
+        than every other wins, else the overlap error (same wording).
+        """
+        key = tuple(pos for pos, _ in matched)
+        decision = self._decisions.get(key)
+        if decision is None:
+            pairs = self._pairs
+            for pos, result in matched:
+                for other_pos, other in matched:
+                    if other_pos == pos:
+                        continue
+                    verdict = pairs.get((pos, other_pos))
+                    if verdict is None:
+                        verdict = _more_specific(result, other)
+                        pairs[(pos, other_pos)] = verdict
+                    if not verdict:
+                        break
+                else:
+                    decision = pos
+                    break
+            else:
+                decision = _AMBIGUOUS
+            self._decisions[key] = decision
+        if decision is _AMBIGUOUS:
+            raise OverlappingRulesError(
+                f"query {tau}: no unique most-specific rule among: "
+                + ", ".join(str(r.entry.rho) for _, r in matched)
+            )
+        for pos, result in matched:
+            if pos == decision:
+                return result
+        raise AssertionError("memoized winner not among current matches")
+
+    def describe(self) -> tuple:
+        return (
+            tuple(rule.describe() for rule in self.rules),
+            self.trie.describe(),
+        )
+
+
+class CompiledEnv:
+    """A frozen environment's compiled form: one artifact per frame."""
+
+    __slots__ = ("env", "frames")
+
+    def __init__(self, env: ImplicitEnv, frames: tuple[CompiledFrame, ...]):
+        self.env = env
+        self.frames = frames
+
+    def lookup(
+        self, tau: Type, policy: OverlapPolicy = OverlapPolicy.REJECT
+    ) -> LookupResult:
+        """Innermost-first lookup, byte-identical to the interpreted one."""
+        for compiled in reversed(self.frames):
+            matched = compiled.matches(tau)
+            if not matched:
+                continue
+            if len(matched) > 1:
+                if policy is OverlapPolicy.REJECT:
+                    raise OverlappingRulesError(
+                        f"query {tau} matches {len(matched)} rules in one rule set: "
+                        + ", ".join(str(r.entry.rho) for _, r in matched)
+                    )
+                return compiled.most_specific(matched, tau)
+            return matched[0][1]
+        raise NoMatchingRuleError(
+            f"no rule matching {tau} in the implicit environment"
+        )
+
+    def lookup_all(self, tau: Type) -> Iterator[LookupResult]:
+        for compiled in reversed(self.frames):
+            for _, result in compiled.matches(tau):
+                yield result
+
+    def describe(self) -> tuple:
+        return tuple(compiled.describe() for compiled in self.frames)
+
+    def trie_key(self) -> bytes:
+        """Deterministic serialized artifact identity: equal fingerprints
+        (alpha-equivalent frame stacks) yield byte-identical keys."""
+        return repr(self.describe()).encode()
+
+
+# ---------------------------------------------------------------------------
+# Memoization (mirroring ``program_of_env``'s bounded-FIFO discipline).
+# ---------------------------------------------------------------------------
+
+_MEMO_LOCK = threading.Lock()
+_MAX_MEMO = 256
+#: Per-frame cap on memoized query scans (cleared wholesale on overflow;
+#: steady-state programs query far fewer distinct types per scope).
+_MAX_SCAN_MEMO = 1024
+#: id(frame tuple) -> CompiledFrame.  The value pins the frame, so its id
+#: cannot be recycled while the memo entry lives; frames are shared
+#: structurally by ``push``, which is what makes an environment and its
+#: extensions share per-frame artifacts.
+_FRAME_MEMO: dict[int, CompiledFrame] = {}
+#: (fingerprint, payload witness) -> CompiledEnv.  The value pins the
+#: environment (ids in the witness stay valid); hits additionally verify
+#: frame identity so results always carry the caller's own entry objects.
+_ENV_MEMO: dict[tuple, CompiledEnv] = {}
+
+
+def compiled_frame_for(frame: tuple[RuleEntry, ...]) -> CompiledFrame:
+    """The compiled form of one rule set (memoized by frame identity)."""
+    key = id(frame)
+    with _MEMO_LOCK:
+        hit = _FRAME_MEMO.get(key)
+        if hit is not None and hit.frame is frame:
+            return hit
+    compiled = CompiledFrame(frame)
+    with _MEMO_LOCK:
+        _FRAME_MEMO[key] = compiled
+        while len(_FRAME_MEMO) > _MAX_MEMO:
+            _FRAME_MEMO.pop(next(iter(_FRAME_MEMO)))
+    return compiled
+
+
+def compiled_env_for(env: ImplicitEnv) -> CompiledEnv:
+    """The compiled form of an environment, keyed on its fingerprint and
+    payload witness (the same pair the derivation cache keys on)."""
+    key = (env.fingerprint(), env.payload_witness())
+    frames = env.frames()
+    with _MEMO_LOCK:
+        hit = _ENV_MEMO.get(key)
+    if (
+        hit is not None
+        and len(hit.env.frames()) == len(frames)
+        and all(a is b for a, b in zip(hit.env.frames(), frames))
+    ):
+        return hit
+    compiled = CompiledEnv(env, tuple(compiled_frame_for(f) for f in frames))
+    with _MEMO_LOCK:
+        _ENV_MEMO[key] = compiled
+        while len(_ENV_MEMO) > _MAX_MEMO:
+            _ENV_MEMO.pop(next(iter(_ENV_MEMO)))
+    return compiled
+
+
+def clear_compiled_cache() -> None:
+    """Drop every memoized compiled artifact (tests, memory pressure)."""
+    with _MEMO_LOCK:
+        _FRAME_MEMO.clear()
+        _ENV_MEMO.clear()

@@ -81,6 +81,42 @@ def indexing(enabled: bool) -> Iterator[None]:
         set_indexing(previous)
 
 
+# ---------------------------------------------------------------------------
+# Global compiled-matcher toggle (CLI --compile/--no-compile).
+#
+# Defined here rather than in ``compile_env`` (which re-exports it) so
+# the dispatch in :meth:`ImplicitEnv.lookup` needs no import cycle; off
+# by default -- compilation pays off on repeated lookups against wide
+# frozen environments, and the interpreted path remains the reference
+# semantics the differential oracles compare against.
+# ---------------------------------------------------------------------------
+
+_COMPILING = False
+
+
+def compiling_enabled() -> bool:
+    """Whether compiled environment matchers are globally enabled."""
+    return _COMPILING
+
+
+def set_compiling(enabled: bool) -> bool:
+    """Set the global compiled-matcher default; returns the previous value."""
+    global _COMPILING
+    previous = _COMPILING
+    _COMPILING = bool(enabled)
+    return previous
+
+
+@contextmanager
+def compiling(enabled: bool) -> Iterator[None]:
+    """Scoped :func:`set_compiling` (used by tests and benchmarks)."""
+    previous = set_compiling(enabled)
+    try:
+        yield
+    finally:
+        set_compiling(previous)
+
+
 class OverlapPolicy(enum.Enum):
     """How to handle several matching rules within one rule set."""
 
@@ -336,6 +372,7 @@ class ImplicitEnv:
         tau: Type,
         policy: OverlapPolicy = OverlapPolicy.REJECT,
         use_index: bool | None = None,
+        use_compiled: bool | None = None,
     ) -> LookupResult:
         """Find the rule for ``tau`` (Fig. 1's ``Delta(tau)``).
 
@@ -348,8 +385,18 @@ class ImplicitEnv:
         ``use_index`` selects head-constructor indexed candidate
         selection (``None`` defers to the global :func:`set_indexing`
         toggle); indexed and naive scans are observably equivalent.
+        ``use_compiled`` routes the whole lookup through the compiled
+        discrimination-trie matcher of :mod:`repro.core.compile_env`
+        (``None`` defers to :func:`set_compiling`); compiled and
+        interpreted lookups are observably equivalent too.
         """
         record_lookup()
+        if use_compiled is None:
+            use_compiled = _COMPILING
+        if use_compiled:
+            from .compile_env import compiled_env_for
+
+            return compiled_env_for(self).lookup(tau, policy)
         if use_index is None:
             use_index = _INDEXING
         if use_index:
@@ -373,7 +420,10 @@ class ImplicitEnv:
         raise NoMatchingRuleError(f"no rule matching {tau} in the implicit environment")
 
     def lookup_all(
-        self, tau: Type, use_index: bool | None = None
+        self,
+        tau: Type,
+        use_index: bool | None = None,
+        use_compiled: bool | None = None,
     ) -> Iterator[LookupResult]:
         """All matches for ``tau`` in nearness order (inner frames first).
 
@@ -384,6 +434,13 @@ class ImplicitEnv:
         coherence, is the point of that strategy.
         """
         record_lookup()
+        if use_compiled is None:
+            use_compiled = _COMPILING
+        if use_compiled:
+            from .compile_env import compiled_env_for
+
+            yield from compiled_env_for(self).lookup_all(tau)
+            return
         if use_index is None:
             use_index = _INDEXING
         if use_index:

@@ -156,6 +156,13 @@ class Resolver:
     #: semantic (indexed and naive lookup are observably equivalent), so
     #: excluded from equality like the other attachments below.
     use_index: bool | None = field(default=None, compare=False)
+    #: Compiled discrimination-trie lookup (PR 6): ``True``/``False``
+    #: force it on or off, ``None`` defers to the global
+    #: :func:`repro.core.env.set_compiling` toggle.  Operational, not
+    #: semantic -- compiled and interpreted lookup are observably
+    #: equivalent (the ``compiled`` fuzz oracle's claim) -- so excluded
+    #: from equality like ``use_index``.
+    use_compiled: bool | None = field(default=None, compare=False)
     #: Wall-clock deadline as a :func:`time.monotonic` timestamp, or
     #: ``None`` for no deadline.  Checked on every fuel-consuming
     #: resolution step, so a stuck proof search surfaces as a structured
@@ -283,7 +290,9 @@ class Resolver:
             return self._resolve_backtracking(
                 env, recurse_env, rho, tvars, context, head, assumptions, fuel, depth
             )
-        result = env.lookup(head, self.policy, use_index=self.use_index)
+        result = env.lookup(
+            head, self.policy, use_index=self.use_index, use_compiled=self.use_compiled
+        )
         premises = self._discharge(recurse_env, result, assumptions, fuel, depth)
         return Derivation(
             query=rho,
@@ -333,7 +342,9 @@ class Resolver:
         from ..errors import ResolutionError
 
         last_error: ResolutionError | None = None
-        for result in recurse_env.lookup_all(head, use_index=self.use_index):
+        for result in recurse_env.lookup_all(
+            head, use_index=self.use_index, use_compiled=self.use_compiled
+        ):
             try:
                 premises = self._discharge(
                     recurse_env, result, assumptions, fuel, depth
@@ -371,6 +382,7 @@ def resolve(
     strategy: ResolutionStrategy = ResolutionStrategy.SYNTACTIC,
     fuel: int = DEFAULT_FUEL,
     use_index: bool | None = None,
+    use_compiled: bool | None = None,
     deadline: float | None = None,
     cache: ResolutionCache | None = _UNSET,
     stats: ResolutionStats | None = None,
@@ -388,6 +400,7 @@ def resolve(
         and stats is None
         and tracer is None
         and use_index is None
+        and use_compiled is None
         and deadline is None
         and (policy, strategy, fuel)
         == (_DEFAULT.policy, _DEFAULT.strategy, _DEFAULT.fuel)
@@ -400,6 +413,7 @@ def resolve(
         strategy=strategy,
         fuel=fuel,
         use_index=use_index,
+        use_compiled=use_compiled,
         deadline=deadline,
         cache=cache,
         stats=stats,

@@ -14,6 +14,11 @@ The engine pairs mirror every redundancy the repo has accumulated:
 
 =============  ==========================================================
 ``index``      head-constructor indexed lookup vs the naive frame scan
+``compiled``   compiled discrimination-trie matchers
+               (:mod:`repro.core.compile_env`) vs interpreted indexed
+               lookup, run under *both* overlap policies so the compiled
+               path's failure behaviour (overlap rejection, specificity
+               selection, ambiguity) is compared too
 ``cache``      memoized resolution (two resolves through one cache)
                vs cache-disabled resolution
 ``logic``      the deterministic Resolver vs the logic engine's
@@ -38,7 +43,12 @@ fresh-variable naming can never masquerade as disagreements.
 
 Fault injection (test-only): :func:`inject_fault` corrupts one side of
 the named oracle so the shrinker, artifact writer and ``--replay`` path
-can be exercised end to end without a real bug in the engines.
+can be exercised end to end without a real bug in the engines.  Most
+oracles flip right-hand successes into a sentinel failure
+(:func:`_faulted`); the ``compiled`` oracle instead corrupts the *trie
+itself* (every scan drops its last candidate -- a missing-edge,
+incomplete-index bug), so the injected failure exercises the exact
+class of bug the oracle exists to catch.
 """
 
 from __future__ import annotations
@@ -188,14 +198,17 @@ def resolve_outcome(
     env=None,
     query: Type | None = None,
     use_index: bool | None = None,
+    use_compiled: bool | None = None,
     cache: ResolutionCache | None = None,
     unmap: dict[str, str] | None = None,
+    policy: OverlapPolicy = OverlapPolicy.REJECT,
 ) -> Outcome:
     """Run one resolution through a configured Resolver; normalize."""
     resolver = Resolver(
-        policy=OverlapPolicy.REJECT,
+        policy=policy,
         strategy=ResolutionStrategy.SYNTACTIC,
         use_index=use_index,
+        use_compiled=use_compiled,
         cache=cache,
     )
     try:
@@ -253,6 +266,46 @@ def oracle_index(case: FuzzCase, ctx: OracleContext) -> Verdict:
     left = resolve_outcome(case, use_index=True)
     right = _faulted("index", resolve_outcome(case, use_index=False))
     return classify("index", left, right)
+
+
+def _policy_pair(case: FuzzCase, **kwargs) -> Outcome:
+    """One composite outcome covering *both* overlap policies.
+
+    The compiled matcher must reproduce not just successes but the
+    interpreted path's failure behaviour -- overlap rejection under
+    REJECT, specificity selection and ambiguity under MOST_SPECIFIC --
+    so each side of the ``compiled`` oracle is the pair of per-policy
+    outcomes.  The composite counts as "ok" if either policy resolved
+    (mirroring how single-policy oracles report ``both_fail`` only when
+    nothing resolves), with the full per-policy detail kept so any
+    divergence in *which* policy failed, or how, still disagrees.
+    """
+    outcomes = []
+    for policy in (OverlapPolicy.REJECT, OverlapPolicy.MOST_SPECIFIC):
+        out = resolve_outcome(case, policy=policy, **kwargs)
+        outcomes.append((policy.name, out.status, out.detail))
+    status = "fail" if all(s == "fail" for _, s, _ in outcomes) else "ok"
+    return Outcome(status, tuple(outcomes))
+
+
+def oracle_compiled(case: FuzzCase, ctx: OracleContext) -> Verdict:
+    """Compiled trie matchers vs interpreted indexed lookup (PR 9).
+
+    Unlike the other oracles, the fault arm does not flip outcomes after
+    the fact: it corrupts the discrimination tries themselves (every
+    scan silently drops its last candidate), so the injected bug is of
+    exactly the class -- an incomplete index -- this oracle guards
+    against.
+    """
+    from ..core.compile_env import corrupt_tries
+
+    if _FAULT == "compiled":
+        with corrupt_tries():
+            left = _policy_pair(case, use_compiled=True)
+    else:
+        left = _policy_pair(case, use_compiled=True)
+    right = _policy_pair(case, use_index=True, use_compiled=False)
+    return classify("compiled", left, right, note="both overlap policies")
 
 
 def oracle_cache(case: FuzzCase, ctx: OracleContext) -> Verdict:
@@ -451,6 +504,7 @@ OracleFn = Callable[[FuzzCase, OracleContext], Verdict]
 #: The oracle matrix, in the order `repro fuzz` runs them.
 ORACLES: dict[str, OracleFn] = {
     "index": oracle_index,
+    "compiled": oracle_compiled,
     "cache": oracle_cache,
     "logic": oracle_logic,
     "semantics": oracle_semantics,

@@ -19,6 +19,18 @@ index incrementally alongside the program; the index respects clause
 order, so solution enumeration order is unchanged.  The global
 :func:`repro.core.env.set_indexing` toggle governs it.
 
+When compiled matchers are enabled (:func:`repro.core.env.set_compiling`,
+CLI ``--compile``), backchaining instead selects candidates through a
+:class:`ClauseTrie` -- a discrimination trie over whole clause-head
+skeletons (shared machinery with :mod:`repro.core.compile_env`), so goal
+subterms beyond the root prune too.  Goal positions holding unbound
+logic variables are retrieved flexibly (they match any one pattern
+subterm), which keeps the candidate set a superset of the unifiable
+clauses; candidate order remains program order either way.  The trie for
+a program derived from an environment is memoized alongside
+``program_of_env``'s fingerprint-keyed memo, so the environment's
+compiled artifact is shared across entailment checks.
+
 Search is depth-bounded so that the entailment check is a decision
 procedure usable inside property tests: ``True`` means provable within
 the bound, ``False`` means no proof was found within the bound.
@@ -26,10 +38,11 @@ the bound, ``False`` means no proof was found within the bound.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
-from ..obs import record_entails, record_index, record_unify
+from ..obs import record_compiled, record_entails, record_index, record_unify
 from .terms import (
     Atom,
     Clause,
@@ -157,6 +170,162 @@ class ClauseIndex:
         out.extend(flex[j:])
         return out
 
+    def candidates_for(self, term: Term, subst: Subst) -> list[int] | None:
+        """Candidate positions for an atomic goal, or ``None`` for a goal
+        whose root is an unbound variable (no pruning possible)."""
+        goal_head = walk(term, subst)
+        if isinstance(goal_head, Struct):
+            return self.candidates((goal_head.functor, len(goal_head.args)))
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Compiled clause selection: discrimination tries over head skeletons.
+# ---------------------------------------------------------------------------
+
+
+def _clause_pattern_tokens(head: Term) -> list:
+    """Preorder trie-insertion stream of a clause head (Vars are stars)."""
+    from ..core.compile_env import STAR
+
+    out: list = []
+    stack: list[Term] = [head]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, Var):
+            out.append(STAR)
+        else:
+            out.append(((t.functor, len(t.args)), len(t.args)))
+            stack.extend(reversed(t.args))
+    return out
+
+
+def _goal_tokens(term: Term, subst: Subst) -> tuple[list, frozenset[int]]:
+    """Retrieval stream of a goal term under ``subst``; positions still
+    holding unbound variables after walking are flagged flexible."""
+    out: list = []
+    flex: set[int] = set()
+    stack: list[Term] = [term]
+    while stack:
+        t = walk(stack.pop(), subst)
+        if isinstance(t, Var):
+            flex.add(len(out))
+            out.append((("flex",), 0))
+        else:
+            out.append(((t.functor, len(t.args)), len(t.args)))
+            stack.extend(reversed(t.args))
+    return out, frozenset(flex)
+
+
+class ClauseTrie:
+    """Whole-skeleton clause selection (the compiled analogue of
+    :class:`ClauseIndex`); candidate lists preserve program order."""
+
+    __slots__ = ("trie", "width")
+
+    def __init__(self, program: tuple[Clause, ...]):
+        from ..core.compile_env import DiscriminationTrie
+
+        trie = DiscriminationTrie()
+        for pos, clause in enumerate(program):
+            trie.insert(_clause_pattern_tokens(clause.head), pos)
+        self.trie = trie
+        self.width = len(program)
+
+    def candidates_for(self, term: Term, subst: Subst) -> list[int]:
+        from ..core.compile_env import token_extents
+
+        tokens, flex = _goal_tokens(term, subst)
+        positions = self.trie.retrieve(tokens, token_extents(tokens), flex)
+        record_compiled()
+        return positions
+
+    def extended(self, clauses: tuple[Clause, ...]) -> "_ExtendedClauseTrie":
+        """The selection structure of ``program + clauses`` (implication
+        goals); added clauses are screened by root symbol only."""
+        extra = tuple(
+            (
+                self.width + i,
+                (clause.head.functor, len(clause.head.args))
+                if isinstance(clause.head, Struct)
+                else None,
+            )
+            for i, clause in enumerate(clauses)
+        )
+        return _ExtendedClauseTrie(self, extra, self.width + len(clauses))
+
+
+class _ExtendedClauseTrie:
+    """A :class:`ClauseTrie` plus implication-added clauses.
+
+    The base trie is immutable and shared; extension clauses live in a
+    side list screened per goal by root symbol (they are few and local).
+    Base positions all precede extension positions, so concatenation
+    keeps program order.
+    """
+
+    __slots__ = ("base", "extra", "width")
+
+    def __init__(self, base, extra: tuple, width: int):
+        self.base = base
+        self.extra = extra
+        self.width = width
+
+    def candidates_for(self, term: Term, subst: Subst) -> list[int]:
+        positions = list(self.base.candidates_for(term, subst))
+        goal_head = walk(term, subst)
+        rigid = (
+            (goal_head.functor, len(goal_head.args))
+            if isinstance(goal_head, Struct)
+            else None
+        )
+        for pos, sym in self.extra:
+            if sym is None or rigid is None or sym == rigid:
+                positions.append(pos)
+        return positions
+
+    def extended(self, clauses: tuple[Clause, ...]) -> "_ExtendedClauseTrie":
+        extra = tuple(
+            (
+                self.width + i,
+                (clause.head.functor, len(clause.head.args))
+                if isinstance(clause.head, Struct)
+                else None,
+            )
+            for i, clause in enumerate(clauses)
+        )
+        return _ExtendedClauseTrie(self, extra, self.width + len(clauses))
+
+
+_TRIE_LOCK = threading.Lock()
+_MAX_TRIES = 128
+#: id(program) -> (program, ClauseTrie).  Keeping the program pins its
+#: id, so a hit is always the same tuple object; ``program_of_env``
+#: already memoizes programs per environment fingerprint, which makes
+#: this effectively fingerprint-keyed for encoded environments.
+_TRIE_MEMO: dict[int, tuple[tuple[Clause, ...], "ClauseTrie"]] = {}
+
+
+def clause_trie_for(program: tuple[Clause, ...]) -> ClauseTrie:
+    """The (memoized) compiled clause selection for a program."""
+    key = id(program)
+    with _TRIE_LOCK:
+        hit = _TRIE_MEMO.get(key)
+        if hit is not None and hit[0] is program:
+            return hit[1]
+    trie = ClauseTrie(program)
+    with _TRIE_LOCK:
+        _TRIE_MEMO[key] = (program, trie)
+        while len(_TRIE_MEMO) > _MAX_TRIES:
+            _TRIE_MEMO.pop(next(iter(_TRIE_MEMO)))
+    return trie
+
+
+def clear_clause_tries() -> None:
+    """Drop the memoized clause tries (tests)."""
+    with _TRIE_LOCK:
+        _TRIE_MEMO.clear()
+
 
 _MEMO_MISS = object()
 _UNSET = object()
@@ -215,9 +384,11 @@ class Engine:
                 raise TypeError(f"not a Goal: {goal!r}")
 
     @staticmethod
-    def _initial_index(program: tuple[Clause, ...]) -> ClauseIndex | None:
-        from ..core.env import indexing_enabled
+    def _initial_index(program: tuple[Clause, ...]):
+        from ..core.env import compiling_enabled, indexing_enabled
 
+        if compiling_enabled():
+            return clause_trie_for(program)
         return ClauseIndex(program) if indexing_enabled() else None
 
     def _solve_all(
@@ -245,13 +416,13 @@ class Engine:
     ) -> Iterator[dict[str, Term]]:
         candidates: Iterable[Clause] = program
         if index is not None:
-            goal_head = walk(term, subst)
-            if isinstance(goal_head, Struct):
-                # A rigid goal root can only unify with clause heads that
-                # share it, or with flex (variable-headed) clauses; a
-                # variable goal root can match anything, so fall through
-                # to the full scan.
-                positions = index.candidates((goal_head.functor, len(goal_head.args)))
+            # A rigid goal root can only unify with clause heads that
+            # share it, or with flex (variable-headed) clauses; with a
+            # ClauseTrie the whole goal skeleton prunes.  ``None`` means
+            # no pruning was possible (variable goal root under a
+            # ClauseIndex): fall through to the full scan.
+            positions = index.candidates_for(term, subst)
+            if positions is not None:
                 record_index(len(program) - len(positions))
                 candidates = (program[pos] for pos in positions)
         for clause in candidates:

@@ -19,6 +19,7 @@ from .stats import (
     ResolutionStats,
     active_stats,
     collecting,
+    record_compiled,
     record_entails,
     record_fuzz_case,
     record_fuzz_disagreement,
@@ -41,6 +42,7 @@ __all__ = [
     "ResolutionStats",
     "active_stats",
     "collecting",
+    "record_compiled",
     "record_entails",
     "record_fuzz_case",
     "record_fuzz_disagreement",

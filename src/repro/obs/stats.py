@@ -45,6 +45,12 @@ Counter glossary (see also ``docs/OBSERVABILITY.md``):
                     index (one per frame consulted with indexing on)
 ``candidates_pruned`` rule entries the index proved irrelevant without a
                     matching attempt (skipped candidates)
+``compiled_hits``   scans answered through a compiled discrimination-trie
+                    matcher (one per frame consulted by a compiled
+                    environment lookup, plus one per compiled logic-engine
+                    backchain; :mod:`repro.core.compile_env`)
+``compiled_fallbacks`` candidate rules a compiled scan had to hand back
+                    to the generic matcher (heads embedding rule types)
 ``entails_calls``   logic-engine entailment checks (``Delta+ |= rho+``)
 ``entails_hits``    entailment checks answered from the entailment memo
 ``coalesced_requests`` service requests answered by sharing another
@@ -85,6 +91,8 @@ class ResolutionStats:
     unify_calls: int = 0
     index_hits: int = 0
     candidates_pruned: int = 0
+    compiled_hits: int = 0
+    compiled_fallbacks: int = 0
     entails_calls: int = 0
     entails_hits: int = 0
     coalesced_requests: int = 0
@@ -184,6 +192,15 @@ def record_index(pruned: int) -> None:
     if stats is not None:
         stats.index_hits += 1
         stats.candidates_pruned += pruned
+
+
+def record_compiled(fallbacks: int = 0) -> None:
+    """One compiled-matcher scan, ``fallbacks`` of whose candidates fell
+    back to generic matching."""
+    stats = getattr(_SLOT, "stats", None)
+    if stats is not None:
+        stats.compiled_hits += 1
+        stats.compiled_fallbacks += fallbacks
 
 
 def record_entails(hit: bool = False) -> None:

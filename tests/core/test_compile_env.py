@@ -1,0 +1,276 @@
+"""Unit tests for the compiled environment matchers (PR 9).
+
+The differential guarantees (compiled == interpreted on random
+environments, under both overlap policies) live in
+``tests/property/test_property_compile.py`` and the ``compiled`` fuzz
+oracle; this module pins the compilation machinery itself -- token
+streams, extents, trie retrieval, the three matcher kinds, the
+corruption hook, the counters and the memo discipline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BOOL, CHAR, INT, ImplicitEnv, TFun, TVar, pair, rule
+from repro.core.compile_env import (
+    STAR,
+    CompiledFrame,
+    DiscriminationTrie,
+    clear_compiled_cache,
+    compiled_env_for,
+    compiled_frame_for,
+    corrupt_tries,
+    token_extents,
+    type_pattern_tokens,
+    type_query_tokens,
+)
+from repro.core.env import OverlapPolicy, RuleEntry
+from repro.errors import (
+    AmbiguousRuleTypeError,
+    NoMatchingRuleError,
+    OverlappingRulesError,
+)
+from repro.obs import ResolutionStats, collecting
+
+
+a = TVar("a")
+b = TVar("b")
+
+
+# ---------------------------------------------------------------------------
+# Token streams and extents.
+# ---------------------------------------------------------------------------
+
+
+def test_pattern_tokens_star_bound_variables_only():
+    tokens = type_pattern_tokens(pair(a, TFun(INT, b)), frozenset({"a"}))
+    # Pair(2), *, ->(2), Int(0), v:b(0) -- only the *bound* variable stars.
+    assert len(tokens) == 5
+    assert tokens[1] is STAR
+    assert tokens[0][1] == 2 and tokens[2][1] == 2
+    assert tokens[3][1] == 0 and tokens[4] == (("v", "b"), 0)
+
+
+def test_query_tokens_have_no_stars_and_mirror_patterns():
+    tau = pair(INT, TFun(BOOL, CHAR))
+    query = type_query_tokens(tau)
+    assert all(tok is not STAR for tok in query)
+    # A pattern with no bound variables tokenizes identically.
+    assert type_pattern_tokens(tau, frozenset()) == query
+
+
+def test_rule_type_queries_are_opaque_leaves():
+    rho = rule(INT, [BOOL], [])
+    tokens = type_query_tokens(pair(rho, INT))
+    assert tokens[1] == (("r", 0, 1), 0)
+
+
+def test_token_extents_span_whole_subterms():
+    tokens = type_query_tokens(pair(INT, pair(BOOL, INT)))
+    # Pair Int Pair Bool Int
+    assert token_extents(tokens) == [5, 2, 5, 4, 5]
+
+
+# ---------------------------------------------------------------------------
+# Trie retrieval: over-approximating, never under-approximating.
+# ---------------------------------------------------------------------------
+
+
+def _trie_for(heads_and_bounds):
+    trie = DiscriminationTrie()
+    for pos, (head, bound) in enumerate(heads_and_bounds):
+        trie.insert(type_pattern_tokens(head, frozenset(bound)), pos)
+    return trie
+
+
+def _retrieve(trie, tau, flex=frozenset()):
+    tokens = type_query_tokens(tau)
+    return trie.retrieve(tokens, token_extents(tokens), flex)
+
+
+def test_trie_exact_star_and_miss():
+    trie = _trie_for(
+        [
+            (INT, ()),  # 0: ground
+            (pair(a, a), ("a",)),  # 1: stars under Pair
+            (pair(INT, BOOL), ()),  # 2: rigid Pair
+            (TFun(a, INT), ("a",)),  # 3: function head
+        ]
+    )
+    assert _retrieve(trie, INT) == [0]
+    assert _retrieve(trie, pair(INT, BOOL)) == [1, 2]
+    assert _retrieve(trie, pair(pair(INT, INT), BOOL)) == [1]
+    assert _retrieve(trie, TFun(BOOL, INT)) == [3]
+    assert _retrieve(trie, CHAR) == []
+
+
+def test_trie_flex_position_matches_any_one_subterm():
+    trie = _trie_for([(INT, ()), (pair(INT, BOOL), ()), (pair(a, a), ("a",))])
+    # A fully flexible single-position query reaches every pattern.
+    tokens = [(("flex",), 0)]
+    assert trie.retrieve(tokens, token_extents(tokens), frozenset({0})) == [
+        0,
+        1,
+        2,
+    ]
+
+
+def test_trie_retrieval_is_sorted_entry_order():
+    heads = [(pair(a, b), ("a", "b")), (pair(INT, INT), ()), (pair(a, a), ("a",))]
+    trie = _trie_for(heads)
+    assert _retrieve(trie, pair(INT, INT)) == [0, 1, 2]
+
+
+# ---------------------------------------------------------------------------
+# The three matcher kinds.
+# ---------------------------------------------------------------------------
+
+
+def _frame(*rhos):
+    return tuple(RuleEntry(rho) for rho in rhos)
+
+
+def test_ground_rule_matches_by_identity():
+    frame = _frame(INT)
+    compiled = CompiledFrame(frame)
+    assert compiled.rules[0].kind == "ground"
+    [(pos, result)] = compiled.matches(INT)
+    assert pos == 0 and result.entry is frame[0]
+    assert result.head is INT and result.context == ()
+    assert compiled.matches(BOOL) == []
+
+
+def test_ground_rule_with_undetermined_variable_is_ambiguous():
+    # forall a. {a} => Int: matching Int leaves `a` undetermined -- the
+    # compiled path must raise exactly what the interpreted path raises.
+    rho = rule(INT, [a], ["a"])
+    env = ImplicitEnv.empty().push([rho])
+    with pytest.raises(AmbiguousRuleTypeError) as interpreted:
+        env.lookup(INT, use_compiled=False)
+    with pytest.raises(AmbiguousRuleTypeError) as compiled:
+        compiled_env_for(env).lookup(INT)
+    assert str(compiled.value) == str(interpreted.value)
+
+
+def test_extract_rule_binds_and_checks_repeats():
+    frame = _frame(rule(pair(a, a), [a], ["a"]))
+    compiled = CompiledFrame(frame)
+    assert compiled.rules[0].kind == "extract"
+    [(_, result)] = compiled.matches(pair(INT, INT))
+    assert result.type_args == (INT,)
+    assert result.context == (INT,)
+    assert result.head is pair(INT, INT)
+    # Repeated-occurrence check rejects Pair Int Bool.
+    assert compiled.matches(pair(INT, BOOL)) == []
+
+
+def test_extract_rule_constant_context_is_precomputed():
+    frame = _frame(rule(TFun(a, a), [INT], ["a"]))
+    compiled = CompiledFrame(frame)
+    [(_, r1)] = compiled.matches(TFun(BOOL, BOOL))
+    [(_, r2)] = compiled.matches(TFun(CHAR, CHAR))
+    assert r1.context is r2.context  # the precomputed constant tuple
+
+
+def test_rule_type_heads_fall_back_to_generic():
+    inner = rule(INT, [BOOL], [])
+    frame = _frame(rule(pair(inner, a), [a], ["a"]))
+    compiled = CompiledFrame(frame)
+    assert compiled.rules[0].kind == "generic"
+    [(_, result)] = compiled.matches(pair(inner, INT))
+    assert result.entry is frame[0]
+
+
+# ---------------------------------------------------------------------------
+# Whole-environment lookup, corruption, counters.
+# ---------------------------------------------------------------------------
+
+
+def test_compiled_lookup_matches_interpreted_choices():
+    env = (
+        ImplicitEnv.empty()
+        .push([INT, rule(pair(a, a), [a], ["a"])])
+        .push([rule(pair(INT, INT), [], [])])
+    )
+    compiled = compiled_env_for(env)
+    tau = pair(INT, INT)
+    assert compiled.lookup(tau).entry is env.lookup(tau, use_compiled=False).entry
+    with pytest.raises(NoMatchingRuleError) as exc:
+        compiled.lookup(CHAR)
+    with pytest.raises(NoMatchingRuleError) as interpreted:
+        env.lookup(CHAR, use_compiled=False)
+    assert str(exc.value) == str(interpreted.value)
+
+
+def test_overlap_policies_agree_with_interpreted():
+    env = ImplicitEnv.empty().push(
+        [rule(pair(a, b), [], ["a", "b"]), rule(pair(INT, INT), [], [])]
+    )
+    compiled = compiled_env_for(env)
+    tau = pair(INT, INT)
+    with pytest.raises(OverlappingRulesError) as left:
+        compiled.lookup(tau, OverlapPolicy.REJECT)
+    with pytest.raises(OverlappingRulesError) as right:
+        env.lookup(tau, OverlapPolicy.REJECT, use_compiled=False)
+    assert str(left.value) == str(right.value)
+    winner = compiled.lookup(tau, OverlapPolicy.MOST_SPECIFIC)
+    expected = env.lookup(tau, OverlapPolicy.MOST_SPECIFIC, use_compiled=False)
+    assert winner.entry is expected.entry
+    # The decision is memoized; a second query takes the memo path.
+    again = compiled.lookup(tau, OverlapPolicy.MOST_SPECIFIC)
+    assert again.entry is expected.entry
+
+
+def test_corruption_drops_candidates():
+    env = ImplicitEnv.empty().push([INT])
+    compiled = compiled_env_for(env)
+    assert compiled.lookup(INT).entry is env.frames()[0][0]
+    with corrupt_tries():
+        with pytest.raises(NoMatchingRuleError):
+            compiled.lookup(INT)
+    # And back to normal once the scope closes.
+    assert compiled.lookup(INT).entry is env.frames()[0][0]
+
+
+def test_compiled_counters_and_fallbacks():
+    inner = rule(INT, [BOOL], [])
+    env = ImplicitEnv.empty().push([INT, rule(pair(inner, a), [a], ["a"])])
+    stats = ResolutionStats()
+    with collecting(stats):
+        env.lookup(INT, use_compiled=True)
+        env.lookup(pair(inner, INT), use_compiled=True)
+    assert stats.compiled_hits >= 2
+    assert stats.compiled_fallbacks >= 1  # the generic rule was consulted
+
+
+# ---------------------------------------------------------------------------
+# Memoization discipline.
+# ---------------------------------------------------------------------------
+
+
+def test_env_memo_returns_same_artifact_and_shares_frames():
+    base = ImplicitEnv.empty().push([INT, BOOL])
+    extended = base.push([CHAR])
+    assert compiled_env_for(base) is compiled_env_for(base)
+    # `push` shares the underlying frame tuple, so the compiled frame is
+    # shared too -- compiling the extension does not recompile the base.
+    assert compiled_env_for(extended).frames[0] is compiled_env_for(base).frames[0]
+
+
+def test_frame_memo_is_identity_keyed():
+    frame = _frame(INT, BOOL)
+    assert compiled_frame_for(frame) is compiled_frame_for(frame)
+    # An equal-but-distinct tuple gets its own artifact (identity, not
+    # equality, is the key -- entry objects must round-trip).
+    other = _frame(INT, BOOL)
+    assert compiled_frame_for(other) is not compiled_frame_for(frame)
+
+
+def test_clear_compiled_cache_forgets_artifacts():
+    env = ImplicitEnv.empty().push([INT])
+    before = compiled_env_for(env)
+    clear_compiled_cache()
+    after = compiled_env_for(env)
+    assert after is not before
+    assert after.lookup(INT).entry is env.frames()[0][0]

@@ -59,6 +59,8 @@ class TestHandComputedCounters:
             "unify_calls": 2,
             "index_hits": 2,
             "candidates_pruned": 2,
+            "compiled_hits": 0,
+            "compiled_fallbacks": 0,
             "entails_calls": 0,
             "entails_hits": 0,
             "coalesced_requests": 0,
@@ -87,6 +89,8 @@ class TestHandComputedCounters:
             "unify_calls": 2,
             "index_hits": 2,
             "candidates_pruned": 2,
+            "compiled_hits": 0,
+            "compiled_fallbacks": 0,
             "entails_calls": 0,
             "entails_hits": 0,
             "coalesced_requests": 0,
@@ -116,6 +120,8 @@ class TestHandComputedCounters:
             "unify_calls": 1,
             "index_hits": 1,
             "candidates_pruned": 0,
+            "compiled_hits": 0,
+            "compiled_fallbacks": 0,
             "entails_calls": 0,
             "entails_hits": 0,
             "coalesced_requests": 0,
@@ -146,6 +152,8 @@ class TestHandComputedCounters:
             "unify_calls": 4,
             "index_hits": 4,
             "candidates_pruned": 4,
+            "compiled_hits": 0,
+            "compiled_fallbacks": 0,
             "entails_calls": 0,
             "entails_hits": 0,
             "coalesced_requests": 0,

@@ -1,0 +1,67 @@
+"""Regression: global toggles flipped inside one test cannot leak out.
+
+The engine keeps four pieces of process-global configuration: the
+indexing toggle, the compiled-matcher toggle, the fuzz harness's fault
+injection, and the compile module's trie corruption (plus the
+thread-local stats slot).  The autouse ``_reset_global_state`` fixture
+in ``tests/conftest.py`` must restore all of them after every test --
+otherwise a fuzz or property test could silently change the semantics
+(or the counters) of whatever test happens to run next.
+
+pytest runs tests within a module in definition order, so each
+``*_flips_everything`` test below deliberately leaves every toggle in
+its non-default state, and the immediately following ``*_sees_defaults``
+test asserts the fixture cleaned up.  The pairs are duplicated so the
+check also holds when a flipped state is the *starting* point of the
+next flip.
+"""
+
+from __future__ import annotations
+
+from repro.core import compile_env
+from repro.core.env import (
+    compiling_enabled,
+    indexing_enabled,
+    set_compiling,
+    set_indexing,
+)
+from repro.fuzz import oracles
+from repro.fuzz.oracles import set_fault
+from repro.obs.stats import _SLOT, ResolutionStats
+
+
+def _flip_everything() -> None:
+    set_indexing(False)
+    set_compiling(True)
+    set_fault("index")
+    compile_env.set_trie_corruption(True)
+    _SLOT.stats = ResolutionStats()
+
+
+def _assert_defaults() -> None:
+    assert indexing_enabled() is True
+    assert compiling_enabled() is False
+    assert oracles._FAULT is None
+    assert compile_env._CORRUPT is False
+    assert getattr(_SLOT, "stats", None) is None
+
+
+def test_a_flips_everything():
+    _flip_everything()
+    assert indexing_enabled() is False
+    assert compiling_enabled() is True
+    assert oracles._FAULT == "index"
+    assert compile_env._CORRUPT is True
+    assert _SLOT.stats is not None
+
+
+def test_b_sees_defaults():
+    _assert_defaults()
+
+
+def test_c_flips_everything_again():
+    _flip_everything()
+
+
+def test_d_sees_defaults_again():
+    _assert_defaults()
