@@ -216,6 +216,20 @@ def _run_experiments() -> None:
     )
     row("E9", "{C}=>B, {A}=>C |-r {A}=>B", "syntactic stuck, extending ok", measured)
 
+    # B13 agreement smoke: the sharded deployment is an optimisation,
+    # not a semantics change -- a 2-shard supervisor and a single
+    # process must produce byte-identical session transcripts.  Runs in
+    # ``--quick`` too, so CI exercises the multi-process path.
+    from benchmarks.bench_sharded_service import sharded_agreement
+
+    agree, total = sharded_agreement(sessions=8)
+    row(
+        "B13",
+        "sharded vs single-process transcripts",
+        "8/8 agree",
+        f"{agree}/{total} agree",
+    )
+
 
 def _run_timings() -> dict:
     """The two headline performance claims, as wall-clock measurements."""
@@ -268,6 +282,14 @@ def _run_timings() -> dict:
     from benchmarks.bench_compiled_env import measure_compiled_env
 
     timings["compiled_env"] = measure_compiled_env(width=120, depth=60)
+
+    # B13: sharded-service scaling -- 4 worker processes vs 1, over 1k
+    # warm sessions.  The ``scaling`` figure is honest for the machine
+    # it ran on (``cpus`` is recorded next to it): one core cannot show
+    # multi-core scaling.
+    from benchmarks.bench_sharded_service import measure_sharded_service
+
+    timings["sharded_service"] = measure_sharded_service()
     return timings
 
 

@@ -203,15 +203,24 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers",
         type=int,
+        default=0,
+        help="shard worker *processes* behind an async front-end, "
+        "sessions routed by env fingerprint via consistent hashing; "
+        "0 (the default) keeps the single-process threaded server",
+    )
+    serve.add_argument(
+        "--threads",
+        type=int,
         default=4,
-        help="worker threads executing resolution requests (default 4)",
+        help="worker threads executing resolution requests, per process "
+        "(default 4)",
     )
     serve.add_argument(
         "--queue-depth",
         type=int,
         default=64,
-        help="bounded queue watermark; beyond it requests are shed "
-        "with a retryable 'overloaded' error (default 64)",
+        help="bounded queue watermark (per process); beyond it requests "
+        "are shed with a retryable 'overloaded' error (default 64)",
     )
     serve.add_argument(
         "--no-coalesce",
@@ -252,7 +261,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="restrict to one oracle (repeatable); default: the full "
         "matrix (index, compiled, cache, logic, semantics, service, "
-        "alpha, permute, lint)",
+        "sharded, alpha, permute, lint)",
     )
     fuzz.add_argument(
         "--artifact-dir",
@@ -288,20 +297,46 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _serve(args: argparse.Namespace) -> int:
+    if args.workers < 0:
+        print(
+            "error: invalid_request: --workers must be >= 0", file=sys.stderr
+        )
+        return 2
+    host = port = None
+    if args.tcp:
+        host, _, port_text = args.tcp.rpartition(":")
+        if not host or not port_text.isdigit():
+            print(
+                "error: invalid_request: --tcp expects HOST:PORT",
+                file=sys.stderr,
+            )
+            return 2
+        port = int(port_text)
+    if args.workers > 0:
+        # Sharded: N shard processes behind an asyncio front-end.
+        from .service.frontend import serve_stdio_async, serve_tcp_async
+        from .service.shards import ShardSupervisor
+
+        supervisor = ShardSupervisor(
+            workers=args.workers,
+            threads=args.threads,
+            queue_depth=args.queue_depth,
+            coalesce=not args.no_coalesce,
+            health_interval=1.0,
+        )
+        if args.stdio:
+            return serve_stdio_async(supervisor)
+        return serve_tcp_async(supervisor, host, port)
     from .service import ResolutionService, serve_stdio, serve_tcp
 
     service = ResolutionService(
-        workers=args.workers,
+        workers=args.threads,
         queue_depth=args.queue_depth,
         coalesce=not args.no_coalesce,
     )
     if args.stdio:
         return serve_stdio(service)
-    host, _, port_text = args.tcp.rpartition(":")
-    if not host or not port_text.isdigit():
-        print("error: invalid_request: --tcp expects HOST:PORT", file=sys.stderr)
-        return 2
-    return serve_tcp(service, host, int(port_text))
+    return serve_tcp(service, host, port)
 
 
 def _lint(args: argparse.Namespace) -> int:

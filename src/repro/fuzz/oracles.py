@@ -28,6 +28,12 @@ The engine pairs mirror every redundancy the repo has accumulated:
 ``semantics``  SMALLSTEP vs OPERATIONAL evaluation of the case program
 ``service``    the in-process pipeline vs the concurrent resolution
                service (sessions, worker pool, protocol encode/decode)
+``sharded``    the single-process service vs the sharded service (a
+               2-worker :class:`~repro.service.shards.ShardSupervisor`,
+               real subprocesses, compact wire frames): full response
+               transcripts of identical session push/resolve/pop
+               scripts must agree byte for byte, error codes and
+               messages included
 ``alpha``      metamorphic: resolution is invariant under a bijective
                renaming of every type variable in the case
 ``permute``    metamorphic: under the ``no_overlap`` policy, permuting
@@ -47,8 +53,11 @@ can be exercised end to end without a real bug in the engines.  Most
 oracles flip right-hand successes into a sentinel failure
 (:func:`_faulted`); the ``compiled`` oracle instead corrupts the *trie
 itself* (every scan drops its last candidate -- a missing-edge,
-incomplete-index bug), so the injected failure exercises the exact
-class of bug the oracle exists to catch.
+incomplete-index bug), and the ``sharded`` oracle corrupts the *wire
+frames* the supervisor sends its workers (the opcode field is flipped,
+so every frame is malformed), so each injected failure exercises the
+exact class of bug its oracle exists to catch -- for ``sharded``, both
+the oracle and the worker's malformed-frame error path fire at once.
 """
 
 from __future__ import annotations
@@ -231,6 +240,7 @@ class OracleContext:
 
     def __init__(self):
         self._service = None
+        self._sharded = None
         self._session_counter = 0
 
     def service(self):
@@ -240,6 +250,15 @@ class OracleContext:
             self._service = ResolutionService(workers=2, queue_depth=32)
         return self._service
 
+    def sharded(self):
+        if self._sharded is None:
+            from ..service.shards import ShardSupervisor
+
+            self._sharded = ShardSupervisor(
+                workers=2, threads=2, queue_depth=32
+            )
+        return self._sharded
+
     def next_session_name(self) -> str:
         self._session_counter += 1
         return f"fuzz-{self._session_counter}"
@@ -248,6 +267,9 @@ class OracleContext:
         if self._service is not None:
             self._service.shutdown()
             self._service = None
+        if self._sharded is not None:
+            self._sharded.shutdown()
+            self._sharded = None
 
     def __enter__(self) -> "OracleContext":
         return self
@@ -434,6 +456,86 @@ def oracle_service(case: FuzzCase, ctx: OracleContext) -> Verdict:
     return classify("service", left, _faulted("service", service_outcome))
 
 
+def _drive_session_script(service, name: str, case: FuzzCase) -> list[dict]:
+    """Run one fixed session script; return the full response transcript.
+
+    The script exercises the whole session lifecycle: create, one
+    ``push_rules`` per case frame, resolve (with the wire-encoded
+    derivation signature), then -- when there is a frame to pop -- pop
+    and resolve again against the shallower environment, and close.
+    Request ids are fixed, so two transcripts from equivalent services
+    are comparable byte for byte.
+    """
+    transcript: list[dict] = []
+
+    def call(request_id: int, op: str, params: dict) -> dict:
+        response = service.handle_sync(
+            {"id": request_id, "op": op, "params": params}
+        )
+        transcript.append(response)
+        return response
+
+    call(1, "session/new", {"name": name})
+    for frame in case.frames:
+        call(
+            2,
+            "session/push_rules",
+            {"session": name, "rules": [pretty_type(rho) for _, rho in frame]},
+        )
+    resolve_params = {
+        "session": name,
+        "type": pretty_type(case.query),
+        "signature": True,
+    }
+    call(3, "resolve", resolve_params)
+    if case.frames:
+        call(4, "session/pop", {"session": name})
+        call(5, "resolve", dict(resolve_params))
+    call(6, "session/close", {"session": name})
+    return transcript
+
+
+def _transcript_outcome(transcript: list[dict]) -> Outcome:
+    import json
+
+    resolved = next((r for r in transcript if r.get("id") == 3), None)
+    status = "ok" if resolved is not None and resolved.get("ok") else "fail"
+    return Outcome(status, json.dumps(transcript, sort_keys=True))
+
+
+def oracle_sharded(case: FuzzCase, ctx: OracleContext) -> Verdict:
+    """Single-process service vs the sharded service (real subprocesses).
+
+    Both sides run the identical session script
+    (:func:`_drive_session_script`) and the *entire* transcripts must
+    match byte for byte -- success results (including the wire-encoded
+    derivation signatures), error codes, error messages, and depths
+    alike, so identical failures classify as ``both_fail``.
+
+    The fault arm corrupts every wire frame the supervisor sends (the
+    opcode field is replaced), proving that the worker's malformed-frame
+    ``parse_error`` path and this oracle both fire.
+    """
+    from ..service import wire
+
+    name = ctx.next_session_name()
+    left = _transcript_outcome(
+        _drive_session_script(ctx.service(), name, case)
+    )
+    if _FAULT == "sharded":
+        previous = wire.set_wire_corruption(True)
+        try:
+            right_transcript = _drive_session_script(ctx.sharded(), name, case)
+        finally:
+            wire.set_wire_corruption(previous)
+    else:
+        right_transcript = _drive_session_script(ctx.sharded(), name, case)
+    right = _transcript_outcome(right_transcript)
+    return classify(
+        "sharded", left, right, note="single-process vs 2-shard transcripts"
+    )
+
+
 # ---------------------------------------------------------------------------
 # Metamorphic oracles.
 # ---------------------------------------------------------------------------
@@ -509,6 +611,7 @@ ORACLES: dict[str, OracleFn] = {
     "logic": oracle_logic,
     "semantics": oracle_semantics,
     "service": oracle_service,
+    "sharded": oracle_sharded,
     "alpha": oracle_alpha,
     "permute": oracle_permute,
     "lint": oracle_lint,

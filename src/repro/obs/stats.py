@@ -67,6 +67,14 @@ Counter glossary (see also ``docs/OBSERVABILITY.md``):
                     injected fault in the harness's self-tests)
 ``fuzz_shrink_steps`` accepted delta-debugging reductions while
                     minimizing disagreeing cases
+``shard_dispatches`` requests the shard supervisor forwarded to a worker
+                    process (:mod:`repro.service.shards`)
+``shard_rebalances`` sessions migrated to a different shard after the
+                    consistent-hash ring changed (``add_worker``)
+``worker_restarts`` dead shard workers respawned (and their sessions
+                    re-warmed from the supervisor's warm logs)
+``wire_bytes_in``   compact-wire bytes received from shard workers
+``wire_bytes_out``  compact-wire bytes sent to shard workers
 ============== ============================================================
 """
 
@@ -101,6 +109,11 @@ class ResolutionStats:
     fuzz_cases: int = 0
     fuzz_disagreements: int = 0
     fuzz_shrink_steps: int = 0
+    shard_dispatches: int = 0
+    shard_rebalances: int = 0
+    worker_restarts: int = 0
+    wire_bytes_in: int = 0
+    wire_bytes_out: int = 0
 
     # -- derived ---------------------------------------------------------
 

@@ -18,11 +18,21 @@ persistent, concurrent backend instead:
   request coalescing (singleflight) and watermark load-shedding;
 * :mod:`repro.service.server` -- operation dispatch plus the stdio and
   TCP transports behind ``repro serve``;
+* :mod:`repro.service.wire` -- the compact wire format spoken between
+  the shard supervisor and its worker processes (postfix type codec
+  over the hash-consing tables, so decoding interns for free);
+* :mod:`repro.service.shards` -- the shard supervisor behind ``repro
+  serve --workers N``: consistent-hash session routing, crash-restart
+  with warm-log replay, graceful drain, cross-shard stats aggregation;
+* :mod:`repro.service.shard_worker` -- the per-shard subprocess entry
+  point (a full single-process service speaking wire frames);
+* :mod:`repro.service.frontend` -- asyncio stdio/TCP front-ends used by
+  the sharded deployment;
 * :mod:`repro.service.client` -- the Python client used by the examples,
   the tests, the B11 load generator and the CI smoke drive.
 
-Protocol, session lifecycle and deadline/load-shed semantics are
-documented in ``docs/SERVICE.md``.
+Protocol, session lifecycle, sharding and deadline/load-shed semantics
+are documented in ``docs/SERVICE.md``.
 """
 
 from .protocol import (
@@ -36,21 +46,38 @@ from .protocol import (
 )
 from .server import ResolutionService, serve_stdio, serve_tcp
 from .sessions import Session, SessionConfig, SessionRegistry
+from .wire import WireError
 from .worker import Overloaded, SingleFlight, WorkerPool
+
+#: Names resolved lazily by ``__getattr__`` (heavyweight or
+#: subprocess-spawning modules that most importers never touch).
+_LAZY = {
+    "ServiceClient": "client",
+    "SessionHandle": "client",
+    "HashRing": "shards",
+    "ShardSupervisor": "shards",
+    "ShardedService": "shards",
+    "serve_stdio_async": "frontend",
+    "serve_tcp_async": "frontend",
+}
 
 
 def __getattr__(name: str):
     # The client is imported lazily so that ``python -m
     # repro.service.client`` does not trigger the double-import warning
-    # for the module it is itself executing.
-    if name in ("ServiceClient", "SessionHandle"):
-        from . import client
+    # for the module it is itself executing; the shard/front-end modules
+    # so that plain single-process use never pays for them.
+    module_name = _LAZY.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(client, name)
+        module = importlib.import_module(f".{module_name}", __name__)
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ErrorCode",
+    "HashRing",
     "Overloaded",
     "PROTOCOL_VERSION",
     "ProtocolError",
@@ -61,11 +88,16 @@ __all__ = [
     "SessionConfig",
     "SessionHandle",
     "SessionRegistry",
+    "ShardSupervisor",
+    "ShardedService",
     "SingleFlight",
+    "WireError",
     "WorkerPool",
     "error_response",
     "ok_response",
     "parse_request",
     "serve_stdio",
+    "serve_stdio_async",
     "serve_tcp",
+    "serve_tcp_async",
 ]

@@ -16,9 +16,10 @@ reader thread routes responses to pending calls by ``id``, so a client
 can keep many requests in flight on one connection (this is how the
 smoke driver provokes a shed).
 
-Run the smoke drive (spawns its own server)::
+Run the smoke drives (each spawns its own server)::
 
-    python -m repro.service.client --smoke
+    python -m repro.service.client --smoke          # single process
+    python -m repro.service.client --smoke-sharded  # 2 shard processes
 """
 
 from __future__ import annotations
@@ -388,6 +389,67 @@ def run_smoke(client: ServiceClient, requests: int = 50, verbose: bool = True) -
     return outcomes
 
 
+def run_smoke_sharded(
+    client: ServiceClient, sessions: int = 8, verbose: bool = True
+) -> dict:
+    """Drive push/resolve/pop across many sessions of a sharded server.
+
+    Expects a server started with ``--workers 2`` (or more).  Asserts
+    the aggregated ``server/stats`` view really sums the per-shard
+    counters and request totals.
+    """
+
+    def note(message: str) -> None:
+        if verbose:
+            print(message, flush=True)
+
+    assert client.version()["protocol"] >= 2
+    handles = []
+    for i in range(sessions):
+        handle = client.session(f"shard-smoke-{i}")
+        handle.push_rules(
+            ["Int", "forall a . {a} => (a, a)", "{Int} => D%d" % i]
+        )
+        handles.append(handle)
+    for i, handle in enumerate(handles):
+        assert handle.resolve("(Int, Int)")["size"] == 2
+        assert handle.resolve("D%d" % i)["resolved"]
+        handle.push_rules(["Char"])
+        assert handle.resolve("Char")["resolved"]
+        assert handle.pop() == 1
+        failed = client.call_raw(
+            "resolve", {"session": handle.name, "type": "Char"}
+        )
+        assert failed["error"]["code"] == ErrorCode.RESOLUTION_FAILURE, failed
+    stats = client.server_stats()
+    assert stats["workers"] >= 2, stats
+    per_shard = [s for s in stats["shards"] if s.get("alive")]
+    assert len(per_shard) == stats["workers"], stats["shards"]
+    # The one `--stats` view really is the sum over every shard.
+    assert stats["shard_requests"] == sum(s["requests"] for s in per_shard)
+    assert stats["sessions"] == sum(s["sessions"] for s in per_shard)
+    totals = stats["counters"]
+    for key in ("queries", "resolve_steps", "lookup_calls", "unify_calls"):
+        assert totals[key] == sum(s["counters"][key] for s in per_shard), key
+    assert totals["queries"] >= sessions * 4
+    assert totals["shard_dispatches"] >= sessions * 7
+    assert totals["wire_bytes_out"] > 0 and totals["wire_bytes_in"] > 0
+    for handle in handles:
+        handle.close()
+    note(
+        "sharded smoke: %d sessions over %d shards, %d dispatches, "
+        "%d wire bytes out / %d in"
+        % (
+            sessions,
+            stats["workers"],
+            totals["shard_dispatches"],
+            totals["wire_bytes_out"],
+            totals["wire_bytes_in"],
+        )
+    )
+    return stats
+
+
 def _smoke_main(args: argparse.Namespace) -> int:
     serve_argv = [
         sys.executable,
@@ -396,6 +458,8 @@ def _smoke_main(args: argparse.Namespace) -> int:
         "serve",
         "--stdio",
         "--workers",
+        "0",
+        "--threads",
         "1",
         "--queue-depth",
         "1",
@@ -413,6 +477,34 @@ def _smoke_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def _smoke_sharded_main(args: argparse.Namespace) -> int:
+    serve_argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--stdio",
+        "--workers",
+        "2",
+        "--threads",
+        "2",
+    ]
+    client = ServiceClient.spawn_stdio(serve_argv)
+    try:
+        run_smoke_sharded(client, sessions=args.sessions)
+        client.shutdown()
+    finally:
+        client.close()
+    if client.returncode != 0:
+        print(f"server exited with {client.returncode}", file=sys.stderr)
+        return 1
+    print(
+        f"SHARDED SMOKE OK ({args.sessions} sessions over 2 shards, "
+        "clean shutdown)"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -421,15 +513,29 @@ def main(argv: list[str] | None = None) -> int:
         help="spawn a small server and drive the CI smoke workload",
     )
     parser.add_argument(
+        "--smoke-sharded",
+        action="store_true",
+        help="spawn a 2-shard server and drive multi-session traffic, "
+        "asserting cross-shard stats aggregation",
+    )
+    parser.add_argument(
         "--requests",
         type=int,
         default=50,
         help="mixed requests to drive in --smoke mode (default 50)",
     )
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=8,
+        help="sessions to drive in --smoke-sharded mode (default 8)",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         return _smoke_main(args)
-    parser.error("nothing to do (pass --smoke)")
+    if args.smoke_sharded:
+        return _smoke_sharded_main(args)
+    parser.error("nothing to do (pass --smoke or --smoke-sharded)")
     return 2  # pragma: no cover
 
 

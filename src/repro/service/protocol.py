@@ -57,7 +57,9 @@ from typing import Any
 
 #: Bumped on incompatible wire changes; served by the ``version`` op so
 #: clients can refuse to talk to a server they do not understand.
-PROTOCOL_VERSION = 1
+#: 2: sharded deployments (``repro serve --workers N``) may answer with
+#: ``worker_failed`` when a shard process dies mid-request.
+PROTOCOL_VERSION = 2
 
 
 class ErrorCode:
@@ -74,10 +76,12 @@ class ErrorCode:
     TIMEOUT = "timeout"  # deadline exceeded (queue or resolution)
     OVERLOADED = "overloaded"  # shed: queue past its watermark
     SHUTTING_DOWN = "shutting_down"
+    WORKER_FAILED = "worker_failed"  # shard process died mid-request
     INTERNAL = "internal"
 
-    #: Codes a client may retry verbatim after backing off.
-    RETRYABLE = frozenset({TIMEOUT, OVERLOADED, SHUTTING_DOWN})
+    #: Codes a client may retry verbatim after backing off.  A
+    #: ``worker_failed`` retry lands on the restarted, re-warmed shard.
+    RETRYABLE = frozenset({TIMEOUT, OVERLOADED, SHUTTING_DOWN, WORKER_FAILED})
 
 
 class ProtocolError(Exception):

@@ -38,6 +38,7 @@ from ..core.cache import ResolutionCache
 from ..core.parser import parse_core_expr, parse_core_type
 from ..core.pretty import pretty_type
 from ..core.terms import EMPTY_SIGNATURE
+from ..core.types import Type
 from ..errors import (
     DeadlineExceededError,
     EvalError,
@@ -292,7 +293,8 @@ class ResolutionService:
             raise ProtocolError(ErrorCode.INVALID_REQUEST, "'name' must be a string")
         rules = request.params.get("rules")
         if rules is not None and (
-            not isinstance(rules, list) or not all(isinstance(r, str) for r in rules)
+            not isinstance(rules, list)
+            or not all(isinstance(r, (str, Type)) for r in rules)
         ):
             raise ProtocolError(
                 ErrorCode.INVALID_REQUEST, "'rules' must be a list of type strings"
@@ -318,7 +320,7 @@ class ResolutionService:
         session = self.registry.get(request.params.get("session"))
         rules = request.params.get("rules")
         if not isinstance(rules, list) or not all(
-            isinstance(r, str) for r in rules
+            isinstance(r, (str, Type)) for r in rules
         ):
             raise ProtocolError(
                 ErrorCode.INVALID_REQUEST, "'rules' must be a list of type strings"
@@ -343,9 +345,14 @@ class ResolutionService:
     ) -> dict:
         session = self.registry.get(request.params.get("session"))
         query_text = request.params.get("type")
-        if not isinstance(query_text, str):
+        if isinstance(query_text, Type):
+            # The compact wire path ships the query pre-parsed; decoding
+            # interned it, so no text parser runs on the sharded hot path.
+            rho = query_text
+        elif isinstance(query_text, str):
+            rho = parse_core_type(query_text)
+        else:
             raise ProtocolError(ErrorCode.INVALID_REQUEST, "'type' must be a string")
-        rho = parse_core_type(query_text)
         env = session.current_env()
         resolver = session.resolver_for(deadline)
         key = None
@@ -371,6 +378,13 @@ class ResolutionService:
                 from ..core.explain import explain_derivation
 
                 result["explain"] = explain_derivation(derivation)
+            if request.params.get("signature"):
+                from ..fuzz.oracles import derivation_signature
+                from .wire import encode_signature
+
+                result["signature"] = encode_signature(
+                    derivation_signature(derivation)
+                )
             return result
 
         return self._coalesced(key, work, request_stats)

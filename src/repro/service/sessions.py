@@ -30,6 +30,7 @@ from ..core.cache import ResolutionCache
 from ..core.env import ImplicitEnv, OverlapPolicy, RuleEntry
 from ..core.parser import parse_core_type
 from ..core.resolution import DEFAULT_FUEL, ResolutionStrategy, Resolver
+from ..core.types import Type
 from ..obs import ResolutionStats
 from ..pipeline import Semantics
 from .protocol import ErrorCode, ProtocolError
@@ -121,9 +122,18 @@ class Session:
 
     # -- environment lifecycle -------------------------------------------
 
-    def push_rules(self, rules: list[str]) -> int:
-        """Parse rule-type strings and push them as one frame; new depth."""
-        entries = [RuleEntry(parse_core_type(text)) for text in rules]
+    def push_rules(self, rules: "list[str | Type]") -> int:
+        """Push one frame of rules; returns the new depth.
+
+        Items are rule-type strings (the JSON protocol) or already
+        parsed/interned :class:`Type` objects (the compact wire path:
+        the shard worker decodes straight to interned types, so there
+        is no text parser on the sharded hot path).
+        """
+        entries = [
+            RuleEntry(r if isinstance(r, Type) else parse_core_type(r))
+            for r in rules
+        ]
         with self.lock:
             self._parents.append(self.env)
             self.env = self.env.push(entries)

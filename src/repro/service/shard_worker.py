@@ -1,0 +1,101 @@
+"""One shard: a full resolution service behind compact wire frames.
+
+``python -m repro.service.shard_worker`` is what the shard supervisor
+(:mod:`repro.service.shards`) spawns N times.  Each worker is a
+shared-nothing process owning its own :class:`ResolutionService` --
+sessions, derivation caches, compiled tries, bounded thread pool,
+singleflight coalescing and load shedding all live *per shard* -- and
+speaks the compact wire format of :mod:`repro.service.wire` on
+stdin/stdout: one frame per line, responses out of order, matched on
+the id field.
+
+A frame that does not decode is answered with a ``parse_error``
+response addressed to the frame's (best-effort) id -- the
+malformed-frame path the ``sharded`` fuzz oracle's corruption arm
+exercises.  EOF on stdin or a ``shutdown`` op drains in-flight work and
+exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from concurrent.futures import Future, wait as wait_futures
+
+from .protocol import ErrorCode, error_response
+from .server import ResolutionService
+from . import wire
+
+
+def serve_wire(
+    service: ResolutionService, stdin=None, stdout=None
+) -> int:
+    """The worker loop: read wire frames, dispatch, write completions."""
+    reader = stdin if stdin is not None else sys.stdin
+    writer = stdout if stdout is not None else sys.stdout
+    write_lock = threading.Lock()
+    outstanding: set[Future] = set()
+    tracking = threading.Lock()
+
+    def write_response(response: dict) -> None:
+        with write_lock:
+            writer.write(wire.encode_response(response) + "\n")
+            writer.flush()
+
+    while True:
+        line = reader.readline()
+        if not line:
+            break
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        try:
+            request = wire.decode_request(line)
+        except wire.WireError as exc:
+            write_response(
+                error_response(
+                    wire.peek_id(line),
+                    ErrorCode.PARSE_ERROR,
+                    f"malformed wire frame: {exc}",
+                )
+            )
+            continue
+        outcome = service.process(request)
+        if isinstance(outcome, Future):
+            with tracking:
+                outstanding.add(outcome)
+
+            def _finish(future: Future) -> None:
+                with tracking:
+                    outstanding.discard(future)
+                write_response(future.result())
+
+            outcome.add_done_callback(_finish)
+            continue
+        write_response(outcome)
+        if service.stopping.is_set():
+            break
+    with tracking:
+        pending = tuple(outstanding)
+    wait_futures(pending)
+    service.shutdown()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--no-coalesce", action="store_true")
+    args = parser.parse_args(argv)
+    service = ResolutionService(
+        workers=args.threads,
+        queue_depth=args.queue_depth,
+        coalesce=not args.no_coalesce,
+    )
+    return serve_wire(service)
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry point
+    sys.exit(main())

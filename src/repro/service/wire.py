@@ -1,0 +1,532 @@
+"""Compact wire serialization for the sharded resolution service.
+
+The shard supervisor (:mod:`repro.service.shards`) talks to its worker
+processes over pipes.  Re-sending the client-facing JSON would mean
+every hop re-parses pretty-printed type syntax; this module defines a
+compact, loss-free frame format instead:
+
+* **Types** are encoded as a postfix token stream with one-character
+  tags for the pervasive constructors (``I`` Int, ``B`` Bool, ``S``
+  String, ``C`` Char, ``U`` Unit, ``P`` Pair, ``L`` List, ``f`` TFun,
+  ``v<name>;`` TVar, ``c<name>:<argc>;`` generic TCon,
+  ``r<tvars>:<nctx>;`` RuleType).  ``forall a . {a} => (a, Int)``
+  becomes ``va;va;IPra:1;`` -- 13 bytes against 26 of pretty syntax.
+  Binder names are preserved *literally*, so decoding re-interns into
+  the exact same hash-consed objects (:mod:`repro.core.types`):
+  ``decode_type(encode_type(t)) is t``.  Interning makes the decode
+  cheap -- structure sharing is re-discovered per node, never re-built.
+* **Requests and responses** are ``\\x1f``-separated fields with a
+  single opcode character; rule lists join on ``\\x1e``.  Ops outside
+  the hot set fall back to a generic compact-JSON frame, so the wire
+  vocabulary is exactly the JSON protocol's.  Frames are always one
+  line and always at most the size of the compact JSON they replace.
+* **Derivation signatures** (the fuzz harness's alpha-invariant
+  derivation summaries) encode as compact JSON with tuples flattened
+  to arrays and restored on decode.
+* :func:`shard_key` maps an environment (or its fingerprint) to a
+  stable digest of the *canonical* fingerprint key -- alpha-invariant
+  and independent of ``PYTHONHASHSEED``, so consistent-hash routing is
+  byte-stable across processes and runs and equal fingerprints always
+  land on the same shard.
+
+Fault injection (test-only): :func:`set_wire_corruption` flips one
+field (the opcode) of every frame passing :func:`maybe_corrupt`, which
+the supervisor applies on send.  The ``sharded`` fuzz oracle uses it to
+prove the worker's malformed-frame error path fires and is observable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from ..core.env import EnvFingerprint, ImplicitEnv
+from ..core.types import (
+    BOOL,
+    CHAR,
+    INT,
+    STRING,
+    UNIT,
+    RuleType,
+    TCon,
+    TFun,
+    TVar,
+    Type,
+)
+from .protocol import Request, error_response, ok_response
+
+#: Field separator within a frame (never appears in encoded payloads).
+US = "\x1f"
+#: Item separator within a list-valued field (rules).
+RS = "\x1e"
+
+_JSON_KW = {"separators": (",", ":"), "sort_keys": True, "default": str}
+
+
+class WireError(Exception):
+    """A frame that does not decode (malformed, truncated, corrupted)."""
+
+
+def _check_name(name: str) -> str:
+    if not name or any(c in name for c in ";:,\x1e\x1f\n"):
+        raise WireError(f"name {name!r} is not wire-safe")
+    return name
+
+
+# ---------------------------------------------------------------------------
+# Type codec: postfix token stream over the interned constructors.
+# ---------------------------------------------------------------------------
+
+_NULLARY = {"Int": "I", "Bool": "B", "String": "S", "Char": "C", "Unit": "U"}
+_NULLARY_DECODE = {"I": INT, "B": BOOL, "S": STRING, "C": CHAR, "U": UNIT}
+
+
+def encode_type(tau: Type) -> str:
+    """One type as a postfix token stream (see module docstring)."""
+    out: list[str] = []
+    stack: list[Any] = [tau]
+    # Iterative post-order: push children before the node's own token
+    # so deep chain rules never hit the recursion limit.
+    while stack:
+        node = stack.pop()
+        if isinstance(node, str):  # an already-rendered token
+            out.append(node)
+            continue
+        if isinstance(node, TVar):
+            out.append("v" + _check_name(node.name) + ";")
+        elif isinstance(node, TCon):
+            args = node.args
+            if not args and node.name in _NULLARY:
+                out.append(_NULLARY[node.name])
+                continue
+            if node.name == "Pair" and len(args) == 2:
+                tag = "P"
+            elif node.name == "List" and len(args) == 1:
+                tag = "L"
+            else:
+                tag = f"c{_check_name(node.name)}:{len(args)};"
+            stack.append(tag)
+            stack.extend(reversed(args))
+        elif isinstance(node, TFun):
+            stack.append("f")
+            stack.append(node.res)
+            stack.append(node.arg)
+        elif isinstance(node, RuleType):
+            for name in node.tvars:
+                _check_name(name)
+            stack.append(f"r{','.join(node.tvars)}:{len(node.context)};")
+            stack.append(node.head)
+            stack.extend(reversed(node.context))
+        else:
+            raise WireError(f"cannot encode {type(node).__name__}")
+    return "".join(out)
+
+
+def _read_until(text: str, pos: int, stop: str) -> tuple[str, int]:
+    end = text.find(stop, pos)
+    if end < 0:
+        raise WireError(f"unterminated token at offset {pos}")
+    return text[pos:end], end + 1
+
+
+def decode_type(text: str) -> Type:
+    """Inverse of :func:`encode_type`; interning returns shared objects."""
+    stack: list[Type] = []
+    pos, size = 0, len(text)
+    while pos < size:
+        tag = text[pos]
+        pos += 1
+        if tag in _NULLARY_DECODE:
+            stack.append(_NULLARY_DECODE[tag])
+        elif tag == "v":
+            name, pos = _read_until(text, pos, ";")
+            stack.append(TVar(name))
+        elif tag == "P":
+            if len(stack) < 2:
+                raise WireError("Pair needs two operands")
+            b, a = stack.pop(), stack.pop()
+            stack.append(TCon("Pair", (a, b)))
+        elif tag == "L":
+            if not stack:
+                raise WireError("List needs one operand")
+            stack.append(TCon("List", (stack.pop(),)))
+        elif tag == "f":
+            if len(stack) < 2:
+                raise WireError("-> needs two operands")
+            res, arg = stack.pop(), stack.pop()
+            stack.append(TFun(arg, res))
+        elif tag == "c":
+            head, pos = _read_until(text, pos, ";")
+            name, _, argc_text = head.partition(":")
+            if not argc_text.isdigit():
+                raise WireError(f"bad constructor arity in {head!r}")
+            argc = int(argc_text)
+            if len(stack) < argc:
+                raise WireError(f"constructor {name!r} needs {argc} operands")
+            args = tuple(stack[len(stack) - argc :]) if argc else ()
+            del stack[len(stack) - argc :]
+            stack.append(TCon(name, args))
+        elif tag == "r":
+            head, pos = _read_until(text, pos, ";")
+            tvars_text, _, nctx_text = head.rpartition(":")
+            if not nctx_text.isdigit():
+                raise WireError(f"bad rule context arity in {head!r}")
+            nctx = int(nctx_text)
+            if len(stack) < nctx + 1:
+                raise WireError("rule type is missing operands")
+            rule_head = stack.pop()
+            context = tuple(stack[len(stack) - nctx :]) if nctx else ()
+            del stack[len(stack) - nctx :]
+            tvars = tuple(tvars_text.split(",")) if tvars_text else ()
+            try:
+                stack.append(RuleType(tvars, context, rule_head))
+            except ValueError as exc:
+                raise WireError(str(exc)) from exc
+        else:
+            raise WireError(f"unknown type tag {tag!r} at offset {pos - 1}")
+    if len(stack) != 1:
+        raise WireError(f"type stream left {len(stack)} operands")
+    return stack[0]
+
+
+def encode_rules(rules: list[Type] | tuple[Type, ...]) -> str:
+    """A rule list as one ``\\x1e``-joined field (empty list -> '')."""
+    return RS.join(encode_type(rho) for rho in rules)
+
+
+def decode_rules(field: str) -> list[Type]:
+    if not field:
+        return []
+    return [decode_type(item) for item in field.split(RS)]
+
+
+# ---------------------------------------------------------------------------
+# Derivation signatures and shard keys.
+# ---------------------------------------------------------------------------
+
+
+def encode_signature(signature: tuple) -> str:
+    """An alpha-invariant derivation signature as one compact JSON field."""
+    return json.dumps(signature, separators=(",", ":"))
+
+
+def _tupled(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_tupled(item) for item in value)
+    return value
+
+
+def decode_signature(field: str) -> tuple:
+    try:
+        decoded = json.loads(field)
+    except json.JSONDecodeError as exc:
+        raise WireError(f"bad signature field: {exc}") from exc
+    if not isinstance(decoded, list):
+        raise WireError("signature must decode to a tuple")
+    return _tupled(decoded)
+
+
+def shard_key(env: ImplicitEnv | EnvFingerprint) -> bytes:
+    """A stable routing digest of an environment's canonical identity.
+
+    Computed over the fingerprint's *canonical key* (frame-by-frame
+    alpha-invariant rule keys), never over Python hashes, so the result
+    is byte-identical across processes, ``PYTHONHASHSEED`` values and
+    alpha-renamings: equal fingerprints always route identically.
+    """
+    fingerprint = env.fingerprint() if isinstance(env, ImplicitEnv) else env
+    return hashlib.sha256(repr(fingerprint.key).encode("utf-8")).digest()
+
+
+def session_key(name: str, rules: list[Type] | None = None) -> bytes:
+    """The consistent-hash key for one session.
+
+    Sessions created with an initial rule frame shard by the frame's
+    environment fingerprint (the point of sharding: resolutions over
+    equal environments share a warm process); sessions created empty
+    shard by name.
+    """
+    if rules:
+        from ..core.env import RuleEntry
+
+        env = ImplicitEnv.empty().push([RuleEntry(rho) for rho in rules])
+        return shard_key(env)
+    return hashlib.sha256(b"session\x00" + name.encode("utf-8")).digest()
+
+
+# ---------------------------------------------------------------------------
+# Request frames.
+# ---------------------------------------------------------------------------
+
+#: Hot ops with dedicated frame layouts; everything else ships as the
+#: generic ``*`` frame (op name + compact-JSON params).
+_OPCODES = {
+    "resolve": "R",
+    "session/push_rules": "P",
+    "session/pop": "O",
+    "session/new": "N",
+    "session/close": "X",
+    "session/stats": "T",
+}
+_OPCODE_NAMES = {code: op for op, code in _OPCODES.items()}
+
+_RESOLVE_EXTRAS = ("deadline_ms", "stats", "explain", "signature")
+
+
+def _id_field(request_id: Any) -> str:
+    return json.dumps(request_id, separators=(",", ":"))
+
+
+def _decode_id(field: str) -> Any:
+    try:
+        return json.loads(field)
+    except json.JSONDecodeError as exc:
+        raise WireError(f"bad id field: {exc}") from exc
+
+
+def _safe_session(params: dict) -> str | None:
+    name = params.get("session")
+    if isinstance(name, str):
+        try:
+            return _check_name(name)
+        except WireError:
+            return None
+    return None
+
+
+def encode_request(request: Request) -> str:
+    """One request as a compact frame.
+
+    ``resolve`` expects ``params['type']`` to already be a parsed
+    :class:`~repro.core.types.Type`; push/new expect ``params['rules']``
+    as parsed types.  (The supervisor parses client text once, mirrors
+    the server's parse errors, and ships structure, not syntax.)
+    Anything not encodable compactly falls back to the generic frame.
+    """
+    op = request.op
+    code = _OPCODES.get(op)
+    idf = _id_field(request.id)
+    params = request.params
+    try:
+        if code == "R":
+            session = _safe_session(params)
+            rho = params.get("type")
+            if session is None or not isinstance(rho, Type):
+                raise WireError("resolve frame needs session + parsed type")
+            extras = {k: params[k] for k in _RESOLVE_EXTRAS if k in params}
+            unknown = set(params) - set(_RESOLVE_EXTRAS) - {"session", "type"}
+            if unknown:
+                raise WireError("unexpected resolve params")
+            fields = [code, idf, session, encode_type(rho)]
+            if extras:
+                fields.append(json.dumps(extras, **_JSON_KW))
+            return US.join(fields)
+        if code == "P":
+            session = _safe_session(params)
+            rules = params.get("rules")
+            if session is None or not isinstance(rules, (list, tuple)) or not all(
+                isinstance(r, Type) for r in rules
+            ) or set(params) - {"session", "rules"}:
+                raise WireError("push frame needs session + parsed rules")
+            return US.join([code, idf, session, encode_rules(rules)])
+        if code == "N":
+            name = params.get("name")
+            if not isinstance(name, str):
+                raise WireError("wire session/new needs an explicit name")
+            rules = params.get("rules") or []
+            if not all(isinstance(r, Type) for r in rules):
+                raise WireError("session/new frame needs parsed rules")
+            extras = {
+                k: v for k, v in params.items() if k not in ("name", "rules")
+            }
+            fields = [code, idf, _check_name(name), encode_rules(rules)]
+            if extras:
+                fields.append(json.dumps(extras, **_JSON_KW))
+            return US.join(fields)
+        if code in ("O", "X", "T"):
+            session = _safe_session(params)
+            if session is None or set(params) - {"session"}:
+                raise WireError("session frame needs exactly a session")
+            return US.join([code, idf, session])
+    except WireError:
+        pass  # fall through to the generic frame
+    payload = json.dumps(params, **_JSON_KW)
+    if "\n" in payload:  # json never emits raw newlines, but be explicit
+        raise WireError("params do not fit on one line")
+    return US.join(["*", idf, op, payload])
+
+
+def decode_request(frame: str) -> Request:
+    """Inverse of :func:`encode_request` (types come back interned)."""
+    fields = frame.split(US)
+    code = fields[0]
+    if code == "*":
+        if len(fields) != 4:
+            raise WireError("generic frame needs 4 fields")
+        try:
+            params = json.loads(fields[3])
+        except json.JSONDecodeError as exc:
+            raise WireError(f"bad params field: {exc}") from exc
+        if not isinstance(params, dict):
+            raise WireError("'params' must decode to an object")
+        return Request(id=_decode_id(fields[1]), op=fields[2], params=params)
+    op = _OPCODE_NAMES.get(code)
+    if op is None:
+        raise WireError(f"unknown wire opcode {code!r}")
+    if len(fields) < 3:
+        raise WireError(f"{op} frame is truncated")
+    request_id = _decode_id(fields[1])
+    if code == "R":
+        if len(fields) not in (4, 5):
+            raise WireError("resolve frame needs 4-5 fields")
+        params: dict[str, Any] = {
+            "session": fields[2],
+            "type": decode_type(fields[3]),
+        }
+        if len(fields) == 5:
+            try:
+                extras = json.loads(fields[4])
+            except json.JSONDecodeError as exc:
+                raise WireError(f"bad extras field: {exc}") from exc
+            params.update(extras)
+        return Request(id=request_id, op=op, params=params)
+    if code == "P":
+        if len(fields) != 4:
+            raise WireError("push frame needs 4 fields")
+        return Request(
+            id=request_id,
+            op=op,
+            params={"session": fields[2], "rules": decode_rules(fields[3])},
+        )
+    if code == "N":
+        if len(fields) not in (4, 5):
+            raise WireError("session/new frame needs 4-5 fields")
+        params = {"name": fields[2]}
+        rules = decode_rules(fields[3])
+        if rules:
+            params["rules"] = rules
+        if len(fields) == 5:
+            try:
+                extras = json.loads(fields[4])
+            except json.JSONDecodeError as exc:
+                raise WireError(f"bad extras field: {exc}") from exc
+            params.update(extras)
+        return Request(id=request_id, op=op, params=params)
+    if len(fields) != 3:
+        raise WireError(f"{op} frame needs 3 fields")
+    return Request(id=request_id, op=op, params={"session": fields[2]})
+
+
+# ---------------------------------------------------------------------------
+# Response frames.
+# ---------------------------------------------------------------------------
+
+
+def encode_response(response: dict) -> str:
+    """One response dict as a compact frame (``+`` ok / ``!`` error)."""
+    idf = _id_field(response.get("id"))
+    if response.get("ok"):
+        return US.join(
+            ["+", idf, json.dumps(response.get("result"), **_JSON_KW)]
+        )
+    error = response.get("error") or {}
+    extras = {
+        k: error[k] for k in ("backoff_ms", "details") if error.get(k) is not None
+    }
+    fields = [
+        "!",
+        idf,
+        str(error.get("code", "internal")),
+        json.dumps(error.get("message", ""), separators=(",", ":")),
+    ]
+    if extras:
+        fields.append(json.dumps(extras, **_JSON_KW))
+    return US.join(fields)
+
+
+def decode_response(frame: str) -> dict:
+    """Inverse of :func:`encode_response`.
+
+    Error responses are rebuilt through
+    :func:`~repro.service.protocol.error_response`, so derived fields
+    (``retryable``) match the single-process server byte for byte.
+    """
+    fields = frame.split(US)
+    if fields[0] == "+":
+        if len(fields) != 3:
+            raise WireError("ok frame needs 3 fields")
+        try:
+            result = json.loads(fields[2])
+        except json.JSONDecodeError as exc:
+            raise WireError(f"bad result field: {exc}") from exc
+        return ok_response(_decode_id(fields[1]), result)
+    if fields[0] == "!":
+        if len(fields) not in (4, 5):
+            raise WireError("error frame needs 4-5 fields")
+        extras: dict[str, Any] = {}
+        if len(fields) == 5:
+            try:
+                extras = json.loads(fields[4])
+            except json.JSONDecodeError as exc:
+                raise WireError(f"bad error extras: {exc}") from exc
+        try:
+            message = json.loads(fields[3])
+        except json.JSONDecodeError as exc:
+            raise WireError(f"bad message field: {exc}") from exc
+        return error_response(
+            _decode_id(fields[1]),
+            fields[2],
+            message,
+            backoff_ms=extras.get("backoff_ms"),
+            details=extras.get("details"),
+        )
+    raise WireError(f"unknown response opcode {fields[0]!r}")
+
+
+def peek_id(frame: str) -> Any:
+    """Best-effort id extraction from a (possibly corrupt) frame.
+
+    The id field is always field 1, so a worker can still address its
+    malformed-frame error response to the right request.
+    """
+    fields = frame.split(US)
+    if len(fields) >= 2:
+        try:
+            return json.loads(fields[1])
+        except json.JSONDecodeError:
+            return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Test-only wire corruption (the `sharded` oracle's fault arm).
+# ---------------------------------------------------------------------------
+
+_CORRUPT = False
+
+
+def set_wire_corruption(enabled: bool) -> bool:
+    """Flip one field of every outgoing frame; returns the previous state."""
+    global _CORRUPT
+    previous = _CORRUPT
+    _CORRUPT = bool(enabled)
+    return previous
+
+
+def wire_corruption_enabled() -> bool:
+    return _CORRUPT
+
+
+def maybe_corrupt(frame: str) -> str:
+    """Applied by the supervisor on send: one flipped field when enabled.
+
+    The opcode field is replaced wholesale (``~`` is not a valid
+    opcode), so the receiving worker must exercise its malformed-frame
+    error path while the id field stays intact and addressable.
+    """
+    if not _CORRUPT:
+        return frame
+    fields = frame.split(US)
+    fields[0] = "~"
+    return US.join(fields)

@@ -42,6 +42,7 @@ def _reset_global_state():
     )
     from repro.fuzz.oracles import set_fault
     from repro.obs.stats import _SLOT
+    from repro.service.wire import set_wire_corruption
 
     previous_indexing = indexing_enabled()
     previous_compiling = compiling_enabled()
@@ -49,6 +50,7 @@ def _reset_global_state():
     set_indexing(previous_indexing)
     set_compiling(previous_compiling)
     set_trie_corruption(False)
+    set_wire_corruption(False)
     set_fault(None)
     _SLOT.stats = None
 

@@ -69,6 +69,11 @@ class TestHandComputedCounters:
             "fuzz_cases": 0,
             "fuzz_disagreements": 0,
             "fuzz_shrink_steps": 0,
+            "shard_dispatches": 0,
+            "shard_rebalances": 0,
+            "worker_restarts": 0,
+            "wire_bytes_in": 0,
+            "wire_bytes_out": 0,
         }
         assert stats.fuel_consumed == 2  # one unit per resolution step
 
@@ -99,6 +104,11 @@ class TestHandComputedCounters:
             "fuzz_cases": 0,
             "fuzz_disagreements": 0,
             "fuzz_shrink_steps": 0,
+            "shard_dispatches": 0,
+            "shard_rebalances": 0,
+            "worker_restarts": 0,
+            "wire_bytes_in": 0,
+            "wire_bytes_out": 0,
         }
         assert stats.hit_rate() == pytest.approx(1 / 3)
 
@@ -130,6 +140,11 @@ class TestHandComputedCounters:
             "fuzz_cases": 0,
             "fuzz_disagreements": 0,
             "fuzz_shrink_steps": 0,
+            "shard_dispatches": 0,
+            "shard_rebalances": 0,
+            "worker_restarts": 0,
+            "wire_bytes_in": 0,
+            "wire_bytes_out": 0,
         }
         resolver.resolve(env, query)
         after = stats.as_dict()
@@ -162,6 +177,11 @@ class TestHandComputedCounters:
             "fuzz_cases": 0,
             "fuzz_disagreements": 0,
             "fuzz_shrink_steps": 0,
+            "shard_dispatches": 0,
+            "shard_rebalances": 0,
+            "worker_restarts": 0,
+            "wire_bytes_in": 0,
+            "wire_bytes_out": 0,
         }
         assert stats.hit_rate() == 0.0
 

@@ -21,6 +21,8 @@ SERVE_SMALL = [
     "serve",
     "--stdio",
     "--workers",
+    "0",
+    "--threads",
     "2",
     "--queue-depth",
     "8",
@@ -152,6 +154,8 @@ class TestSmokeDrive:
                 "serve",
                 "--stdio",
                 "--workers",
+                "0",
+                "--threads",
                 "1",
                 "--queue-depth",
                 "1",

@@ -1,0 +1,242 @@
+"""Unit tests for the compact wire codec (repro.service.wire)."""
+
+import json
+
+import pytest
+
+from repro.core.env import ImplicitEnv, RuleEntry
+from repro.core.parser import parse_core_type
+from repro.core.types import INT, RuleType, TCon, TFun, TVar, pair
+from repro.service.protocol import ErrorCode, Request, error_response, ok_response
+from repro.service import wire
+
+
+TYPES = [
+    "Int",
+    "Bool -> Char",
+    "(Int, Bool)",
+    "[Int -> Int]",
+    "forall a . {a} => (a, a)",
+    "forall a b . {a, b} => (a -> b, [b])",
+    "{Int, Bool} => (Int, Bool)",
+    "forall a . {forall b . {b} => (b, a)} => [a]",
+]
+
+
+class TestTypeCodec:
+    @pytest.mark.parametrize("text", TYPES)
+    def test_round_trip_is_pointer_identical(self, text):
+        tau = parse_core_type(text)
+        assert wire.decode_type(wire.encode_type(tau)) is tau
+
+    def test_docstring_example_and_size(self):
+        tau = parse_core_type("forall a . {a} => (a, Int)")
+        encoded = wire.encode_type(tau)
+        assert encoded == "va;va;IPra:1;"
+        assert len(encoded) < len("forall a . {a} => (a, Int)")
+
+    def test_generic_constructor_and_empty_args(self):
+        tau = TCon("Triple", (INT, TVar("x"), TFun(INT, INT)))
+        assert wire.decode_type(wire.encode_type(tau)) is tau
+        bare = TCon("Custom")
+        assert wire.decode_type(wire.encode_type(bare)) is bare
+
+    def test_deep_chain_does_not_recurse(self):
+        tau = INT
+        for _ in range(5000):  # far past the default recursion limit
+            tau = TFun(tau, INT)
+        assert wire.decode_type(wire.encode_type(tau)) is tau
+
+    def test_wire_unsafe_names_are_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.encode_type(TCon("bad;name"))
+        with pytest.raises(wire.WireError):
+            wire.encode_type(TVar("a,b"))
+
+    @pytest.mark.parametrize(
+        "garbage",
+        ["", "P", "va;P", "Z", "cFoo:x;", "II", "va", "ra:1;", "va;va;r,:1;"],
+    )
+    def test_garbage_raises_wire_error(self, garbage):
+        with pytest.raises(wire.WireError):
+            wire.decode_type(garbage)
+
+    def test_rules_field_round_trip(self):
+        rules = [parse_core_type(t) for t in TYPES]
+        decoded = wire.decode_rules(wire.encode_rules(rules))
+        assert all(a is b for a, b in zip(decoded, rules))
+        assert wire.decode_rules(wire.encode_rules([])) == []
+
+
+class TestShardKeys:
+    def test_equal_fingerprints_share_a_key(self):
+        a = ImplicitEnv.empty().push(
+            [RuleEntry(parse_core_type("forall a . {a} => (a, a)"))]
+        )
+        b = ImplicitEnv.empty().push(
+            [RuleEntry(parse_core_type("forall z . {z} => (z, z)"))]
+        )
+        assert a.fingerprint() == b.fingerprint()  # alpha-invariant
+        assert wire.shard_key(a) == wire.shard_key(b)
+        assert wire.shard_key(a) == wire.shard_key(a.fingerprint())
+
+    def test_different_envs_differ(self):
+        a = ImplicitEnv.empty().push([RuleEntry(INT)])
+        b = ImplicitEnv.empty().push([RuleEntry(pair(INT, INT))])
+        assert wire.shard_key(a) != wire.shard_key(b)
+
+    def test_session_key_rules_vs_name(self):
+        rules = [parse_core_type("Int")]
+        assert wire.session_key("x", rules) == wire.session_key("y", rules)
+        assert wire.session_key("x") != wire.session_key("y")
+        assert wire.session_key("x") == wire.session_key("x")
+
+
+class TestRequestFrames:
+    def test_resolve_frame_round_trip(self):
+        rho = parse_core_type("(Int, Int)")
+        request = Request(7, "resolve", {"session": "s1", "type": rho})
+        decoded = wire.decode_request(wire.encode_request(request))
+        assert decoded.id == 7 and decoded.op == "resolve"
+        assert decoded.params["session"] == "s1"
+        assert decoded.params["type"] is rho
+
+    def test_resolve_extras_survive(self):
+        rho = parse_core_type("Int")
+        request = Request(
+            1,
+            "resolve",
+            {"session": "s", "type": rho, "deadline_ms": 50, "signature": True},
+        )
+        decoded = wire.decode_request(wire.encode_request(request))
+        assert decoded.params["deadline_ms"] == 50
+        assert decoded.params["signature"] is True
+
+    def test_push_and_session_frames(self):
+        rules = [parse_core_type("Int"), parse_core_type("{Int} => Bool")]
+        push = Request(2, "session/push_rules", {"session": "s", "rules": rules})
+        decoded = wire.decode_request(wire.encode_request(push))
+        assert [r is rho for r, rho in zip(decoded.params["rules"], rules)]
+        for op in ("session/pop", "session/close", "session/stats"):
+            decoded = wire.decode_request(
+                wire.encode_request(Request(3, op, {"session": "s"}))
+            )
+            assert decoded.op == op and decoded.params == {"session": "s"}
+
+    def test_new_frame_with_config_extras(self):
+        request = Request(
+            4,
+            "session/new",
+            {"name": "n", "rules": [INT], "fuel": 64, "policy": "reject"},
+        )
+        decoded = wire.decode_request(wire.encode_request(request))
+        assert decoded.params["name"] == "n"
+        assert decoded.params["rules"] == [INT]
+        assert decoded.params["fuel"] == 64
+        assert decoded.params["policy"] == "reject"
+
+    def test_unknown_op_uses_generic_frame(self):
+        request = Request(5, "debug/sleep", {"seconds": 0.2})
+        frame = wire.encode_request(request)
+        assert frame.startswith("*")
+        decoded = wire.decode_request(frame)
+        assert decoded.op == "debug/sleep"
+        assert decoded.params == {"seconds": 0.2}
+
+    def test_wire_unsafe_session_falls_back_to_generic(self):
+        request = Request(6, "session/pop", {"session": "weird\x1fname"})
+        frame = wire.encode_request(request)
+        assert frame.startswith("*")
+        decoded = wire.decode_request(frame)
+        assert decoded.params["session"] == "weird\x1fname"
+
+    def test_malformed_frames_raise(self):
+        for frame in ("", "Z\x1f1\x1fs", "R\x1f1", "R\x1fnope\x1fs\x1fI"):
+            with pytest.raises(wire.WireError):
+                wire.decode_request(frame)
+
+
+class TestResponseFrames:
+    def test_ok_round_trip(self):
+        response = ok_response(3, {"resolved": True, "size": 2})
+        assert wire.decode_response(wire.encode_response(response)) == response
+
+    def test_error_round_trip_rederives_retryable(self):
+        response = error_response(
+            4,
+            ErrorCode.OVERLOADED,
+            "queue is full",
+            backoff_ms=25,
+            details={"queue_depth": 9},
+        )
+        decoded = wire.decode_response(wire.encode_response(response))
+        assert decoded == response
+        assert decoded["error"]["retryable"] is True
+
+    def test_non_retryable_error(self):
+        response = error_response(None, ErrorCode.UNKNOWN_SESSION, "no session")
+        decoded = wire.decode_response(wire.encode_response(response))
+        assert decoded == response
+        assert decoded["error"]["retryable"] is False
+
+    def test_peek_id_on_corrupt_frame(self):
+        frame = wire.encode_request(
+            Request(42, "session/pop", {"session": "s"})
+        )
+        assert wire.peek_id(wire.maybe_corrupt(frame)) == 42
+
+
+class TestCorruption:
+    def test_toggle_and_corrupt(self):
+        frame = wire.encode_request(Request(1, "session/pop", {"session": "s"}))
+        assert wire.maybe_corrupt(frame) == frame
+        previous = wire.set_wire_corruption(True)
+        try:
+            assert previous is False
+            corrupted = wire.maybe_corrupt(frame)
+            assert corrupted != frame
+            with pytest.raises(wire.WireError):
+                wire.decode_request(corrupted)
+            assert wire.peek_id(corrupted) == 1
+        finally:
+            wire.set_wire_corruption(previous)
+        assert not wire.wire_corruption_enabled()
+
+
+class TestSignatures:
+    def test_signature_round_trip(self):
+        signature = (("con", "Int", ()), ("rule", (("assume", 0),)), ())
+        encoded = wire.encode_signature(signature)
+        assert "\n" not in encoded
+        assert wire.decode_signature(encoded) == signature
+
+    def test_bad_signature_raises(self):
+        with pytest.raises(wire.WireError):
+            wire.decode_signature("{not a list}")
+        with pytest.raises(wire.WireError):
+            wire.decode_signature('"scalar"')
+
+
+class TestFrameSize:
+    def test_frames_not_larger_than_compact_json(self):
+        """The wire frame is <= the compact JSON it replaces, per op."""
+        rho = parse_core_type("forall a . {a} => (a, Int)")
+        rules = [parse_core_type(t) for t in TYPES]
+        samples = [
+            Request(1, "resolve", {"session": "s1", "type": rho}),
+            Request(2, "session/push_rules", {"session": "s1", "rules": rules}),
+            Request(3, "session/pop", {"session": "s1"}),
+            Request(4, "session/new", {"name": "s2", "rules": rules}),
+        ]
+        for request in samples:
+            params = dict(request.params)
+            if "type" in params:
+                params["type"] = str(params["type"])
+            if "rules" in params:
+                params["rules"] = [str(r) for r in params["rules"]]
+            as_json = json.dumps(
+                {"id": request.id, "op": request.op, "params": params},
+                separators=(",", ":"),
+            )
+            frame = wire.encode_request(request)
+            assert len(frame) <= len(as_json), (request.op, frame, as_json)
