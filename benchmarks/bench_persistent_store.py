@@ -1,0 +1,154 @@
+"""B14: cold-start-to-warm latency through the persistent store.
+
+The claim: a process that restarts with a ``--cache-dir`` answers a
+warm workload from disk instead of re-running proof search, and the
+disk path (open the store, rebuild the index, bulk-decode the
+environment's records into the cache, answer every query) is at least
+3x faster than cold proof search on a 120-rule environment.
+
+The workload is the shape that makes session restarts expensive in a
+type-class-heavy program: premise chains (each proof step resolves the
+previous link), several same-head decoy instances per constructor
+(failed unification attempts during search), and variable-headed rules
+that force most-specific overlap arbitration on *every* step.  All of
+that work is exactly what the disk-warmed side skips: its records
+decode straight to derivations, premise chains by reference
+(:mod:`repro.store.codec`), no lookup, no unification, no arbitration.
+
+``measure_persistent_store`` is what ``benchmarks/report.py`` records
+as ``timings["persistent_store"]``; the pytest wrapper asserts the 3x
+acceptance threshold and the restart-equivalence of the answers.
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.core.cache import ResolutionCache
+from repro.core.env import ImplicitEnv, OverlapPolicy, RuleEntry
+from repro.core.resolution import Resolver
+from repro.core.types import INT, TCon, TVar, Type, rule
+from repro.store import DerivationStore, PersistentResolutionCache
+
+#: 24 * (1 chain rule + 3 decoys) + 24 flex rules = 120 rules.
+DEPTH = 24
+DECOYS = 3
+FLEX = 24
+
+
+def persistent_workload(
+    depth: int = DEPTH, decoys: int = DECOYS, flex: int = FLEX
+) -> tuple[ImplicitEnv, list[Type]]:
+    """A 120-rule environment whose proofs are chains (module docs)."""
+    a = TVar("a")
+    entries = []
+    for i in range(depth):
+        context = [] if i == 0 else [TCon(f"C{i-1}", (a,))]
+        entries.append(RuleEntry(rule(TCon(f"C{i}", (a,)), context, ["a"])))
+        for j in range(decoys):
+            shape = TCon(f"Decoy{j}", (a,))
+            entries.append(RuleEntry(rule(TCon(f"C{i}", (shape,)), [], ["a"])))
+    for j in range(flex):
+        entries.append(RuleEntry(rule(a, [TCon(f"Missing{j}")], ["a"])))
+    env = ImplicitEnv.empty().push(entries)
+    queries = [TCon(f"C{i}", (INT,)) for i in range(depth - 1, -1, -2)]
+    return env, queries
+
+
+def _answer(resolver: Resolver, env: ImplicitEnv, queries: list[Type]) -> list:
+    return [resolver.resolve(env, query) for query in queries]
+
+
+def measure_persistent_store(
+    depth: int = DEPTH, decoys: int = DECOYS, flex: int = FLEX
+) -> dict:
+    """Cold vs disk-warmed wall clock; returns the report timings row."""
+    env, queries = persistent_workload(depth, decoys, flex)
+    policy = OverlapPolicy.MOST_SPECIFIC
+
+    start = time.perf_counter()
+    _answer(Resolver(policy=policy, cache=ResolutionCache()), env, queries)
+    cold = time.perf_counter() - start
+
+    directory = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        store = DerivationStore(directory)
+        try:
+            _answer(
+                Resolver(policy=policy, cache=PersistentResolutionCache(store)),
+                env,
+                queries,
+            )
+        finally:
+            store.close()
+        log_bytes = os.path.getsize(os.path.join(directory, "derivations.log"))
+
+        # The restart: open + index rebuild + bulk warm + the same answers.
+        start = time.perf_counter()
+        store = DerivationStore(directory)
+        try:
+            warmed = PersistentResolutionCache(store)
+            loaded = warmed.warm(env)
+            _answer(Resolver(policy=policy, cache=warmed), env, queries)
+            warm = time.perf_counter() - start
+        finally:
+            store.close()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+    return {
+        "rules": sum(len(frame) for frame in env.frames()),
+        "queries": len(queries),
+        "records_loaded": loaded,
+        "log_bytes": log_bytes,
+        "cold_seconds": round(cold, 6),
+        "disk_warmed_seconds": round(warm, 6),
+        "speedup": round(cold / warm, 2) if warm else None,
+    }
+
+
+@pytest.mark.slow
+def test_disk_warmed_start_beats_cold():
+    """The B14 acceptance threshold, plus answer equivalence."""
+    env, queries = persistent_workload()
+    policy = OverlapPolicy.MOST_SPECIFIC
+    from repro.fuzz.oracles import derivation_signature
+
+    cold_answers = _answer(
+        Resolver(policy=policy, cache=ResolutionCache()), env, queries
+    )
+    directory = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        store = DerivationStore(directory)
+        try:
+            _answer(
+                Resolver(policy=policy, cache=PersistentResolutionCache(store)),
+                env,
+                queries,
+            )
+        finally:
+            store.close()
+        store = DerivationStore(directory)
+        try:
+            warmed = PersistentResolutionCache(store)
+            assert warmed.warm(env) > 0
+            warm_answers = _answer(
+                Resolver(policy=policy, cache=warmed), env, queries
+            )
+        finally:
+            store.close()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    assert [derivation_signature(d) for d in cold_answers] == [
+        derivation_signature(d) for d in warm_answers
+    ]
+
+    figures = measure_persistent_store()
+    assert figures["speedup"] is not None and figures["speedup"] >= 3.0, (
+        f"disk-warmed start below 3x on a {figures['rules']}-rule environment: "
+        f"cold {figures['cold_seconds']:.4f}s vs "
+        f"warmed {figures['disk_warmed_seconds']:.4f}s"
+    )

@@ -290,6 +290,14 @@ def _run_timings() -> dict:
     from benchmarks.bench_sharded_service import measure_sharded_service
 
     timings["sharded_service"] = measure_sharded_service()
+
+    # B14: persistent derivation store -- a disk-warmed restart (open
+    # the store, rebuild the index, bulk-decode the environment's
+    # records, answer every query) vs cold proof search on a 120-rule
+    # environment.
+    from benchmarks.bench_persistent_store import measure_persistent_store
+
+    timings["persistent_store"] = measure_persistent_store()
     return timings
 
 

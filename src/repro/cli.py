@@ -134,6 +134,14 @@ def _build_parser() -> argparse.ArgumentParser:
             help="disable the resolution derivation cache",
         )
         cmd.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="persist resolved derivations to an on-disk store under "
+            "DIR and answer repeat queries from it across runs "
+            "(docs/PERSISTENCE.md)",
+        )
+        cmd.add_argument(
             "--index",
             action=argparse.BooleanOptionalAction,
             default=True,
@@ -227,6 +235,33 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable singleflight coalescing of identical concurrent requests",
     )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist session derivations (and session lifecycles) under "
+        "DIR; restarted servers and respawned shard workers re-warm "
+        "from disk instead of replaying sessions (docs/PERSISTENCE.md)",
+    )
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain a persistent derivation store "
+        "(docs/PERSISTENCE.md)",
+    )
+    cache.add_argument(
+        "action",
+        choices=["stats", "verify", "compact", "clear"],
+        help="stats: counters and sizes; verify: full integrity pass "
+        "(exit 1 when records were quarantined); compact: rewrite the "
+        "log dropping evicted/quarantined space; clear: drop every "
+        "record and start fresh",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="the store directory (as passed to run/check/serve)",
+    )
     fuzz = sub.add_parser(
         "fuzz",
         help="generative differential fuzzing of the engine pairs "
@@ -261,7 +296,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="restrict to one oracle (repeatable); default: the full "
         "matrix (index, compiled, cache, logic, semantics, service, "
-        "sharded, alpha, permute, lint)",
+        "sharded, alpha, permute, lint, store)",
     )
     fuzz.add_argument(
         "--artifact-dir",
@@ -323,17 +358,22 @@ def _serve(args: argparse.Namespace) -> int:
             queue_depth=args.queue_depth,
             coalesce=not args.no_coalesce,
             health_interval=1.0,
+            cache_dir=args.cache_dir,
         )
         if args.stdio:
             return serve_stdio_async(supervisor)
         return serve_tcp_async(supervisor, host, port)
     from .service import ResolutionService, serve_stdio, serve_tcp
 
-    service = ResolutionService(
-        workers=args.threads,
-        queue_depth=args.queue_depth,
-        coalesce=not args.no_coalesce,
-    )
+    try:
+        service = ResolutionService(
+            workers=args.threads,
+            queue_depth=args.queue_depth,
+            coalesce=not args.no_coalesce,
+            cache_dir=args.cache_dir,
+        )
+    except ImplicitCalculusError as exc:
+        return report_error(exc)
     if args.stdio:
         return serve_stdio(service)
     return serve_tcp(service, host, port)
@@ -395,15 +435,59 @@ def _read(path: str) -> str:
         return handle.read()
 
 
-def _resolver(args: argparse.Namespace, tracer: Tracer | None) -> Resolver:
+def _resolver(args: argparse.Namespace, tracer: Tracer | None, store=None) -> Resolver:
+    if args.no_cache:
+        cache = None
+    elif store is not None:
+        from .store import PersistentResolutionCache
+
+        cache = PersistentResolutionCache(store)
+    else:
+        cache = ResolutionCache()
     return Resolver(
         policy=OverlapPolicy.MOST_SPECIFIC
         if args.most_specific
         else OverlapPolicy.REJECT,
         strategy=ResolutionStrategy(args.strategy),
-        cache=None if args.no_cache else ResolutionCache(),
+        cache=cache,
         tracer=tracer,
     )
+
+
+def _cache_cmd(args: argparse.Namespace) -> int:
+    """``repro cache stats|verify|compact|clear`` (docs/PERSISTENCE.md).
+
+    ``stats`` and ``verify`` open read-only (they work while a server
+    owns the store's writer lock); ``verify`` exits 1 when any record
+    was quarantined or a torn tail is present, while resolution against
+    the store keeps succeeding -- quarantine degrades, never fails.
+    """
+    import json
+
+    from .store import DerivationStore
+
+    read_only = args.action in ("stats", "verify")
+    try:
+        store = DerivationStore(args.cache_dir, read_only=read_only)
+    except ImplicitCalculusError as exc:
+        return report_error(exc)
+    try:
+        if args.action == "stats":
+            report = store.stats_view()
+        elif args.action == "verify":
+            report = store.verify()
+        elif args.action == "compact":
+            report = store.compact()
+        else:  # clear
+            report = store.clear()
+        print(json.dumps(report, indent=2, sort_keys=True))
+        if args.action == "verify" and not report["ok"]:
+            return 1
+        return 0
+    except ImplicitCalculusError as exc:
+        return report_error(exc)
+    finally:
+        store.close()
 
 
 def _fuzz(args: argparse.Namespace) -> int:
@@ -461,6 +545,8 @@ def main(argv: list[str] | None = None) -> int:
         return _lint(args)
     if args.command == "fuzz":
         return _fuzz(args)
+    if args.command == "cache":
+        return _cache_cmd(args)
     try:
         text = _read(args.file)
     except OSError as exc:
@@ -468,7 +554,15 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     tracer = Tracer() if args.trace else None
     stats = ResolutionStats() if args.stats else None
-    resolver = _resolver(args, tracer)
+    store = None
+    if args.cache_dir and not args.no_cache:
+        from .store import DerivationStore
+
+        try:
+            store = DerivationStore(args.cache_dir)
+        except ImplicitCalculusError as exc:
+            return report_error(exc)
+    resolver = _resolver(args, tracer, store)
     previous_indexing = set_indexing(args.index)
     previous_compiling = set_compiling(args.compile)
     try:
@@ -512,6 +606,8 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         set_indexing(previous_indexing)
         set_compiling(previous_compiling)
+        if store is not None:
+            store.close()
         if tracer is not None and len(tracer):
             print("-- resolution trace --", file=sys.stderr)
             print(tracer.render(), file=sys.stderr)

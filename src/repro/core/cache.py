@@ -172,6 +172,29 @@ class ResolutionCache:
             entries.pop(next(iter(entries)))  # FIFO: dicts preserve insertion
         entries[key] = entry
 
+    def seed(
+        self,
+        key: tuple,
+        outcome: Any,
+        is_success: bool,
+        min_fuel: int,
+        env: ImplicitEnv | None,
+    ) -> None:
+        """Adopt an externally computed entry (persistent-store warm-up).
+
+        Unlike :meth:`put_success`/:meth:`put_failure` this performs no
+        write-through in subclasses: the caller is handing us an entry
+        that already lives on disk.  ``env`` may be ``None`` when the
+        entry's payload witness is all-``None`` (nothing to pin).
+        """
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                if min_fuel < existing.min_fuel:
+                    existing.min_fuel = min_fuel
+                return
+            self._insert(key, _Entry(outcome, is_success, min_fuel, env))
+
     # -- maintenance -----------------------------------------------------
 
     def clear(self) -> None:

@@ -9,6 +9,7 @@ IC02xx    typing (core, source, System F, kinds, plain resolution)
 IC03xx    overlap and coherence
 IC04xx    termination, ambiguity and resolution budgets
 IC05xx    style warnings (emitted only by ``repro lint``)
+IC06xx    persistence (the on-disk derivation store, ``repro cache``)
 ========  ==========================================================
 
 Most codes correspond to an exception class in :mod:`repro.errors`
@@ -74,6 +75,11 @@ CATALOGUE: dict[str, CodeInfo] = {
         _warning("IC0501", "unused implicit rule", "style"),
         _warning("IC0502", "shadowed implicit rule", "style"),
         _warning("IC0503", "duplicate implicit name", "style"),
+        # -- IC06xx: persistence ----------------------------------------
+        _error("IC0601", "persistent store failure", "persistence"),
+        _error("IC0602", "store schema mismatch", "persistence"),
+        _error("IC0603", "store locked by another process", "persistence"),
+        _error("IC0604", "store record corruption", "persistence"),
     )
 }
 

@@ -27,6 +27,7 @@ IC02xx    typing (core, source, System F, kinds, plain resolution)
 IC03xx    overlap and coherence (sections 3.3-3.4)
 IC04xx    termination, ambiguity and resolution budgets
 IC05xx    style warnings (emitted only by ``repro lint``)
+IC06xx    persistence (the on-disk derivation store, ``repro cache``)
 ========  ==========================================================
 
 The full catalogue -- including the lint-only IC05xx codes that have no
@@ -177,3 +178,56 @@ class SourceTypeError(ImplicitCalculusError):
     """The source-language front end rejected a program."""
 
     code = "IC0202"
+
+
+class StoreError(ImplicitCalculusError):
+    """The persistent derivation store failed (I/O, format, lifecycle).
+
+    Base class of the IC06xx band; see ``docs/PERSISTENCE.md``.  Note
+    the asymmetry with corruption *inside* the log: torn tails and
+    CRC-failed records are quarantined and never raise (the store
+    degrades to a smaller cache), while structural problems -- a
+    foreign file, an incompatible schema, a concurrent writer -- refuse
+    loudly with a subclass of this error.
+    """
+
+    code = "IC0601"
+
+
+class StoreSchemaError(StoreError):
+    """The store header does not match the supported schema version.
+
+    Raised on open when the log was written by an incompatible code
+    version (or is not a derivation store at all).  The store refuses
+    to load rather than guess; ``repro cache clear`` rebuilds it.
+    """
+
+    code = "IC0602"
+
+
+class StoreLockedError(StoreError):
+    """Another live process holds the store's single-writer lock.
+
+    Retryable: ``backoff_ms`` suggests how long to wait before
+    retrying.  Stale locks (dead holder pid) are stolen automatically,
+    so this only fires while the holder is actually alive.
+    """
+
+    code = "IC0603"
+
+    def __init__(self, *args: object, backoff_ms: int = 100, span: Span | None = None):
+        super().__init__(*args, span=span)
+        self.backoff_ms = backoff_ms
+
+
+class StoreCorruptionError(StoreError):
+    """A store record decoded to garbage while verification was bypassed.
+
+    Never raised in normal operation -- CRC-failed records are
+    quarantined silently -- but surfaced by ``repro cache verify``
+    reporting and by the fuzz harness's fault arm, which disables CRC
+    checking precisely to prove that garbled records *would* be served
+    without it.
+    """
+
+    code = "IC0604"

@@ -40,6 +40,13 @@ The engine pairs mirror every redundancy the repo has accumulated:
                entries *within* a frame cannot change the outcome
 ``lint``       metamorphic: ``repro lint`` findings (JSON) are stable
                under re-parse of the pretty-printed rule environment
+``store``      cold resolution vs resolution replayed through the
+               persistent derivation store (:mod:`repro.store`): write
+               through to disk, reopen, warm a fresh cache and resolve
+               again; then tamper every record on disk *without*
+               updating its frame CRC and reopen once more -- the
+               quarantine path must fire while resolution still agrees
+               (a quarantined record is recomputed, never trusted)
 =============  ==========================================================
 
 Success results are compared through :func:`derivation_signature`, an
@@ -57,7 +64,10 @@ incomplete-index bug), and the ``sharded`` oracle corrupts the *wire
 frames* the supervisor sends its workers (the opcode field is flipped,
 so every frame is malformed), so each injected failure exercises the
 exact class of bug its oracle exists to catch -- for ``sharded``, both
-the oracle and the worker's malformed-frame error path fire at once.
+the oracle and the worker's malformed-frame error path fire at once,
+and the ``store`` oracle disables CRC verification while replaying its
+tampered log, so the flipped outcomes reach resolution: the exact
+disagreement a missing (or broken) checksum would cause in production.
 """
 
 from __future__ import annotations
@@ -597,6 +607,142 @@ def oracle_lint(case: FuzzCase, ctx: OracleContext) -> Verdict:
     return classify("lint", left, right, note="lint JSON re-parse stability")
 
 
+def _tamper_store_log(path: str) -> int:
+    """Flip every record's outcome on disk, leaving the CRCs stale.
+
+    This is on-disk corruption of exactly the class the frame checksum
+    exists to catch: each payload is rewritten to a *decodable* record
+    whose outcome contradicts the original (successes become
+    ``NoMatchingRuleError`` failures, failures swap error class), while
+    the trailing CRC stays a checksum of nothing.  Under normal
+    verification every tampered frame quarantines at reopen; under CRC
+    bypass the flipped outcomes decode cleanly and reach resolution.
+    Returns the number of records tampered.
+    """
+    import json
+    import zlib
+
+    from ..store.log import MARKER, RecordLog, _LEN
+
+    log = RecordLog(path, kind="derivations", read_only=True)
+    try:
+        spans = log.record_spans()
+        payloads = [log.read_payload(off, plen) for off, plen in spans]
+        header_end = spans[0][0] if spans else log.size_bytes()
+    finally:
+        log.close()
+    with open(path, "rb") as fh:
+        head = fh.read(header_end)
+    frames = []
+    tampered = 0
+    for payload in payloads:
+        if payload is None:
+            continue
+        doc = json.loads(payload.decode("utf-8"))
+        if doc.get("k") == "D":
+            doc.pop("d", None)
+            doc["k"] = "F"
+            doc["err"] = ["NoMatchingRuleError", "store fault arm tampered this"]
+        else:
+            doc["err"] = ["OverlappingRulesError", "store fault arm tampered this"]
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+        stale_crc = (zlib.crc32(blob) ^ 0xDEADBEEF) & 0xFFFFFFFF
+        frames.append(
+            bytes([MARKER]) + _LEN.pack(len(blob)) + blob + _LEN.pack(stale_crc)
+        )
+        tampered += 1
+    with open(path, "wb") as fh:
+        fh.write(head + b"".join(frames))
+    return tampered
+
+
+def oracle_store(case: FuzzCase, ctx: OracleContext) -> Verdict:
+    """Cold resolution vs the persistent derivation store (module docs).
+
+    Three sub-checks per case, each against the same cold baseline:
+
+    1. *write-through transparency*: resolving through a
+       :class:`~repro.store.PersistentResolutionCache` agrees;
+    2. *disk-warmed replay*: after close + reopen + ``warm``, the
+       decoded derivation reproduces the cold signature;
+    3. *quarantine*: after :func:`_tamper_store_log` (stale CRCs), the
+       reopened store must count corrupt records (when any existed)
+       and resolution must *still* agree, because quarantined records
+       are recomputed, never trusted.
+
+    The fault arm runs the tampered replay with CRC verification
+    bypassed instead, so every flipped outcome reaches resolution.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from ..store import DerivationStore, PersistentResolutionCache, set_crc_bypass
+    from ..store.store import LOG_NAME
+
+    env = case.env()
+    left = resolve_outcome(case, env=env)
+    tmp = tempfile.mkdtemp(prefix="repro-fuzz-store-")
+    try:
+        log_path = os.path.join(tmp, LOG_NAME)
+        store = DerivationStore(tmp)
+        try:
+            written = resolve_outcome(
+                case, env=env, cache=PersistentResolutionCache(store)
+            )
+        finally:
+            store.close()
+        if written != left:
+            return classify("store", left, written, note="write-through resolve")
+
+        if _FAULT == "store":
+            _tamper_store_log(log_path)
+            previous = set_crc_bypass(True)
+            try:
+                store = DerivationStore(tmp)
+                try:
+                    warmed = PersistentResolutionCache(store)
+                    warmed.warm(env)
+                    right = resolve_outcome(case, env=env, cache=warmed)
+                finally:
+                    store.close()
+            finally:
+                set_crc_bypass(previous)
+            return classify("store", left, right, note="tampered log, CRC bypassed")
+
+        store = DerivationStore(tmp)
+        try:
+            warmed = PersistentResolutionCache(store)
+            warmed.warm(env)
+            right = resolve_outcome(case, env=env, cache=warmed)
+        finally:
+            store.close()
+        if right != left:
+            return classify("store", left, right, note="disk-warmed replay")
+
+        tampered = _tamper_store_log(log_path)
+        store = DerivationStore(tmp)
+        try:
+            if tampered and store.stats.store_corrupt_records == 0:
+                return Verdict(
+                    "store",
+                    "disagree",
+                    left,
+                    Outcome("fail", "QuarantineDidNotFire"),
+                    note="stale-CRC records were served, not quarantined",
+                )
+            warmed = PersistentResolutionCache(store)
+            warmed.warm(env)
+            right = resolve_outcome(case, env=env, cache=warmed)
+        finally:
+            store.close()
+        return classify("store", left, right, note="post-quarantine recompute")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 # ---------------------------------------------------------------------------
 # Registry.
 # ---------------------------------------------------------------------------
@@ -615,6 +761,7 @@ ORACLES: dict[str, OracleFn] = {
     "alpha": oracle_alpha,
     "permute": oracle_permute,
     "lint": oracle_lint,
+    "store": oracle_store,
 }
 
 

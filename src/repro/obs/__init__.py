@@ -26,6 +26,11 @@ from .stats import (
     record_fuzz_shrink,
     record_index,
     record_lookup,
+    record_store_bytes,
+    record_store_corrupt,
+    record_store_eviction,
+    record_store_hit,
+    record_store_loads,
     record_unify,
 )
 from .trace import (
@@ -49,6 +54,11 @@ __all__ = [
     "record_fuzz_shrink",
     "record_index",
     "record_lookup",
+    "record_store_bytes",
+    "record_store_corrupt",
+    "record_store_eviction",
+    "record_store_hit",
+    "record_store_loads",
     "record_unify",
     "TraceEvent",
     "Tracer",

@@ -75,6 +75,17 @@ Counter glossary (see also ``docs/OBSERVABILITY.md``):
                     re-warmed from the supervisor's warm logs)
 ``wire_bytes_in``   compact-wire bytes received from shard workers
 ``wire_bytes_out``  compact-wire bytes sent to shard workers
+``store_hits``      resolution probes answered from the persistent
+                    derivation store (disk read-through;
+                    :mod:`repro.store`)
+``store_loads``     records bulk-loaded from disk into an in-memory
+                    cache by warm-start (``DerivationStore.warm_cache``)
+``store_evictions`` records evicted from the store index to honor the
+                    size budget (space reclaimed at next compaction)
+``store_corrupt_records`` records quarantined because their CRC or
+                    framing failed verification (torn tails excluded:
+                    those are truncated, not quarantined)
+``store_bytes``     bytes appended to the persistent derivation log
 ============== ============================================================
 """
 
@@ -114,6 +125,11 @@ class ResolutionStats:
     worker_restarts: int = 0
     wire_bytes_in: int = 0
     wire_bytes_out: int = 0
+    store_hits: int = 0
+    store_loads: int = 0
+    store_evictions: int = 0
+    store_corrupt_records: int = 0
+    store_bytes: int = 0
 
     # -- derived ---------------------------------------------------------
 
@@ -244,3 +260,38 @@ def record_fuzz_shrink(steps: int) -> None:
     stats = getattr(_SLOT, "stats", None)
     if stats is not None:
         stats.fuzz_shrink_steps += steps
+
+
+def record_store_hit() -> None:
+    """One resolution probe answered from the persistent store."""
+    stats = getattr(_SLOT, "stats", None)
+    if stats is not None:
+        stats.store_hits += 1
+
+
+def record_store_loads(count: int) -> None:
+    """``count`` records warm-loaded from disk into an in-memory cache."""
+    stats = getattr(_SLOT, "stats", None)
+    if stats is not None:
+        stats.store_loads += count
+
+
+def record_store_eviction(count: int = 1) -> None:
+    """``count`` records evicted to honor the store's size budget."""
+    stats = getattr(_SLOT, "stats", None)
+    if stats is not None:
+        stats.store_evictions += count
+
+
+def record_store_corrupt(count: int = 1) -> None:
+    """``count`` records quarantined by CRC/framing verification."""
+    stats = getattr(_SLOT, "stats", None)
+    if stats is not None:
+        stats.store_corrupt_records += count
+
+
+def record_store_bytes(count: int) -> None:
+    """``count`` bytes appended to the persistent derivation log."""
+    stats = getattr(_SLOT, "stats", None)
+    if stats is not None:
+        stats.store_bytes += count

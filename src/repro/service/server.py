@@ -75,6 +75,7 @@ class ResolutionService:
         queue_depth: int = 64,
         coalesce: bool = True,
         default_config: SessionConfig | None = None,
+        cache_dir: str | None = None,
     ):
         self.registry = SessionRegistry()
         self.pool = WorkerPool(workers=workers, watermark=queue_depth)
@@ -85,6 +86,20 @@ class ResolutionService:
         self.requests = 0
         self.stopping = threading.Event()
         self._started = time.monotonic()
+        #: Durable layer (``--cache-dir``): a shared derivation store all
+        #: session caches read/write through, plus a session journal so a
+        #: restart rebuilds sessions disk-warm (docs/PERSISTENCE.md).
+        self.store = None
+        self.journal = None
+        self.sessions_restored = 0
+        if cache_dir is not None:
+            import os
+
+            from ..store import DerivationStore, SessionJournal
+
+            self.store = DerivationStore(cache_dir)
+            self.journal = SessionJournal(os.path.join(cache_dir, "sessions.log"))
+            self._restore_sessions()
         self._control: dict[str, Callable[[Request], Any]] = {
             "ping": self._op_ping,
             "version": self._op_version,
@@ -104,6 +119,58 @@ class ResolutionService:
             "lint": self._op_lint,
             "debug/sleep": self._op_debug_sleep,
         }
+
+    # -- durable sessions --------------------------------------------------
+
+    def _restore_sessions(self) -> None:
+        """Rebuild journaled sessions at startup, caches disk-warm.
+
+        Each restored push routes through :meth:`Session.push_rules`,
+        which warms the new environment's persisted derivations out of
+        the store -- the replacement for supervisor-side request replay.
+        The journal is then compacted down to the surviving state.
+        """
+        from ..store import config_from_doc
+        from .wire import decode_type
+
+        state = self.journal.replay()
+        for name in sorted(state):
+            journaled = state[name]
+            session = None
+            try:
+                config = (
+                    config_from_doc(journaled.config)
+                    if journaled.config is not None
+                    else self.default_config
+                )
+                session = self.registry.create(name, config, store=self.store)
+                for frame in journaled.frames:
+                    session.push_rules([decode_type(w) for w in frame])
+            except Exception:  # noqa: BLE001 - damaged journal state degrades
+                if session is not None:
+                    try:
+                        self.registry.close(name)
+                    except Exception:  # noqa: BLE001
+                        pass
+                state.pop(name, None)
+                continue
+            self.sessions_restored += 1
+        self.journal.rewrite(state)
+
+    @staticmethod
+    def _wire_rules(rules: "list[str | Type] | None") -> "list[str] | None":
+        """Rules as wire strings for the journal; ``None`` if uncodable."""
+        from .wire import WireError, encode_type
+
+        if not rules:
+            return []
+        try:
+            return [
+                encode_type(r if isinstance(r, Type) else parse_core_type(r))
+                for r in rules
+            ]
+        except (WireError, ImplicitCalculusError):
+            return None
 
     # -- entry point -------------------------------------------------------
 
@@ -270,7 +337,7 @@ class ResolutionService:
         with self._stats_lock:
             counters = self.stats.as_dict()
             requests = self.requests
-        return {
+        result = {
             "uptime_s": round(time.monotonic() - self._started, 3),
             "requests": requests,
             "sessions": len(self.registry),
@@ -282,6 +349,10 @@ class ResolutionService:
             "coalescing": self.flight is not None,
             "counters": counters,
         }
+        if self.store is not None:
+            result["store"] = self.store.stats_view()
+            result["sessions_restored"] = self.sessions_restored
+        return result
 
     def _op_shutdown(self, request: Request) -> dict:
         self.stopping.set()
@@ -304,7 +375,7 @@ class ResolutionService:
             if set(request.params) - {"name", "rules"}
             else self.default_config
         )
-        session = self.registry.create(name, config)
+        session = self.registry.create(name, config, store=self.store)
         depth = 0
         if rules:
             try:
@@ -314,6 +385,16 @@ class ResolutionService:
                 # behind under the requested name.
                 self.registry.close(session.name)
                 raise
+        if self.journal is not None:
+            wired = self._wire_rules(rules)
+            if wired is not None:
+                from ..store import config_doc
+
+                self.journal.record_new(
+                    session.name,
+                    config_doc(config) if config is not self.default_config else None,
+                    wired,
+                )
         return {"session": session.name, "depth": depth}
 
     def _op_session_push(self, request: Request) -> dict:
@@ -325,17 +406,27 @@ class ResolutionService:
             raise ProtocolError(
                 ErrorCode.INVALID_REQUEST, "'rules' must be a list of type strings"
             )
-        return {"session": session.name, "depth": session.push_rules(rules)}
+        depth = session.push_rules(rules)
+        if self.journal is not None:
+            wired = self._wire_rules(rules)
+            if wired is not None:
+                self.journal.record_push(session.name, wired)
+        return {"session": session.name, "depth": depth}
 
     def _op_session_pop(self, request: Request) -> dict:
         session = self.registry.get(request.params.get("session"))
-        return {"session": session.name, "depth": session.pop()}
+        depth = session.pop()
+        if self.journal is not None:
+            self.journal.record_pop(session.name)
+        return {"session": session.name, "depth": depth}
 
     def _op_session_stats(self, request: Request) -> dict:
         return self.registry.get(request.params.get("session")).stats_result()
 
     def _op_session_close(self, request: Request) -> dict:
         session = self.registry.close(request.params.get("session"))
+        if self.journal is not None:
+            self.journal.record_close(session.name)
         return {"session": session.name, "closed": True}
 
     # -- work operations ---------------------------------------------------
@@ -537,6 +628,12 @@ class ResolutionService:
     def shutdown(self) -> None:
         self.stopping.set()
         self.pool.shutdown(wait=True)
+        if self.journal is not None:
+            self.journal.close()
+            self.journal = None
+        if self.store is not None:
+            self.store.close()
+            self.store = None
 
 
 # ---------------------------------------------------------------------------

@@ -100,7 +100,7 @@ class SessionConfig:
 class Session:
     """One named session (see module docstring)."""
 
-    def __init__(self, name: str, config: SessionConfig):
+    def __init__(self, name: str, config: SessionConfig, store=None):
         self.name = name
         self.config = config
         self.lock = threading.Lock()
@@ -109,12 +109,25 @@ class Session:
         #: parent *object*, so its memoized fingerprint, frame indexes
         #: and payload witness come back without recomputation.
         self._parents: list[ImplicitEnv] = []
+        #: The server's :class:`~repro.store.DerivationStore`, or
+        #: ``None``.  With a store the session cache reads through to
+        #: disk and every push eagerly warms the new environment's
+        #: persisted derivations back into memory.
+        self._store = store
+        if store is not None:
+            from ..store import PersistentResolutionCache
+
+            cache: ResolutionCache = PersistentResolutionCache(
+                store, max_entries=config.cache_entries
+            )
+        else:
+            cache = ResolutionCache(max_entries=config.cache_entries)
         self.resolver = Resolver(
             policy=config.policy,
             strategy=config.strategy,
             fuel=config.fuel,
             use_index=config.use_index,
-            cache=ResolutionCache(max_entries=config.cache_entries),
+            cache=cache,
         )
         self.stats = ResolutionStats()
         self.requests = 0
@@ -137,7 +150,14 @@ class Session:
         with self.lock:
             self._parents.append(self.env)
             self.env = self.env.push(entries)
-            return len(self.env)
+            env = self.env
+            depth = len(env)
+        if self._store is not None and self.resolver.cache is not None:
+            # Outside the session lock: warming only seeds the (thread
+            # safe) cache, and concurrent requests may resolve -- and
+            # miss -- against the new environment in the meantime.
+            self._store.warm_cache(self.resolver.cache, env)
+        return depth
 
     def pop(self) -> int:
         """Resurface the previous environment; returns the new depth."""
@@ -204,7 +224,9 @@ class SessionRegistry:
         self._auto_names = itertools.count(1)
         self.created = 0
 
-    def create(self, name: str | None, config: SessionConfig) -> Session:
+    def create(
+        self, name: str | None, config: SessionConfig, store=None
+    ) -> Session:
         with self._lock:
             if name is None:
                 name = f"s{next(self._auto_names)}"
@@ -214,7 +236,7 @@ class SessionRegistry:
                 raise ProtocolError(
                     ErrorCode.INVALID_REQUEST, f"session {name!r} already exists"
                 )
-            session = Session(name, config)
+            session = Session(name, config, store=store)
             self._sessions[name] = session
             self.created += 1
             return session

@@ -88,11 +88,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--threads", type=int, default=2)
     parser.add_argument("--queue-depth", type=int, default=64)
     parser.add_argument("--no-coalesce", action="store_true")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="per-shard persistent derivation store + session journal; a "
+        "respawned worker restores its own sessions disk-warm from here "
+        "instead of relying on supervisor replay",
+    )
     args = parser.parse_args(argv)
     service = ResolutionService(
         workers=args.threads,
         queue_depth=args.queue_depth,
         coalesce=not args.no_coalesce,
+        cache_dir=args.cache_dir,
     )
     return serve_wire(service)
 

@@ -282,12 +282,19 @@ class ShardSupervisor:
         coalesce: bool = True,
         vnodes: int = DEFAULT_VNODES,
         health_interval: float | None = None,
+        cache_dir: str | None = None,
     ):
         if workers <= 0:
             raise ValueError("workers must be positive (0 means unsharded)")
         self.threads = threads
         self.queue_depth = queue_depth
         self.coalesce = coalesce
+        #: With a cache dir, every shard slot gets its own persistent
+        #: store + session journal under ``cache_dir/shard-<slot>`` (one
+        #: directory per slot keeps the single-writer lock honest), and a
+        #: respawned worker restores its sessions disk-warm from there --
+        #: ``_shard_for`` then skips the in-memory warm-log replay.
+        self.cache_dir = cache_dir
         self.stats = ResolutionStats()
         self._stats_lock = threading.Lock()
         self.requests = 0
@@ -328,6 +335,12 @@ class ShardSupervisor:
         ]
         if not self.coalesce:
             argv.append("--no-coalesce")
+        if self.cache_dir is not None:
+            import os
+
+            argv.extend(
+                ["--cache-dir", os.path.join(self.cache_dir, f"shard-{slot}")]
+            )
         return ShardProcess(slot, argv, on_bytes=self._count_bytes)
 
     def _count_bytes(self, sent: int, received: int) -> None:
@@ -346,8 +359,11 @@ class ShardSupervisor:
             records = [r for r in self._sessions.values() if r.slot == slot]
         with self._stats_lock:
             self.stats.worker_restarts += 1
-        for record in records:
-            self._replay(replacement, record)
+        if self.cache_dir is None:
+            for record in records:
+                self._replay(replacement, record)
+        # else: the replacement restored its sessions (and their cached
+        # derivations) from its own journal + store during startup.
         return replacement
 
     def _replay(self, shard: ShardProcess, record: _SessionRecord) -> None:
@@ -696,15 +712,17 @@ class ShardSupervisor:
                 continue
             view = response["result"]
             shard_requests += view.get("requests", 0)
-            shards.append(
-                {
-                    "slot": slot,
-                    "alive": True,
-                    "requests": view.get("requests", 0),
-                    "sessions": view.get("sessions", 0),
-                    "counters": view.get("counters", {}),
-                }
-            )
+            entry = {
+                "slot": slot,
+                "alive": True,
+                "requests": view.get("requests", 0),
+                "sessions": view.get("sessions", 0),
+                "counters": view.get("counters", {}),
+            }
+            if "store" in view:  # per-shard persistence (--cache-dir)
+                entry["store"] = view["store"]
+                entry["sessions_restored"] = view.get("sessions_restored", 0)
+            shards.append(entry)
             total.merge(ResolutionStats(**view.get("counters", {})))
         with self._stats_lock:
             requests = self.requests

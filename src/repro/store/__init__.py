@@ -1,0 +1,48 @@
+"""Persistent derivation store: versioned on-disk resolution caching.
+
+The implicit calculus's coherence guarantee makes derivations *safely
+persistable*: resolution is deterministic for a given environment
+structure, query, strategy and overlap policy, so an outcome keyed by
+the environment's alpha-invariant fingerprint digest is stable across
+processes and restarts.  This package turns that observation into a
+durability layer under the whole stack:
+
+* :mod:`repro.store.log` -- the append-only, CRC-framed record log with
+  a versioned provenance header; torn tails truncate, garbled records
+  quarantine, structural problems raise IC06xx errors.
+* :mod:`repro.store.codec` -- record payloads: cache keys projected to
+  their stable cross-process form, derivation trees and cacheable
+  failures serialized over the ``service/wire`` type codec.
+* :mod:`repro.store.store` -- :class:`DerivationStore` (index, LRU/size
+  eviction, compaction, warm-up) and :class:`PersistentResolutionCache`
+  (the read-through/write-through adapter the resolution engine sees).
+* :mod:`repro.store.journal` -- :class:`SessionJournal`, durable session
+  lifecycles so a restarted server rebuilds its sessions disk-warm.
+
+Consumers: ``repro run/check --cache-dir``, the ``repro cache``
+subcommand, ``repro serve --cache-dir`` (including shard workers, which
+re-warm from disk instead of supervisor replay), the ``store`` fuzz
+oracle and bench B14.  See ``docs/PERSISTENCE.md``.
+"""
+
+from .journal import JournaledSession, SessionJournal, config_doc, config_from_doc
+from .log import RecordLog, SCHEMA_VERSION, crc_bypass_enabled, set_crc_bypass
+from .store import (
+    DEFAULT_MAX_BYTES,
+    DerivationStore,
+    PersistentResolutionCache,
+)
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "DerivationStore",
+    "JournaledSession",
+    "PersistentResolutionCache",
+    "RecordLog",
+    "SCHEMA_VERSION",
+    "SessionJournal",
+    "config_doc",
+    "config_from_doc",
+    "crc_bypass_enabled",
+    "set_crc_bypass",
+]

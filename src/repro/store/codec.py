@@ -1,0 +1,301 @@
+"""Record payloads for the persistent derivation store.
+
+A record serializes one resolution-cache entry -- the full cache key
+plus its outcome -- as compact JSON whose type fields reuse the postfix
+wire codec of :mod:`repro.service.wire` (so every type roundtrips to the
+interned node: ``decode(encode(t)) is t``).
+
+Key encoding.  The in-memory cache key is ``(fingerprint, witness,
+canonical_key(query), strategy, policy)``.  Fingerprints and canonical
+keys are structural values, so the record stores exactly the stable,
+cross-process projections of each component:
+
+* the env digest ``service.wire.shard_key(fingerprint)`` -- already the
+  identity the shard ring routes by;
+* the query's canonical key through ``encode_signature`` (nested tuples
+  of strings/ints; JSON roundtrips them exactly);
+* the strategy/policy enum values.
+
+The witness is **not** stored: a record is only written for environments
+whose payload witness is all-``None`` (plain rule types, no evidence
+objects), because payload identities are process-local and cannot
+survive a restart.  :func:`persistable` is the gate; it also rejects
+derivations that embed assumption tokens as lookup payloads (the
+extending strategies push those), since identity-compared binders do not
+serialize.
+
+Derivation encoding.  Each node stores only what cannot be recomputed:
+the query, the matched rule, its type arguments, and the premise shapes.
+``tvars``/``context``/``head`` come back from ``promote(query)``; the
+instantiated lookup context/head are rebuilt by substituting the type
+arguments into the matched rule (exactly what lookup's matcher
+produced); assumption tokens are freshly minted per node and referenced
+by index (``ByAssumption`` always names a token of its immediate parent
+node -- see ``Resolver._discharge``).
+
+Premise sharing.  Resolution persists bottom-up (``_resolve`` caches the
+deepest sub-proof first), so when a ``ByResolution`` premise's own
+derivation already has a record under the same (env, strategy, policy),
+the premise is stored as a *reference* to that record's canonical key
+(``["ref", sig]``) instead of an embedded subtree.  This keeps deep
+proof chains O(n) on disk and at decode time rather than O(n^2) -- the
+difference between a disk-warmed start beating cold proof search and
+losing to it.  Decoding a reference needs a ``deref`` callback (the
+store resolves it through its index, memoized per warm sweep); a record
+whose reference dangles -- the child was evicted or quarantined -- is
+itself unusable and treated like corruption by the caller.  Premises
+whose sub-derivation has no sibling record (the extending strategies
+resolve under temporarily extended environments, which are not
+persistable) fall back to embedding, so every persistable derivation
+still round-trips.
+
+Failure encoding.  Only :class:`NoMatchingRuleError` and
+:class:`OverlappingRulesError` are cacheable (divergence and deadline
+outcomes are budget properties), so failures store the class name --
+restored through an explicit whitelist, never ``getattr`` on arbitrary
+names -- plus the message.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.env import LookupResult, OverlapPolicy, RuleEntry
+from ..core.resolution import (
+    Assumption,
+    ByAssumption,
+    ByResolution,
+    Derivation,
+    ResolutionStrategy,
+)
+from ..core.subst import subst_type
+from ..core.types import Type, canonical_key, promote
+from ..errors import (
+    NoMatchingRuleError,
+    OverlappingRulesError,
+    StoreCorruptionError,
+)
+from ..service.wire import (
+    WireError,
+    decode_signature,
+    decode_type,
+    encode_signature,
+    encode_type,
+    shard_key,
+)
+
+RECORD_VERSION = 1
+
+_FAILURE_CLASSES = {
+    "NoMatchingRuleError": NoMatchingRuleError,
+    "OverlappingRulesError": OverlappingRulesError,
+}
+
+
+def env_digest(env_or_fp) -> str:
+    """Stable hex identity of an environment's rule structure."""
+    return shard_key(env_or_fp).hex()
+
+
+def witness_is_bare(witness: tuple) -> bool:
+    """True iff the payload witness pins no evidence objects."""
+    return all(w is None for w in witness)
+
+
+def persistable(outcome: Any, is_success: bool, witness: tuple) -> bool:
+    """May this cache entry be written to disk?  (See module docs.)"""
+    if not witness_is_bare(witness):
+        return False
+    if not is_success:
+        return type(outcome).__name__ in _FAILURE_CLASSES
+    return _derivation_persistable(outcome)
+
+
+def _derivation_persistable(d: Derivation) -> bool:
+    if d.lookup.entry.payload is not None:
+        return False
+    return all(
+        _derivation_persistable(p.derivation)
+        for p in d.premises
+        if isinstance(p, ByResolution)
+    )
+
+
+def index_key(
+    digest: str, strategy: ResolutionStrategy, policy: OverlapPolicy, ckey: tuple
+) -> tuple:
+    """The store's cross-process projection of a cache key."""
+    return (digest, strategy.value, policy.value, ckey)
+
+
+# -- encoding ---------------------------------------------------------------
+
+
+def encode_record(
+    key: tuple,
+    outcome: Any,
+    is_success: bool,
+    min_fuel: int,
+    have_ref=None,
+) -> bytes:
+    """Serialize one cache entry.  Raises :class:`WireError` for types
+    the wire codec cannot carry (the caller skips persisting those).
+
+    ``have_ref(ckey) -> bool``, when given, reports whether a sibling
+    record exists for a sub-derivation's canonical key; premises whose
+    sub-proof is already on disk are stored by reference (module docs).
+    """
+    fingerprint, _witness, ckey, strategy, policy = key
+    doc: dict[str, Any] = {
+        "v": RECORD_VERSION,
+        "e": env_digest(fingerprint),
+        "c": encode_signature(ckey),
+        "s": strategy.value,
+        "p": policy.value,
+        "f": min_fuel,
+    }
+    if is_success:
+        doc["k"] = "D"
+        doc["d"] = _encode_derivation(outcome, have_ref)
+    else:
+        doc["k"] = "F"
+        doc["err"] = [type(outcome).__name__, str(outcome)]
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _encode_derivation(d: Derivation, have_ref=None) -> dict:
+    node: dict[str, Any] = {
+        "q": encode_type(d.query),
+        "r": encode_type(d.lookup.entry.rho),
+        "pr": [_encode_premise(p, have_ref) for p in d.premises],
+    }
+    if d.lookup.type_args:
+        node["ta"] = [encode_type(t) for t in d.lookup.type_args]
+    return node
+
+
+def _encode_premise(p, have_ref=None) -> list:
+    if isinstance(p, ByAssumption):
+        return ["a", p.token.index]
+    if isinstance(p, ByResolution):
+        if have_ref is not None:
+            sub_ckey = canonical_key(p.derivation.query)
+            if have_ref(sub_ckey):
+                return ["ref", encode_signature(sub_ckey)]
+        return ["r", _encode_derivation(p.derivation, have_ref)]
+    raise WireError(f"unknown premise kind {type(p).__name__}")
+
+
+# -- decoding ---------------------------------------------------------------
+
+
+class DecodedRecord:
+    """One decoded store record, ready to enter a cache."""
+
+    __slots__ = ("env_digest", "strategy", "policy", "ckey", "min_fuel", "kind", "doc")
+
+    def __init__(self, doc: dict):
+        self.doc = doc
+        self.env_digest = doc["e"]
+        self.strategy = ResolutionStrategy(doc["s"])
+        self.policy = OverlapPolicy(doc["p"])
+        self.ckey = decode_signature(doc["c"])
+        self.min_fuel = int(doc["f"])
+        self.kind = doc["k"]
+
+    @property
+    def is_success(self) -> bool:
+        return self.kind == "D"
+
+    def index_key(self) -> tuple:
+        return index_key(self.env_digest, self.strategy, self.policy, self.ckey)
+
+    def outcome(self, deref=None) -> Any:
+        """Rebuild the derivation tree or the failure exception.
+
+        ``deref(ckey) -> Derivation`` resolves ``["ref", ...]`` premises
+        (the store supplies it); a reference met without one raises
+        :class:`StoreCorruptionError`.
+        """
+        if self.is_success:
+            return _decode_derivation(self.doc["d"], deref)
+        name, message = self.doc["err"]
+        cls = _FAILURE_CLASSES.get(name)
+        if cls is None:
+            raise StoreCorruptionError(
+                f"store record names unknown failure class {name!r}"
+            )
+        return cls(message)
+
+
+def decode_record(payload: bytes) -> DecodedRecord:
+    """Parse one record payload.  Any malformation -- bad JSON, missing
+    fields, undecodable wire types -- raises
+    :class:`~repro.errors.StoreCorruptionError` (reached only under CRC
+    bypass; verified records always decode)."""
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+        if not isinstance(doc, dict) or doc.get("v") != RECORD_VERSION:
+            raise ValueError("unsupported record version")
+        record = DecodedRecord(doc)
+        if record.kind not in ("D", "F"):
+            raise ValueError(f"unknown record kind {record.kind!r}")
+        return record
+    except StoreCorruptionError:
+        raise
+    except Exception as exc:
+        raise StoreCorruptionError(f"undecodable store record: {exc}") from exc
+
+
+def _decode_derivation(node: dict, deref=None) -> Derivation:
+    query = decode_type(node["q"])
+    rho = decode_type(node["r"])
+    type_args = tuple(decode_type(t) for t in node.get("ta", ()))
+    tvars, context, head = promote(query)
+    assumptions = tuple(Assumption(r, i) for i, r in enumerate(context))
+    lookup = _rebuild_lookup(rho, type_args)
+    premises = tuple(_decode_premise(p, assumptions, deref) for p in node["pr"])
+    if len(premises) != len(lookup.context):
+        raise StoreCorruptionError("premise count does not match rule context")
+    return Derivation(
+        query=query,
+        tvars=tvars,
+        context=context,
+        head=head,
+        lookup=lookup,
+        assumptions=assumptions,
+        premises=premises,
+    )
+
+
+def _decode_premise(p: list, assumptions: tuple[Assumption, ...], deref=None):
+    kind = p[0]
+    if kind == "a":
+        index = p[1]
+        if not isinstance(index, int) or not 0 <= index < len(assumptions):
+            raise StoreCorruptionError(f"assumption index {index!r} out of range")
+        return ByAssumption(assumptions[index])
+    if kind == "r":
+        return ByResolution(_decode_derivation(p[1], deref))
+    if kind == "ref":
+        if deref is None:
+            raise StoreCorruptionError(
+                "premise reference met without a dereferencer"
+            )
+        return ByResolution(deref(decode_signature(p[1])))
+    raise StoreCorruptionError(f"unknown premise tag {kind!r}")
+
+
+def _rebuild_lookup(rho: Type, type_args: tuple[Type, ...]) -> LookupResult:
+    """Reproduce what lookup's matcher returned for this entry + args."""
+    tvars, context, head = promote(rho)
+    if len(tvars) != len(type_args):
+        raise StoreCorruptionError("type-argument count does not match rule binders")
+    theta = dict(zip(tvars, type_args))
+    return LookupResult(
+        entry=RuleEntry(rho),
+        type_args=type_args,
+        context=tuple(subst_type(theta, r) for r in context),
+        head=subst_type(theta, head),
+    )

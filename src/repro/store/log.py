@@ -1,0 +1,460 @@
+"""The append-only record log under the persistent derivation store.
+
+One log file is a **provenance header** followed by a sequence of
+CRC-framed records:
+
+.. code-block:: text
+
+    +-------------+------------+--------------+------------+
+    | MAGIC (11B) | hlen (4B)  | header JSON  | CRC32 (4B) |
+    +-------------+------------+--------------+------------+
+    | 0xA5 | plen (4B) | payload bytes | CRC32(payload) (4B) |
+    +------+-----------+---------------+---------------------+
+    | ... more records ...                                   |
+    +--------------------------------------------------------+
+
+All integers are big-endian.  The header carries the schema version and
+the provenance triple (git commit, python version, package version --
+the same meta pattern as ``benchmarks/report.py``); an incompatible or
+unreadable header refuses to load with
+:class:`~repro.errors.StoreSchemaError`.  Records, by contrast, are
+**corruption tolerant** (the ISSUE's "never crash" clause):
+
+* a *torn tail* -- an incomplete final frame from a crash mid-append --
+  is truncated on a writable open and resumed from;
+* a *garbled record* -- bad marker, bad CRC, or a length field pointing
+  into nonsense -- is quarantined: the scanner counts it, remembers the
+  byte span for ``repro cache verify``, and resynchronizes by searching
+  forward for the next frame that passes its own CRC.
+
+The log is **single-writer**: a pid lockfile (``<log>.lock``) guards
+writable opens.  A second live opener gets
+:class:`~repro.errors.StoreLockedError` (retryable, with a suggested
+backoff); locks whose holder pid is dead are stolen silently.  Read-only
+opens skip the lock so ``repro cache stats``/``verify`` work while a
+server owns the store.
+
+``set_crc_bypass`` mirrors ``service/wire.py``'s
+``set_wire_corruption``: a test-only toggle that disables record
+verification so the fuzz harness's ``store`` fault arm can prove that,
+without CRCs, flipped bytes *would* reach resolution.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Iterator
+
+from ..errors import StoreError, StoreLockedError, StoreSchemaError
+
+MAGIC = b"REPROSTORE\n"
+MARKER = 0xA5
+SCHEMA_VERSION = 1
+_LEN = struct.Struct(">I")
+#: marker + payload length; the CRC trails the payload.
+_FRAME_OVERHEAD = 1 + 4 + 4
+
+_CRC_BYPASS = False
+
+
+def set_crc_bypass(enabled: bool) -> bool:
+    """Disable (or re-enable) record CRC verification; returns the old
+    value.  Test-only: the fuzz harness's fault arm uses it to prove the
+    quarantine path is load-bearing."""
+    global _CRC_BYPASS
+    previous = _CRC_BYPASS
+    _CRC_BYPASS = bool(enabled)
+    return previous
+
+
+def crc_bypass_enabled() -> bool:
+    return _CRC_BYPASS
+
+
+def _crc(payload: bytes) -> int:
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def default_header(kind: str) -> dict:
+    """A fresh provenance header (the ``report.py`` meta pattern)."""
+    import platform
+    import subprocess
+
+    try:
+        commit = (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip()
+            or None
+        )
+    except Exception:
+        commit = None
+    return {
+        "format": "repro-store/1",
+        "schema": SCHEMA_VERSION,
+        "kind": kind,
+        "commit": commit,
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+class RecordLog:
+    """One append-only, CRC-framed log file (see module docs).
+
+    Opening scans the whole file once: validates the header, truncates a
+    torn tail (writable opens only), quarantines garbled records, and
+    leaves ``self.quarantined`` / ``self.torn_tail_bytes`` describing
+    what was skipped.  ``scan()`` then replays the surviving records for
+    the owner to index.
+    """
+
+    def __init__(self, path: str, *, kind: str, read_only: bool = False):
+        self.path = path
+        self.kind = kind
+        self.read_only = read_only
+        self.header: dict = {}
+        #: ``(offset, length)`` byte spans skipped by the quarantine scanner.
+        self.quarantined: list[tuple[int, int]] = []
+        self.torn_tail_bytes = 0
+        self._records: list[tuple[int, int]] = []  # (offset, payload length)
+        self._fh = None
+        self._locked = False
+        self._open()
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def lock_path(self) -> str:
+        return self.path + ".lock"
+
+    def _acquire_lock(self) -> None:
+        for _ in range(2):  # second pass after stealing a stale lock
+            try:
+                fd = os.open(self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                holder = self._lock_holder()
+                if holder is not None and _pid_alive(holder):
+                    raise StoreLockedError(
+                        f"store {self.path!r} is locked by live process "
+                        f"{holder}; retry after backoff",
+                        backoff_ms=100,
+                    )
+                try:  # stale: holder is dead (or the file is garbage)
+                    os.unlink(self.lock_path)
+                except FileNotFoundError:
+                    pass
+                continue
+            with os.fdopen(fd, "w") as fh:
+                fh.write(str(os.getpid()))
+            self._locked = True
+            return
+        raise StoreLockedError(
+            f"store {self.path!r} lock could not be acquired", backoff_ms=100
+        )
+
+    def _lock_holder(self) -> int | None:
+        try:
+            with open(self.lock_path) as fh:
+                return int(fh.read().strip())
+        except (OSError, ValueError):
+            return None
+
+    def _release_lock(self) -> None:
+        if self._locked:
+            try:
+                os.unlink(self.lock_path)
+            except FileNotFoundError:
+                pass
+            self._locked = False
+
+    def _open(self) -> None:
+        if not self.read_only:
+            self._acquire_lock()
+        try:
+            exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+            if not exists:
+                if self.read_only:
+                    raise StoreError(f"no store at {self.path!r}")
+                self.header = default_header(self.kind)
+                self._write_fresh(self.header)
+            mode = "rb" if self.read_only else "r+b"
+            self._fh = open(self.path, mode)
+            self._scan_all()
+        except BaseException:
+            self._release_lock()
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            raise
+
+    def _write_fresh(self, header: dict) -> None:
+        blob = json.dumps(header, sort_keys=True).encode("utf-8")
+        with open(self.path, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(_LEN.pack(len(blob)))
+            fh.write(blob)
+            fh.write(_LEN.pack(_crc(blob)))
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            if not self.read_only:
+                self._fh.flush()
+                try:
+                    os.fsync(self._fh.fileno())
+                except OSError:
+                    pass
+            self._fh.close()
+            self._fh = None
+        self._release_lock()
+
+    def __enter__(self) -> "RecordLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- scanning --------------------------------------------------------
+
+    def _scan_all(self) -> None:
+        fh = self._fh
+        assert fh is not None
+        fh.seek(0, os.SEEK_END)
+        size = fh.tell()
+        fh.seek(0)
+        data = fh.read()  # one sequential read; the index stays offsets-only
+
+        if data[: len(MAGIC)] != MAGIC:
+            raise StoreSchemaError(
+                f"{self.path!r} is not a derivation store (bad magic)"
+            )
+        pos = len(MAGIC)
+        if size < pos + 4:
+            raise StoreSchemaError(f"{self.path!r} has a truncated header")
+        (hlen,) = _LEN.unpack_from(data, pos)
+        pos += 4
+        if size < pos + hlen + 4:
+            raise StoreSchemaError(f"{self.path!r} has a truncated header")
+        blob = data[pos : pos + hlen]
+        pos += hlen
+        (hcrc,) = _LEN.unpack_from(data, pos)
+        pos += 4
+        if _crc(blob) != hcrc:
+            raise StoreSchemaError(f"{self.path!r} has a corrupt header")
+        try:
+            self.header = json.loads(blob.decode("utf-8"))
+        except ValueError as exc:
+            raise StoreSchemaError(f"{self.path!r} has an unreadable header") from exc
+        schema = self.header.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise StoreSchemaError(
+                f"{self.path!r} was written with schema version {schema}; "
+                f"this build supports version {SCHEMA_VERSION} -- run "
+                "`repro cache clear` to rebuild it"
+            )
+        if self.header.get("kind") != self.kind:
+            raise StoreSchemaError(
+                f"{self.path!r} holds {self.header.get('kind')!r} records, "
+                f"expected {self.kind!r}"
+            )
+
+        self._body_start = pos
+        records, quarantined, tail = _scan_records(data, pos)
+        self._records = records
+        self.quarantined = quarantined
+        if tail and not self.read_only:
+            # Torn tail: a crash mid-append.  Truncate and resume.
+            self.torn_tail_bytes = size - tail[0]
+            fh.truncate(tail[0])
+            size = tail[0]
+        self._end = size if not tail else tail[0]
+
+    def scan(self) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(offset, payload)`` for every surviving record."""
+        for offset, plen in self._records:
+            payload = self.read_payload(offset, plen)
+            if payload is not None:
+                yield offset, payload
+
+    def read_payload(self, offset: int, length: int) -> bytes | None:
+        """Re-read (and re-verify) one record's payload from disk.
+
+        Returns ``None`` if the bytes no longer verify -- the caller
+        treats that exactly like a quarantined record.  Under
+        ``set_crc_bypass`` the unverified bytes are returned as-is.
+        """
+        fh = self._fh
+        if fh is None:
+            raise StoreError(f"store {self.path!r} is closed")
+        fh.seek(offset)
+        frame = fh.read(_FRAME_OVERHEAD + length)
+        if len(frame) < _FRAME_OVERHEAD + length or frame[0] != MARKER:
+            return None
+        payload = frame[5 : 5 + length]
+        (crc,) = _LEN.unpack_from(frame, 5 + length)
+        if _crc(payload) != crc and not _CRC_BYPASS:
+            return None
+        return payload
+
+    # -- writing ---------------------------------------------------------
+
+    def append(self, payload: bytes) -> tuple[int, int]:
+        """Append one record; returns ``(offset, payload length)``."""
+        if self.read_only:
+            raise StoreError(f"store {self.path!r} is read-only")
+        fh = self._fh
+        if fh is None:
+            raise StoreError(f"store {self.path!r} is closed")
+        fh.seek(self._end)
+        frame = bytes([MARKER]) + _LEN.pack(len(payload)) + payload + _LEN.pack(
+            _crc(payload)
+        )
+        fh.write(frame)
+        fh.flush()
+        offset = self._end
+        self._end += len(frame)
+        self._records.append((offset, len(payload)))
+        return offset, len(payload)
+
+    def replace_all(self, payloads: list[bytes]) -> None:
+        """Atomically rewrite the log with ``payloads`` (compaction).
+
+        Writes a sibling temp file with a fresh provenance header and
+        renames it over the log, so a crash mid-compaction leaves the old
+        log intact.
+        """
+        if self.read_only:
+            raise StoreError(f"store {self.path!r} is read-only")
+        tmp = self.path + ".compact"
+        header = default_header(self.kind)
+        blob = json.dumps(header, sort_keys=True).encode("utf-8")
+        with open(tmp, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(_LEN.pack(len(blob)))
+            fh.write(blob)
+            fh.write(_LEN.pack(_crc(blob)))
+            for payload in payloads:
+                fh.write(
+                    bytes([MARKER])
+                    + _LEN.pack(len(payload))
+                    + payload
+                    + _LEN.pack(_crc(payload))
+                )
+            fh.flush()
+            os.fsync(fh.fileno())
+        if self._fh is not None:
+            self._fh.close()
+        os.replace(tmp, self.path)
+        self.header = header
+        self.quarantined = []
+        self.torn_tail_bytes = 0
+        self._fh = open(self.path, "r+b")
+        self._scan_all()
+
+    def size_bytes(self) -> int:
+        """Current log size in bytes (header included)."""
+        return self._end
+
+    def record_spans(self) -> list[tuple[int, int]]:
+        """``(offset, payload length)`` of every surviving record."""
+        return list(self._records)
+
+    def record_count(self) -> int:
+        return len(self._records)
+
+
+def _scan_records(
+    data: bytes, start: int
+) -> tuple[list[tuple[int, int]], list[tuple[int, int]], tuple[int] | None]:
+    """Scan record frames in ``data`` from ``start``.
+
+    Returns ``(records, quarantined, torn_tail)`` where ``records`` and
+    ``quarantined`` are ``(offset, length)`` lists and ``torn_tail`` is
+    ``(offset,)`` of an incomplete final frame (``None`` if the file ends
+    cleanly).  Recovery logic per the module docs: a complete frame with
+    a bad CRC is quarantined in place; anything else resynchronizes by
+    searching forward for the next self-consistent frame.
+    """
+    size = len(data)
+    records: list[tuple[int, int]] = []
+    quarantined: list[tuple[int, int]] = []
+    pos = start
+    while pos < size:
+        frame = _try_frame(data, pos)
+        if frame == "torn":
+            # Incomplete final frame, no later valid frame: torn tail.
+            nxt = _resync(data, pos + 1)
+            if nxt is None:
+                return records, quarantined, (pos,)
+            quarantined.append((pos, nxt - pos))
+            pos = nxt
+            continue
+        if frame is None:
+            # Garbled framing: resync or give up on the remainder.
+            nxt = _resync(data, pos + 1)
+            if nxt is None:
+                quarantined.append((pos, size - pos))
+                return records, quarantined, None
+            quarantined.append((pos, nxt - pos))
+            pos = nxt
+            continue
+        plen, ok = frame
+        if ok or _CRC_BYPASS:
+            records.append((pos, plen))
+        else:
+            quarantined.append((pos, _FRAME_OVERHEAD + plen))
+        pos += _FRAME_OVERHEAD + plen
+    return records, quarantined, None
+
+
+def _try_frame(data: bytes, pos: int) -> tuple[int, bool] | str | None:
+    """Parse one frame at ``pos``: ``(payload length, crc ok)``, the
+    sentinel ``"torn"`` for an incomplete final frame, or ``None`` for
+    garbled framing."""
+    size = len(data)
+    if data[pos] != MARKER:
+        return None
+    if pos + 5 > size:
+        return "torn"
+    (plen,) = _LEN.unpack_from(data, pos + 1)
+    end = pos + _FRAME_OVERHEAD + plen
+    if end > size:
+        return "torn"
+    payload = data[pos + 5 : pos + 5 + plen]
+    (crc,) = _LEN.unpack_from(data, pos + 5 + plen)
+    return plen, _crc(payload) == crc
+
+
+def _resync(data: bytes, start: int) -> int | None:
+    """First offset ``>= start`` holding a fully CRC-valid frame."""
+    size = len(data)
+    pos = data.find(MARKER, start)
+    while 0 <= pos < size:
+        frame = _try_frame(data, pos)
+        if isinstance(frame, tuple) and frame[1]:
+            return pos
+        pos = data.find(MARKER, pos + 1)
+    return None
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True

@@ -43,6 +43,7 @@ def _reset_global_state():
     from repro.fuzz.oracles import set_fault
     from repro.obs.stats import _SLOT
     from repro.service.wire import set_wire_corruption
+    from repro.store.log import set_crc_bypass
 
     previous_indexing = indexing_enabled()
     previous_compiling = compiling_enabled()
@@ -52,6 +53,7 @@ def _reset_global_state():
     set_trie_corruption(False)
     set_wire_corruption(False)
     set_fault(None)
+    set_crc_bypass(False)
     _SLOT.stats = None
 
 

@@ -74,6 +74,11 @@ class TestHandComputedCounters:
             "worker_restarts": 0,
             "wire_bytes_in": 0,
             "wire_bytes_out": 0,
+            "store_hits": 0,
+            "store_loads": 0,
+            "store_evictions": 0,
+            "store_corrupt_records": 0,
+            "store_bytes": 0,
         }
         assert stats.fuel_consumed == 2  # one unit per resolution step
 
@@ -109,6 +114,11 @@ class TestHandComputedCounters:
             "worker_restarts": 0,
             "wire_bytes_in": 0,
             "wire_bytes_out": 0,
+            "store_hits": 0,
+            "store_loads": 0,
+            "store_evictions": 0,
+            "store_corrupt_records": 0,
+            "store_bytes": 0,
         }
         assert stats.hit_rate() == pytest.approx(1 / 3)
 
@@ -145,6 +155,11 @@ class TestHandComputedCounters:
             "worker_restarts": 0,
             "wire_bytes_in": 0,
             "wire_bytes_out": 0,
+            "store_hits": 0,
+            "store_loads": 0,
+            "store_evictions": 0,
+            "store_corrupt_records": 0,
+            "store_bytes": 0,
         }
         resolver.resolve(env, query)
         after = stats.as_dict()
@@ -182,6 +197,11 @@ class TestHandComputedCounters:
             "worker_restarts": 0,
             "wire_bytes_in": 0,
             "wire_bytes_out": 0,
+            "store_hits": 0,
+            "store_loads": 0,
+            "store_evictions": 0,
+            "store_corrupt_records": 0,
+            "store_bytes": 0,
         }
         assert stats.hit_rate() == 0.0
 

@@ -1,0 +1,199 @@
+"""The record log's failure semantics (repro.store.log).
+
+Every guarantee the ISSUE names for the on-disk format is pinned here
+directly against raw bytes: torn tails truncate and resume, garbled
+records quarantine and resynchronize, header damage refuses to load
+with a coded error, and the pid lockfile keeps the log single-writer.
+"""
+
+import json
+import os
+import struct
+import subprocess
+import sys
+import zlib
+
+import pytest
+
+from repro.errors import StoreError, StoreLockedError, StoreSchemaError
+from repro.store.log import MAGIC, MARKER, RecordLog
+
+_LEN = struct.Struct(">I")
+
+
+def log_path(tmp_path) -> str:
+    return str(tmp_path / "derivations.log")
+
+
+def fill(path, payloads):
+    with RecordLog(path, kind="derivations") as log:
+        return [log.append(p) for p in payloads]
+
+
+def header_end(path) -> int:
+    with open(path, "rb") as fh:
+        data = fh.read()
+    (hlen,) = _LEN.unpack_from(data, len(MAGIC))
+    return len(MAGIC) + 4 + hlen + 4
+
+
+class TestRoundtrip:
+    def test_records_survive_reopen(self, tmp_path):
+        path = log_path(tmp_path)
+        payloads = [b"alpha", b"beta", b'{"k":"D"}' * 40]
+        fill(path, payloads)
+        with RecordLog(path, kind="derivations") as log:
+            assert [p for _, p in log.scan()] == payloads
+            assert log.torn_tail_bytes == 0
+            assert log.quarantined == []
+
+    def test_header_carries_provenance(self, tmp_path):
+        path = log_path(tmp_path)
+        fill(path, [b"x"])
+        with RecordLog(path, kind="derivations", read_only=True) as log:
+            assert log.header["format"] == "repro-store/1"
+            assert log.header["kind"] == "derivations"
+            assert "python_version" in log.header
+
+    def test_read_only_requires_existing_store(self, tmp_path):
+        with pytest.raises(StoreError):
+            RecordLog(log_path(tmp_path), kind="derivations", read_only=True)
+
+
+class TestTornTail:
+    def test_truncated_final_frame_is_dropped_and_resumed(self, tmp_path):
+        path = log_path(tmp_path)
+        fill(path, [b"first", b"second", b"third-is-torn"])
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 4)  # lose the final CRC: a crash mid-append
+        with RecordLog(path, kind="derivations") as log:
+            assert [p for _, p in log.scan()] == [b"first", b"second"]
+            assert log.torn_tail_bytes > 0
+            assert log.quarantined == []
+            log.append(b"resumed")  # the log is writable again
+        with RecordLog(path, kind="derivations", read_only=True) as log:
+            assert [p for _, p in log.scan()] == [b"first", b"second", b"resumed"]
+            assert log.torn_tail_bytes == 0
+
+    def test_read_only_open_does_not_truncate(self, tmp_path):
+        path = log_path(tmp_path)
+        fill(path, [b"first", b"torn"])
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 2)
+        with RecordLog(path, kind="derivations", read_only=True) as log:
+            assert [p for _, p in log.scan()] == [b"first"]
+        assert os.path.getsize(path) == size - 2  # bytes left for forensics
+
+
+class TestQuarantine:
+    def test_flipped_byte_quarantines_only_that_record(self, tmp_path):
+        path = log_path(tmp_path)
+        spans = fill(path, [b"aaaa", b"bbbb", b"cccc"])
+        offset, length = spans[1]
+        with open(path, "r+b") as fh:
+            fh.seek(offset + 5)  # first payload byte of the middle record
+            fh.write(b"X")
+        with RecordLog(path, kind="derivations") as log:
+            assert [p for _, p in log.scan()] == [b"aaaa", b"cccc"]
+            assert log.quarantined == [(offset, 9 + length)]
+
+    def test_garbled_framing_resynchronizes(self, tmp_path):
+        path = log_path(tmp_path)
+        spans = fill(path, [b"aaaa", b"bbbb", b"cccc"])
+        with open(path, "r+b") as fh:
+            fh.seek(spans[1][0])  # destroy the marker byte itself
+            fh.write(b"\x00")
+        with RecordLog(path, kind="derivations") as log:
+            assert [p for _, p in log.scan()] == [b"aaaa", b"cccc"]
+            assert len(log.quarantined) == 1
+
+
+class TestHeader:
+    def test_bad_magic_is_a_schema_error(self, tmp_path):
+        path = log_path(tmp_path)
+        fill(path, [b"x"])
+        with open(path, "r+b") as fh:
+            fh.write(b"NOTASTOREX\n")
+        with pytest.raises(StoreSchemaError) as exc:
+            RecordLog(path, kind="derivations")
+        assert exc.value.code == "IC0602"
+
+    def test_schema_version_mismatch_refuses_with_ic0602(self, tmp_path):
+        path = log_path(tmp_path)
+        fill(path, [b"x"])
+        with open(path, "rb") as fh:
+            data = fh.read()
+        (hlen,) = _LEN.unpack_from(data, len(MAGIC))
+        header = json.loads(data[len(MAGIC) + 4 : len(MAGIC) + 4 + hlen])
+        header["schema"] = 99
+        blob = json.dumps(header, sort_keys=True).encode("utf-8")
+        body = data[len(MAGIC) + 4 + hlen + 4 :]
+        with open(path, "wb") as fh:
+            fh.write(MAGIC + _LEN.pack(len(blob)) + blob)
+            fh.write(_LEN.pack(zlib.crc32(blob) & 0xFFFFFFFF) + body)
+        with pytest.raises(StoreSchemaError) as exc:
+            RecordLog(path, kind="derivations")
+        assert exc.value.code == "IC0602"
+        assert "schema version 99" in str(exc.value)
+
+    def test_corrupt_header_crc_refuses(self, tmp_path):
+        path = log_path(tmp_path)
+        fill(path, [b"x"])
+        with open(path, "r+b") as fh:
+            fh.seek(len(MAGIC) + 4)
+            fh.write(b"}")  # garble the header JSON without fixing its CRC
+        with pytest.raises(StoreSchemaError):
+            RecordLog(path, kind="derivations")
+
+    def test_wrong_kind_refuses(self, tmp_path):
+        path = log_path(tmp_path)
+        fill(path, [b"x"])
+        with pytest.raises(StoreSchemaError):
+            RecordLog(path, kind="sessions")
+
+
+class TestLocking:
+    def test_second_writable_open_gets_retryable_lock_error(self, tmp_path):
+        path = log_path(tmp_path)
+        with RecordLog(path, kind="derivations"):
+            with pytest.raises(StoreLockedError) as exc:
+                RecordLog(path, kind="derivations")
+            assert exc.value.code == "IC0603"
+            assert exc.value.backoff_ms > 0
+
+    def test_read_only_open_ignores_the_lock(self, tmp_path):
+        path = log_path(tmp_path)
+        with RecordLog(path, kind="derivations") as writer:
+            writer.append(b"live")
+            with RecordLog(path, kind="derivations", read_only=True) as reader:
+                assert [p for _, p in reader.scan()] == [b"live"]
+
+    def test_stale_lock_of_dead_pid_is_stolen(self, tmp_path):
+        path = log_path(tmp_path)
+        fill(path, [b"x"])
+        dead = subprocess.Popen([sys.executable, "-c", "pass"])
+        dead.wait()
+        with open(path + ".lock", "w") as fh:
+            fh.write(str(dead.pid))
+        with RecordLog(path, kind="derivations") as log:  # steals silently
+            assert [p for _, p in log.scan()] == [b"x"]
+
+    def test_lock_releases_on_close(self, tmp_path):
+        path = log_path(tmp_path)
+        RecordLog(path, kind="derivations").close()
+        assert not os.path.exists(path + ".lock")
+        RecordLog(path, kind="derivations").close()
+
+
+class TestCompactionRewrite:
+    def test_replace_all_is_atomic_and_rescans(self, tmp_path):
+        path = log_path(tmp_path)
+        with RecordLog(path, kind="derivations") as log:
+            for payload in (b"old-1", b"old-2", b"old-3"):
+                log.append(payload)
+            log.replace_all([b"only-survivor"])
+            assert [p for _, p in log.scan()] == [b"only-survivor"]
+            assert log.quarantined == [] and log.torn_tail_bytes == 0
+        assert not os.path.exists(path + ".compact")
