@@ -1,0 +1,117 @@
+"""B15: corecursive resolution on deeply nested recursive instances.
+
+The workload is the flagship recursive instance scaled by nesting
+depth: ``Eq Int`` plus ``forall a. {Eq a, Eq [a]} => Eq [a]``, queried
+at ``Eq [[...[Int]...]]`` (``depth`` list constructors).  Every nesting
+level re-demands its own head, so the fuel-bounded strategies **cannot
+finish at any fuel budget** -- they unfold the self-premise until the
+fuel runs out and report divergence.  The corecursive engine closes one
+guarded cycle per level instead: the derivation is linear in ``depth``
+(one ``ByResolution`` node and one ``ByCorecursion`` back-reference per
+level), so wall-clock is bounded by the *type size* of the query, not
+by the fuel budget.
+
+``test_corecursive_depth60_beats_any_fuel_budget`` pins the asymmetry
+the ISSUE asks for (fuel diverges at depth 60, corecursive completes);
+``measure_corecursive`` feeds the same numbers into
+``benchmarks/report.py``'s ``BENCH_<date>.json`` snapshot.
+"""
+
+import time
+
+import pytest
+
+from repro.core.env import ImplicitEnv
+from repro.core.resolution import ResolutionStrategy, Resolver
+from repro.core.types import INT, TCon, TVar, Type, list_of, rule
+from repro.errors import ResolutionDivergenceError
+
+DEPTH = 60
+
+
+def recursive_eq_env() -> ImplicitEnv:
+    """``Eq Int; forall a. {Eq a, Eq [a]} => Eq [a]``."""
+    a = TVar("a")
+    return ImplicitEnv.empty().push(
+        [
+            TCon("Eq", (INT,)),
+            rule(
+                TCon("Eq", (list_of(a),)),
+                [TCon("Eq", (a,)), TCon("Eq", (list_of(a),))],
+                ["a"],
+            ),
+        ]
+    )
+
+
+def nested_eq_query(depth: int) -> Type:
+    """``Eq [[...[Int]...]]`` with ``depth`` list constructors."""
+    t: Type = INT
+    for _ in range(depth):
+        t = list_of(t)
+    return TCon("Eq", (t,))
+
+
+def _corecursive(fuel: int | None = None) -> Resolver:
+    kwargs = {"strategy": ResolutionStrategy.CORECURSIVE, "cache": None}
+    if fuel is not None:
+        kwargs["fuel"] = fuel
+    return Resolver(**kwargs)
+
+
+@pytest.mark.parametrize("depth", [5, 15, 30, 60])
+def test_corecursive_nested_depth(benchmark, depth):
+    env = recursive_eq_env()
+    query = nested_eq_query(depth)
+    benchmark.group = "B15 corecursive nesting"
+    derivation = benchmark(lambda: _corecursive().resolve(env, query))
+    # One cycle head per nesting level, each statically guarded.
+    assert derivation.cycle is not None
+
+
+@pytest.mark.slow
+def test_corecursive_depth60_beats_any_fuel_budget():
+    """Fuel cannot buy depth 60: the syntactic engine diverges even with
+    an order of magnitude more fuel than the corecursive run consumes,
+    while the corecursive engine finishes on the default budget."""
+    env = recursive_eq_env()
+    query = nested_eq_query(DEPTH)
+    derivation = _corecursive().resolve(env, query)
+    assert derivation.cycle is not None
+    for fuel in (512, 4096):
+        with pytest.raises(ResolutionDivergenceError):
+            Resolver(
+                strategy=ResolutionStrategy.SYNTACTIC, cache=None, fuel=fuel
+            ).resolve(env, query)
+
+
+def measure_corecursive(depth: int = DEPTH, reps: int = 20) -> dict:
+    """Wall-clock numbers for ``benchmarks/report.py`` (B15)."""
+    env = recursive_eq_env()
+    query = nested_eq_query(depth)
+    resolver = _corecursive()
+
+    start = time.perf_counter()
+    for _ in range(reps):
+        derivation = resolver.resolve(env, query)
+    corecursive_seconds = time.perf_counter() - start
+
+    fuel_engine = Resolver(strategy=ResolutionStrategy.SYNTACTIC, cache=None)
+    start = time.perf_counter()
+    try:
+        fuel_engine.resolve(env, query)
+        fuel_outcome = "resolved"  # would falsify the benchmark's premise
+    except ResolutionDivergenceError:
+        fuel_outcome = "diverged"
+    fuel_seconds = time.perf_counter() - start
+
+    return {
+        "depth": depth,
+        "reps": reps,
+        "corecursive_seconds": round(corecursive_seconds, 6),
+        "corecursive_per_resolve_ms": round(corecursive_seconds / reps * 1000, 3),
+        "derivation_size": derivation.size(),
+        "fuel_outcome": fuel_outcome,
+        "fuel_budget": fuel_engine.fuel,
+        "fuel_seconds_to_divergence": round(fuel_seconds, 6),
+    }

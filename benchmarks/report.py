@@ -298,6 +298,12 @@ def _run_timings() -> dict:
     from benchmarks.bench_persistent_store import measure_persistent_store
 
     timings["persistent_store"] = measure_persistent_store()
+
+    # B15: corecursive resolution closes depth-60 recursive instances
+    # the fuel-bounded engine cannot finish (docs/RESOLUTION.md).
+    from benchmarks.bench_corecursive import measure_corecursive
+
+    timings["corecursive"] = measure_corecursive()
     return timings
 
 

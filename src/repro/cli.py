@@ -22,7 +22,7 @@ Options:
     --operational      use the direct big-step semantics
     --verify           re-check the System F target against |tau|
     --most-specific    companion overlap policy instead of no_overlap
-    --strategy S       syntactic | extending | backtracking
+    --strategy S       syntactic | extending | backtracking | corecursive
     --stats            print resolution counters (cache hit rate, lookups,
                        unifications, recursion depth, fuel) to stderr
     --no-cache         disable the resolution derivation cache
@@ -120,7 +120,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "--strategy",
             choices=[s.value for s in ResolutionStrategy],
             default=ResolutionStrategy.SYNTACTIC.value,
-            help="resolution strategy (default: the paper's TyRes)",
+            help="resolution strategy (default: the paper's TyRes; "
+            "'corecursive' closes guarded cycles with recursive "
+            "evidence, docs/RESOLUTION.md)",
         )
         cmd.add_argument(
             "--stats",
@@ -296,7 +298,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="restrict to one oracle (repeatable); default: the full "
         "matrix (index, compiled, cache, logic, semantics, service, "
-        "sharded, alpha, permute, lint, store)",
+        "sharded, alpha, permute, lint, store, corecursive)",
     )
     fuzz.add_argument(
         "--artifact-dir",
@@ -461,6 +463,9 @@ def _cache_cmd(args: argparse.Namespace) -> int:
     owns the store's writer lock); ``verify`` exits 1 when any record
     was quarantined or a torn tail is present, while resolution against
     the store keeps succeeding -- quarantine degrades, never fails.
+    Unreadable paths (a file where the directory should be, the log
+    replaced by a directory, permission trouble) are usage errors, not
+    crashes: one ``error: io:`` line on stderr and exit 2.
     """
     import json
 
@@ -469,6 +474,9 @@ def _cache_cmd(args: argparse.Namespace) -> int:
     read_only = args.action in ("stats", "verify")
     try:
         store = DerivationStore(args.cache_dir, read_only=read_only)
+    except OSError as exc:
+        print(f"error: io: {exc}", file=sys.stderr)
+        return 2
     except ImplicitCalculusError as exc:
         return report_error(exc)
     try:
@@ -484,6 +492,9 @@ def _cache_cmd(args: argparse.Namespace) -> int:
         if args.action == "verify" and not report["ok"]:
             return 1
         return 0
+    except OSError as exc:
+        print(f"error: io: {exc}", file=sys.stderr)
+        return 2
     except ImplicitCalculusError as exc:
         return report_error(exc)
     finally:
@@ -514,7 +525,17 @@ def _fuzz(args: argparse.Namespace) -> int:
                 except OSError as exc:
                     print(f"error: io: {exc}", file=sys.stderr)
                     return 2
-                result = replay_artifact(payload)
+                try:
+                    result = replay_artifact(payload)
+                except (KeyError, TypeError, AttributeError) as exc:
+                    # A hand-edited or truncated artifact is bad usage,
+                    # not an engine bug -- no traceback.
+                    print(
+                        "error: invalid_artifact: malformed replay artifact "
+                        f"({type(exc).__name__}: {exc})",
+                        file=sys.stderr,
+                    )
+                    return 2
                 print(result.format())
                 return 0 if result.reproduced else 1
             oracles = resolve_oracle_selection(args.oracle)

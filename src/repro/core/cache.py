@@ -224,11 +224,15 @@ def derivation_key(derivation: "Derivation") -> tuple:
     strategies -- yielding a canonical form that is equal exactly when
     two trees represent the same proof.
     """
-    from .resolution import Assumption, ByAssumption, ByResolution
+    from .resolution import Assumption, ByAssumption, ByCorecursion, ByResolution
 
     def premise_key(premise) -> tuple:
         if isinstance(premise, ByAssumption):
             return ("assume", premise.token.index, canonical_key(premise.token.rho))
+        if isinstance(premise, ByCorecursion):
+            # Cycle tokens also compare by identity; their role is fully
+            # described by the goal they loop back to.
+            return ("corec", canonical_key(premise.token.rho))
         if isinstance(premise, ByResolution):
             return ("resolve", derivation_key(premise.derivation))
         raise TypeError(f"unknown premise {premise!r}")
@@ -250,4 +254,5 @@ def derivation_key(derivation: "Derivation") -> tuple:
         canonical_key(derivation.lookup.head),
         payload_key,
         tuple(premise_key(p) for p in derivation.premises),
+        derivation.cycle is not None,
     )

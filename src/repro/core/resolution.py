@@ -33,6 +33,19 @@ Two strategies are provided:
   "fully semantic" resolution (``Delta-dagger |= rho-dagger``) that the
   paper describes and rejects for its unpredictability and cost.  It does
   resolve the erratum example above.  Implemented for experiment E9.
+* ``CORECURSIVE`` -- the paper's ``TyRes`` search extended with cycle
+  detection (Farka, Komendantskaya & Hammond's corecursive type-class
+  resolution): when a recursive premise is alpha-equivalent to a goal
+  already on the search stack, the proof closes the loop with a
+  :class:`ByCorecursion` back-reference instead of burning fuel to
+  divergence, and the elaborator reads the marked ancestor back as a
+  System F ``fix`` (mu-bound) evidence term.  A *guardedness* check
+  keeps this sound: a cycle is only closed when at least one rule step
+  on the loop is productive -- it discharges additional premises
+  (context size > 1) or moves to a structurally different goal --
+  otherwise the cycle is reported as divergence, exactly like fuel
+  exhaustion (see :func:`derivation_cycles_guarded` and
+  docs/RESOLUTION.md).
 
 Recursive resolution may diverge (appendix "Termination of Resolution");
 a fuel bound turns divergence into :class:`ResolutionDivergenceError`.
@@ -51,7 +64,8 @@ from __future__ import annotations
 
 import enum
 import time
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
 
 from ..errors import (
     DeadlineExceededError,
@@ -60,7 +74,11 @@ from ..errors import (
     ResolutionDivergenceError,
 )
 from ..obs import active_stats, collecting
-from ..obs.stats import ResolutionStats
+from ..obs.stats import (
+    ResolutionStats,
+    record_corec_cycle,
+    record_corec_guard_rejection,
+)
 from ..obs.trace import CACHE_HIT, CACHE_MISS, FAILURE, QUERY, SUCCESS, Tracer
 from .cache import ResolutionCache
 from .env import ImplicitEnv, LookupResult, OverlapPolicy, RuleEntry
@@ -75,6 +93,7 @@ class ResolutionStrategy(enum.Enum):
     SYNTACTIC = "syntactic"
     EXTENDING = "extending"
     BACKTRACKING = "backtracking"
+    CORECURSIVE = "corecursive"
 
 
 @dataclass(frozen=True, eq=False)
@@ -113,6 +132,30 @@ class ByResolution(Premise):
     derivation: "Derivation"
 
 
+@dataclass(frozen=True, eq=False)
+class CycleToken:
+    """Identity-compared binder for a corecursive back-reference.
+
+    Minted once per cycle *head* (the ancestor goal some descendant
+    premise loops back to) and shared by every :class:`ByCorecursion`
+    premise that closes onto it; the head derivation carries the same
+    token in its ``cycle`` field.  The elaborator maps tokens to the
+    ``fix``-bound evidence variables of the mu-term it emits.
+    """
+
+    rho: Type
+
+
+@dataclass(frozen=True)
+class ByCorecursion(Premise):
+    """Discharged by a back-reference to an alpha-equivalent ancestor
+    goal still under resolution (the ``CORECURSIVE`` strategy's cycle
+    closure): the premise's evidence is the ancestor's own ``fix``-bound
+    evidence variable."""
+
+    token: CycleToken
+
+
 @dataclass(frozen=True)
 class Derivation:
     """A successful derivation of ``Delta |-r rho``.
@@ -120,6 +163,11 @@ class Derivation:
     ``premises`` is aligned with ``lookup.context``: premise *i* discharges
     the *i*-th element of the instantiated matched context, so the
     elaborator can apply the looked-up evidence to arguments in order.
+
+    ``cycle`` is non-``None`` exactly when this node is the head of a
+    corecursive cycle: some :class:`ByCorecursion` premise in the subtree
+    carries the same token, and the node's evidence is wrapped in a
+    System F ``fix`` binder.
     """
 
     query: Type
@@ -129,12 +177,109 @@ class Derivation:
     lookup: LookupResult
     assumptions: tuple[Assumption, ...]
     premises: tuple[Premise, ...]
+    cycle: CycleToken | None = None
 
     def size(self) -> int:
         """Number of lookup steps in the whole tree (bench metric)."""
         return 1 + sum(
             p.derivation.size() for p in self.premises if isinstance(p, ByResolution)
         )
+
+
+# ---------------------------------------------------------------------------
+# Corecursive search machinery (the CORECURSIVE strategy).
+# ---------------------------------------------------------------------------
+
+#: Global guardedness toggle.  Test-only: the ``corecursive`` fuzz
+#: oracle's fault arm disables the engine-internal check to prove it is
+#: load-bearing (an unguarded engine accepts non-productive cycles the
+#: static re-validation then rejects).
+_corec_guard_enabled = True
+
+
+def set_corec_guard(enabled: bool) -> bool:
+    """Enable/disable the corecursive guardedness check; returns the
+    previous setting.  Production code never calls this."""
+    global _corec_guard_enabled
+    previous = _corec_guard_enabled
+    _corec_guard_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def corec_guard(enabled: bool):
+    """Lexically scoped :func:`set_corec_guard`."""
+    previous = set_corec_guard(enabled)
+    try:
+        yield
+    finally:
+        set_corec_guard(previous)
+
+
+class _OpenGoal:
+    """One goal on the corecursive search stack.
+
+    ``productive_step`` records whether the rule step that *led here*
+    from the parent goal was productive (discharged additional premises
+    or moved to a structurally different goal); the guardedness of a
+    cycle is the disjunction of the step flags along its loop.
+    ``escaped`` collects tokens bound at shallower stack entries that
+    this goal's subtree references -- a derivation with escaped tokens
+    is open (its meaning depends on the enclosing proof) and must never
+    be cached.
+    """
+
+    __slots__ = ("key", "rho", "productive_step", "token", "escaped")
+
+    def __init__(self, key: tuple, rho: Type, productive_step: bool):
+        self.key = key
+        self.rho = rho
+        self.productive_step = productive_step
+        self.token: CycleToken | None = None
+        self.escaped: set[CycleToken] = set()
+
+
+def derivation_cycles_guarded(derivation: Derivation) -> bool:
+    """Statically re-validate the guardedness of every cycle in a tree.
+
+    Walks the finished derivation and checks, for each
+    :class:`ByCorecursion` premise, that at least one rule step on the
+    path from its binding cycle head down to the back-reference is
+    productive (instantiated context longer than one, or a child goal
+    not alpha-equal to the instantiated head).  This is the same
+    criterion the engine enforces during search, recomputed from the
+    tree alone -- the ``corecursive`` fuzz oracle uses it as an
+    independent check that does *not* depend on the engine-internal
+    toggle, so a guard-disabled engine cannot sneak an unguarded proof
+    past the harness.  Also ``False`` for malformed trees whose
+    back-reference names no enclosing cycle head.
+    """
+    work: list[tuple[Derivation, dict[int, bool]]] = [(derivation, {})]
+    while work:
+        d, flags = work.pop()
+        if d.cycle is not None:
+            flags = dict(flags)
+            flags[id(d.cycle)] = False
+        ctx_many = len(d.lookup.context) > 1
+        head_key = canonical_key(d.lookup.head)
+        for premise in d.premises:
+            if isinstance(premise, ByCorecursion):
+                productive = (
+                    ctx_many or canonical_key(premise.token.rho) != head_key
+                )
+                if not flags.get(id(premise.token), False) and not productive:
+                    return False
+                if id(premise.token) not in flags:
+                    return False
+            elif isinstance(premise, ByResolution):
+                child = premise.derivation
+                productive = (
+                    ctx_many or canonical_key(child.query) != head_key
+                )
+                work.append(
+                    (child, {t: f or productive for t, f in flags.items()})
+                )
+    return True
 
 
 @dataclass(frozen=True)
@@ -200,6 +345,8 @@ class Resolver:
         stats = active_stats()
         if stats is not None:
             stats.queries += 1
+        if self.strategy is ResolutionStrategy.CORECURSIVE:
+            return self._resolve(env, rho, self.fuel, stack=[])
         return self._resolve(env, rho, self.fuel)
 
     def resolvable(self, env: ImplicitEnv, rho: Type) -> bool:
@@ -212,7 +359,13 @@ class Resolver:
         return True
 
     def _resolve(
-        self, env: ImplicitEnv, rho: Type, fuel: int, depth: int = 0
+        self,
+        env: ImplicitEnv,
+        rho: Type,
+        fuel: int,
+        depth: int = 0,
+        stack: list[_OpenGoal] | None = None,
+        step_productive: bool = False,
     ) -> Derivation:
         if fuel <= 0:
             raise ResolutionDivergenceError(
@@ -238,6 +391,10 @@ class Resolver:
         if cache is not None:
             key = cache.key_for(env, rho, self.strategy, self.policy)
             entry = cache.get(key, fuel)
+            if entry is not None and stack and not entry.is_success:
+                # An open ancestor goal could rescue this failure by a
+                # corecursive cycle; recompute in this proof context.
+                entry = None
             if entry is not None:
                 if stats is not None:
                     stats.cache_hits += 1
@@ -256,24 +413,46 @@ class Resolver:
             if tracer is not None:
                 tracer.emit(CACHE_MISS, depth, str(rho))
 
+        goal: _OpenGoal | None = None
+        if stack is not None:
+            goal = _OpenGoal(canonical_key(rho), rho, step_productive)
+            stack.append(goal)
         try:
-            derivation = self._resolve_step(env, rho, fuel, depth)
+            try:
+                derivation = self._resolve_step(env, rho, fuel, depth, stack)
+            finally:
+                if goal is not None:
+                    stack.pop()
         except (ResolutionDivergenceError, DeadlineExceededError):
             raise  # never cached: the outcome depends on the budget
         except (NoMatchingRuleError, OverlappingRulesError) as exc:
-            if cache is not None:
+            # Under the corecursive strategy a non-root failure is only
+            # valid relative to the open goals above it (a different
+            # proof context could rescue it with a cycle), so only
+            # root-level failures enter the cache.
+            if cache is not None and not stack:
                 cache.put_failure(key, exc, env, fuel)
             if tracer is not None:
                 tracer.emit(FAILURE, depth, str(rho), type(exc).__name__)
             raise
-        if cache is not None:
+        if goal is not None and goal.token is not None:
+            derivation = replace(derivation, cycle=goal.token)
+        # A derivation whose subtree references a still-open ancestor
+        # token is an open proof fragment; it must not be cached (its
+        # meaning depends on the enclosing proof).
+        if cache is not None and (goal is None or not goal.escaped):
             cache.put_success(key, derivation, env, fuel)
         if tracer is not None:
             tracer.emit(SUCCESS, depth, str(rho))
         return derivation
 
     def _resolve_step(
-        self, env: ImplicitEnv, rho: Type, fuel: int, depth: int
+        self,
+        env: ImplicitEnv,
+        rho: Type,
+        fuel: int,
+        depth: int,
+        stack: list[_OpenGoal] | None = None,
     ) -> Derivation:
         """One uncached application of the unified resolution rule."""
         tvars, context, head = promote(rho)
@@ -293,7 +472,9 @@ class Resolver:
         result = env.lookup(
             head, self.policy, use_index=self.use_index, use_compiled=self.use_compiled
         )
-        premises = self._discharge(recurse_env, result, assumptions, fuel, depth)
+        premises = self._discharge(
+            recurse_env, result, assumptions, fuel, depth, stack
+        )
         return Derivation(
             query=rho,
             tvars=tvars,
@@ -311,14 +492,37 @@ class Resolver:
         assumptions: tuple[Assumption, ...],
         fuel: int,
         depth: int = 0,
+        stack: list[_OpenGoal] | None = None,
     ) -> tuple[Premise, ...]:
         """Discharge each element of the matched rule's context (TyRes)."""
         by_key = {canonical_key(tok.rho): tok for tok in assumptions}
+        step_many = len(result.context) > 1
+        head_key = canonical_key(result.head) if stack is not None else None
         premises: list[Premise] = []
         for rho_i in result.context:
             token = by_key.get(canonical_key(rho_i))
             if token is not None:
                 premises.append(ByAssumption(token))
+                continue
+            if stack is not None:
+                key_i = canonical_key(rho_i)
+                productive = step_many or key_i != head_key
+                cycle = self._close_cycle(rho_i, key_i, productive, stack)
+                if cycle is not None:
+                    premises.append(cycle)
+                    continue
+                premises.append(
+                    ByResolution(
+                        self._resolve(
+                            recurse_env,
+                            rho_i,
+                            fuel - 1,
+                            depth + 1,
+                            stack=stack,
+                            step_productive=productive,
+                        )
+                    )
+                )
             else:
                 premises.append(
                     ByResolution(
@@ -326,6 +530,43 @@ class Resolver:
                     )
                 )
         return tuple(premises)
+
+    def _close_cycle(
+        self,
+        rho_i: Type,
+        key_i: tuple,
+        step_productive: bool,
+        stack: list[_OpenGoal],
+    ) -> ByCorecursion | None:
+        """Close a corecursive cycle if ``rho_i`` repeats an open goal.
+
+        Returns ``None`` when no ancestor goal on the search stack is
+        alpha-equivalent to ``rho_i`` (the caller recurses normally).
+        An unguarded cycle -- no productive step anywhere on the loop --
+        is divergence: closing it would produce evidence no lazy
+        unfolding can justify (``fix x. x``).
+        """
+        for j in range(len(stack) - 1, -1, -1):
+            goal = stack[j]
+            if goal.key != key_i:
+                continue
+            guarded = step_productive or any(
+                g.productive_step for g in stack[j + 1 :]
+            )
+            if not guarded and _corec_guard_enabled:
+                record_corec_guard_rejection()
+                raise ResolutionDivergenceError(
+                    f"resolution cycle at {rho_i} is not guarded (no "
+                    "productive step on the loop); corecursive resolution "
+                    "treats it as divergent"
+                )
+            if goal.token is None:
+                goal.token = CycleToken(goal.rho)
+            for below in stack[j + 1 :]:
+                below.escaped.add(goal.token)
+            record_corec_cycle()
+            return ByCorecursion(goal.token)
+        return None
 
     def _resolve_backtracking(
         self,

@@ -34,6 +34,7 @@ from ..obs.stats import ResolutionStats
 from ..core.resolution import (
     Assumption,
     ByAssumption,
+    ByCorecursion,
     ByResolution,
     Derivation,
     Resolver,
@@ -80,6 +81,7 @@ from ..systemf.ast import (
     FApp,
     FBoolLit,
     FExpr,
+    FFix,
     FIf,
     FIntLit,
     FLam,
@@ -300,6 +302,13 @@ class Elaborator:
             name = _fresh_evidence()
             inner_vars[id(token)] = name
             binders.append((name, token.rho))
+        fix_var: str | None = None
+        if derivation.cycle is not None:
+            # Cycle head: premises below refer back to this very piece of
+            # evidence, so bind it recursively (System F ``fix``) and make
+            # the binder visible before elaborating the subtree.
+            fix_var = _fresh_evidence()
+            inner_vars[id(derivation.cycle)] = fix_var
 
         payload = derivation.lookup.payload
         if isinstance(payload, Assumption):
@@ -321,13 +330,18 @@ class Elaborator:
         for premise in derivation.premises:
             if isinstance(premise, ByAssumption):
                 ev_args.append(FVar(inner_vars[id(premise.token)]))
+            elif isinstance(premise, ByCorecursion):
+                ev_args.append(FVar(inner_vars[id(premise.token)]))
             elif isinstance(premise, ByResolution):
                 ev_args.append(self.evidence(premise.derivation, inner_vars))
             else:  # pragma: no cover - exhaustive
                 raise TypeError(f"unknown premise {premise!r}")
         body = f_app(head_f, *ev_args)
         wrapped = f_lam([(x, translate_type(r)) for x, r in binders], body)
-        return f_tylam(derivation.tvars, wrapped)
+        out = f_tylam(derivation.tvars, wrapped)
+        if fix_var is not None:
+            out = FFix(fix_var, translate_type(derivation.query), out)
+        return out
 
     # -- extensions -------------------------------------------------------
 

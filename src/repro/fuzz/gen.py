@@ -270,6 +270,64 @@ def generate_corpus(
 
 
 # ---------------------------------------------------------------------------
+# Recursive augmentation (the `corecursive` oracle's extended mix).
+# ---------------------------------------------------------------------------
+
+#: Salt mixed into the per-case RNG stream for recursive augmentation,
+#: so the extra frame never perturbs the golden-pinned base corpus.
+_CORECURSIVE_SALT = 0x5EED_C0DE
+
+
+def augment_recursive(case: FuzzCase) -> FuzzCase:
+    """The case extended with recursive rule shapes, deterministically.
+
+    A pure function of ``(case.seed, case.index, case.frames)``: the
+    base generator stream is untouched (the extra randomness is salted),
+    so shrinking the *base* case and re-augmenting replays identically.
+    One extra innermost frame is appended and the query is retargeted at
+    it, cycling through three shapes:
+
+    * a guarded self-cycle ``{q, [q]} => [q]`` queried at ``[q]`` -- the
+      head occurs in its own context, so the fuel engine diverges while
+      the corecursive engine closes a productive cycle;
+    * a mutual ``mu``-style 2-cycle ``{MuRight} => MuLeft`` /
+      ``{MuLeft} => MuRight`` queried at ``MuLeft``;
+    * an unguarded self-loop ``{Unprod} => Unprod`` queried at
+      ``Unprod`` -- *both* engines must report divergence (the
+      guardedness check is what keeps the corecursive side honest).
+
+    The augmented bindings are resolution-only (their exprs are
+    placeholders): the `corecursive` oracle consumes ``case.env()`` and
+    ``case.query``, never ``case.program()``, and artifacts always store
+    the un-augmented base case.
+    """
+    from ..core.types import TCon, list_of
+
+    rng = random.Random(
+        ((case.seed & 0xFFFFFFFF) * 0x1_0000_0000 + (case.index & 0xFFFFFFFF))
+        ^ _CORECURSIVE_SALT
+    )
+    q = case.query
+    listy = list_of(q)
+    self_cycle = rule(listy, [q, listy])
+    extra: list[Binding] = [(crule(self_cycle, ask(listy)), self_cycle)]
+    query: Type = listy
+    roll = rng.random()
+    if roll < 0.40:
+        left, right = TCon("MuLeft"), TCon("MuRight")
+        rho_l, rho_r = rule(left, [right]), rule(right, [left])
+        extra.append((crule(rho_l, ask(left)), rho_l))
+        extra.append((crule(rho_r, ask(right)), rho_r))
+        query = left
+    elif roll < 0.55:
+        unprod = TCon("Unprod")
+        rho_u = rule(unprod, [unprod])
+        extra.append((crule(rho_u, ask(unprod)), rho_u))
+        query = unprod
+    return replace(case, frames=case.frames + (tuple(extra),), query=query)
+
+
+# ---------------------------------------------------------------------------
 # Alpha-renaming support (the metamorphic `alpha` oracle and its inverse).
 # ---------------------------------------------------------------------------
 

@@ -47,6 +47,21 @@ The engine pairs mirror every redundancy the repo has accumulated:
                updating its frame CRC and reopen once more -- the
                quarantine path must fire while resolution still agrees
                (a quarantined record is recomputed, never trusted)
+``corecursive`` the fuel-bounded syntactic engine vs the corecursive
+               engine (cycle detection + mu-bound recursive evidence):
+               on queries both answer the derivation signatures must
+               agree; on a generator mix extended with recursive rule
+               shapes (:func:`~repro.fuzz.gen.augment_recursive`) the
+               corecursive engine must *refine* every fuel divergence
+               into either a guarded recursive proof or a definite
+               failure, and every returned proof must independently
+               pass :func:`~repro.core.resolution.derivation_cycles_guarded`;
+               a fixed unguarded canary (``{C} => C |- C``) must be
+               rejected by both engines.  The fault arm disables the
+               engine's guardedness check, so the canary (and every
+               generated unguarded loop) yields evidence the oracle's
+               independent validation refuses -- proving the check is
+               load-bearing
 =============  ==========================================================
 
 Success results are compared through :func:`derivation_signature`, an
@@ -78,19 +93,28 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from ..core.cache import ResolutionCache
-from ..core.env import OverlapPolicy, indexing
+from ..core.env import ImplicitEnv, OverlapPolicy, indexing
 from ..core.pretty import pretty_type
 from ..core.resolution import (
     ByAssumption,
+    ByCorecursion,
     ByResolution,
     Derivation,
     ResolutionStrategy,
     Resolver,
+    corec_guard,
+    derivation_cycles_guarded,
 )
 from ..core.types import Type, canonical_key
 from ..errors import ImplicitCalculusError
 from ..pipeline import Semantics, run_core
-from .gen import FuzzCase, rename_case, rename_type, renaming_for_case
+from .gen import (
+    FuzzCase,
+    augment_recursive,
+    rename_case,
+    rename_type,
+    renaming_for_case,
+)
 
 # ---------------------------------------------------------------------------
 # Outcomes and verdicts.
@@ -203,6 +227,8 @@ def derivation_signature(
     for premise in derivation.premises:
         if isinstance(premise, ByAssumption):
             premises.append(("assume", premise.token.index))
+        elif isinstance(premise, ByCorecursion):
+            premises.append(("corec", key(premise.token.rho)))
         else:
             assert isinstance(premise, ByResolution)
             premises.append(
@@ -221,11 +247,12 @@ def resolve_outcome(
     cache: ResolutionCache | None = None,
     unmap: dict[str, str] | None = None,
     policy: OverlapPolicy = OverlapPolicy.REJECT,
+    strategy: ResolutionStrategy = ResolutionStrategy.SYNTACTIC,
 ) -> Outcome:
     """Run one resolution through a configured Resolver; normalize."""
     resolver = Resolver(
         policy=policy,
-        strategy=ResolutionStrategy.SYNTACTIC,
+        strategy=strategy,
         use_index=use_index,
         use_compiled=use_compiled,
         cache=cache,
@@ -743,6 +770,105 @@ def oracle_store(case: FuzzCase, ctx: OracleContext) -> Verdict:
         shutil.rmtree(tmp, ignore_errors=True)
 
 
+def _corec_outcome(env, query: Type) -> Outcome:
+    """The corecursive engine's answer, independently guard-validated.
+
+    A returned derivation whose cycles do not pass
+    :func:`derivation_cycles_guarded` is reported as its own failure
+    class: this re-validation is *outside* the engine, so disabling the
+    engine's internal check (the fault arm) cannot go unnoticed.
+    """
+    resolver = Resolver(strategy=ResolutionStrategy.CORECURSIVE)
+    try:
+        derivation = resolver.resolve(env, query)
+    except ImplicitCalculusError as exc:
+        return Outcome("fail", type(exc).__name__)
+    if not derivation_cycles_guarded(derivation):
+        return Outcome("fail", "UnguardedCycleEvidence")
+    return Outcome("ok", derivation_signature(derivation))
+
+
+def _fuel_vs_corec(env, query: Type, note: str) -> Verdict:
+    """Compare the fuel-bounded engine against the corecursive engine.
+
+    The comparison is *asymmetric* in exactly one direction, mirroring
+    the ``logic`` oracle's treatment of Theorem 1: a fuel divergence is
+    an "I gave up", which the corecursive engine is allowed -- indeed
+    expected -- to refine into either a guarded recursive proof or a
+    definite failure.  Everything else must match exactly.
+    """
+    left = resolve_outcome(
+        FuzzCase(seed=0, index=0, frames=(), query=query), env=env, query=query
+    )
+    right = _faulted("corecursive", _corec_outcome(env, query))
+    if right.detail == "UnguardedCycleEvidence":
+        # Never a benign refinement: the engine handed back a proof its
+        # own soundness condition forbids.
+        return Verdict("corecursive", "disagree", left, right, note=note)
+    if left == Outcome("fail", "ResolutionDivergenceError") and right != _INJECTED:
+        if right.status == "ok":
+            return Verdict(
+                "corecursive",
+                "agree",
+                left,
+                right,
+                note=f"{note}: cycle closed where fuel diverges",
+            )
+        return Verdict(
+            "corecursive",
+            "both_fail",
+            left,
+            right,
+            note=f"{note}: divergence refined to a definite failure",
+        )
+    return classify("corecursive", left, right, note=note)
+
+
+def oracle_corecursive(case: FuzzCase, ctx: OracleContext) -> Verdict:
+    """Fuel-bounded vs corecursive resolution (module docs).
+
+    Three sub-checks per case, first disagreement wins:
+
+    1. the plain case -- on queries both engines answer, signatures
+       must agree (the corecursive engine is a conservative extension);
+    2. the recursively augmented case
+       (:func:`~repro.fuzz.gen.augment_recursive`) -- the corecursive
+       engine must tame the recursive instance workload;
+    3. a fixed unguarded canary ``{C} => C |- C`` -- both engines must
+       reject it, whatever the generated case looks like.
+
+    The fault arm disables the engine's guardedness check for all three,
+    so the canary's unguarded loop closes into evidence that the
+    oracle's independent validation (:func:`_corec_outcome`) refuses --
+    every case disagrees, proving the check is load-bearing.
+    """
+    if _FAULT == "corecursive":
+        with corec_guard(False):
+            return _oracle_corecursive_checks(case)
+    return _oracle_corecursive_checks(case)
+
+
+def _oracle_corecursive_checks(case: FuzzCase) -> Verdict:
+    from ..core.types import TCon, rule as mk_rule
+
+    env = case.env()
+    plain = _fuel_vs_corec(env, case.query, "plain case")
+    if plain.disagrees:
+        return plain
+    augmented = augment_recursive(case)
+    recursive = _fuel_vs_corec(
+        augmented.env(), augmented.query, "recursive augmentation"
+    )
+    if recursive.disagrees:
+        return recursive
+    canary_head = TCon("CorecCanary")
+    canary_env = ImplicitEnv.empty().push([mk_rule(canary_head, [canary_head])])
+    canary = _fuel_vs_corec(canary_env, canary_head, "unguarded canary")
+    if canary.disagrees:
+        return canary
+    return recursive
+
+
 # ---------------------------------------------------------------------------
 # Registry.
 # ---------------------------------------------------------------------------
@@ -762,6 +888,7 @@ ORACLES: dict[str, OracleFn] = {
     "permute": oracle_permute,
     "lint": oracle_lint,
     "store": oracle_store,
+    "corecursive": oracle_corecursive,
 }
 
 

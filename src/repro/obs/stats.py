@@ -86,6 +86,12 @@ Counter glossary (see also ``docs/OBSERVABILITY.md``):
                     framing failed verification (torn tails excluded:
                     those are truncated, not quarantined)
 ``store_bytes``     bytes appended to the persistent derivation log
+``corec_cycles_closed`` goals the corecursive strategy discharged by a
+                    back-reference to an alpha-equivalent ancestor goal
+                    (a ``mu``-bound evidence node instead of divergence)
+``corec_guard_rejections`` cycles the guardedness check refused because
+                    no step on the loop was productive (reported as
+                    divergence, exactly like fuel exhaustion)
 ============== ============================================================
 """
 
@@ -130,6 +136,8 @@ class ResolutionStats:
     store_evictions: int = 0
     store_corrupt_records: int = 0
     store_bytes: int = 0
+    corec_cycles_closed: int = 0
+    corec_guard_rejections: int = 0
 
     # -- derived ---------------------------------------------------------
 
@@ -295,3 +303,17 @@ def record_store_bytes(count: int) -> None:
     stats = getattr(_SLOT, "stats", None)
     if stats is not None:
         stats.store_bytes += count
+
+
+def record_corec_cycle() -> None:
+    """One goal discharged corecursively (a cycle closed)."""
+    stats = getattr(_SLOT, "stats", None)
+    if stats is not None:
+        stats.corec_cycles_closed += 1
+
+
+def record_corec_guard_rejection() -> None:
+    """One cycle refused by the guardedness check."""
+    stats = getattr(_SLOT, "stats", None)
+    if stats is not None:
+        stats.corec_guard_rejections += 1

@@ -49,6 +49,19 @@ resolve under temporarily extended environments, which are not
 persistable) fall back to embedding, so every persistable derivation
 still round-trips.
 
+Corecursive derivations.  A cycle-head node (one whose goal is looped
+back to by a descendant) carries ``"cy": 1``; the loop-closing premise
+is stored as ``["cyc", sig]`` naming the canonical key of the goal it
+returns to.  Decoding re-mints one :class:`CycleToken` per cycle head
+and threads a *scope* of open goals downward, so the back-reference
+rebinds to the decoded ancestor -- alpha-equivalent goals cannot nest
+(the inner one would itself have closed the cycle), which makes the
+canonical key an unambiguous binder name.  A premise whose subtree
+still contains *free* cycle tokens is an open proof fragment: it never
+gets a record of its own (the resolver only persists closed roots), and
+``["ref", sig]`` substitution is suppressed for it, since the sibling
+record under that key would be a different (closed) proof.
+
 Failure encoding.  Only :class:`NoMatchingRuleError` and
 :class:`OverlappingRulesError` are cacheable (divergence and deadline
 outcomes are budget properties), so failures store the class name --
@@ -65,7 +78,9 @@ from ..core.env import LookupResult, OverlapPolicy, RuleEntry
 from ..core.resolution import (
     Assumption,
     ByAssumption,
+    ByCorecursion,
     ByResolution,
+    CycleToken,
     Derivation,
     ResolutionStrategy,
 )
@@ -164,26 +179,52 @@ def encode_record(
     return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
 
 
-def _encode_derivation(d: Derivation, have_ref=None) -> dict:
+def _encode_derivation(d: Derivation, have_ref=None, _memo=None) -> dict:
+    if _memo is None:
+        _memo = {}
     node: dict[str, Any] = {
         "q": encode_type(d.query),
         "r": encode_type(d.lookup.entry.rho),
-        "pr": [_encode_premise(p, have_ref) for p in d.premises],
+        "pr": [_encode_premise(p, have_ref, _memo) for p in d.premises],
     }
     if d.lookup.type_args:
         node["ta"] = [encode_type(t) for t in d.lookup.type_args]
+    if d.cycle is not None:
+        node["cy"] = 1
     return node
 
 
-def _encode_premise(p, have_ref=None) -> list:
+def _free_cycles(d: Derivation, memo: dict) -> frozenset:
+    """Cycle tokens referenced below ``d`` but bound above it."""
+    got = memo.get(id(d))
+    if got is not None:
+        return got
+    out: set = set()
+    for p in d.premises:
+        if isinstance(p, ByCorecursion):
+            out.add(p.token)
+        elif isinstance(p, ByResolution):
+            out |= _free_cycles(p.derivation, memo)
+    if d.cycle is not None:
+        out.discard(d.cycle)
+    result = frozenset(out)
+    memo[id(d)] = result
+    return result
+
+
+def _encode_premise(p, have_ref=None, _memo=None) -> list:
+    if _memo is None:
+        _memo = {}
     if isinstance(p, ByAssumption):
         return ["a", p.token.index]
+    if isinstance(p, ByCorecursion):
+        return ["cyc", encode_signature(canonical_key(p.token.rho))]
     if isinstance(p, ByResolution):
-        if have_ref is not None:
+        if have_ref is not None and not _free_cycles(p.derivation, _memo):
             sub_ckey = canonical_key(p.derivation.query)
             if have_ref(sub_ckey):
                 return ["ref", encode_signature(sub_ckey)]
-        return ["r", _encode_derivation(p.derivation, have_ref)]
+        return ["r", _encode_derivation(p.derivation, have_ref, _memo)]
     raise WireError(f"unknown premise kind {type(p).__name__}")
 
 
@@ -248,14 +289,22 @@ def decode_record(payload: bytes) -> DecodedRecord:
         raise StoreCorruptionError(f"undecodable store record: {exc}") from exc
 
 
-def _decode_derivation(node: dict, deref=None) -> Derivation:
+def _decode_derivation(node: dict, deref=None, open_tokens=None) -> Derivation:
     query = decode_type(node["q"])
     rho = decode_type(node["r"])
     type_args = tuple(decode_type(t) for t in node.get("ta", ()))
     tvars, context, head = promote(query)
     assumptions = tuple(Assumption(r, i) for i, r in enumerate(context))
     lookup = _rebuild_lookup(rho, type_args)
-    premises = tuple(_decode_premise(p, assumptions, deref) for p in node["pr"])
+    cycle = None
+    if node.get("cy"):
+        # Bind a fresh cycle token, visible to the subtree only.
+        cycle = CycleToken(query)
+        open_tokens = dict(open_tokens or {})
+        open_tokens[canonical_key(query)] = cycle
+    premises = tuple(
+        _decode_premise(p, assumptions, deref, open_tokens) for p in node["pr"]
+    )
     if len(premises) != len(lookup.context):
         raise StoreCorruptionError("premise count does not match rule context")
     return Derivation(
@@ -266,10 +315,13 @@ def _decode_derivation(node: dict, deref=None) -> Derivation:
         lookup=lookup,
         assumptions=assumptions,
         premises=premises,
+        cycle=cycle,
     )
 
 
-def _decode_premise(p: list, assumptions: tuple[Assumption, ...], deref=None):
+def _decode_premise(
+    p: list, assumptions: tuple[Assumption, ...], deref=None, open_tokens=None
+):
     kind = p[0]
     if kind == "a":
         index = p[1]
@@ -277,7 +329,15 @@ def _decode_premise(p: list, assumptions: tuple[Assumption, ...], deref=None):
             raise StoreCorruptionError(f"assumption index {index!r} out of range")
         return ByAssumption(assumptions[index])
     if kind == "r":
-        return ByResolution(_decode_derivation(p[1], deref))
+        return ByResolution(_decode_derivation(p[1], deref, open_tokens))
+    if kind == "cyc":
+        goal_key = decode_signature(p[1])
+        token = (open_tokens or {}).get(goal_key)
+        if token is None:
+            raise StoreCorruptionError(
+                "cycle premise references a goal that is not open"
+            )
+        return ByCorecursion(token)
     if kind == "ref":
         if deref is None:
             raise StoreCorruptionError(

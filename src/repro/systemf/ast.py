@@ -278,6 +278,23 @@ class FProject(FExpr):
     field: str
 
 
+@dataclass(frozen=True)
+class FFix(FExpr):
+    """A recursive binder ``fix x:T. E`` (the elaboration of corecursive
+    evidence: a resolution cycle closes into a mu-bound System F term).
+
+    Typing is the standard fixpoint rule -- under ``x : T`` the body must
+    have type ``T``, and the whole term has type ``T``.  Operationally
+    ``fix x:T.E`` unfolds to ``E[x := fix x:T.E]``; the big-step
+    evaluator ties the knot through the environment instead
+    (:mod:`repro.systemf.eval`).
+    """
+
+    var: str
+    var_type: FType
+    body: FExpr
+
+
 def f_app(fn: FExpr, *args: FExpr) -> FExpr:
     out = fn
     for a in args:
@@ -372,4 +389,7 @@ def pretty_fexpr(e: FExpr, prec: int = 10) -> str:
             return f"{iface} {{{body}}}"
         case FProject(expr, field):
             return f"{pretty_fexpr(expr, 1)}.{field}"
+        case FFix(var, var_type, body):
+            text = f"fix {var}:{pretty_ftype(var_type)}. {pretty_fexpr(body)}"
+            return f"({text})" if prec < 10 else text
     raise TypeError(f"not an FExpr: {e!r}")

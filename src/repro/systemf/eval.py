@@ -30,6 +30,7 @@ from .ast import (
     FApp,
     FBoolLit,
     FExpr,
+    FFix,
     FIf,
     FIntLit,
     FLam,
@@ -99,14 +100,55 @@ class RecordValue:
         return f"<{self.iface} record>"
 
 
+class _Knot:
+    """The placeholder a ``fix``-bound variable holds while its body runs.
+
+    ``fix x:T.E`` is evaluated by *backpatching*: ``x`` is bound to an
+    unforced knot, the body is evaluated, and the knot is then patched
+    with the result.  Closures built during the body capture the same
+    environment dictionary, so patching it ties the recursive loop.
+
+    An unforced knot *flows* freely -- it may be passed to functions and
+    stored in closure environments (that is exactly how recursive
+    evidence reaches the rule body that closes the loop).  Only
+    *demanding* it -- applying it, projecting a field, handing it to a
+    primitive, branching on it -- before the body finishes means the fix
+    is non-productive under call-by-value: a runtime error
+    (:func:`_force`), matching the documented evaluation limitation of
+    corecursive evidence.
+    """
+
+    __slots__ = ("value", "forced")
+
+    def __init__(self) -> None:
+        self.value: Any = None
+        self.forced = False
+
+    def __repr__(self) -> str:
+        return "<knot forced>" if self.forced else "<knot unforced>"
+
+
+def _force(value: Any) -> Any:
+    """Dereference a fix knot at a demand site."""
+    while isinstance(value, _Knot):
+        if not value.forced or value.value is value:
+            raise EvalError(
+                "corecursive evidence demanded before its fix body "
+                "finished (non-productive under CBV)"
+            )
+        value = value.value
+    return value
+
+
 def apply_value(fn: Any, arg: Any) -> Any:
     """Apply a function value to an argument value."""
+    fn = _force(fn)
     if isinstance(fn, Closure):
         env = dict(fn.env)
         env[fn.var] = arg
         return feval(fn.body, env)
     if isinstance(fn, PrimValue):
-        args = fn.args + (arg,)
+        args = fn.args + (_force(arg),)
         if len(args) == fn.spec.arity:
             return fn.spec.run(list(args), apply_value)
         return PrimValue(fn.spec, args)
@@ -127,7 +169,10 @@ def feval(e: FExpr, env: Env | None = None) -> Any:
         case FVar(name):
             if name not in env:
                 raise EvalError(f"unbound variable {name!r} at runtime")
-            return env[name]
+            value = env[name]
+            if isinstance(value, _Knot) and value.forced:
+                return _force(value)
+            return value  # an unforced knot flows until a demand site
         case FPrim(name):
             spec = prim_spec(name)
             if spec.arity == 0:  # pragma: no cover - no nullary prims today
@@ -142,14 +187,14 @@ def feval(e: FExpr, env: Env | None = None) -> Any:
         case FTyLam(var, body):
             return TypeClosure(var, body, env)
         case FTyApp(expr, _):
-            value = feval(expr, env)
+            value = _force(feval(expr, env))
             if isinstance(value, TypeClosure):
                 return feval(value.body, value.env)
             if isinstance(value, PrimValue):
                 return value  # primitives are type-erased
             raise EvalError(f"type application of non-polymorphic value {value!r}")
         case FIf(cond, then, orelse):
-            branch = then if feval(cond, env) else orelse
+            branch = then if _force(feval(cond, env)) else orelse
             return feval(branch, env)
         case FPair(first, second):
             return (feval(first, env), feval(second, env))
@@ -158,8 +203,22 @@ def feval(e: FExpr, env: Env | None = None) -> Any:
         case FRecord(iface, _, fields):
             return RecordValue(iface, tuple((n, feval(f, env)) for n, f in fields))
         case FProject(expr, fname):
-            value = feval(expr, env)
+            value = _force(feval(expr, env))
             if not isinstance(value, RecordValue):
                 raise EvalError(f"projection from non-record value {value!r}")
             return value.field(fname)
+        case FFix(var, _, body):
+            knot = _Knot()
+            inner = dict(env)
+            inner[var] = knot
+            value = feval(body, inner)
+            if value is knot:  # fix x:T. x -- denotes nothing
+                raise EvalError(
+                    f"corecursive evidence {var!r} demanded before its "
+                    "fix body finished (non-productive under CBV)"
+                )
+            knot.value = value
+            knot.forced = True
+            inner[var] = value
+            return value
     raise EvalError(f"cannot evaluate System F expression {e!r}")

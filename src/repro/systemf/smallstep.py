@@ -30,6 +30,7 @@ from .ast import (
     FApp,
     FBoolLit,
     FExpr,
+    FFix,
     FIf,
     FIntLit,
     FLam,
@@ -134,6 +135,10 @@ def subst_term(name: str, value: FExpr, e: FExpr) -> FExpr:
             )
         case FProject(expr, field):
             return FProject(subst_term(name, value, expr), field)
+        case FFix(var, var_type, body):
+            if var == name:
+                return e
+            return FFix(var, var_type, subst_term(name, value, body))
     raise EvalError(f"cannot substitute in {e!r}")
 
 
@@ -178,6 +183,12 @@ def subst_type_in_term(name: str, tau: FType, e: FExpr) -> FExpr:
             )
         case FProject(expr, field):
             return FProject(subst_type_in_term(name, tau, expr), field)
+        case FFix(var, var_type, body):
+            return FFix(
+                var,
+                subst_ftype(theta, var_type),
+                subst_type_in_term(name, tau, body),
+            )
     raise EvalError(f"cannot substitute type in {e!r}")
 
 
@@ -249,6 +260,10 @@ def step(e: FExpr) -> FExpr | None:
             return FProject(expr2, field)
         case FVar(name):
             raise EvalError(f"free variable {name!r} in small-step evaluation")
+        case FFix(var, _, body):
+            # fix x:T.E --> E[x := fix x:T.E]; MAX_STEPS bounds the
+            # divergence of non-productive unfoldings.
+            return subst_term(var, e, body)
     raise EvalError(f"stuck term {e!r}")
 
 

@@ -18,6 +18,7 @@ from .ast import (
     FApp,
     FBoolLit,
     FExpr,
+    FFix,
     FForall,
     FIf,
     FIntLit,
@@ -190,6 +191,16 @@ class FTypeChecker:
                     raise SystemFTypeError(str(exc)) from exc
                 theta = dict(zip(decl.tvars, expr_type.args))
                 return subst_ftype(theta, field_type)
+            case FFix(var, var_type, body):
+                inner = dict(env)
+                inner[var] = var_type
+                body_type = self.check(body, inner)
+                if not ftypes_eq(body_type, var_type):
+                    raise SystemFTypeError(
+                        f"fix body has type {pretty_ftype(body_type)}, "
+                        f"expected {pretty_ftype(var_type)}"
+                    )
+                return var_type
         raise SystemFTypeError(f"cannot type System F expression {e!r}")
 
     def _check_record(

@@ -40,6 +40,7 @@ def _reset_global_state():
         set_compiling,
         set_indexing,
     )
+    from repro.core.resolution import set_corec_guard
     from repro.fuzz.oracles import set_fault
     from repro.obs.stats import _SLOT
     from repro.service.wire import set_wire_corruption
@@ -54,6 +55,7 @@ def _reset_global_state():
     set_wire_corruption(False)
     set_fault(None)
     set_crc_bypass(False)
+    set_corec_guard(True)
     _SLOT.stats = None
 
 

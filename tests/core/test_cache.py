@@ -154,7 +154,10 @@ class TestDivergenceNeverCached:
             cache.put_failure(key, ResolutionDivergenceError("loop"), env, fuel=5)
         assert len(cache) == 0
 
-    @pytest.mark.parametrize("strategy", list(ResolutionStrategy))
+    @pytest.mark.parametrize(
+        "strategy",
+        [s for s in ResolutionStrategy if s is not ResolutionStrategy.CORECURSIVE],
+    )
     def test_no_strategy_caches_divergence(self, strategy):
         env = ImplicitEnv.empty().push(DIVERGING_FRAME)
         cache = ResolutionCache()
@@ -162,6 +165,19 @@ class TestDivergenceNeverCached:
         with pytest.raises(ResolutionDivergenceError):
             resolver.resolve(env, INT)
         assert len(cache) == 0
+
+    def test_corecursive_closes_the_cycle_instead(self):
+        # The appendix's diverging environment is exactly the workload
+        # the corecursive strategy exists for: the Int/Char loop is
+        # guarded (each step changes the head), so it resolves -- and
+        # the closed derivation MAY be cached (it is a complete proof).
+        env = ImplicitEnv.empty().push(DIVERGING_FRAME)
+        cache = ResolutionCache()
+        resolver = Resolver(
+            cache=cache, strategy=ResolutionStrategy.CORECURSIVE, fuel=64
+        )
+        derivation = resolver.resolve(env, INT)
+        assert derivation.cycle is not None
 
 
 class TestNegativeCaching:

@@ -1,0 +1,153 @@
+"""The corecursive resolution strategy: cycle closure and guardedness.
+
+``ResolutionStrategy.CORECURSIVE`` detects when the current goal is
+alpha-equivalent to a goal already on the search stack and, instead of
+burning fuel unfolding it forever, closes the cycle with a
+:class:`ByCorecursion` back-reference (elaborated to a System F ``fix``
+binder; see docs/RESOLUTION.md).  The guardedness criterion keeps the
+extension sound: a cycle is only closed when at least one rule step on
+the loop is productive; bare self-loops stay divergent.
+"""
+
+import pytest
+
+from repro.core.env import ImplicitEnv
+from repro.core.resolution import (
+    ByAssumption,
+    ByCorecursion,
+    ByResolution,
+    CycleToken,
+    ResolutionStrategy,
+    Resolver,
+    corec_guard,
+    derivation_cycles_guarded,
+)
+from repro.core.types import INT, TCon, TVar, canonical_key, list_of, rule
+from repro.errors import NoMatchingRuleError, ResolutionDivergenceError
+from repro.obs import ResolutionStats, collecting
+
+A = TVar("a")
+
+
+def eq_of(t):
+    return TCon("Eq", (t,))
+
+
+@pytest.fixture
+def recursive_eq_env():
+    """The flagship: ``Eq Int`` plus ``forall a. {Eq a, Eq [a]} => Eq [a]``."""
+    return ImplicitEnv.empty().push(
+        [eq_of(INT), rule(eq_of(list_of(A)), [eq_of(A), eq_of(list_of(A))], ["a"])]
+    )
+
+
+@pytest.fixture
+def mu_env():
+    """A mutual 2-cycle: ``{Y} => X`` and ``{X} => Y``."""
+    X, Y = TCon("X"), TCon("Y")
+    return ImplicitEnv.empty().push([rule(X, [Y]), rule(Y, [X])])
+
+
+def corec(env, query):
+    return Resolver(strategy=ResolutionStrategy.CORECURSIVE).resolve(env, query)
+
+
+class TestCycleClosure:
+    def test_recursive_eq_resolves(self, recursive_eq_env):
+        derivation = corec(recursive_eq_env, eq_of(list_of(INT)))
+        assert isinstance(derivation.cycle, CycleToken)
+        kinds = [type(p) for p in derivation.premises]
+        assert ByCorecursion in kinds and ByResolution in kinds
+
+    def test_back_reference_shares_the_head_token(self, recursive_eq_env):
+        derivation = corec(recursive_eq_env, eq_of(list_of(INT)))
+        loops = [p for p in derivation.premises if isinstance(p, ByCorecursion)]
+        assert len(loops) == 1
+        assert loops[0].token is derivation.cycle
+        assert canonical_key(loops[0].token.rho) == canonical_key(derivation.query)
+
+    def test_fuel_strategies_report_divergence_instead(self, recursive_eq_env):
+        for strategy in ResolutionStrategy:
+            if strategy is ResolutionStrategy.CORECURSIVE:
+                continue
+            with pytest.raises(ResolutionDivergenceError):
+                Resolver(strategy=strategy).resolve(
+                    recursive_eq_env, eq_of(list_of(INT))
+                )
+
+    def test_mutual_two_cycle_is_guarded(self, mu_env):
+        derivation = corec(mu_env, TCon("X"))
+        assert derivation.cycle is not None
+        assert derivation_cycles_guarded(derivation)
+
+    def test_closed_tree_passes_static_revalidation(self, recursive_eq_env):
+        derivation = corec(recursive_eq_env, eq_of(list_of(INT)))
+        assert derivation_cycles_guarded(derivation)
+
+    def test_stats_count_closed_cycles(self, recursive_eq_env):
+        stats = ResolutionStats()
+        with collecting(stats):
+            corec(recursive_eq_env, eq_of(list_of(INT)))
+        assert stats.corec_cycles_closed == 1
+        assert stats.corec_guard_rejections == 0
+
+
+class TestGuardedness:
+    def test_bare_self_loop_stays_divergent(self):
+        env = ImplicitEnv.empty().push([rule(TCon("X"), [TCon("X")])])
+        with pytest.raises(ResolutionDivergenceError):
+            corec(env, TCon("X"))
+
+    def test_rejection_is_counted(self):
+        env = ImplicitEnv.empty().push([rule(TCon("X"), [TCon("X")])])
+        stats = ResolutionStats()
+        with collecting(stats), pytest.raises(ResolutionDivergenceError):
+            corec(env, TCon("X"))
+        assert stats.corec_guard_rejections >= 1
+        assert stats.corec_cycles_closed == 0
+
+    def test_disabled_guard_accepts_but_revalidation_rejects(self):
+        # Test-only switch used by the fuzz oracle's fault arm: with the
+        # engine guard off the unguarded loop *does* close, and the
+        # engine-independent static check is what catches it.
+        env = ImplicitEnv.empty().push([rule(TCon("X"), [TCon("X")])])
+        with corec_guard(False):
+            derivation = corec(env, TCon("X"))
+        assert derivation.cycle is not None
+        assert not derivation_cycles_guarded(derivation)
+
+    def test_guarded_cycles_unaffected_by_the_toggle(self, recursive_eq_env):
+        with corec_guard(False):
+            derivation = corec(recursive_eq_env, eq_of(list_of(INT)))
+        assert derivation_cycles_guarded(derivation)
+
+
+class TestPlainGoalsUnchanged:
+    def test_acyclic_derivations_match_the_syntactic_strategy(self, pair_env):
+        from repro.core.cache import derivation_key
+        from repro.core.types import pair
+
+        query = pair(INT, INT)
+        corecursive = corec(pair_env, query)
+        syntactic = Resolver(strategy=ResolutionStrategy.SYNTACTIC).resolve(
+            pair_env, query
+        )
+        assert corecursive.cycle is None
+        assert derivation_key(corecursive) == derivation_key(syntactic)
+
+    def test_failures_still_fail(self, pair_env):
+        from repro.core.types import BOOL
+
+        with pytest.raises(NoMatchingRuleError):
+            corec(pair_env, BOOL)
+
+    def test_assumptions_take_precedence_over_cycles(self):
+        # A rule-type query binds its context as assumptions; resolving
+        # the head against an assumption must *not* be mistaken for a
+        # corecursive back-reference.
+        X = TCon("X")
+        env = ImplicitEnv.empty().push([rule(X, [X])])
+        derivation = corec(env, rule(X, [X]))
+        assert derivation.cycle is None
+        (premise,) = derivation.premises
+        assert isinstance(premise, ByAssumption)

@@ -79,6 +79,8 @@ class TestHandComputedCounters:
             "store_evictions": 0,
             "store_corrupt_records": 0,
             "store_bytes": 0,
+            "corec_cycles_closed": 0,
+            "corec_guard_rejections": 0,
         }
         assert stats.fuel_consumed == 2  # one unit per resolution step
 
@@ -119,6 +121,8 @@ class TestHandComputedCounters:
             "store_evictions": 0,
             "store_corrupt_records": 0,
             "store_bytes": 0,
+            "corec_cycles_closed": 0,
+            "corec_guard_rejections": 0,
         }
         assert stats.hit_rate() == pytest.approx(1 / 3)
 
@@ -160,6 +164,8 @@ class TestHandComputedCounters:
             "store_evictions": 0,
             "store_corrupt_records": 0,
             "store_bytes": 0,
+            "corec_cycles_closed": 0,
+            "corec_guard_rejections": 0,
         }
         resolver.resolve(env, query)
         after = stats.as_dict()
@@ -202,6 +208,8 @@ class TestHandComputedCounters:
             "store_evictions": 0,
             "store_corrupt_records": 0,
             "store_bytes": 0,
+            "corec_cycles_closed": 0,
+            "corec_guard_rejections": 0,
         }
         assert stats.hit_rate() == 0.0
 

@@ -1,8 +1,8 @@
 """The executable-docs contract.
 
-Two promises are enforced here:
+Three promises are enforced here:
 
-1. Every fenced ```python block in README.md and docs/TUTORIAL.md
+1. Every fenced ```python block in README.md and *every* docs/*.md
    actually runs and produces the output it shows.  Blocks within one
    file share a namespace and run top to bottom, like a reader typing
    them into one REPL session.
@@ -10,6 +10,8 @@ Two promises are enforced here:
    (:data:`repro.diagnostics.CATALOGUE`) list exactly the same codes,
    and every exception class's code is registered -- the error-code
    reference cannot drift from the implementation.
+3. Every relative markdown link in README.md and docs/*.md points at a
+   file that exists -- renames cannot silently orphan cross-references.
 """
 
 from __future__ import annotations
@@ -25,12 +27,19 @@ from repro.diagnostics import CATALOGUE, exception_code_map, info_for
 ROOT = Path(__file__).resolve().parents[2]
 DIAGNOSTICS_MD = ROOT / "docs" / "DIAGNOSTICS.md"
 
-#: Files whose ```python blocks must execute (order matters: blocks in
-#: one file share a namespace, like one REPL session).
-EXECUTABLE_DOCS = [ROOT / "README.md", ROOT / "docs" / "TUTORIAL.md"]
+#: Every markdown page in the repo; any ```python block in any of them
+#: must execute (order matters: blocks in one file share a namespace,
+#: like one REPL session).
+ALL_DOCS = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+EXECUTABLE_DOCS = [p for p in ALL_DOCS if "```python" in p.read_text("utf-8")]
+
+#: Pages that must never drop to zero snippets (the executable-docs
+#: promise is part of their contract, not an accident of content).
+MUST_HAVE_SNIPPETS = {"README.md", "TUTORIAL.md", "ARCHITECTURE.md", "RESOLUTION.md"}
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 _HEADING = re.compile(r"^## (IC\d{4}) ", re.MULTILINE)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 
 def python_blocks(path: Path) -> list[str]:
@@ -38,8 +47,15 @@ def python_blocks(path: Path) -> list[str]:
 
 
 # ---------------------------------------------------------------------------
-# 1. README / TUTORIAL snippets execute.
+# 1. README / docs snippets execute.
 # ---------------------------------------------------------------------------
+
+
+def test_snippet_bearing_pages_are_covered():
+    covered = {p.name for p in EXECUTABLE_DOCS}
+    assert MUST_HAVE_SNIPPETS <= covered, (
+        f"pages lost their ```python blocks: {sorted(MUST_HAVE_SNIPPETS - covered)}"
+    )
 
 
 @pytest.mark.parametrize(
@@ -114,3 +130,38 @@ def test_lint_only_band_has_no_exceptions():
     # class may claim a code in the style band.
     style = {c for c in exception_code_map() if c.startswith("IC05")}
     assert not style
+
+
+# ---------------------------------------------------------------------------
+# 3. Cross-links resolve.
+# ---------------------------------------------------------------------------
+
+
+def relative_links(path: Path) -> list[str]:
+    """Markdown link targets in ``path``, minus external URLs and
+    pure in-page anchors.  Fenced code blocks are stripped first --
+    judgment syntax like ``[ā↦τ̄]({ρ̄}=>τ)`` is not a link."""
+    prose = re.sub(r"```.*?```", "", path.read_text(encoding="utf-8"), flags=re.DOTALL)
+    targets = _LINK.findall(prose)
+    return [
+        t
+        for t in targets
+        if not t.startswith(("http://", "https://", "mailto:", "#"))
+    ]
+
+
+@pytest.mark.parametrize("path", ALL_DOCS, ids=lambda p: p.name)
+def test_markdown_cross_links_resolve(path: Path):
+    broken = []
+    for target in relative_links(path):
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{path.name} has dead links: {broken}"
+
+
+def test_architecture_guide_is_linked_from_the_readme():
+    readme_links = relative_links(ROOT / "README.md")
+    assert any("ARCHITECTURE.md" in t for t in readme_links), (
+        "README must link docs/ARCHITECTURE.md from its Architecture section"
+    )

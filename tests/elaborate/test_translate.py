@@ -129,3 +129,64 @@ class TestEvidenceShapes:
         from repro.systemf.eval import apply_value
 
         assert apply_value(evidence, 9) == (9, 9)
+
+
+class TestRecursiveEvidence:
+    """Corecursive derivations elaborate to ``fix``-bound evidence."""
+
+    def _program(self):
+        from repro.core.builders import implicit
+        from repro.core.types import list_of
+
+        # implicit { 1 : Int, |forall a.{a,[a]}=>[a]|.?[a] } in ?[Int]
+        rho = rule(list_of(A), [A, list_of(A)], ["a"])
+        from repro.core.builders import ask, crule
+
+        return implicit(
+            [(IntLit(1), INT), (crule(rho, ask(list_of(A))), rho)],
+            ask(list_of(INT)),
+            list_of(INT),
+        )
+
+    def _elaborate_corecursively(self):
+        from repro.core.resolution import ResolutionStrategy, Resolver
+
+        return elaborate(
+            self._program(),
+            resolver=Resolver(strategy=ResolutionStrategy.CORECURSIVE),
+        )
+
+    def test_default_strategy_diverges(self):
+        from repro.errors import ResolutionDivergenceError
+
+        with pytest.raises(ResolutionDivergenceError):
+            elaborate(self._program())
+
+    def test_cycle_elaborates_to_a_fix_binder(self):
+        from repro.core.types import list_of
+        from repro.elaborate.types import translate_type
+        from repro.systemf.ast import FFix, pretty_fexpr
+
+        tau, target = self._elaborate_corecursively()
+        assert tau == list_of(INT)
+
+        fixes = []
+        stack = [target]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, FFix):
+                fixes.append(node)
+            for field in getattr(node, "__dataclass_fields__", {}):
+                value = getattr(node, field)
+                for child in value if isinstance(value, tuple) else (value,):
+                    if hasattr(child, "__dataclass_fields__"):
+                        stack.append(child)
+        assert len(fixes) == 1
+        assert ftypes_eq(fixes[0].var_type, translate_type(list_of(INT)))
+        assert f"fix {fixes[0].var}" in pretty_fexpr(target)
+
+    def test_fix_bearing_term_typechecks(self):
+        from repro.elaborate.types import translate_type
+
+        tau, target = self._elaborate_corecursively()
+        assert ftypes_eq(ftypecheck(target), translate_type(tau))

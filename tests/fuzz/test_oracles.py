@@ -159,3 +159,52 @@ class TestGeneratedCorpusProperties:
     def test_generated_case_example_still_resolves(self, ctx):
         case = generate_case(0, 0)
         assert ORACLES["index"](case, ctx).classification == "agree"
+
+
+class TestCorecursiveOracle:
+    """The 12th oracle: fuel-bounded search vs the corecursive engine."""
+
+    def test_augmentation_is_deterministic(self, resolvable):
+        from repro.fuzz.gen import augment_recursive
+
+        first = augment_recursive(resolvable)
+        second = augment_recursive(resolvable)
+        assert first.frames == second.frames
+        assert first.query == second.query
+        # The recursive frame is appended; the base case is untouched.
+        assert first.frames[: len(resolvable.frames)] == resolvable.frames
+
+    def test_cycle_closure_refines_fuel_divergence(self, ctx):
+        # The flagship env: fuel diverges, corecursion closes the loop.
+        from repro.core.types import TCon, list_of
+
+        a = TVar("a")
+        eq = lambda t: TCon("Eq", (t,))  # noqa: E731
+        rho = rule(eq(list_of(a)), [eq(a), eq(list_of(a))], ["a"])
+        case = _case(
+            (
+                ((IntLit(0), eq(INT)), (crule(rho, ask(eq(list_of(a)))), rho)),
+            ),
+            eq(list_of(INT)),
+        )
+        verdict = ORACLES["corecursive"](case, ctx)
+        assert verdict.classification == "agree", verdict.as_dict()
+
+    def test_guard_disabled_engine_is_caught_by_revalidation(self, resolvable, ctx):
+        # Disabling the engine guard lets the canary's bare self-loop
+        # close; the engine-independent revalidation rejects the
+        # resulting evidence, and that surfaces as a disagreement.
+        from repro.core.resolution import corec_guard
+
+        with corec_guard(False):
+            verdict = ORACLES["corecursive"](resolvable, ctx)
+        assert verdict.disagrees
+        assert verdict.right.detail == "UnguardedCycleEvidence"
+
+    def test_guard_is_restored_after_the_fault(self, resolvable, ctx):
+        with inject_fault("corecursive"):
+            ORACLES["corecursive"](resolvable, ctx)
+        from repro.core.resolution import _corec_guard_enabled
+
+        assert _corec_guard_enabled
+        assert ORACLES["corecursive"](resolvable, ctx).classification == "agree"

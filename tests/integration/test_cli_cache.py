@@ -104,3 +104,49 @@ class TestCacheSubcommand:
         assert main(["cache", "stats", "--cache-dir", str(tmp_path / "ghost")]) == 1
         err = capsys.readouterr().err
         assert err.startswith("error:") and "no store at" in err
+
+
+class TestUnreadablePaths:
+    """IO trouble is a structured ``error:`` line and exit 2, never a traceback.
+
+    The tests provoke :class:`OSError` with directory/file shape mismatches
+    (a directory where the log file should be, and vice versa) rather than
+    permission bits, which are ignored when the suite runs as root.
+    """
+
+    def test_verify_with_log_replaced_by_directory(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        (store / "derivations.log").mkdir(parents=True)
+        assert main(["cache", "verify", "--cache-dir", str(store)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: io:")
+        assert "Traceback" not in err
+
+    def test_compact_with_cache_dir_as_file(self, capsys, tmp_path):
+        clobbered = tmp_path / "store"
+        clobbered.write_text("not a directory")
+        assert main(["cache", "compact", "--cache-dir", str(clobbered)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: io:")
+
+    def test_replay_with_artifact_path_as_directory(self, capsys, tmp_path):
+        artifact = tmp_path / "artifact.json"
+        artifact.mkdir()
+        assert main(["fuzz", "--replay", str(artifact)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: io:")
+        assert "Traceback" not in err
+
+    def test_replay_with_malformed_artifact_dict(self, capsys, tmp_path):
+        artifact = tmp_path / "artifact.json"
+        artifact.write_text(json.dumps({"oracle": "index"}))  # no "case"
+        assert main(["fuzz", "--replay", str(artifact)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: invalid_artifact:")
+
+    def test_replay_with_non_json_artifact(self, capsys, tmp_path):
+        artifact = tmp_path / "artifact.json"
+        artifact.write_text("not json {")
+        assert main(["fuzz", "--replay", str(artifact)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: invalid_request:")

@@ -11,7 +11,11 @@ EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
 PROGRAMS = sorted((ROOT / "examples" / "programs").glob("*.impl"))
 # broken.impl is the deliberately ill-formed lint showcase: it must
 # *fail* to run (tested below) while `repro lint` reports every defect.
-RUNNABLE = [p for p in PROGRAMS if p.name != "broken.impl"]
+# recursive_eq.impl needs `--strategy corecursive` (the default
+# strategy reports divergence, by design -- tested below).
+RUNNABLE = [
+    p for p in PROGRAMS if p.name not in ("broken.impl", "recursive_eq.impl")
+]
 
 EXPECTED_PROGRAM_OUTPUT = {
     "eq.impl": "(False, True)",
@@ -54,6 +58,51 @@ def test_broken_example_fails_run_but_lints_fully(capsys):
     out = capsys.readouterr().out
     for code in ["IC0402", "IC0301", "IC0501", "IC0401"]:
         assert code in out
+
+
+def test_recursive_eq_example_needs_the_corecursive_strategy(capsys):
+    """The flagship recursive instance: divergence under fuel, recursive
+    evidence (a System F ``fix``) under ``--strategy corecursive``."""
+    from repro.cli import main
+
+    program = str(ROOT / "examples" / "programs" / "recursive_eq.impl")
+    assert main(["check", program]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: resolution_divergence:")
+
+    assert main(["check", "--strategy", "corecursive", program]) == 0
+    assert capsys.readouterr().out.strip() == "Bool"
+
+    assert main(["elaborate", "--strategy", "corecursive", program]) == 0
+    out = capsys.readouterr().out
+    assert "fix " in out  # the mu-bound recursive evidence is visible
+
+    # The elaborated route evaluates end to end: the knot ties and the
+    # recursive Eq dictionary compares the lists (docs/RESOLUTION.md).
+    assert main(["run", "--strategy", "corecursive", program]) == 0
+    assert "True" in capsys.readouterr().out
+
+
+def test_recursive_eq_elaboration_preserves_types():
+    """The paper's type-preservation theorem holds for cyclic evidence:
+    the elaborated term (containing ``fix``) re-typechecks against |tau|."""
+    from repro.core.resolution import ResolutionStrategy, Resolver
+    from repro.pipeline import compile_source, elaborate_core
+
+    program = ROOT / "examples" / "programs" / "recursive_eq.impl"
+    compiled = compile_source(program.read_text())
+    resolver = Resolver(strategy=ResolutionStrategy.CORECURSIVE)
+    tau, target = elaborate_core(
+        compiled.expr,
+        signature=compiled.signature,
+        resolver=resolver,
+        verify=True,  # FTypeChecker re-checks the fix-bearing term
+    )
+    from repro.core.pretty import pretty_type
+    from repro.systemf.ast import pretty_fexpr
+
+    assert pretty_type(tau) == "Bool"
+    assert "fix " in pretty_fexpr(target)
 
 
 def test_example_inventory():

@@ -121,3 +121,38 @@ class TestSessionRegistry:
         assert len(registry) == 0
         with pytest.raises(ProtocolError):
             registry.get("x")
+
+
+class TestCorecursiveSessions:
+    def test_config_accepts_the_corecursive_strategy(self):
+        config = SessionConfig.from_params({"strategy": "corecursive"})
+        assert config.strategy is ResolutionStrategy.CORECURSIVE
+
+    def test_service_resolves_a_recursive_instance(self):
+        # End to end through the op table: the recursive Eq rule
+        # diverges under the default strategy but resolves in a
+        # corecursive session (docs/RESOLUTION.md).
+        from repro.service import ResolutionService
+
+        rules = ["Eq Int", "forall a. {Eq a, Eq [a]} => Eq [a]"]
+
+        def drive(strategy):
+            svc = ResolutionService(workers=1, queue_depth=8)
+            try:
+                def call(op, params):
+                    return svc.handle_sync({"id": 1, "op": op, "params": params})
+
+                assert call("session/new", {"name": "t", "strategy": strategy})["ok"]
+                assert call(
+                    "session/push_rules", {"session": "t", "rules": rules}
+                )["ok"]
+                return call("resolve", {"session": "t", "type": "Eq [Int]"})
+            finally:
+                svc.shutdown()
+
+        corec = drive("corecursive")
+        assert corec["ok"] and corec["result"]["resolved"]
+
+        fuel = drive("syntactic")
+        assert not fuel["ok"]
+        assert "fuel" in fuel["error"]["message"]  # divergence, not no-match

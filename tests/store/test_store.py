@@ -249,3 +249,98 @@ class TestMaintenance:
                 "store_corrupt_records",
                 "store_bytes",
             }
+
+
+class TestCyclicDerivations:
+    """Corecursive proofs persist: the ``fix`` structure survives disk.
+
+    A cycle head is encoded with an explicit ``"cy"`` marker and its
+    back-references as ``["cyc", sig]`` premises; decoding re-mints one
+    :class:`CycleToken` per head and rebinds every back-reference to it,
+    so round-trips are O(n) and guardedness is preserved.
+    """
+
+    @staticmethod
+    def recursive_env():
+        a = TVar("a")
+        return ImplicitEnv.empty().push(
+            [
+                RuleEntry(TCon("Eq", (INT,))),
+                RuleEntry(
+                    rule(
+                        TCon("Eq", (TCon("List", (a,)),)),
+                        [TCon("Eq", (a,)), TCon("Eq", (TCon("List", (a,)),))],
+                        ["a"],
+                    )
+                ),
+            ]
+        )
+
+    @staticmethod
+    def query():
+        return TCon("Eq", (TCon("List", (INT,)),))
+
+    def corec_key(self, env, query):
+        return (
+            env.fingerprint(),
+            env.payload_witness(),
+            canonical_key(query),
+            ResolutionStrategy.CORECURSIVE,
+            OverlapPolicy.REJECT,
+        )
+
+    def test_codec_round_trips_the_cycle(self):
+        from repro.core.resolution import derivation_cycles_guarded
+        from repro.store.codec import decode_record, encode_record
+
+        env, query = self.recursive_env(), self.query()
+        derivation = Resolver(strategy=ResolutionStrategy.CORECURSIVE).resolve(
+            env, query
+        )
+        assert derivation.cycle is not None
+        payload = encode_record(self.corec_key(env, query), derivation, True, FUEL)
+        decoded = decode_record(payload).outcome()
+        assert decoded.cycle is not None
+        assert derivation_signature(decoded) == derivation_signature(derivation)
+        assert derivation_cycles_guarded(decoded)
+
+    def test_cyclic_proofs_warm_start_across_restarts(self, tmp_path):
+        env, query = self.recursive_env(), self.query()
+
+        def resolve_corec(store):
+            return Resolver(
+                strategy=ResolutionStrategy.CORECURSIVE,
+                cache=PersistentResolutionCache(store),
+            ).resolve(env, query)
+
+        with DerivationStore(str(tmp_path)) as store:
+            cold = resolve_corec(store)
+            assert len(store) >= 1
+        with DerivationStore(str(tmp_path)) as store:
+            warm = resolve_corec(store)
+            assert store.stats.store_hits >= 1
+        assert derivation_signature(cold) == derivation_signature(warm)
+        assert warm.cycle is not None
+
+    def test_unbound_back_reference_is_corruption(self):
+        import json as _json
+
+        from repro.store.codec import decode_record, encode_record
+
+        env, query = self.recursive_env(), self.query()
+        derivation = Resolver(strategy=ResolutionStrategy.CORECURSIVE).resolve(
+            env, query
+        )
+        payload = encode_record(self.corec_key(env, query), derivation, True, FUEL)
+        doc = _json.loads(payload)
+
+        def strip_cy(node):
+            node.pop("cy", None)
+            for premise in node.get("pr", []):
+                if premise[0] == "r":
+                    strip_cy(premise[1])
+
+        strip_cy(doc["d"])
+        tampered = _json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+        with pytest.raises(StoreCorruptionError, match="not open"):
+            decode_record(tampered).outcome()

@@ -70,3 +70,17 @@ class TestSubst:
         assert subst_ftype({"a": F_INT}, FTCon("List", (A,))) == FTCon(
             "List", (F_INT,)
         )
+
+
+class TestFixPretty:
+    def test_fix_renders_binder_and_annotation(self):
+        from repro.systemf.ast import FFix, FIntLit, FVar, pretty_fexpr
+
+        e = FFix("ev", F_INT, FVar("ev"))
+        assert pretty_fexpr(e) == "fix ev:Int. ev"
+
+    def test_fix_parenthesized_in_application_position(self):
+        from repro.systemf.ast import FApp, FFix, FIntLit, FVar, pretty_fexpr
+
+        e = FApp(FFix("f", F_INT, FVar("f")), FIntLit(1))
+        assert pretty_fexpr(e) == "(fix f:Int. f) 1"

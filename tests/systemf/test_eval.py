@@ -6,6 +6,7 @@ from repro.errors import EvalError
 from repro.systemf.ast import (
     FApp,
     FBoolLit,
+    FFix,
     FIf,
     FIntLit,
     FLam,
@@ -116,3 +117,85 @@ class TestDataValues:
         record = FRecord("Eq", (F_INT,), (("eq", FIntLit(1)),))
         with pytest.raises(EvalError):
             feval(FProject(record, "nope"))
+
+
+class TestFix:
+    """Backpatched ``fix``: productive recursion works, demanding the
+    binder before the body finishes is an error (docs/RESOLUTION.md)."""
+
+    def test_productive_recursion_through_a_closure(self):
+        # fix f. \y. if y <= 0 then 0 else f (y - 1)  -- a countdown.
+        countdown = FFix(
+            "f",
+            None,  # evaluation is type-erasing
+            FLam(
+                "y",
+                F_INT,
+                FIf(
+                    f_app(FPrim("leqInt"), FVar("y"), FIntLit(0)),
+                    FIntLit(0),
+                    FApp(
+                        FVar("f"),
+                        f_app(FPrim("sub"), FVar("y"), FIntLit(1)),
+                    ),
+                ),
+            ),
+        )
+        assert feval(FApp(countdown, FIntLit(5))) == 0
+
+    def test_fix_of_a_value_body_returns_the_value(self):
+        assert feval(FFix("x", None, FIntLit(42))) == 42
+
+    def test_non_productive_fix_is_an_eval_error(self):
+        # fix x. x + 1 demands the knot while the body is still running.
+        loop = FFix(
+            "x", None, f_app(FPrim("add"), FVar("x"), FIntLit(1))
+        )
+        with pytest.raises(EvalError, match="non-productive"):
+            feval(loop)
+
+    def test_record_fields_see_the_patched_knot(self):
+        # fix r. {f = \y. r}: the closure captures the knot, which is
+        # forced only after the fix completes -- so projection works.
+        rec = FFix(
+            "r",
+            None,
+            FRecord("I", (), (("f", FLam("y", F_INT, FVar("r"))),)),
+        )
+        value = feval(FApp(FProject(rec, "f"), FIntLit(0)))
+        assert isinstance(value, RecordValue)
+
+    def test_unforced_knot_flows_as_a_function_argument(self):
+        # fix f. (\g. \y. if y <= 0 then 0 else g (y - 1)) f: the binder
+        # is *passed* (stored in a closure env) while the body still
+        # runs -- exactly how elaborated recursive evidence reaches the
+        # rule that closes the loop -- and only demanded after patching.
+        countdown = FFix(
+            "f",
+            None,
+            FApp(
+                FLam(
+                    "g",
+                    None,
+                    FLam(
+                        "y",
+                        F_INT,
+                        FIf(
+                            f_app(FPrim("leqInt"), FVar("y"), FIntLit(0)),
+                            FIntLit(0),
+                            FApp(
+                                FVar("g"),
+                                f_app(FPrim("sub"), FVar("y"), FIntLit(1)),
+                            ),
+                        ),
+                    ),
+                ),
+                FVar("f"),
+            ),
+        )
+        assert feval(FApp(countdown, FIntLit(5))) == 0
+
+    def test_identity_fix_is_an_eval_error(self):
+        # fix x. x returns its own knot: denotes nothing, must not loop.
+        with pytest.raises(EvalError, match="non-productive"):
+            feval(FFix("x", None, FVar("x")))

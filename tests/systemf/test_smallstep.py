@@ -172,3 +172,56 @@ class TestSubstitution:
         e = FLam("y", F_INT, FVar("x"))
         out = subst_term("x", FIntLit(1), e)
         assert out == FLam("y", F_INT, FIntLit(1))
+
+
+class TestFix:
+    """``fix x:T.E --> E[x := fix x:T.E]`` -- one unfolding per step."""
+
+    def test_fix_is_not_a_value(self):
+        from repro.systemf.ast import FFix
+
+        assert not is_value(FFix("x", F_INT, FIntLit(1)))
+
+    def test_step_unfolds_once(self):
+        from repro.systemf.ast import FFix
+
+        fix = FFix("x", F_INT, FPair(FIntLit(1), FVar("x")))
+        unfolded = step(fix)
+        assert unfolded == FPair(FIntLit(1), fix)
+
+    def test_shadowed_binder_is_not_substituted(self):
+        from repro.systemf.ast import FFix
+
+        inner = FFix("x", F_INT, FVar("x"))
+        outer = FFix("x", F_INT, inner)
+        assert step(outer) == inner  # inner x rebinds; no capture
+
+    def test_productive_fix_agrees_with_big_step(self):
+        from repro.systemf.ast import FFix, f_fun
+
+        countdown = FFix(
+            "f",
+            f_fun(F_INT, F_INT),
+            FLam(
+                "y",
+                F_INT,
+                FIf(
+                    f_app(FPrim("leqInt"), FVar("y"), FIntLit(0)),
+                    FIntLit(0),
+                    FApp(
+                        FVar("f"),
+                        f_app(FPrim("sub"), FVar("y"), FIntLit(1)),
+                    ),
+                ),
+            ),
+        )
+        program = FApp(countdown, FIntLit(3))
+        assert eval_smallstep(program) == 0
+        assert feval(program) == 0
+
+    def test_non_productive_fix_exhausts_the_step_budget(self):
+        from repro.systemf.ast import FFix
+
+        loop = FFix("x", F_INT, f_app(FPrim("add"), FVar("x"), FIntLit(1)))
+        with pytest.raises(EvalError, match="no value after"):
+            eval_smallstep(loop, max_steps=500)

@@ -6,6 +6,7 @@ from repro.errors import SystemFTypeError
 from repro.systemf.ast import (
     FApp,
     FBoolLit,
+    FFix,
     FForall,
     FIf,
     FIntLit,
@@ -106,3 +107,26 @@ class TestExtensions:
     def test_record_errors(self):
         with pytest.raises(SystemFTypeError, match="unknown interface"):
             ftypecheck(FRecord("Nope", (), ()))
+
+
+class TestFix:
+    """``fix x:T. E`` -- recursive evidence binders (docs/RESOLUTION.md)."""
+
+    def test_fix_has_the_annotated_type(self):
+        assert ftypecheck(FFix("x", F_INT, FIntLit(1))) == F_INT
+
+    def test_fix_variable_is_bound_in_the_body(self):
+        loop = FFix(
+            "f",
+            f_fun(F_INT, F_INT),
+            FLam("y", F_INT, FApp(FVar("f"), FVar("y"))),
+        )
+        assert ftypes_eq(ftypecheck(loop), f_fun(F_INT, F_INT))
+
+    def test_fix_body_must_match_the_annotation(self):
+        with pytest.raises(SystemFTypeError, match="fix body"):
+            ftypecheck(FFix("x", F_INT, FBoolLit(True)))
+
+    def test_fix_under_type_abstraction(self):
+        e = FTyLam("a", FFix("x", FTVar("a"), FVar("x")))
+        assert ftypes_eq(ftypecheck(e), FForall("a", FTVar("a")))
