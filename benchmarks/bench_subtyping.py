@@ -1,0 +1,115 @@
+"""B16: the modus-ponens subtyping decision vs syntactic proof search.
+
+The workload is the wide indexed environment from B2 (120
+distinct-constructor rules plus variable-headed flex rules): every
+query is answered twice, once by the committed-choice ``Resolver`` and
+once by the intersection-subtyping decision procedure
+(``repro.subtyping.decide``), and the two verdicts must agree on every
+query.  The decision side gets **no index and no cache** -- it re-walks
+the whole conjunction per query -- so this benchmark deliberately does
+*not* assert a speedup: its claim is agreement at a measured,
+bounded relative cost (steps are linear in the number of conjuncts for
+this workload), which ``measure_subtyping`` feeds into
+``benchmarks/report.py``'s ``BENCH_<date>.json`` snapshot.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.bench_env_indexing import indexed_workload
+from repro.core.env import OverlapPolicy
+from repro.core.resolution import ResolutionStrategy, Resolver
+from repro.subtyping import SubtypingVerdict, check_entailment, decide
+
+WIDTH = 120
+
+
+@pytest.mark.parametrize("width", [30, 120])
+def test_subtyping_decides_the_wide_workload(benchmark, width):
+    env, queries = indexed_workload(width)
+    benchmark.group = "B16 subtyping decision"
+
+    def decide_all():
+        return [decide(env, query) for query in queries]
+
+    results = benchmark(decide_all)
+    assert all(r.verdict is SubtypingVerdict.HOLDS for r in results)
+
+
+def test_subtyping_agrees_with_resolution_on_the_workload(benchmark):
+    # The flex rules overlap every constructor head, so the search side
+    # needs most-specific resolution (the decision side has no policy:
+    # an intersection forgets overlap, see docs/RESOLUTION.md).
+    env, queries = indexed_workload(WIDTH)
+    resolver = Resolver(
+        strategy=ResolutionStrategy.SYNTACTIC,
+        policy=OverlapPolicy.MOST_SPECIFIC,
+        cache=None,
+    )
+    benchmark.group = "B16 subtyping decision"
+
+    def both():
+        out = []
+        for query in queries:
+            derivation = resolver.resolve(env, query)
+            result = decide(env, query)
+            out.append((derivation, result))
+        return out
+
+    for derivation, result in benchmark(both):
+        assert derivation is not None
+        assert result.verdict is SubtypingVerdict.HOLDS
+
+
+@pytest.mark.slow
+def test_subtyping_derivations_check_across_the_workload():
+    """Every HOLDS derivation on the wide workload re-validates through
+    the independent ``check_entailment`` checker -- the decision is not
+    just the right boolean, it carries a correct proof."""
+    env, queries = indexed_workload(WIDTH)
+    for query in queries:
+        result = decide(env, query)
+        assert result.verdict is SubtypingVerdict.HOLDS
+        assert check_entailment(env, query, result.derivation)
+
+
+def measure_subtyping(width: int = WIDTH, reps: int = 20) -> dict:
+    """Wall-clock numbers for ``benchmarks/report.py`` (B16)."""
+    env, queries = indexed_workload(width)
+
+    resolver = Resolver(
+        strategy=ResolutionStrategy.SYNTACTIC,
+        policy=OverlapPolicy.MOST_SPECIFIC,
+        cache=None,
+    )
+    start = time.perf_counter()
+    for _ in range(reps):
+        for query in queries:
+            resolver.resolve(env, query)
+    syntactic_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(reps):
+        results = [decide(env, query) for query in queries]
+    subtyping_seconds = time.perf_counter() - start
+
+    agreements = sum(
+        1 for r in results if r.verdict is SubtypingVerdict.HOLDS
+    )
+    total_queries = len(queries)
+    return {
+        "width": width,
+        "reps": reps,
+        "queries": total_queries,
+        "agreements": agreements,
+        "syntactic_seconds": round(syntactic_seconds, 6),
+        "subtyping_seconds": round(subtyping_seconds, 6),
+        "relative_cost": (
+            round(subtyping_seconds / syntactic_seconds, 2)
+            if syntactic_seconds
+            else None
+        ),
+        "max_steps": max(r.steps for r in results),
+        "conjuncts": results[0].conjuncts if results else 0,
+    }

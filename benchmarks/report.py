@@ -230,6 +230,20 @@ def _run_experiments() -> None:
         f"{agree}/{total} agree",
     )
 
+    # B16 agreement smoke: the modus-ponens subtyping decision agrees
+    # with syntactic resolution on the wide workload (docs/RESOLUTION.md).
+    from benchmarks.bench_subtyping import measure_subtyping
+
+    sub = measure_subtyping(width=30, reps=1)
+    row(
+        "B16",
+        "subtyping decision vs syntactic resolution",
+        "all agree",
+        "all agree"
+        if sub["agreements"] == sub["queries"]
+        else f"{sub['agreements']}/{sub['queries']} agree",
+    )
+
 
 def _run_timings() -> dict:
     """The two headline performance claims, as wall-clock measurements."""
@@ -304,6 +318,13 @@ def _run_timings() -> dict:
     from benchmarks.bench_corecursive import measure_corecursive
 
     timings["corecursive"] = measure_corecursive()
+
+    # B16: the modus-ponens subtyping decision agrees with syntactic
+    # resolution on the wide workload at a measured relative cost
+    # (docs/RESOLUTION.md) -- an agreement claim, not a speedup claim.
+    from benchmarks.bench_subtyping import measure_subtyping
+
+    timings["subtyping"] = measure_subtyping()
     return timings
 
 

@@ -23,6 +23,7 @@ Options:
     --verify           re-check the System F target against |tau|
     --most-specific    companion overlap policy instead of no_overlap
     --strategy S       syntactic | extending | backtracking | corecursive
+                       | subtyping
     --stats            print resolution counters (cache hit rate, lookups,
                        unifications, recursion depth, fuel) to stderr
     --no-cache         disable the resolution derivation cache
@@ -122,7 +123,9 @@ def _build_parser() -> argparse.ArgumentParser:
             default=ResolutionStrategy.SYNTACTIC.value,
             help="resolution strategy (default: the paper's TyRes; "
             "'corecursive' closes guarded cycles with recursive "
-            "evidence, docs/RESOLUTION.md)",
+            "evidence; 'subtyping' cross-checks every resolution "
+            "against the modus-ponens intersection-subtyping decision, "
+            "docs/RESOLUTION.md)",
         )
         cmd.add_argument(
             "--stats",
@@ -298,7 +301,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="restrict to one oracle (repeatable); default: the full "
         "matrix (index, compiled, cache, logic, semantics, service, "
-        "sharded, alpha, permute, lint, store, corecursive)",
+        "sharded, alpha, permute, lint, store, corecursive, subtyping)",
     )
     fuzz.add_argument(
         "--artifact-dir",

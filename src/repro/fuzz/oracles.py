@@ -62,6 +62,22 @@ The engine pairs mirror every redundancy the repo has accumulated:
                generated unguarded loop) yields evidence the oracle's
                independent validation refuses -- proving the check is
                load-bearing
+``subtyping``  three-way agreement around the modus-ponens
+               intersection-subtyping backend (:mod:`repro.subtyping`):
+               on queries all sides handle, the subtyping verdict must
+               equal the logic engine's entailment, a Resolver success
+               must be subtyping-provable (resolution implies
+               subtyping), and every ``HOLDS`` derivation must pass
+               :func:`repro.subtyping.check_entailment` independently.
+               Carve-outs (docs/TESTING.md): budget-dependent outcomes
+               on any side, and conjuncts with premise-only quantified
+               variables (the procedure reports ``EXHAUSTED`` rather
+               than guessing).  The fault arm corrupts the
+               *translation* -- :func:`repro.subtyping.set_conjunct_drop`
+               silently loses one conjunct -- so every query whose
+               proof needs the lost implication becomes a one-sided
+               ``FAILS``: an incomplete-translation bug of exactly the
+               class this oracle guards against
 =============  ==========================================================
 
 Success results are compared through :func:`derivation_signature`, an
@@ -869,6 +885,105 @@ def _oracle_corecursive_checks(case: FuzzCase) -> Verdict:
     return recursive
 
 
+def oracle_subtyping(case: FuzzCase, ctx: OracleContext) -> Verdict:
+    """Three-way agreement around the intersection-subtyping backend.
+
+    The sides: the deterministic ``Resolver`` (left), the modus-ponens
+    subtyping decision (:func:`repro.subtyping.decide`) and the logic
+    engine's entailment (both folded into the right outcome).  On the
+    comparable fragment:
+
+    1. every ``HOLDS`` derivation must survive the independent checker
+       (:func:`repro.subtyping.check_entailment`) -- evidence the
+       search produced but cannot justify is its own failure class;
+    2. the subtyping verdict must equal entailment (both decide the
+       semantic relation over the same translation);
+    3. a Resolver success must be subtyping-provable (resolution
+       implies subtyping -- the paper's direction); the converse is
+       *not* claimed: an intersection forgets nearness and overlap
+       policies, so subtyping proving more is agreement, like the
+       ``logic`` oracle's over-approximation.
+
+    Carve-outs (documented in docs/TESTING.md): an ``EXHAUSTED``
+    subtyping verdict (step budget, or a premise-only quantified
+    variable) and budget-dependent Resolver outcomes (fuel divergence,
+    deadlines) are outside the fragment and classify as agreement with
+    an explanatory note.
+
+    The fault arm corrupts the translation itself -- one conjunct is
+    silently dropped -- rather than flipping outcomes after the fact.
+    """
+    from ..logic.encode import env_entails
+    from ..subtyping import (
+        SubtypingVerdict,
+        check_entailment,
+        conjunct_drop,
+        decide,
+    )
+
+    env = case.env()
+    left = resolve_outcome(case, env=env)
+    if _FAULT == "subtyping":
+        with conjunct_drop(True):
+            result = decide(env, case.query)
+    else:
+        result = decide(env, case.query)
+    if result.verdict is SubtypingVerdict.HOLDS and not check_entailment(
+        env, case.query, result.derivation
+    ):
+        return Verdict(
+            "subtyping",
+            "disagree",
+            left,
+            Outcome("fail", "InvalidSubtypingDerivation"),
+            note="derivation failed independent re-checking",
+        )
+    entailed = env_entails(env, case.query, cached=False)
+    right = Outcome(
+        "ok", ("subtyping", result.verdict.value, "entails", entailed)
+    )
+    if result.verdict is SubtypingVerdict.EXHAUSTED:
+        return Verdict(
+            "subtyping", "agree", left, right, note=f"carve-out: {result.reason}"
+        )
+    holds = result.verdict is SubtypingVerdict.HOLDS
+    if holds != entailed:
+        return Verdict(
+            "subtyping",
+            "disagree",
+            left,
+            right,
+            note="subtyping vs entailment verdicts differ",
+        )
+    if left.status == "ok":
+        if holds:
+            return Verdict("subtyping", "agree", left, right)
+        return Verdict(
+            "subtyping",
+            "disagree",
+            left,
+            right,
+            note="resolution succeeded but subtyping denies it",
+        )
+    if left.detail in ("ResolutionDivergenceError", "DeadlineExceededError"):
+        return Verdict(
+            "subtyping",
+            "agree",
+            left,
+            right,
+            note="carve-out: budget-dependent Resolver outcome",
+        )
+    if holds:
+        return Verdict(
+            "subtyping",
+            "agree",
+            left,
+            right,
+            note="subtyping over-approximates deterministic resolution",
+        )
+    return Verdict("subtyping", "both_fail", left, right)
+
+
 # ---------------------------------------------------------------------------
 # Registry.
 # ---------------------------------------------------------------------------
@@ -889,6 +1004,7 @@ ORACLES: dict[str, OracleFn] = {
     "lint": oracle_lint,
     "store": oracle_store,
     "corecursive": oracle_corecursive,
+    "subtyping": oracle_subtyping,
 }
 
 

@@ -117,6 +117,7 @@ class ResolutionService:
             "run_core": self._op_run_core,
             "run_source": self._op_run_source,
             "lint": self._op_lint,
+            "subtyping/check": self._op_subtyping_check,
             "debug/sleep": self._op_debug_sleep,
         }
 
@@ -479,6 +480,41 @@ class ResolutionService:
             return result
 
         return self._coalesced(key, work, request_stats)
+
+    def _op_subtyping_check(
+        self, request: Request, deadline: float | None, request_stats: ResolutionStats
+    ) -> dict:
+        """Decide the query by intersection subtyping (decision only).
+
+        Unlike ``resolve`` this never produces evidence, so it cannot
+        fail with a resolution error: the three-valued verdict *is* the
+        answer, and ``holds`` folds it to a boolean for callers that
+        only care whether the paper's modus-ponens relation accepts.
+        """
+        from ..subtyping import SubtypingVerdict, decide
+
+        session = self.registry.get(request.params.get("session"))
+        query_text = request.params.get("type")
+        if isinstance(query_text, Type):
+            rho = query_text
+        elif isinstance(query_text, str):
+            rho = parse_core_type(query_text)
+        else:
+            raise ProtocolError(ErrorCode.INVALID_REQUEST, "'type' must be a string")
+        env = session.current_env()
+
+        def work() -> dict:
+            result = decide(env, rho)
+            return {
+                "query": str(rho),
+                "holds": result.verdict is SubtypingVerdict.HOLDS,
+                "verdict": result.verdict.value,
+                "steps": result.steps,
+                "conjuncts": result.conjuncts,
+                "reason": result.reason,
+            }
+
+        return self._coalesced(None, work, request_stats)
 
     def _session_and_semantics(
         self, request: Request

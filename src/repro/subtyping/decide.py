@@ -1,0 +1,386 @@
+"""Modus-ponens subtyping: a terminating decision procedure for
+``T_Delta <= rho`` (Marntirosian, Schrijvers, Oliveira & Karachalias
+2020, PAPERS.md).
+
+The environment's intersection type (:mod:`repro.subtyping.intersection`)
+is a conjunction of implications; the query is decided against it with
+two phases, the standard focused reading of the paper's subtyping rules:
+
+*Right phase* (invertible, applied while the goal is a rule type
+``forall a-bar. {rho-bar} => tau``): the quantifiers are skolemised to
+fresh rigid names and the context is *added to the conjunction* -- the
+right rules for ``forall`` and implication.  This strictly shrinks the
+goal, so the phase terminates on its own.
+
+*Atomic phase* (the goal is a simple type): choose any conjunct, curry
+it into its implication spine ``forall a-bar. rho_1 -> ... -> rho_n ->
+tau`` (:func:`conjunct_spine`), match the spine head against the goal to
+instantiate the quantifiers, and discharge each instantiated premise
+recursively -- the **modus ponens** rule, ``T <= rho => tau  and  T <=
+rho  imply  T <= tau``, iterated along the spine with full backtracking
+over conjunct choices.
+
+Termination is enforced twice over, making :func:`entails` a decision
+procedure rather than a semi-decision:
+
+* a *loop check*: an atomic goal repeated against an unchanged
+  conjunction on the current branch is pruned (a cyclic path can only
+  support an infinite proof, never an inductive one -- pruning it is
+  complete for the inductive reading);
+* a global *step budget* for goals that grow (a premise can be larger
+  than its head's instantiation); exhausting it yields the explicit
+  :data:`SubtypingVerdict.EXHAUSTED` verdict instead of a wrong answer.
+
+``HOLDS`` and ``FAILS`` are definitive; ``EXHAUSTED`` marks the query
+outside the procedure's decidable fragment (budget, or a conjunct with
+a premise-only quantified variable, which head-matching cannot
+instantiate -- the documented carve-outs in docs/TESTING.md).
+
+Every ``HOLDS`` comes with a checkable derivation: a tree of
+:class:`Extend` (right phase) and :class:`ModusPonens` (atomic phase)
+nodes recording skolem names, the conjunct used and its instantiation.
+:func:`check_entailment` re-validates such a tree against the
+environment *independently of the search* -- it re-derives the spine,
+re-applies the recorded substitution and re-checks conjunct membership
+-- so an engine bug (or the fault-injected translation) cannot hand
+back evidence that survives scrutiny.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from ..core.subst import subst_type
+from ..core.types import (
+    RuleType,
+    TVar,
+    Type,
+    canonical_key,
+    ftv,
+    promote,
+    type_size,
+    types_alpha_eq,
+)
+from ..core.unify import match_type
+from ..obs.stats import record_subtyping_check
+from .intersection import (
+    LOCAL,
+    Conjunct,
+    IntersectionType,
+    intersection_of_env,
+)
+
+#: Atomic-phase steps before the procedure reports ``EXHAUSTED``.  Far
+#: above anything the fuzz corpus or the examples reach; the bound
+#: exists so the procedure is *total* even on adversarial environments
+#: whose goals grow at every modus-ponens step.
+DEFAULT_BUDGET = 2048
+
+#: Constructor count above which a goal is abandoned as EXHAUSTED.  The
+#: step budget alone is not enough for totality: a conjunct like
+#: ``forall a. {a * a} => a`` *doubles* the goal at every step, and while
+#: hash-consing keeps such goals cheap to build (they are DAGs), hashing
+#: their canonical keys for the loop check is proportional to the
+#: *unfolded* tree size -- exponential work long before 2048 steps.
+#: ``type_size`` is a cached slot read, so this guard is O(1).
+MAX_GOAL_SIZE = 4096
+
+
+class SubtypingVerdict(enum.Enum):
+    """Three-valued outcome of the decision procedure."""
+
+    HOLDS = "holds"
+    FAILS = "fails"
+    EXHAUSTED = "exhausted"
+
+
+@dataclass(frozen=True)
+class Extend:
+    """Right phase: ``T <= forall a-bar. {rho-bar} => tau`` reduced to
+    ``T /\\ rho-bar[a-bar := skolems] <= tau[a-bar := skolems]``."""
+
+    goal: Type
+    skolems: tuple[str, ...]
+    added: tuple[Conjunct, ...]
+    body: "SubtypingNode"
+
+
+@dataclass(frozen=True)
+class ModusPonens:
+    """Atomic phase: the goal is the instantiated head of ``conjunct``'s
+    implication spine; ``premises`` discharge the instantiated spine
+    premises in order."""
+
+    goal: Type
+    conjunct: Conjunct
+    instantiation: tuple[tuple[str, Type], ...]
+    premises: tuple["SubtypingNode", ...]
+
+
+SubtypingNode = Union[Extend, ModusPonens]
+
+
+@dataclass(frozen=True)
+class SubtypingResult:
+    """The full answer: verdict, evidence (for ``HOLDS``), and cost."""
+
+    verdict: SubtypingVerdict
+    derivation: SubtypingNode | None
+    steps: int
+    conjuncts: int
+    reason: str = ""
+
+    @property
+    def holds(self) -> bool:
+        return self.verdict is SubtypingVerdict.HOLDS
+
+
+class _Exhausted(Exception):
+    """Internal: the step budget ran out (never escapes this module)."""
+
+
+class _Search:
+    __slots__ = ("budget", "steps", "incomplete", "fresh")
+
+    def __init__(self, budget: int):
+        self.budget = budget
+        self.steps = 0
+        self.incomplete = False  # a premise-only quantified variable was hit
+        self.fresh = 0  # skolem-block counter (deterministic per search)
+
+
+def conjunct_spine(rho: Type) -> tuple[tuple[str, ...], tuple[Type, ...], Type]:
+    """Curry a rule type into ``(metas, premises, atomic head)``.
+
+    Nested rule heads are unrolled (``forall a.{P} => (forall b.{Q} =>
+    tau)`` yields premises ``P, Q`` and head ``tau``), with each layer's
+    binders renamed to deterministic fresh names (``%mp<layer>.<j>``) so
+    an independent checker re-derives the *identical* spine.  The
+    renaming is layer-scoped, which keeps shadowed binders distinct.
+    """
+    metas: list[str] = []
+    premises: list[Type] = []
+    head: Type = rho
+    layer = 0
+    while isinstance(head, RuleType):
+        ren = {
+            name: TVar(f"%mp{layer}.{j}") for j, name in enumerate(head.tvars)
+        }
+        for j in range(len(head.tvars)):
+            metas.append(f"%mp{layer}.{j}")
+        if ren:
+            premises.extend(subst_type(ren, r) for r in head.context)
+            head = subst_type(ren, head.head)
+        else:
+            premises.extend(head.context)
+            head = head.head
+        layer += 1
+    return tuple(metas), tuple(premises), head
+
+
+def _skolemize(
+    goal: RuleType, state: _Search
+) -> tuple[tuple[str, ...], tuple[Type, ...], Type]:
+    """Fresh rigid names for a rule-typed goal's binders; returns
+    ``(skolems, skolemized context, skolemized head)``."""
+    tvars, context, head = promote(goal)
+    block = state.fresh
+    state.fresh += 1
+    skolems = tuple(f"%sk{block}.{j}" for j in range(len(tvars)))
+    if not skolems:
+        return skolems, context, head
+    ren = {name: TVar(s) for name, s in zip(tvars, skolems)}
+    return (
+        skolems,
+        tuple(subst_type(ren, r) for r in context),
+        subst_type(ren, head),
+    )
+
+
+def _decide(
+    conjuncts: tuple[Conjunct, ...],
+    ckey: tuple,
+    goal: Type,
+    path: frozenset,
+    state: _Search,
+) -> SubtypingNode | None:
+    # Right phase: invertible, strictly goal-shrinking.
+    if isinstance(goal, RuleType):
+        skolems, context, head = _skolemize(goal, state)
+        added = tuple(Conjunct(r, LOCAL, i) for i, r in enumerate(context))
+        body = _decide(
+            conjuncts + added,
+            ckey + tuple(c.key() for c in added),
+            head,
+            path,
+            state,
+        )
+        if body is None:
+            return None
+        return Extend(goal, skolems, added, body)
+
+    # Atomic phase: modus ponens with backtracking over conjuncts.
+    state.steps += 1
+    if state.steps > state.budget or type_size(goal) > MAX_GOAL_SIZE:
+        raise _Exhausted
+    point = (ckey, canonical_key(goal))
+    if point in path:
+        return None  # cyclic branch: no inductive proof down this path
+    deeper = path | {point}
+    for conjunct in conjuncts:
+        metas, premises, head = conjunct_spine(conjunct.rho)
+        theta = match_type(head, goal, metas)
+        if theta is None:
+            continue
+        meta_set = frozenset(metas)
+        nodes: list[SubtypingNode] = []
+        for premise in premises:
+            subgoal = subst_type(theta, premise)
+            if not ftv(subgoal).isdisjoint(meta_set):
+                # A quantifier the head did not determine: matching
+                # cannot instantiate it, so this focusing is outside the
+                # decidable fragment.  Record the incompleteness -- a
+                # global failure must then report EXHAUSTED, not FAILS.
+                state.incomplete = True
+                nodes = []
+                break
+            node = _decide(conjuncts, ckey, subgoal, deeper, state)
+            if node is None:
+                nodes = []
+                break
+            nodes.append(node)
+        else:
+            instantiation = tuple(sorted(theta.items(), key=lambda kv: kv[0]))
+            return ModusPonens(goal, conjunct, instantiation, tuple(nodes))
+    return None
+
+
+def decide(
+    env, query: Type, *, budget: int = DEFAULT_BUDGET
+) -> SubtypingResult:
+    """Decide ``T_Delta <= query`` with full diagnostics.
+
+    ``HOLDS`` results carry a derivation that passes
+    :func:`check_entailment`; ``FAILS`` is a definitive denial;
+    ``EXHAUSTED`` (with ``reason``) marks the carve-outs.
+    """
+    record_subtyping_check()
+    intersection = intersection_of_env(env)
+    state = _Search(budget)
+    try:
+        node = _decide(
+            intersection.conjuncts,
+            intersection.key(),
+            query,
+            frozenset(),
+            state,
+        )
+    except _Exhausted:
+        return SubtypingResult(
+            SubtypingVerdict.EXHAUSTED,
+            None,
+            state.steps,
+            len(intersection),
+            reason="step or goal-size budget exhausted",
+        )
+    if node is not None:
+        return SubtypingResult(
+            SubtypingVerdict.HOLDS, node, state.steps, len(intersection)
+        )
+    if state.incomplete:
+        return SubtypingResult(
+            SubtypingVerdict.EXHAUSTED,
+            None,
+            state.steps,
+            len(intersection),
+            reason="premise-only quantified variable (outside the fragment)",
+        )
+    return SubtypingResult(
+        SubtypingVerdict.FAILS, None, state.steps, len(intersection)
+    )
+
+
+def entails(env, query: Type, *, budget: int = DEFAULT_BUDGET) -> bool:
+    """The paper's headline judgment: ``True`` iff the environment's
+    intersection type is provably a subtype of ``query``.  ``FAILS`` and
+    ``EXHAUSTED`` both answer ``False`` (use :func:`decide` to tell a
+    definitive denial from a carve-out)."""
+    return decide(env, query, budget=budget).holds
+
+
+# ---------------------------------------------------------------------------
+# Independent derivation checking.
+# ---------------------------------------------------------------------------
+
+
+def check_entailment(env, query: Type, node: SubtypingNode) -> bool:
+    """Re-validate a finished derivation against the environment.
+
+    Walks the tree with no reference to the search: spines are
+    re-derived, recorded instantiations re-applied and compared
+    alpha-invariantly, skolem freshness and conjunct membership
+    re-checked.  A derivation produced under the fault-injected
+    (conjunct-dropping) translation still checks -- dropping a conjunct
+    only removes proofs -- but a fabricated or tampered tree does not.
+    """
+    intersection = intersection_of_env(env)
+    return _check(intersection.conjuncts, node, query)
+
+
+def _names_in_scope(conjuncts: tuple[Conjunct, ...], goal: Type) -> set[str]:
+    names: set[str] = set(ftv(goal))
+    for conjunct in conjuncts:
+        names |= ftv(conjunct.rho)
+    return names
+
+
+def _check(
+    conjuncts: tuple[Conjunct, ...], node: SubtypingNode, goal: Type
+) -> bool:
+    if not types_alpha_eq(node.goal, goal):
+        return False
+    if isinstance(node, Extend):
+        if not isinstance(goal, RuleType):
+            return False
+        tvars, context, head = promote(goal)
+        if len(node.skolems) != len(tvars):
+            return False
+        if len(set(node.skolems)) != len(node.skolems):
+            return False
+        if set(node.skolems) & _names_in_scope(conjuncts, goal):
+            return False  # recorded skolems must be genuinely fresh
+        ren = {name: TVar(s) for name, s in zip(tvars, node.skolems)}
+        expected = tuple(subst_type(ren, r) for r in context)
+        if len(node.added) != len(expected):
+            return False
+        for added, rho in zip(node.added, expected):
+            if not types_alpha_eq(added.rho, rho):
+                return False
+        return _check(
+            conjuncts + node.added, node.body, subst_type(ren, head)
+        )
+    if not isinstance(node, ModusPonens):
+        return False
+    if isinstance(goal, RuleType):
+        return False
+    used = canonical_key(node.conjunct.rho)
+    if not any(c.key() == used for c in conjuncts):
+        return False  # modus ponens on an implication we do not have
+    metas, premises, head = conjunct_spine(node.conjunct.rho)
+    theta = dict(node.instantiation)
+    if not set(theta) <= set(metas):
+        return False
+    meta_set = frozenset(metas)
+    if not types_alpha_eq(subst_type(theta, head), goal):
+        return False
+    if len(node.premises) != len(premises):
+        return False
+    for child, premise in zip(node.premises, premises):
+        subgoal = subst_type(theta, premise)
+        if not ftv(subgoal).isdisjoint(meta_set):
+            return False  # an uninstantiated quantifier leaked through
+        if not _check(conjuncts, child, subgoal):
+            return False
+    return True

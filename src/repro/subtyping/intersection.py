@@ -1,0 +1,122 @@
+"""Environments as intersection types (Marntirosian et al. 2020).
+
+"Resolution as Intersection Subtyping via Modus Ponens" (PAPERS.md)
+recasts the implicit calculus' resolution judgment ``Delta |-r rho`` as
+a *subtyping* question: read every rule type in the environment as an
+implication, intersect them, and ask whether the resulting intersection
+type is a subtype of the query.  This module supplies the translation
+half of that story; the decision procedure over the translated
+environment lives in :mod:`repro.subtyping.decide`.
+
+The translation is deliberately shallow: an :class:`IntersectionType`
+is a flat conjunction of the environment's rule types, one
+:class:`Conjunct` per :class:`~repro.core.env.RuleEntry`, ordered
+innermost frame first (mirroring lookup's nearness order, though the
+*verdict* of the decision procedure is order-independent -- it
+backtracks over every conjunct).  Each conjunct records its provenance
+(frame and position) so a checked derivation can name the exact rule it
+used; conjuncts added locally by the right-implication rule carry the
+:data:`LOCAL` frame marker instead.
+
+What the intersection reading *forgets* is exactly what makes the
+subtyping backend an over-approximating decision procedure: frame
+nearness (lexical scoping), overlap policies and committed choice are
+all invisible to a conjunction.  ``docs/TESTING.md`` documents the
+resulting carve-out list for the ``subtyping`` fuzz oracle.
+
+Fault injection (test-only): :func:`set_conjunct_drop` makes the
+translation silently lose its first conjunct -- an incomplete
+translation of precisely the class the three-way oracle exists to
+catch.  Production code never calls it; the autouse conftest fixture
+restores it after every test.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.env import ImplicitEnv
+from ..core.types import Type, canonical_key
+
+#: ``Conjunct.frame`` marker for conjuncts introduced by the
+#: right-implication rule (a rule-typed goal's context), which belong to
+#: no environment frame.
+LOCAL = -1
+
+_DROP = False
+
+
+def set_conjunct_drop(enabled: bool) -> bool:
+    """Make :func:`intersection_of_env` drop one conjunct (test-only).
+
+    Returns the previous setting.  This is the ``subtyping`` fuzz
+    oracle's ``--inject-fault`` arm: the corrupted translation loses the
+    innermost frame's first rule, so every query whose proof needs it
+    flips from ``HOLDS`` to ``FAILS`` -- a one-sided disagreement the
+    harness must catch, shrink and replay.
+    """
+    global _DROP
+    previous = _DROP
+    _DROP = bool(enabled)
+    return previous
+
+
+@contextmanager
+def conjunct_drop(enabled: bool) -> Iterator[None]:
+    """Lexically scoped :func:`set_conjunct_drop`."""
+    previous = set_conjunct_drop(enabled)
+    try:
+        yield
+    finally:
+        set_conjunct_drop(previous)
+
+
+@dataclass(frozen=True)
+class Conjunct:
+    """One implication of the environment's intersection type.
+
+    ``frame`` indexes :meth:`~repro.core.env.ImplicitEnv.frames`
+    (0 = outermost), ``position`` the entry within that frame; locally
+    added conjuncts use ``frame == LOCAL``.
+    """
+
+    rho: Type
+    frame: int
+    position: int
+
+    def key(self) -> tuple:
+        return canonical_key(self.rho)
+
+
+@dataclass(frozen=True)
+class IntersectionType:
+    """A frozen environment read as a conjunction of implications."""
+
+    conjuncts: tuple[Conjunct, ...]
+
+    def __len__(self) -> int:
+        return len(self.conjuncts)
+
+    def key(self) -> tuple:
+        """Order-sensitive structural key (loop checking, memo keys)."""
+        return tuple(c.key() for c in self.conjuncts)
+
+
+def intersection_of_env(env: ImplicitEnv) -> IntersectionType:
+    """Translate a frozen frame stack into its intersection type.
+
+    Every rule type of every frame becomes one conjunct, innermost
+    frame first; payloads (evidence) are deliberately not carried --
+    the subtyping backend is a *decision* procedure, evidence stays
+    with the syntactic engine (docs/RESOLUTION.md).
+    """
+    frames = env.frames()
+    conjuncts: list[Conjunct] = []
+    for frame_index in range(len(frames) - 1, -1, -1):
+        for position, entry in enumerate(frames[frame_index]):
+            conjuncts.append(Conjunct(entry.rho, frame_index, position))
+    if _DROP and conjuncts:
+        del conjuncts[0]  # the fault arm: one implication silently lost
+    return IntersectionType(tuple(conjuncts))

@@ -45,6 +45,7 @@ def _reset_global_state():
     from repro.obs.stats import _SLOT
     from repro.service.wire import set_wire_corruption
     from repro.store.log import set_crc_bypass
+    from repro.subtyping import set_conjunct_drop
 
     previous_indexing = indexing_enabled()
     previous_compiling = compiling_enabled()
@@ -56,6 +57,7 @@ def _reset_global_state():
     set_fault(None)
     set_crc_bypass(False)
     set_corec_guard(True)
+    set_conjunct_drop(False)
     _SLOT.stats = None
 
 

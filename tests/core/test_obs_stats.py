@@ -81,6 +81,8 @@ class TestHandComputedCounters:
             "store_bytes": 0,
             "corec_cycles_closed": 0,
             "corec_guard_rejections": 0,
+            "subtyping_checks": 0,
+            "subtyping_disagreements_guarded": 0,
         }
         assert stats.fuel_consumed == 2  # one unit per resolution step
 
@@ -123,6 +125,8 @@ class TestHandComputedCounters:
             "store_bytes": 0,
             "corec_cycles_closed": 0,
             "corec_guard_rejections": 0,
+            "subtyping_checks": 0,
+            "subtyping_disagreements_guarded": 0,
         }
         assert stats.hit_rate() == pytest.approx(1 / 3)
 
@@ -166,6 +170,8 @@ class TestHandComputedCounters:
             "store_bytes": 0,
             "corec_cycles_closed": 0,
             "corec_guard_rejections": 0,
+            "subtyping_checks": 0,
+            "subtyping_disagreements_guarded": 0,
         }
         resolver.resolve(env, query)
         after = stats.as_dict()
@@ -210,6 +216,8 @@ class TestHandComputedCounters:
             "store_bytes": 0,
             "corec_cycles_closed": 0,
             "corec_guard_rejections": 0,
+            "subtyping_checks": 0,
+            "subtyping_disagreements_guarded": 0,
         }
         assert stats.hit_rate() == 0.0
 

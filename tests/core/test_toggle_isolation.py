@@ -1,9 +1,10 @@
 """Regression: global toggles flipped inside one test cannot leak out.
 
-The engine keeps four pieces of process-global configuration: the
+The engine keeps several pieces of process-global configuration: the
 indexing toggle, the compiled-matcher toggle, the fuzz harness's fault
-injection, and the compile module's trie corruption (plus the
-thread-local stats slot).  The autouse ``_reset_global_state`` fixture
+injection, the compile module's trie corruption, and the subtyping
+backend's conjunct-drop fault (plus the thread-local stats slot).  The
+autouse ``_reset_global_state`` fixture
 in ``tests/conftest.py`` must restore all of them after every test --
 otherwise a fuzz or property test could silently change the semantics
 (or the counters) of whatever test happens to run next.
@@ -28,6 +29,7 @@ from repro.core.env import (
 from repro.fuzz import oracles
 from repro.fuzz.oracles import set_fault
 from repro.obs.stats import _SLOT, ResolutionStats
+from repro.subtyping import intersection, set_conjunct_drop
 
 
 def _flip_everything() -> None:
@@ -35,6 +37,7 @@ def _flip_everything() -> None:
     set_compiling(True)
     set_fault("index")
     compile_env.set_trie_corruption(True)
+    set_conjunct_drop(True)
     _SLOT.stats = ResolutionStats()
 
 
@@ -43,6 +46,7 @@ def _assert_defaults() -> None:
     assert compiling_enabled() is False
     assert oracles._FAULT is None
     assert compile_env._CORRUPT is False
+    assert intersection._DROP is False
     assert getattr(_SLOT, "stats", None) is None
 
 
@@ -52,6 +56,7 @@ def test_a_flips_everything():
     assert compiling_enabled() is True
     assert oracles._FAULT == "index"
     assert compile_env._CORRUPT is True
+    assert intersection._DROP is True
     assert _SLOT.stats is not None
 
 

@@ -1,0 +1,72 @@
+"""Golden fuzz-artifact pack: every oracle's fault arm, frozen on disk.
+
+``tests/fuzz/artifacts/`` holds one shrunk fault-injection artifact per
+oracle (generated once with ``PYTHONHASHSEED=0`` from seed 0, shrunk to
+a single rule each).  They are regression anchors for three different
+contracts at once:
+
+* **replayability** -- :func:`repro.fuzz.replay_artifact` must restore
+  the recorded fault, re-run the shrunk case and reproduce the recorded
+  classification, forever.  If an engine change "fixes" a fault arm's
+  disagreement, the oracle lost its teeth and this suite says so;
+* **format stability** -- the artifact schema (version, oracle, fault,
+  original + shrunk case, verdict) must keep loading.  A format bump
+  must come with a migration or regenerated goldens, an explicit
+  decision rather than silent drift;
+* **serialization stability** -- re-serializing a loaded artifact the
+  way the writer does must give back the file byte for byte, so
+  artifacts diff cleanly and replays are exact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.fuzz import replay_artifact
+from repro.fuzz.gen import FORMAT_VERSION
+from repro.fuzz.oracles import oracle_names
+from repro.fuzz.runner import load_artifact
+
+ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+
+
+def test_the_pack_covers_every_oracle_exactly_once():
+    assert sorted(p.stem for p in ARTIFACTS.glob("*.json")) == sorted(
+        oracle_names()
+    )
+
+
+@pytest.mark.parametrize("oracle", sorted(oracle_names()))
+def test_golden_artifact_replays(oracle):
+    payload = load_artifact(str(ARTIFACTS / f"{oracle}.json"))
+    assert payload["version"] == FORMAT_VERSION
+    assert payload["oracle"] == oracle
+    # every golden was produced by the oracle's own --inject-fault arm
+    assert payload["fault"] == oracle
+    result = replay_artifact(payload)
+    assert result.expected == "disagree"
+    assert result.reproduced, result.format()
+
+
+@pytest.mark.parametrize("oracle", sorted(oracle_names()))
+def test_golden_artifact_round_trips_byte_identically(oracle):
+    path = ARTIFACTS / f"{oracle}.json"
+    raw = path.read_bytes()
+    rewritten = (
+        json.dumps(json.loads(raw), indent=2, sort_keys=True) + "\n"
+    ).encode()
+    assert rewritten == raw
+
+
+@pytest.mark.parametrize("oracle", sorted(oracle_names()))
+def test_goldens_are_shrunk_to_minimal_cases(oracle):
+    # The pack stores *minimized* counterexamples: a one-rule case is
+    # the strongest replay (and the cheapest); regenerating the pack
+    # with an unshrunk case would weaken it silently.
+    payload = load_artifact(str(ARTIFACTS / f"{oracle}.json"))
+    rule_count = sum(len(frame) for frame in payload["case"]["frames"])
+    assert rule_count <= 3
+    assert payload["verdict"]["classification"] == "disagree"

@@ -1,0 +1,140 @@
+"""The coverage ratchet script itself (stdlib-only, so testable anywhere).
+
+CI produces the real ``coverage.xml`` with pytest-cov and then runs
+``tools/coverage_floor.py`` against ``tools/coverage_floors.json``;
+these tests pin the script's parsing, aggregation and failure modes
+with synthetic Cobertura documents, so the ratchet cannot silently
+rot into a no-op.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def floor():
+    spec = importlib.util.spec_from_file_location(
+        "coverage_floor", ROOT / "tools" / "coverage_floor.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("coverage_floor", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _xml(tmp_path, classes: dict[str, list[int]]) -> str:
+    """A minimal Cobertura doc: filename -> per-line hit counts."""
+    body = []
+    for filename, hits in classes.items():
+        lines = "".join(
+            f'<line number="{i + 1}" hits="{h}"/>' for i, h in enumerate(hits)
+        )
+        body.append(
+            f'<class filename="{filename}" name="m"><lines>{lines}</lines></class>'
+        )
+    doc = (
+        '<?xml version="1.0"?><coverage><packages><package><classes>'
+        + "".join(body)
+        + "</classes></package></packages></coverage>"
+    )
+    path = tmp_path / "coverage.xml"
+    path.write_text(doc)
+    return str(path)
+
+
+class TestPackageMapping:
+    @pytest.mark.parametrize(
+        "filename,package",
+        [
+            ("repro/core/types.py", "repro.core"),
+            ("src/repro/core/types.py", "repro.core"),
+            ("repro/subtyping/decide.py", "repro.subtyping"),
+            ("repro/cli.py", "repro"),
+            ("src/repro/pipeline.py", "repro"),
+            ("src\\repro\\store\\log.py", "repro.store"),
+        ],
+    )
+    def test_filenames_map_to_packages(self, floor, filename, package):
+        assert floor.package_of(filename) == package
+
+
+class TestAggregation:
+    def test_counts_aggregate_per_package(self, floor, tmp_path):
+        path = _xml(
+            tmp_path,
+            {
+                "repro/core/a.py": [1, 1, 0, 5],
+                "repro/core/b.py": [0, 0],
+                "repro/cli.py": [1],
+            },
+        )
+        totals = floor.collect(path)
+        assert totals["repro.core"] == (3, 6)
+        assert totals["repro"] == (1, 1)
+
+
+class TestCheck:
+    def test_passes_at_or_above_the_floor(self, floor):
+        lines, ok = floor.check({"repro.core": (3, 4)}, {"repro.core": 75})
+        assert ok
+        assert any("ok (floor 75%)" in line for line in lines)
+
+    def test_fails_below_the_floor(self, floor):
+        _, ok = floor.check({"repro.core": (2, 4)}, {"repro.core": 75})
+        assert not ok
+
+    def test_fails_on_a_package_without_a_floor(self, floor):
+        # The ratchet is opt-in per package: new code must declare its
+        # floor, not silently ship uncovered.
+        _, ok = floor.check(
+            {"repro.newpkg": (10, 10)}, {"repro.core": 75}
+        )
+        assert not ok
+
+    def test_fails_on_a_floored_package_missing_from_the_report(self, floor):
+        _, ok = floor.check({}, {"repro.core": 75})
+        assert not ok
+
+    def test_empty_package_counts_as_fully_covered(self, floor):
+        _, ok = floor.check({"repro.core": (0, 0)}, {"repro.core": 75})
+        assert ok
+
+
+class TestEndToEnd:
+    def test_main_exit_codes(self, floor, tmp_path, capsys):
+        xml = _xml(tmp_path, {"repro/core/a.py": [1, 1, 1, 0]})
+        floors = tmp_path / "floors.json"
+        floors.write_text(json.dumps({"repro.core": 70}))
+        assert floor.main(["--xml", xml, "--floors", str(floors)]) == 0
+        assert "passed" in capsys.readouterr().out
+        floors.write_text(json.dumps({"repro.core": 90}))
+        assert floor.main(["--xml", xml, "--floors", str(floors)]) == 1
+        assert "BELOW floor" in capsys.readouterr().out
+
+    def test_shipped_floors_file_is_well_formed(self, floor):
+        floors = json.loads(
+            (ROOT / "tools" / "coverage_floors.json").read_text()
+        )
+        assert floors, "floors file must not be empty"
+        for package, value in floors.items():
+            assert package == "repro" or package.startswith("repro."), package
+            assert 0 < float(value) <= 100
+
+    def test_every_source_package_has_a_floor(self, floor):
+        floors = json.loads(
+            (ROOT / "tools" / "coverage_floors.json").read_text()
+        )
+        packages = {
+            f"repro.{p.name}"
+            for p in (ROOT / "src" / "repro").iterdir()
+            if p.is_dir() and (p / "__init__.py").exists()
+        } | {"repro"}
+        assert packages <= set(floors), sorted(packages - set(floors))

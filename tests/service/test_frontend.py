@@ -1,0 +1,145 @@
+"""Direct unit tests for the asyncio front-end transports.
+
+These drive :func:`repro.service.frontend.serve_stdio_async` (and the
+TCP variant) against a real in-process :class:`ResolutionService`, using
+``StringIO`` doubles for stdio -- which also exercises the documented
+fallback path for inputs without a ``fileno`` -- and a real socket for
+TCP.  The threaded transports in ``server.py`` have their own suite;
+the async loop's specific obligations are covered here: inline control
+responses, Future completions written as they land, blank-line
+tolerance, clean stop on ``shutdown`` and on EOF.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service.frontend import serve_stdio_async, serve_tcp_async
+from repro.service.server import ResolutionService
+
+
+# Probing connect_read_pipe with a fileno-less StringIO leaves asyncio's
+# half-constructed pipe transport to warn at GC time; the fallback path
+# it triggers is exactly what these tests exercise, so the warning is
+# expected noise, not a leak.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnraisableExceptionWarning"
+)
+
+
+@pytest.fixture
+def service():
+    svc = ResolutionService(workers=2, queue_depth=8)
+    yield svc
+    svc.shutdown()
+
+
+def _drive(service, lines: list[str]) -> list[dict]:
+    stdin = io.StringIO("".join(line + "\n" for line in lines))
+    stdout = io.StringIO()
+    assert serve_stdio_async(service, stdin=stdin, stdout=stdout) == 0
+    return [json.loads(line) for line in stdout.getvalue().splitlines()]
+
+
+def _by_id(responses: list[dict]) -> dict[int, dict]:
+    return {r["id"]: r for r in responses}
+
+
+class TestStdio:
+    def test_control_and_work_ops_round_trip(self, service):
+        responses = _drive(
+            service,
+            [
+                '{"id": 1, "op": "ping"}',
+                '{"id": 2, "op": "session/new",'
+                ' "params": {"name": "s", "rules": ["Int"]}}',
+                '{"id": 3, "op": "resolve",'
+                ' "params": {"session": "s", "type": "Int"}}',
+                '{"id": 4, "op": "subtyping/check",'
+                ' "params": {"session": "s", "type": "Int"}}',
+            ],
+        )
+        by_id = _by_id(responses)
+        assert sorted(by_id) == [1, 2, 3, 4]
+        assert by_id[1]["ok"]
+        assert by_id[3]["result"]["resolved"] is True
+        assert by_id[4]["result"]["holds"] is True
+
+    def test_blank_lines_are_skipped(self, service):
+        responses = _drive(
+            service, ['{"id": 1, "op": "ping"}', "", "   ", '{"id": 2, "op": "ping"}']
+        )
+        assert sorted(_by_id(responses)) == [1, 2]
+
+    def test_eof_ends_the_loop_and_shuts_the_service_down(self, service):
+        assert _drive(service, []) == []
+        assert service.stopping.is_set()  # finally-clause shutdown ran
+
+    def test_shutdown_request_stops_before_remaining_input(self, service):
+        responses = _drive(
+            service,
+            [
+                '{"id": 1, "op": "ping"}',
+                '{"id": 2, "op": "shutdown"}',
+                '{"id": 3, "op": "ping"}',
+            ],
+        )
+        by_id = _by_id(responses)
+        assert sorted(by_id) == [1, 2]  # id 3 never dispatched
+        assert by_id[2]["ok"]
+
+    def test_future_completions_are_all_written(self, service):
+        # debug/sleep parks one worker; the concurrent resolve must not
+        # be lost, and both completions must be written before exit.
+        responses = _drive(
+            service,
+            [
+                '{"id": 1, "op": "session/new",'
+                ' "params": {"name": "s", "rules": ["Int"]}}',
+                '{"id": 2, "op": "debug/sleep", "params": {"seconds": 0.05}}',
+                '{"id": 3, "op": "resolve",'
+                ' "params": {"session": "s", "type": "Int"}}',
+            ],
+        )
+        by_id = _by_id(responses)
+        assert sorted(by_id) == [1, 2, 3]
+        assert by_id[2]["ok"] and by_id[3]["ok"]
+
+    def test_protocol_errors_still_answer_inline(self, service):
+        responses = _drive(service, ['{"id": 1, "op": "no/such/op"}'])
+        assert responses[0]["error"]["code"]
+
+
+class TestTcp:
+    def test_ping_then_shutdown_over_a_real_socket(self, service):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        thread = threading.Thread(
+            target=serve_tcp_async, args=(service, "127.0.0.1", port), daemon=True
+        )
+        thread.start()
+        conn = None
+        for _ in range(100):
+            try:
+                conn = socket.create_connection(("127.0.0.1", port), timeout=1)
+                break
+            except OSError:
+                time.sleep(0.05)
+        assert conn is not None, "TCP front-end never came up"
+        try:
+            conn.sendall(b'{"id": 1, "op": "ping"}\n{"id": 2, "op": "shutdown"}\n')
+            reader = conn.makefile("r", encoding="utf-8")
+            responses = _by_id([json.loads(reader.readline()) for _ in range(2)])
+            assert responses[1]["ok"] and responses[2]["ok"]
+        finally:
+            conn.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert service.stopping.is_set()

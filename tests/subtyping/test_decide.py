@@ -1,0 +1,236 @@
+"""The modus-ponens decision procedure and its independent checker."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core import BOOL, CHAR, INT, ImplicitEnv, TCon, TVar, pair, rule
+from repro.subtyping import (
+    Conjunct,
+    Extend,
+    ModusPonens,
+    SubtypingVerdict,
+    check_entailment,
+    conjunct_drop,
+    conjunct_spine,
+    decide,
+    entails,
+)
+
+
+def _eq(t):
+    return TCon("Eq", (t,))
+
+
+def _list(t):
+    return TCon("List", (t,))
+
+
+# -- the paper's examples ---------------------------------------------------
+
+
+def test_pair_query_holds_with_a_checkable_derivation(pair_env):
+    result = decide(pair_env, pair(INT, INT))
+    assert result.verdict is SubtypingVerdict.HOLDS
+    assert result.steps > 0
+    assert result.conjuncts == 2
+    assert isinstance(result.derivation, ModusPonens)
+    assert check_entailment(pair_env, pair(INT, INT), result.derivation)
+
+
+def test_unprovable_atom_fails_definitively(pair_env):
+    result = decide(pair_env, CHAR)
+    assert result.verdict is SubtypingVerdict.FAILS
+    assert result.derivation is None
+    assert result.reason == ""
+
+
+def test_rule_typed_query_goes_through_the_right_phase():
+    env = ImplicitEnv.empty().push(
+        [rule(pair(TVar("a"), TVar("a")), [TVar("a")], ["a"])]
+    )
+    query = rule(pair(INT, INT), [INT])
+    result = decide(env, query)
+    assert result.holds
+    root = result.derivation
+    assert isinstance(root, Extend)
+    assert root.skolems == ()  # no binders, only a context to assume
+    assert [c.rho for c in root.added] == [INT]
+    assert all(c.frame == -1 for c in root.added)
+    assert check_entailment(env, query, root)
+
+
+def test_quantified_query_skolemizes_its_binders(pair_env):
+    query = rule(pair(TVar("b"), TVar("b")), [TVar("b")], ["b"])
+    result = decide(pair_env, query)
+    assert result.holds
+    root = result.derivation
+    assert isinstance(root, Extend)
+    assert len(root.skolems) == 1
+    assert root.skolems[0].startswith("%sk")
+    assert check_entailment(pair_env, query, root)
+
+
+def test_transitivity_of_implications_holds():
+    # E9: {C} => B, {A} => C |- {A} => B
+    a, b, c = TCon("A"), TCon("B"), TCon("C")
+    env = ImplicitEnv.empty().push([rule(b, [c]), rule(c, [a])])
+    query = rule(b, [a])
+    result = decide(env, query)
+    assert result.holds
+    assert check_entailment(env, query, result.derivation)
+
+
+def test_subtyping_over_approximates_committed_choice(backtracking_env):
+    # Char; {Char} => Int; {Bool} => Int: the syntactic engine commits
+    # to the nearest Int rule and gets stuck on Bool, but a conjunction
+    # has no nearness -- the {Char} => Int implication proves Int.
+    result = decide(backtracking_env, INT)
+    assert result.holds
+    assert check_entailment(backtracking_env, INT, result.derivation)
+
+
+# -- termination ------------------------------------------------------------
+
+
+def test_recursive_rule_without_a_base_case_fails():
+    a = TVar("a")
+    env = ImplicitEnv.empty().push([rule(_eq(_list(a)), [_eq(a)], ["a"])])
+    result = decide(env, _eq(_list(INT)))
+    # unfolding bottoms out at the underivable Eq Int; the goals shrink
+    # at every step, so this is a cheap definitive denial
+    assert result.verdict is SubtypingVerdict.FAILS
+    assert result.steps < 10
+
+
+def test_self_supporting_loop_is_not_a_proof():
+    c = TCon("C")
+    env = ImplicitEnv.empty().push([rule(c, [c])])
+    assert decide(env, c).verdict is SubtypingVerdict.FAILS
+
+
+def test_doubling_goals_trip_the_size_guard():
+    # forall a. {a * a} => a doubles the goal at every modus-ponens
+    # step; the size guard must abandon the branch long before the
+    # unfolded goals become too large even to hash.
+    a = TVar("a")
+    env = ImplicitEnv.empty().push([rule(a, [pair(a, a)], ["a"])])
+    result = decide(env, INT)
+    assert result.verdict is SubtypingVerdict.EXHAUSTED
+    assert result.reason == "step or goal-size budget exhausted"
+    assert result.steps < 20  # 2^13 > MAX_GOAL_SIZE: tripped early
+
+
+def test_slow_growth_exhausts_the_step_budget():
+    # forall a. {[a]} => a grows the goal by one constructor per step,
+    # never reaching the size guard within a small step budget.
+    a = TVar("a")
+    env = ImplicitEnv.empty().push([rule(a, [_list(a)], ["a"])])
+    result = decide(env, INT, budget=64)
+    assert result.verdict is SubtypingVerdict.EXHAUSTED
+    assert result.reason == "step or goal-size budget exhausted"
+    assert result.steps == 65  # the step that tripped the budget
+
+
+def test_premise_only_variable_is_a_carve_out():
+    env = ImplicitEnv.empty().push([rule(INT, [TVar("b")], ["b"])])
+    result = decide(env, INT)
+    assert result.verdict is SubtypingVerdict.EXHAUSTED
+    assert "premise-only" in result.reason
+
+
+def test_entails_folds_the_three_verdicts_to_bool(pair_env):
+    assert entails(pair_env, pair(INT, INT)) is True
+    assert entails(pair_env, CHAR) is False
+    a = TVar("a")
+    growing = ImplicitEnv.empty().push([rule(a, [_list(a)], ["a"])])
+    assert entails(growing, INT, budget=64) is False  # EXHAUSTED -> False
+
+
+def test_decide_is_deterministic(pair_env):
+    first = decide(pair_env, pair(INT, INT))
+    second = decide(pair_env, pair(INT, INT))
+    assert first == second  # including the derivation tree and skolems
+
+
+# -- the spine view ---------------------------------------------------------
+
+
+def test_conjunct_spine_unrolls_nested_rule_heads():
+    inner = rule(pair(TVar("b"), TVar("b")), [BOOL], ["b"])
+    outer = rule(inner, [INT], ["a"])
+    metas, premises, head = conjunct_spine(outer)
+    assert metas == ("%mp0.0", "%mp1.0")
+    assert premises == (INT, BOOL)
+    assert head == pair(TVar("%mp1.0"), TVar("%mp1.0"))
+
+
+def test_conjunct_spine_of_a_simple_type_is_trivial():
+    assert conjunct_spine(INT) == ((), (), INT)
+
+
+# -- the independent checker ------------------------------------------------
+
+
+def test_checker_rejects_a_derivation_for_the_wrong_goal(pair_env):
+    result = decide(pair_env, pair(INT, INT))
+    assert not check_entailment(pair_env, CHAR, result.derivation)
+
+
+def test_checker_rejects_a_conjunct_the_environment_lacks(pair_env):
+    fake = ModusPonens(
+        goal=CHAR,
+        conjunct=Conjunct(CHAR, 0, 0),
+        instantiation=(),
+        premises=(),
+    )
+    assert not check_entailment(pair_env, CHAR, fake)
+
+
+def test_checker_rejects_a_tampered_instantiation(pair_env):
+    result = decide(pair_env, pair(INT, INT))
+    node = result.derivation
+    assert isinstance(node, ModusPonens)
+    tampered = dataclasses.replace(
+        node,
+        instantiation=tuple((name, BOOL) for name, _ in node.instantiation),
+    )
+    assert not check_entailment(pair_env, pair(INT, INT), tampered)
+
+
+def test_checker_rejects_dropped_premises(pair_env):
+    result = decide(pair_env, pair(INT, INT))
+    node = result.derivation
+    assert isinstance(node, ModusPonens)
+    assert node.premises  # the pair rule has a premise to drop
+    tampered = dataclasses.replace(node, premises=())
+    assert not check_entailment(pair_env, pair(INT, INT), tampered)
+
+
+def test_checker_rejects_stale_skolem_names(pair_env):
+    query = rule(pair(TVar("b"), TVar("b")), [TVar("b")], ["b"])
+    root = decide(pair_env, query).derivation
+    assert isinstance(root, Extend)
+    # claim a "fresh" name that is not fresh at all
+    tampered = dataclasses.replace(root, skolems=("b",))
+    assert not check_entailment(pair_env, query, tampered)
+
+
+# -- fault injection --------------------------------------------------------
+
+
+def test_dropped_conjunct_flips_the_pair_query_to_fails(pair_env):
+    with conjunct_drop(True):
+        result = decide(pair_env, pair(INT, INT))
+    assert result.verdict is SubtypingVerdict.FAILS
+    assert result.conjuncts == 1
+
+
+def test_derivation_from_a_dropped_translation_still_checks():
+    # Dropping a conjunct only removes proofs; whatever survives must
+    # still be genuine evidence against the *full* environment.
+    env = ImplicitEnv.empty().push([BOOL]).push([INT])
+    with conjunct_drop(True):
+        result = decide(env, BOOL)
+    assert result.holds
+    assert check_entailment(env, BOOL, result.derivation)

@@ -1,0 +1,95 @@
+"""The environment-to-intersection translation and its fault toggle."""
+
+from __future__ import annotations
+
+from repro.core import BOOL, CHAR, INT, ImplicitEnv, TVar, pair, rule
+from repro.subtyping import (
+    Conjunct,
+    IntersectionType,
+    conjunct_drop,
+    intersection_of_env,
+    set_conjunct_drop,
+)
+from repro.subtyping.intersection import LOCAL
+
+
+def _stacked_env() -> ImplicitEnv:
+    return (
+        ImplicitEnv.empty()
+        .push([CHAR])
+        .push([rule(INT, [CHAR])])
+        .push([rule(INT, [BOOL]), BOOL])
+    )
+
+
+def test_conjuncts_are_enumerated_innermost_first():
+    t = intersection_of_env(_stacked_env())
+    assert [c.rho for c in t.conjuncts] == [
+        rule(INT, [BOOL]),
+        BOOL,
+        rule(INT, [CHAR]),
+        CHAR,
+    ]
+    # frame indices count from the outermost frame (env.frames() order);
+    # positions are the entry's offset inside its own frame.
+    assert [(c.frame, c.position) for c in t.conjuncts] == [
+        (2, 0),
+        (2, 1),
+        (1, 0),
+        (0, 0),
+    ]
+
+
+def test_empty_environment_translates_to_the_empty_intersection():
+    t = intersection_of_env(ImplicitEnv.empty())
+    assert len(t) == 0
+    assert t.conjuncts == ()
+
+
+def test_conjunct_key_is_alpha_invariant():
+    a = Conjunct(rule(pair(TVar("a"), TVar("a")), [TVar("a")], ["a"]), 0, 0)
+    b = Conjunct(rule(pair(TVar("b"), TVar("b")), [TVar("b")], ["b"]), 3, 7)
+    assert a.key() == b.key()
+
+
+def test_intersection_key_is_order_sensitive():
+    one = IntersectionType((Conjunct(INT, 0, 0), Conjunct(BOOL, 0, 1)))
+    other = IntersectionType((Conjunct(BOOL, 0, 0), Conjunct(INT, 0, 1)))
+    assert one.key() != other.key()
+
+
+def test_local_marker_is_not_a_real_frame_index():
+    t = intersection_of_env(_stacked_env())
+    assert all(c.frame != LOCAL for c in t.conjuncts)
+
+
+def test_conjunct_drop_loses_exactly_the_first_conjunct():
+    env = _stacked_env()
+    full = intersection_of_env(env)
+    with conjunct_drop(True):
+        dropped = intersection_of_env(env)
+    assert len(dropped) == len(full) - 1
+    assert [c.rho for c in dropped.conjuncts] == [
+        c.rho for c in full.conjuncts[1:]
+    ]
+
+
+def test_set_conjunct_drop_returns_the_previous_value():
+    assert set_conjunct_drop(True) is False
+    assert set_conjunct_drop(False) is True
+    assert set_conjunct_drop(False) is False
+
+
+def test_conjunct_drop_context_restores_on_exit():
+    env = _stacked_env()
+    with conjunct_drop(True):
+        with conjunct_drop(True):
+            pass
+        # still dropping: the inner exit restored the *outer* state
+        assert len(intersection_of_env(env)) == 3
+    assert len(intersection_of_env(env)) == 4
+
+
+def test_drop_on_the_empty_intersection_is_a_no_op():
+    with conjunct_drop(True):
+        assert len(intersection_of_env(ImplicitEnv.empty())) == 0

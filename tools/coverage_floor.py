@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Per-package coverage ratchet: enforce floors from a Cobertura XML.
+
+Reads the ``coverage.xml`` that ``pytest --cov=repro --cov-report=xml``
+writes in CI, aggregates line coverage per top-level package under
+``repro`` (``repro.core``, ``repro.fuzz``, ...; modules sitting directly
+in ``repro/`` -- ``cli.py``, ``pipeline.py`` -- count as the ``repro``
+package itself), and compares each against the floors in
+``tools/coverage_floors.json``.
+
+The floors are a *ratchet*: they encode the worst coverage each package
+is allowed to regress to, not an aspiration.  Raise a floor when a
+package's coverage durably improves; never lower one to make a PR pass.
+A package that appears in the report but has no floor fails the run --
+adding a package means deciding its floor explicitly.
+
+Stdlib only (ElementTree + json), so the script runs anywhere the repo
+does; only *producing* the XML needs pytest-cov, which CI installs.
+
+Usage::
+
+    python tools/coverage_floor.py --xml coverage.xml \
+        --floors tools/coverage_floors.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import xml.etree.ElementTree as ET
+
+
+def package_of(filename: str) -> str:
+    """Map a Cobertura class filename onto its repro package name.
+
+    Handles both source-relative (``repro/core/types.py``) and
+    repo-relative (``src/repro/core/types.py``) filename styles.
+    """
+    parts = filename.replace("\\", "/").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[0] == "repro":
+        parts = parts[1:]
+    if len(parts) > 1:
+        return f"repro.{parts[0]}"
+    return "repro"
+
+
+def collect(xml_path: str) -> dict[str, tuple[int, int]]:
+    """Per-package ``(covered, total)`` statement-line counts."""
+    tree = ET.parse(xml_path)
+    totals: dict[str, tuple[int, int]] = {}
+    for cls in tree.getroot().iter("class"):
+        package = package_of(cls.get("filename", ""))
+        covered, total = totals.get(package, (0, 0))
+        for line in cls.iter("line"):
+            total += 1
+            if int(line.get("hits", "0")) > 0:
+                covered += 1
+        totals[package] = (covered, total)
+    return totals
+
+
+def check(
+    totals: dict[str, tuple[int, int]], floors: dict[str, float]
+) -> tuple[list[str], bool]:
+    lines = []
+    ok = True
+    width = max((len(p) for p in totals), default=10)
+    for package in sorted(totals):
+        covered, total = totals[package]
+        rate = 100.0 * covered / total if total else 100.0
+        floor = floors.get(package)
+        if floor is None:
+            status = "NO FLOOR (add one to tools/coverage_floors.json)"
+            ok = False
+        elif rate < floor:
+            status = f"BELOW floor {floor:.0f}%"
+            ok = False
+        else:
+            status = f"ok (floor {floor:.0f}%)"
+        lines.append(
+            f"{package:<{width}}  {rate:6.2f}%  {covered}/{total}  {status}"
+        )
+    for package in sorted(set(floors) - set(totals)):
+        lines.append(
+            f"{package:<{width}}  absent from the coverage report "
+            "(package removed? update the floors file)"
+        )
+        ok = False
+    return lines, ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--xml", required=True, help="Cobertura coverage.xml")
+    parser.add_argument(
+        "--floors", required=True, help="JSON of package -> floor percent"
+    )
+    args = parser.parse_args(argv)
+    with open(args.floors, "r", encoding="utf-8") as handle:
+        floors = {k: float(v) for k, v in json.load(handle).items()}
+    lines, ok = check(collect(args.xml), floors)
+    print("\n".join(lines))
+    if not ok:
+        print("coverage floor check FAILED", file=sys.stderr)
+        return 1
+    print("coverage floor check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
